@@ -1,0 +1,351 @@
+package reptile
+
+// One benchmark per table and figure of the paper's evaluation section
+// (regenerated through internal/harness at bench scale), plus ablation
+// benches for the design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/reptile-bench runs the same experiments at larger scales and prints
+// the full tables.
+
+import (
+	"sync"
+	"testing"
+
+	"reptile/internal/bloom"
+	"reptile/internal/collective"
+	"reptile/internal/core"
+	"reptile/internal/genome"
+	"reptile/internal/harness"
+	"reptile/internal/kmer"
+	irept "reptile/internal/reptile"
+	"reptile/internal/spectrum"
+	"reptile/internal/transport"
+)
+
+// benchExperiment runs one harness experiment per iteration at quick scale.
+func benchExperiment(b *testing.B, id string) {
+	exp, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	sc := harness.QuickScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := exp.Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableI_Datasets(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkFig2_RanksPerNode(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkFig3_SpectrumBalance(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4_LoadBalance(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig5_Heuristics(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig6_EColiScaling(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig7_DrosophilaScaling(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFig8_HumanScaling(b *testing.B)      { benchExperiment(b, "fig8") }
+
+// --- ablation benches ---
+
+// benchStoreData builds a deterministic spectrum for the store comparison.
+func benchStoreData(n int) ([]spectrum.Entry, []kmer.ID) {
+	h := spectrum.NewHash(n)
+	rng := kmer.ID(12345)
+	next := func() kmer.ID {
+		rng = kmer.ID(kmer.HashID(rng))
+		return rng
+	}
+	for h.Len() < n {
+		h.Add(next(), 7)
+	}
+	entries := h.Entries()
+	probes := make([]kmer.ID, 4096)
+	for i := range probes {
+		if i%2 == 0 {
+			probes[i] = entries[(i*37)%len(entries)].ID // hit
+		} else {
+			probes[i] = next() // almost surely a miss
+		}
+	}
+	return entries, probes
+}
+
+// BenchmarkAblation_Stores compares the paper's hash-table spectrum against
+// the prior art's sorted-array and cache-aware layouts.
+func BenchmarkAblation_Stores(b *testing.B) {
+	entries, probes := benchStoreData(1 << 18)
+	hash := spectrum.NewHash(len(entries))
+	for _, e := range entries {
+		hash.Add(e.ID, e.Count)
+	}
+	stores := []struct {
+		name string
+		s    spectrum.Lookuper
+	}{
+		{"hash", hash},
+		{"sorted", spectrum.NewSorted(entries)},
+		{"cacheaware", spectrum.NewCacheAware(entries)},
+	}
+	for _, st := range stores {
+		b.Run(st.name, func(b *testing.B) {
+			var hits int
+			for i := 0; i < b.N; i++ {
+				if _, ok := st.s.Count(probes[i%len(probes)]); ok {
+					hits++
+				}
+			}
+			_ = hits
+		})
+	}
+}
+
+// BenchmarkAblation_ReplicatedLayout runs the fully-replicated engine with
+// each spectrum layout: the paper's hash tables vs the prior
+// parallelizations' sorted and cache-aware arrays.
+func BenchmarkAblation_ReplicatedLayout(b *testing.B) {
+	ds := genome.EColiSim.Scaled(0.02).Build()
+	for _, layout := range []core.Layout{core.LayoutHash, core.LayoutSorted, core.LayoutCacheAware} {
+		b.Run(layout.String(), func(b *testing.B) {
+			opts := core.Options{
+				Config: irept.ForCoverage(ds.Coverage()),
+				Heuristics: core.Heuristics{
+					ReplicateKmers: true, ReplicateTiles: true, ReplicatedLayout: layout,
+				},
+				LoadBalance: true,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(&core.MemorySource{Reads: ds.Reads}, 8, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Collectives compares the flat star and binomial-tree
+// gather/bcast, and the dissemination barrier.
+func BenchmarkAblation_Collectives(b *testing.B) {
+	const np = 64
+	runAll := func(b *testing.B, body func(c *collective.Comm) error) {
+		eps, err := transport.NewProcGroup(np)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer transport.CloseGroup(eps)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			comms := make([]*collective.Comm, np)
+			for r := 0; r < np; r++ {
+				comms[r] = collective.New(eps[r])
+			}
+			for r := 0; r < np; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					if err := body(comms[r]); err != nil {
+						b.Error(err)
+					}
+				}(r)
+			}
+			wg.Wait()
+		}
+	}
+	payload := make([]byte, 64)
+	b.Run("gather-flat", func(b *testing.B) {
+		runAll(b, func(c *collective.Comm) error { _, err := c.GatherFlat(0, payload); return err })
+	})
+	b.Run("gather-tree", func(b *testing.B) {
+		runAll(b, func(c *collective.Comm) error { _, err := c.GatherTree(0, payload); return err })
+	})
+	b.Run("bcast-flat", func(b *testing.B) {
+		runAll(b, func(c *collective.Comm) error { _, err := c.BcastFlat(0, payload); return err })
+	})
+	b.Run("bcast-tree", func(b *testing.B) {
+		runAll(b, func(c *collective.Comm) error { _, err := c.BcastTree(0, payload); return err })
+	})
+	b.Run("barrier-dissemination", func(b *testing.B) {
+		runAll(b, func(c *collective.Comm) error { return c.BarrierDissemination() })
+	})
+	b.Run("barrier-tree", func(b *testing.B) {
+		runAll(b, func(c *collective.Comm) error { return c.Barrier() })
+	})
+}
+
+// BenchmarkAblation_Universal compares the probe-tagged and universal
+// (self-describing) request paths end to end.
+func BenchmarkAblation_Universal(b *testing.B) {
+	ds := genome.EColiSim.Scaled(0.02).Build()
+	for _, universal := range []bool{false, true} {
+		name := "tagged"
+		if universal {
+			name = "universal"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.Options{
+				Config:      irept.ForCoverage(ds.Coverage()),
+				Heuristics:  core.Heuristics{Universal: universal},
+				LoadBalance: true,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(&core.MemorySource{Reads: ds.Reads}, 8, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Bloom compares exact spectrum construction against the
+// bloom-gated build that keeps singleton errors out of the hash tables.
+func BenchmarkAblation_Bloom(b *testing.B) {
+	ds := genome.EColiSim.Scaled(0.02).Build()
+	cfg := irept.ForCoverage(ds.Coverage())
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k, t := irept.BuildSpectra(ds.Reads, cfg)
+			_, _ = k, t
+		}
+	})
+	b.Run("bloom", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k, t, _ := irept.BuildSpectraBloom(ds.Reads, cfg, 0.01)
+			_, _ = k, t
+		}
+	})
+}
+
+// BenchmarkAblation_BloomFilterOps measures the raw filter.
+func BenchmarkAblation_BloomFilterOps(b *testing.B) {
+	f := bloom.New(1<<20, 0.01)
+	b.Run("add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.Add(kmer.ID(i))
+		}
+	})
+	b.Run("contains", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.Contains(kmer.ID(i))
+		}
+	})
+}
+
+// BenchmarkAblation_Transport measures round trips and collectives on the
+// in-process transport (the TCP path is exercised in core's tests).
+func BenchmarkAblation_Transport(b *testing.B) {
+	b.Run("roundtrip", func(b *testing.B) {
+		eps, err := transport.NewProcGroup(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer transport.CloseGroup(eps)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				m, err := eps[1].Recv(1)
+				if err != nil {
+					return
+				}
+				if err := eps[1].Send(0, 2, m.Data); err != nil {
+					return
+				}
+			}
+		}()
+		payload := make([]byte, 9)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eps[0].Send(1, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eps[0].Recv(2); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		transport.CloseGroup(eps)
+		<-done
+	})
+}
+
+// BenchmarkAblation_Candidates compares the quality-prioritized candidate
+// search against a corrector whose quality threshold is disabled (all
+// positions equal), isolating the value of quality scores.
+func BenchmarkAblation_Candidates(b *testing.B) {
+	ds := genome.EColiSim.Scaled(0.02).Build()
+	run := func(b *testing.B, qualThreshold byte) {
+		cfg := irept.ForCoverage(ds.Coverage())
+		cfg.QualThreshold = qualThreshold
+		for i := 0; i < b.N; i++ {
+			if _, _, err := irept.CorrectDataset(ds.Reads, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("quality-prioritized", func(b *testing.B) { run(b, 25) })
+	b.Run("quality-blind", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkAblation_TilesVsKmerOnly compares Reptile's tile-level
+// correction against the plain k-spectrum baseline it improves on, and
+// reports the accuracy gap alongside the throughput numbers.
+func BenchmarkAblation_TilesVsKmerOnly(b *testing.B) {
+	ds := genome.EColiSim.Scaled(0.02).Build()
+	cfg := irept.ForCoverage(ds.Coverage())
+	b.Run("tiles", func(b *testing.B) {
+		var gain float64
+		for i := 0; i < b.N; i++ {
+			out, _, err := irept.CorrectDataset(ds.Reads, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc, err := ds.Evaluate(out)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gain = acc.Gain()
+		}
+		b.ReportMetric(gain, "gain")
+	})
+	b.Run("kmer-only", func(b *testing.B) {
+		var gain float64
+		for i := 0; i < b.N; i++ {
+			out, _, err := irept.CorrectDatasetKmerOnly(ds.Reads, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc, err := ds.Evaluate(out)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gain = acc.Gain()
+		}
+		b.ReportMetric(gain, "gain")
+	})
+}
+
+// BenchmarkSequentialCorrector is the single-rank baseline per read.
+func BenchmarkSequentialCorrector(b *testing.B) {
+	ds := genome.EColiSim.Scaled(0.02).Build()
+	cfg := irept.ForCoverage(ds.Coverage())
+	kmers, tiles := irept.BuildSpectra(ds.Reads, cfg)
+	oracle := &irept.LocalOracle{Kmers: kmers, Tiles: tiles}
+	c, err := irept.NewCorrector(cfg, oracle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]Read, len(ds.Reads))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &buf[i%len(buf)]
+		*r = ds.Reads[i%len(ds.Reads)].Clone()
+		c.CorrectRead(r)
+	}
+}

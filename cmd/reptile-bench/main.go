@@ -1,0 +1,72 @@
+// Command reptile-bench regenerates the paper's tables and figures on
+// scaled synthetic workloads.
+//
+// Usage:
+//
+//	reptile-bench                      # run every experiment at default scale
+//	reptile-bench -exp fig4            # one experiment
+//	reptile-bench -scale 0.1 -rankdiv 64 -maxranks 128
+//	reptile-bench -list
+//
+// Output is aligned text, one table per experiment, each annotated with the
+// paper's reference numbers for comparison (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"reptile/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (table1, fig2..fig8); empty = all")
+		scale    = flag.Float64("scale", 0.25, "dataset scale factor on the Table I presets")
+		rankDiv  = flag.Int("rankdiv", 32, "divide the paper's rank counts by this")
+		maxRanks = flag.Int("maxranks", 256, "cap on scaled rank counts")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		csvDir   = flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	sc := harness.Scale{Dataset: *scale, RankDiv: *rankDiv, MaxRanks: *maxRanks}
+	exps := harness.All()
+	if *exp != "" {
+		e, ok := harness.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "reptile-bench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	fmt.Printf("reptile-bench: scale=%.3g rankdiv=%d maxranks=%d\n\n", *scale, *rankDiv, *maxRanks)
+	for _, e := range exps {
+		start := time.Now()
+		tab, err := e.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reptile-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.Render())
+		fmt.Printf("   (measured in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, tab.ID+".csv")
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "reptile-bench: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

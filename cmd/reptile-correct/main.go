@@ -1,0 +1,270 @@
+// Command reptile-correct runs the distributed corrector over a fasta +
+// quality file pair and writes the corrected reads.
+//
+// Single process, goroutine ranks (default):
+//
+//	reptile-correct -fasta ds.fa -qual ds.qual -np 16 -out corrected
+//
+// One process per rank over TCP (run once per rank, shared -addrs list):
+//
+//	reptile-correct -fasta ds.fa -qual ds.qual -transport tcp \
+//	    -rank 0 -addrs host0:9000,host1:9000 -out corrected
+//
+// Heuristics mirror the paper's Section III-B flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"reptile/internal/config"
+	"reptile/internal/core"
+	"reptile/internal/fastaio"
+	"reptile/internal/reads"
+	"reptile/internal/reptile"
+	"reptile/internal/stats"
+	"reptile/internal/transport"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "run-configuration file (paper-style); overrides the other flags")
+		dumpConfig = flag.Bool("dump-config", false, "print the default configuration file and exit")
+
+		fasta = flag.String("fasta", "", "input fasta file (headers = sequence numbers)")
+		qual  = flag.String("qual", "", "input quality-score file")
+		out   = flag.String("out", "corrected", "output prefix (<out>.fa, <out>.qual)")
+		np    = flag.Int("np", 8, "number of ranks (proc transport)")
+
+		k         = flag.Int("k", 12, "k-mer length")
+		overlap   = flag.Int("overlap", 4, "tile overlap in bases")
+		kmerThr   = flag.Uint("kmer-threshold", 6, "k-mer solidity threshold")
+		tileThr   = flag.Uint("tile-threshold", 3, "tile solidity threshold")
+		chunk     = flag.Int("chunk", 4096, "reads per processing chunk")
+		noBalance = flag.Bool("no-balance", false, "disable static load balancing")
+
+		universal = flag.Bool("universal", false, "universal (self-describing) request messages")
+		readKmers = flag.Bool("read-kmers", false, "retain read k-mer/tile tables with global counts")
+		cache     = flag.Bool("cache-remote", false, "cache remote lookups (implies -read-kmers)")
+		replKmers = flag.Bool("replicate-kmers", false, "replicate the k-mer spectrum on every rank")
+		replTiles = flag.Bool("replicate-tiles", false, "replicate the tile spectrum on every rank")
+		batch     = flag.Bool("batch-reads", false, "exchange spectra after every chunk (bounded reads tables)")
+		partial   = flag.Int("partial-replication", 0, "partial replication group size (0 = off)")
+
+		stream      = flag.Bool("stream", false, "streaming mode: never hold reads whole; write per-rank outputs incrementally (proc transport)")
+		corrections = flag.String("corrections", "", "also write the list of applied substitutions (seq, pos, from, to) to this file (proc non-streaming mode)")
+
+		transportName = flag.String("transport", "proc", "proc (goroutine ranks) or tcp (one process per rank)")
+		rank          = flag.Int("rank", 0, "this process's rank (tcp transport)")
+		addrs         = flag.String("addrs", "", "comma-separated rank addresses (tcp transport)")
+		verbose       = flag.Bool("v", false, "print per-rank statistics")
+	)
+	flag.Parse()
+
+	if *dumpConfig {
+		fmt.Print(config.Default().Render())
+		return
+	}
+	if *configPath != "" {
+		settings, err := config.Load(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		if settings.FastaPath == "" || settings.QualPath == "" {
+			fatal(fmt.Errorf("%s: fasta and qual are required", *configPath))
+		}
+		src := &core.FileSource{FastaPath: settings.FastaPath, QualPath: settings.QualPath}
+		start := time.Now()
+		if settings.Streaming {
+			runStreaming(src, settings.Ranks, settings.Options, settings.OutPrefix, *verbose)
+		} else {
+			runProc(src, settings.Ranks, settings.Options, settings.OutPrefix, *verbose)
+		}
+		fmt.Printf("total wall time %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *fasta == "" || *qual == "" {
+		fmt.Fprintln(os.Stderr, "reptile-correct: -fasta and -qual are required")
+		os.Exit(2)
+	}
+	cfg := reptile.Default()
+	cfg.Spec.K = *k
+	cfg.Spec.Overlap = *overlap
+	cfg.KmerThreshold = uint32(*kmerThr)
+	cfg.TileThreshold = uint32(*tileThr)
+	cfg.ChunkReads = *chunk
+	opts := core.Options{
+		Config: cfg,
+		Heuristics: core.Heuristics{
+			Universal:               *universal,
+			RetainReadKmers:         *readKmers || *cache,
+			CacheRemote:             *cache,
+			ReplicateKmers:          *replKmers,
+			ReplicateTiles:          *replTiles,
+			BatchReads:              *batch,
+			PartialReplicationGroup: *partial,
+		},
+		LoadBalance: !*noBalance,
+	}
+	src := &core.FileSource{FastaPath: *fasta, QualPath: *qual}
+
+	start := time.Now()
+	switch *transportName {
+	case "proc":
+		if *stream {
+			runStreaming(src, *np, opts, *out, *verbose)
+			break
+		}
+		runProcWithCorrections(src, *np, opts, *out, *corrections, *verbose)
+	case "tcp":
+		runTCP(src, opts, *rank, strings.Split(*addrs, ","), *out, *verbose)
+	default:
+		fmt.Fprintf(os.Stderr, "reptile-correct: unknown transport %q\n", *transportName)
+		os.Exit(2)
+	}
+	fmt.Printf("total wall time %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func runProc(src core.Source, np int, opts core.Options, out string, verbose bool) {
+	runProcWithCorrections(src, np, opts, out, "", verbose)
+}
+
+func runProcWithCorrections(src core.Source, np int, opts core.Options, out, correctionsPath string, verbose bool) {
+	output, err := core.Run(src, np, opts)
+	if err != nil {
+		fatal(err)
+	}
+	corrected := output.Corrected()
+	writeOutput(out, corrected)
+	if correctionsPath != "" {
+		// Re-read the originals to diff against; the engine does not keep
+		// them (the corrected copies replaced the shard in place).
+		orig, err := readWholeInput(src, np)
+		if err != nil {
+			fatal(err)
+		}
+		cs, err := reads.Diff(orig, corrected)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(correctionsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reads.WriteCorrections(f, cs); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("corrections list: %s (%d substitutions)\n", correctionsPath, len(cs))
+	}
+	fmt.Printf("ranks %d | reads %d | bases corrected %d | reads changed %d\n",
+		np, output.Result.ReadsProcessed, output.Result.BasesCorrected, output.Result.ReadsChanged)
+	fmt.Printf("k-mer construction %v | error correction %v\n",
+		(output.Run.Wall[stats.PhaseRead] + output.Run.Wall[stats.PhaseBalance] +
+			output.Run.Wall[stats.PhaseSpectrum] + output.Run.Wall[stats.PhaseExchange]).Round(time.Millisecond),
+		output.Run.Wall[stats.PhaseCorrect].Round(time.Millisecond))
+	if verbose {
+		for _, r := range output.Run.Ranks {
+			fmt.Printf("rank %3d: reads=%d kmers=%d tiles=%d remote=%d served=%d corrected=%d mem=%.1fMiB\n",
+				r.Rank, r.ReadsAssigned, r.OwnedKmers, r.OwnedTiles,
+				r.TotalRemoteLookups(), r.RequestsServed, r.BasesCorrected,
+				float64(r.PeakMemBytes)/(1<<20))
+		}
+	}
+}
+
+func runStreaming(src core.Source, np int, opts core.Options, out string, verbose bool) {
+	factory := func(rank int) (core.Sink, error) {
+		return core.NewFileSink(fmt.Sprintf("%s.rank%d", out, rank))
+	}
+	output, err := core.RunStreaming(src, np, opts, factory)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ranks %d (streaming) | reads %d | bases corrected %d | reads changed %d\n",
+		np, output.Result.ReadsProcessed, output.Result.BasesCorrected, output.Result.ReadsChanged)
+	fmt.Printf("outputs: %s.rank*.fa / .qual\n", out)
+	if verbose {
+		for _, r := range output.Run.Ranks {
+			fmt.Printf("rank %3d: reads=%d remote=%d served=%d corrected=%d peak-mem=%.1fMiB\n",
+				r.Rank, r.ReadsAssigned, r.TotalRemoteLookups(), r.RequestsServed,
+				r.BasesCorrected, float64(r.PeakMemBytes)/(1<<20))
+		}
+	}
+}
+
+func runTCP(src core.Source, opts core.Options, rank int, addrs []string, out string, verbose bool) {
+	if len(addrs) < 2 {
+		fatal(fmt.Errorf("tcp transport needs -addrs with at least two entries"))
+	}
+	e, err := transport.NewTCP(transport.TCPConfig{Rank: rank, Addrs: addrs})
+	if err != nil {
+		fatal(err)
+	}
+	defer e.Close()
+	ro, err := core.RunRank(e, src, opts)
+	if err != nil {
+		fatal(err)
+	}
+	writeOutput(fmt.Sprintf("%s.rank%d", out, rank), ro.Corrected)
+	fmt.Printf("rank %d: reads=%d corrected=%d remote=%d served=%d\n",
+		rank, ro.Stats.ReadsAssigned, ro.Result.BasesCorrected,
+		ro.Stats.TotalRemoteLookups(), ro.Stats.RequestsServed)
+	if verbose {
+		fmt.Printf("rank %d wall: read=%v balance=%v spectrum=%v exchange=%v correct=%v\n",
+			rank, ro.Stats.Wall[stats.PhaseRead], ro.Stats.Wall[stats.PhaseBalance],
+			ro.Stats.Wall[stats.PhaseSpectrum], ro.Stats.Wall[stats.PhaseExchange],
+			ro.Stats.Wall[stats.PhaseCorrect])
+	}
+}
+
+// readWholeInput drains every shard of the source (rank by rank) into one
+// slice, for the corrections diff.
+func readWholeInput(src core.Source, np int) ([]reads.Read, error) {
+	var all []reads.Read
+	for rank := 0; rank < np; rank++ {
+		br, err := src.Open(rank, np, 4096)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			batch, err := br.NextBatch()
+			if err != nil {
+				break
+			}
+			all = append(all, batch...)
+		}
+		br.Close()
+	}
+	return all, nil
+}
+
+func writeOutput(prefix string, batch []reads.Read) {
+	fa, err := os.Create(prefix + ".fa")
+	if err != nil {
+		fatal(err)
+	}
+	defer fa.Close()
+	if err := fastaio.WriteFasta(fa, batch); err != nil {
+		fatal(err)
+	}
+	qf, err := os.Create(prefix + ".qual")
+	if err != nil {
+		fatal(err)
+	}
+	defer qf.Close()
+	if err := fastaio.WriteQual(qf, batch); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "reptile-correct: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,178 @@
+// Command reptile-eval scores a corrected dataset against the ground truth
+// that readsim wrote, reporting TP/FP/FN, gain, sensitivity and precision.
+//
+// Usage:
+//
+//	readsim -preset ecoli -scale 0.05 -out /tmp/ds
+//	reptile-correct -fasta /tmp/ds/ecoli-sim.fa -qual /tmp/ds/ecoli-sim.qual -np 8 -out /tmp/ds/corr
+//	reptile-eval -orig /tmp/ds/ecoli-sim.fa -corrected /tmp/ds/corr.fa -truth /tmp/ds/ecoli-sim.truth
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"reptile/internal/dna"
+	"reptile/internal/fastaio"
+)
+
+type site struct {
+	pos  int
+	base dna.Base
+}
+
+func main() {
+	var (
+		orig      = flag.String("orig", "", "original (uncorrected) fasta file")
+		corrected = flag.String("corrected", "", "corrected fasta file")
+		truth     = flag.String("truth", "", "truth file from readsim (seq, pos, true base)")
+	)
+	flag.Parse()
+	if *orig == "" || *corrected == "" || *truth == "" {
+		fmt.Fprintln(os.Stderr, "reptile-eval: -orig, -corrected and -truth are required")
+		os.Exit(2)
+	}
+
+	truthMap, nErrors, err := loadTruth(*truth)
+	if err != nil {
+		fatal(err)
+	}
+	origSeqs, err := loadFasta(*orig)
+	if err != nil {
+		fatal(err)
+	}
+	corrSeqs, err := loadFasta(*corrected)
+	if err != nil {
+		fatal(err)
+	}
+
+	var tp, fp, fn, changed int64
+	for seq, corr := range corrSeqs {
+		og, ok := origSeqs[seq]
+		if !ok {
+			fatal(fmt.Errorf("corrected read %d not present in original", seq))
+		}
+		if len(og) != len(corr) {
+			fatal(fmt.Errorf("read %d length changed: %d -> %d", seq, len(og), len(corr)))
+		}
+		sites := truthMap[seq]
+		siteAt := make(map[int]dna.Base, len(sites))
+		for _, s := range sites {
+			siteAt[s.pos] = s.base
+		}
+		for j := range corr {
+			want, wasErr := siteAt[j]
+			isChanged := corr[j] != og[j]
+			if isChanged {
+				changed++
+			}
+			switch {
+			case wasErr && isChanged && corr[j] == want:
+				tp++
+			case wasErr:
+				fn++
+				if isChanged {
+					fp++
+				}
+			case isChanged:
+				fp++
+			}
+		}
+	}
+	// Errors in reads that never appeared in the corrected output count as
+	// missed.
+	for seq, sites := range truthMap {
+		if _, ok := corrSeqs[seq]; !ok {
+			fn += int64(len(sites))
+		}
+	}
+
+	gain := 0.0
+	if tp+fn > 0 {
+		gain = float64(tp-fp) / float64(tp+fn)
+	}
+	fmt.Printf("reads evaluated   %d\n", len(corrSeqs))
+	fmt.Printf("injected errors   %d\n", nErrors)
+	fmt.Printf("bases changed     %d\n", changed)
+	fmt.Printf("true positives    %d\n", tp)
+	fmt.Printf("false positives   %d\n", fp)
+	fmt.Printf("false negatives   %d\n", fn)
+	fmt.Printf("gain              %.4f\n", gain)
+	if tp+fn > 0 {
+		fmt.Printf("sensitivity       %.4f\n", float64(tp)/float64(tp+fn))
+	}
+	if tp+fp > 0 {
+		fmt.Printf("precision         %.4f\n", float64(tp)/float64(tp+fp))
+	}
+}
+
+func loadTruth(path string) (map[int64][]site, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	out := map[int64][]site{}
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, 0, fmt.Errorf("reptile-eval: malformed truth line %q", line)
+		}
+		seq, err1 := strconv.ParseInt(fields[0], 10, 64)
+		pos, err2 := strconv.Atoi(fields[1])
+		b, ok := dna.FromByte(fields[2][0])
+		if err1 != nil || err2 != nil || !ok || len(fields[2]) != 1 {
+			return nil, 0, fmt.Errorf("reptile-eval: malformed truth line %q", line)
+		}
+		out[seq] = append(out[seq], site{pos: pos, base: b})
+		n++
+	}
+	return out, n, sc.Err()
+}
+
+func loadFasta(path string) (map[int64][]dna.Base, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[int64][]dna.Base{}
+	sc := fastaio.NewScanner(f)
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		bases := make([]dna.Base, 0, len(rec.Body))
+		for _, c := range rec.Body {
+			if c == ' ' {
+				continue
+			}
+			b, ok := dna.FromByte(c)
+			if !ok {
+				b = dna.A
+			}
+			bases = append(bases, b)
+		}
+		out[rec.Seq] = bases
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "reptile-eval: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Command reptile-spectrum builds, saves, and inspects k-mer/tile spectrum
+// files, so the construction cost is paid once per dataset:
+//
+//	reptile-spectrum build -fasta ds.fa -qual ds.qual -out ds     # ds.kspec + ds.tspec
+//	reptile-spectrum info -in ds.kspec
+//
+// Spectrum files use the RSP1 format of internal/spectrum.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"reptile/internal/fastaio"
+	"reptile/internal/reptile"
+	"reptile/internal/spectrum"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		build(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: reptile-spectrum build|info [flags]")
+	os.Exit(2)
+}
+
+func build(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	fasta := fs.String("fasta", "", "input fasta file")
+	qual := fs.String("qual", "", "input quality file")
+	out := fs.String("out", "spectrum", "output prefix (<out>.kspec, <out>.tspec)")
+	k := fs.Int("k", 12, "k-mer length")
+	overlap := fs.Int("overlap", 4, "tile overlap")
+	kmerThr := fs.Uint("kmer-threshold", 6, "k-mer solidity threshold")
+	tileThr := fs.Uint("tile-threshold", 3, "tile solidity threshold")
+	fs.Parse(args)
+	if *fasta == "" || *qual == "" {
+		fmt.Fprintln(os.Stderr, "reptile-spectrum build: -fasta and -qual are required")
+		os.Exit(2)
+	}
+
+	batch, err := fastaio.ReadShard(*fasta, *qual, 0, 1)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := reptile.Default()
+	cfg.Spec.K = *k
+	cfg.Spec.Overlap = *overlap
+	cfg.KmerThreshold = uint32(*kmerThr)
+	cfg.TileThreshold = uint32(*tileThr)
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	kmers, tiles := reptile.BuildSpectra(batch, cfg)
+	for _, part := range []struct {
+		store *spectrum.HashStore
+		path  string
+	}{
+		{kmers, *out + ".kspec"},
+		{tiles, *out + ".tspec"},
+	} {
+		f, err := os.Create(part.path)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := part.store.WriteTo(f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d entries, %d bytes\n", part.path, part.store.Len(), n)
+	}
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "spectrum file")
+	top := fs.Int("top", 5, "show the N highest-count entries")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "reptile-spectrum info: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	h, err := spectrum.ReadFrom(f)
+	if err != nil {
+		fatal(err)
+	}
+	var total uint64
+	var maxCount uint32
+	entries := h.Entries()
+	for _, e := range entries {
+		total += uint64(e.Count)
+		if e.Count > maxCount {
+			maxCount = e.Count
+		}
+	}
+	fmt.Printf("entries      %d\n", h.Len())
+	fmt.Printf("total count  %d\n", total)
+	if h.Len() > 0 {
+		fmt.Printf("mean count   %.1f\n", float64(total)/float64(h.Len()))
+		fmt.Printf("max count    %d\n", maxCount)
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Count > entries[j].Count })
+		n := *top
+		if n > len(entries) {
+			n = len(entries)
+		}
+		for _, e := range entries[:n] {
+			fmt.Printf("  id=%#016x count=%d\n", uint64(e.ID), e.Count)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "reptile-spectrum: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// RNA-seq: the paper motivates the distributed spectrum with RNA
+// sequencing and metagenomics, whose coverage is wildly non-uniform — a few
+// abundant transcripts soak up most reads. This example corrects such a
+// dataset and shows the property that makes the design work anyway: owner
+// hashing keeps per-rank spectrum sizes uniform even when genomic coverage
+// is skewed 100:1, so no rank becomes a memory or messaging hotspot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reptile"
+)
+
+func main() {
+	// 60 "transcripts" with Zipf-skewed abundances over a 100 kb genome.
+	ds := reptile.SimulateRNASeq("rnaseq-sim", 100_000, 60_000, 102, 60, 7)
+	fmt.Printf("dataset: %d reads over %d transcripts, %d errors\n",
+		ds.NumReads(), 60, ds.TotalErrors())
+
+	// Quantify the input skew: reads per decile of the genome.
+	decile := make([]int, 10)
+	for _, p := range ds.Pos {
+		decile[p*10/ds.Genome.Len()]++
+	}
+	fmt.Printf("reads per genome decile: %v\n", decile)
+
+	const np = 16
+	opts := reptile.DefaultOptions()
+	opts.Config = reptile.ConfigForCoverage(ds.Coverage())
+	out, err := reptile.Run(&reptile.MemorySource{Reads: ds.Reads}, np, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kmers := func(r *reptile.RankStats) int64 { return r.OwnedKmers }
+	tiles := func(r *reptile.RankStats) int64 { return r.OwnedTiles }
+	fmt.Printf("\nper-rank owned k-mers: min=%d max=%d spread=%.1f%%\n",
+		out.Run.Min(kmers), out.Run.Max(kmers), out.Run.SpreadPct(kmers))
+	fmt.Printf("per-rank owned tiles:  min=%d max=%d spread=%.1f%%\n",
+		out.Run.Min(tiles), out.Run.Max(tiles), out.Run.SpreadPct(tiles))
+
+	acc, err := ds.Evaluate(out.Corrected())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\naccuracy: %v\n", acc)
+	fmt.Println("coverage skew 100:1 across the genome, spectrum spread a few percent across ranks —")
+	fmt.Println("the owner hash, not the coverage profile, decides where spectrum entries live.")
+}

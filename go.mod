@@ -1,0 +1,3 @@
+module reptile
+
+go 1.22

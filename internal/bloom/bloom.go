@@ -1,0 +1,108 @@
+// Package bloom provides a Bloom filter over k-mer/tile IDs.
+//
+// The paper notes (Section III, Step III) that a Bloom filter is a
+// memory-efficient alternative to keeping exact counts around for the
+// threshold-pruning step: first-occurrence IDs go into the filter, and only
+// IDs seen again (filter hits) enter the exact table, which drops the long
+// tail of singleton error k-mers from the hash tables.
+package bloom
+
+import (
+	"fmt"
+	"math"
+
+	"reptile/internal/kmer"
+)
+
+// Filter is a fixed-size Bloom filter keyed by kmer.ID.
+type Filter struct {
+	bits   []uint64
+	mask   uint64 // len(bits)*64 - 1; size is a power of two
+	hashes int
+	n      int // items added
+}
+
+// New creates a filter sized for expectedItems at the given false-positive
+// rate. Both are clamped to sane minimums.
+func New(expectedItems int, fpRate float64) *Filter {
+	if expectedItems < 1 {
+		expectedItems = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		fpRate = 0.01
+	}
+	// Optimal bit count m = -n ln p / (ln 2)^2, rounded up to a power of two
+	// so addressing is a mask instead of a modulo.
+	m := float64(expectedItems) * -math.Log(fpRate) / (math.Ln2 * math.Ln2)
+	words := 1
+	for words*64 < int(m) {
+		words *= 2
+	}
+	k := int(math.Round(float64(words*64) / float64(expectedItems) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	return &Filter{
+		bits:   make([]uint64, words),
+		mask:   uint64(words*64 - 1),
+		hashes: k,
+	}
+}
+
+// indexes derives the k probe positions from two independent mixes of the
+// ID (Kirsch-Mitzenmacher double hashing).
+func (f *Filter) probe(id kmer.ID, i int) uint64 {
+	h1 := kmer.HashID(id)
+	h2 := kmer.HashID(id ^ 0x9e3779b97f4a7c15)
+	return (h1 + uint64(i)*h2) & f.mask
+}
+
+// Add inserts id and returns whether it was (possibly) already present —
+// true means all probed bits were already set.
+func (f *Filter) Add(id kmer.ID) bool {
+	present := true
+	for i := 0; i < f.hashes; i++ {
+		p := f.probe(id, i)
+		w, b := p>>6, uint64(1)<<(p&63)
+		if f.bits[w]&b == 0 {
+			present = false
+			f.bits[w] |= b
+		}
+	}
+	f.n++
+	return present
+}
+
+// Contains reports whether id may be in the set (false positives possible,
+// false negatives impossible).
+func (f *Filter) Contains(id kmer.ID) bool {
+	for i := 0; i < f.hashes; i++ {
+		p := f.probe(id, i)
+		if f.bits[p>>6]&(1<<(p&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Added returns the number of Add calls.
+func (f *Filter) Added() int { return f.n }
+
+// MemBytes returns the filter's footprint.
+func (f *Filter) MemBytes() int64 { return int64(len(f.bits))*8 + 40 }
+
+// Reset clears all bits.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}
+
+// String describes the geometry for diagnostics.
+func (f *Filter) String() string {
+	return fmt.Sprintf("bloom.Filter{bits=%d, hashes=%d, added=%d}", len(f.bits)*64, f.hashes, f.n)
+}

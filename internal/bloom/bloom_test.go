@@ -1,0 +1,129 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+
+	"reptile/internal/kmer"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(10000, 0.01)
+	rng := rand.New(rand.NewSource(1))
+	ids := make([]kmer.ID, 10000)
+	for i := range ids {
+		ids[i] = kmer.ID(rng.Uint64())
+		f.Add(ids[i])
+	}
+	for _, id := range ids {
+		if !f.Contains(id) {
+			t.Fatalf("false negative for %v", id)
+		}
+	}
+	if f.Added() != len(ids) {
+		t.Errorf("Added = %d", f.Added())
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 50000
+	f := New(n, 0.01)
+	rng := rand.New(rand.NewSource(2))
+	seen := make(map[kmer.ID]bool, n)
+	for len(seen) < n {
+		id := kmer.ID(rng.Uint64())
+		seen[id] = true
+		f.Add(id)
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		id := kmer.ID(rng.Uint64())
+		if seen[id] {
+			continue
+		}
+		if f.Contains(id) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Errorf("false positive rate %.4f exceeds 5%% (target 1%%)", rate)
+	}
+}
+
+func TestAddReportsRepeat(t *testing.T) {
+	f := New(1000, 0.01)
+	if f.Add(42) {
+		t.Error("first Add reported already-present")
+	}
+	if !f.Add(42) {
+		t.Error("second Add did not report already-present")
+	}
+}
+
+func TestSingletonFiltering(t *testing.T) {
+	// The pruning use case: only IDs seen >= 2 times should pass the filter
+	// gate into the exact table (modulo false positives).
+	f := New(10000, 0.01)
+	exact := map[kmer.ID]int{}
+	rng := rand.New(rand.NewSource(3))
+	repeated := make([]kmer.ID, 100)
+	for i := range repeated {
+		repeated[i] = kmer.ID(rng.Uint64())
+	}
+	stream := make([]kmer.ID, 0, 10200)
+	for _, id := range repeated {
+		stream = append(stream, id, id) // each repeated twice
+	}
+	for i := 0; i < 10000; i++ {
+		stream = append(stream, kmer.ID(rng.Uint64())) // singletons
+	}
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	for _, id := range stream {
+		if f.Add(id) {
+			exact[id]++
+		}
+	}
+	for _, id := range repeated {
+		if exact[id] == 0 {
+			t.Fatalf("repeated id %v missed the exact table", id)
+		}
+	}
+	// The exact table must be far smaller than the stream's distinct count.
+	if len(exact) > 1000 {
+		t.Errorf("exact table has %d entries; bloom gate ineffective", len(exact))
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(100, 0.01)
+	f.Add(7)
+	f.Reset()
+	if f.Contains(7) {
+		t.Error("Contains(7) true after Reset")
+	}
+	if f.Added() != 0 {
+		t.Error("Added nonzero after Reset")
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	for _, f := range []*Filter{New(0, 0.01), New(100, 0), New(100, 1.5)} {
+		f.Add(1)
+		if !f.Contains(1) {
+			t.Error("degenerate filter lost an element")
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	small := New(100, 0.01)
+	big := New(1000000, 0.01)
+	if big.MemBytes() <= small.MemBytes() {
+		t.Errorf("MemBytes not monotone: %d <= %d", big.MemBytes(), small.MemBytes())
+	}
+	if s := big.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,214 @@
+// Package collective layers the collective operations the paper's algorithm
+// uses — MPI_Alltoallv, MPI_Allgatherv, MPI_Reduce, MPI_Bcast, barriers —
+// on top of the transport's tagged point-to-point sends.
+//
+// Tag discipline: every collective call on a rank consumes one generation
+// number from its communicator, and all ranks invoke collectives in the
+// same program order (the same requirement MPI imposes), so tags never
+// collide across phases and collective traffic never mixes with the
+// application's request/response tags, which live in non-negative tag
+// space. Collective tags are negative.
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"reptile/internal/transport"
+)
+
+// Comm wraps an endpoint with collective-generation bookkeeping. Create one
+// Comm per rank and use it for every collective in the run.
+type Comm struct {
+	E   *transport.Endpoint
+	gen int
+}
+
+// New wraps e.
+func New(e *transport.Endpoint) *Comm { return &Comm{E: e} }
+
+// Rank returns the underlying rank.
+func (c *Comm) Rank() int { return c.E.Rank() }
+
+// Size returns the group size.
+func (c *Comm) Size() int { return c.E.Size() }
+
+// nextTag reserves a fresh negative tag for one collective operation.
+func (c *Comm) nextTag() int {
+	c.gen++
+	return -c.gen
+}
+
+// Alltoallv sends bufs[r] to every rank r and returns the np buffers
+// received, indexed by source rank; the self-buffer is passed through
+// without copying. Nil buffers are legal and arrive as empty slices.
+//
+// This is the workhorse of spectrum construction (paper Step III) and of
+// the static load-balancing read exchange (Section III-A).
+func (c *Comm) Alltoallv(bufs [][]byte) ([][]byte, error) {
+	np := c.Size()
+	if len(bufs) != np {
+		return nil, fmt.Errorf("collective: alltoallv with %d buffers for %d ranks", len(bufs), np)
+	}
+	tag := c.nextTag()
+	me := c.Rank()
+	for r := 0; r < np; r++ {
+		if r == me {
+			continue
+		}
+		if err := c.E.Send(r, tag, bufs[r]); err != nil {
+			return nil, err
+		}
+	}
+	out := make([][]byte, np)
+	out[me] = bufs[me]
+	for i := 0; i < np-1; i++ {
+		m, err := c.E.Recv(tag)
+		if err != nil {
+			return nil, err
+		}
+		if out[m.From] != nil && m.From != me {
+			return nil, fmt.Errorf("collective: duplicate alltoallv message from rank %d", m.From)
+		}
+		out[m.From] = m.Data
+	}
+	for r := range out {
+		if out[r] == nil {
+			out[r] = []byte{}
+		}
+	}
+	return out, nil
+}
+
+// Allgatherv sends buf to every rank and returns all ranks' buffers indexed
+// by rank. It implements the paper's allgather k-mers/tiles replication
+// heuristic.
+func (c *Comm) Allgatherv(buf []byte) ([][]byte, error) {
+	np := c.Size()
+	bufs := make([][]byte, np)
+	for r := range bufs {
+		bufs[r] = buf
+	}
+	return c.Alltoallv(bufs)
+}
+
+// GatherFlat collects every rank's buffer at root with a star pattern
+// (np-1 direct sends); kept for the ablation benches. Gather uses the
+// binomial tree in tree.go.
+func (c *Comm) GatherFlat(root int, buf []byte) ([][]byte, error) {
+	np, me := c.Size(), c.Rank()
+	tag := c.nextTag()
+	if me != root {
+		return nil, c.E.Send(root, tag, buf)
+	}
+	out := make([][]byte, np)
+	out[me] = buf
+	for i := 0; i < np-1; i++ {
+		m, err := c.E.Recv(tag)
+		if err != nil {
+			return nil, err
+		}
+		out[m.From] = m.Data
+	}
+	return out, nil
+}
+
+// BcastFlat distributes root's buffer with np-1 direct sends; kept for the
+// ablation benches. Bcast uses the binomial tree in tree.go.
+func (c *Comm) BcastFlat(root int, buf []byte) ([]byte, error) {
+	np, me := c.Size(), c.Rank()
+	tag := c.nextTag()
+	if me == root {
+		for r := 0; r < np; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.E.Send(r, tag, buf); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	}
+	m, err := c.E.Recv(tag)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// Gather collects every rank's buffer at root (binomial tree); non-root
+// ranks get nil.
+func (c *Comm) Gather(root int, buf []byte) ([][]byte, error) {
+	return c.GatherTree(root, buf)
+}
+
+// Bcast distributes root's buffer to every rank (binomial tree) and returns
+// it (root's own buffer is returned as-is on root).
+func (c *Comm) Bcast(root int, buf []byte) ([]byte, error) {
+	return c.BcastTree(root, buf)
+}
+
+// Barrier blocks until every rank has entered it (tree gather + broadcast).
+func (c *Comm) Barrier() error {
+	if _, err := c.Gather(0, nil); err != nil {
+		return err
+	}
+	_, err := c.Bcast(0, nil)
+	return err
+}
+
+// ReduceMaxInt64 returns the maximum of every rank's value at root (other
+// ranks receive 0). The paper uses MPI_Reduce with MAX to agree on the
+// number of batch-reads rounds.
+func (c *Comm) ReduceMaxInt64(root int, v int64) (int64, error) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	all, err := c.Gather(root, buf[:])
+	if err != nil {
+		return 0, err
+	}
+	if c.Rank() != root {
+		return 0, nil
+	}
+	max := v
+	for _, b := range all {
+		if x := int64(binary.LittleEndian.Uint64(b)); x > max {
+			max = x
+		}
+	}
+	return max, nil
+}
+
+// AllreduceMaxInt64 is ReduceMaxInt64 followed by a broadcast, so every
+// rank learns the maximum.
+func (c *Comm) AllreduceMaxInt64(v int64) (int64, error) {
+	max, err := c.ReduceMaxInt64(0, v)
+	if err != nil {
+		return 0, err
+	}
+	var buf [8]byte
+	if c.Rank() == 0 {
+		binary.LittleEndian.PutUint64(buf[:], uint64(max))
+	}
+	out, err := c.Bcast(0, buf[:])
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(out)), nil
+}
+
+// AllreduceSumInt64 returns the sum of every rank's value on all ranks,
+// used to aggregate run statistics.
+func (c *Comm) AllreduceSumInt64(v int64) (int64, error) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	all, err := c.Allgatherv(buf[:])
+	if err != nil {
+		return 0, err
+	}
+	var sum int64
+	for _, b := range all {
+		sum += int64(binary.LittleEndian.Uint64(b))
+	}
+	return sum, nil
+}

@@ -1,0 +1,245 @@
+package collective
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"reptile/internal/transport"
+)
+
+// run spawns np rank goroutines, each with its own Comm, and waits for all.
+func run(t *testing.T, np int, body func(c *Comm) error) {
+	t.Helper()
+	eps, err := transport.NewProcGroup(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer transport.CloseGroup(eps)
+	var wg sync.WaitGroup
+	errs := make(chan error, np)
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if err := body(New(eps[r])); err != nil {
+				errs <- fmt.Errorf("rank %d: %w", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	for _, np := range []int{1, 2, 5, 16} {
+		run(t, np, func(c *Comm) error {
+			bufs := make([][]byte, np)
+			for r := range bufs {
+				bufs[r] = []byte(fmt.Sprintf("%d->%d", c.Rank(), r))
+			}
+			got, err := c.Alltoallv(bufs)
+			if err != nil {
+				return err
+			}
+			for r := range got {
+				want := fmt.Sprintf("%d->%d", r, c.Rank())
+				if string(got[r]) != want {
+					return fmt.Errorf("from %d: got %q want %q", r, got[r], want)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAlltoallvNilBuffers(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		bufs := make([][]byte, 4) // all nil
+		got, err := c.Alltoallv(bufs)
+		if err != nil {
+			return err
+		}
+		for r := range got {
+			if got[r] == nil || len(got[r]) != 0 {
+				return fmt.Errorf("from %d: got %v, want empty non-nil", r, got[r])
+			}
+		}
+		return nil
+	})
+}
+
+func TestAlltoallvWrongSize(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.Alltoallv(make([][]byte, 3)); err == nil {
+				return fmt.Errorf("accepted wrong buffer count")
+			}
+		}
+		// Rank 1 must not block on rank 0's failed call.
+		return nil
+	})
+}
+
+func TestSuccessiveCollectivesDoNotMix(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		for round := 0; round < 10; round++ {
+			bufs := make([][]byte, 4)
+			for r := range bufs {
+				bufs[r] = []byte{byte(round)}
+			}
+			got, err := c.Alltoallv(bufs)
+			if err != nil {
+				return err
+			}
+			for r := range got {
+				if got[r][0] != byte(round) {
+					return fmt.Errorf("round %d: stale data %d from %d", round, got[r][0], r)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllgatherv(t *testing.T) {
+	run(t, 6, func(c *Comm) error {
+		got, err := c.Allgatherv([]byte{byte(c.Rank() * 10)})
+		if err != nil {
+			return err
+		}
+		for r := range got {
+			if len(got[r]) != 1 || got[r][0] != byte(r*10) {
+				return fmt.Errorf("from %d: %v", r, got[r])
+			}
+		}
+		return nil
+	})
+}
+
+func TestGather(t *testing.T) {
+	const root = 2
+	run(t, 5, func(c *Comm) error {
+		got, err := c.Gather(root, []byte{byte(c.Rank())})
+		if err != nil {
+			return err
+		}
+		if c.Rank() != root {
+			if got != nil {
+				return fmt.Errorf("non-root got %v", got)
+			}
+			return nil
+		}
+		for r := range got {
+			if len(got[r]) != 1 || got[r][0] != byte(r) {
+				return fmt.Errorf("root: from %d got %v", r, got[r])
+			}
+		}
+		return nil
+	})
+}
+
+func TestBcast(t *testing.T) {
+	run(t, 5, func(c *Comm) error {
+		var in []byte
+		if c.Rank() == 1 {
+			in = []byte("payload")
+		}
+		out, err := c.Bcast(1, in)
+		if err != nil {
+			return err
+		}
+		if string(out) != "payload" {
+			return fmt.Errorf("got %q", out)
+		}
+		return nil
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	var mu sync.Mutex
+	entered := 0
+	run(t, 8, func(c *Comm) error {
+		mu.Lock()
+		entered++
+		mu.Unlock()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if entered != 8 {
+			return fmt.Errorf("barrier released with only %d ranks entered", entered)
+		}
+		return nil
+	})
+}
+
+func TestReduceMaxInt64(t *testing.T) {
+	run(t, 7, func(c *Comm) error {
+		v := int64(c.Rank() * 100)
+		max, err := c.ReduceMaxInt64(0, v)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && max != 600 {
+			return fmt.Errorf("max = %d", max)
+		}
+		return nil
+	})
+}
+
+func TestAllreduceMaxInt64(t *testing.T) {
+	run(t, 7, func(c *Comm) error {
+		max, err := c.AllreduceMaxInt64(int64(1000 - c.Rank()))
+		if err != nil {
+			return err
+		}
+		if max != 1000 {
+			return fmt.Errorf("rank %d: max = %d", c.Rank(), max)
+		}
+		return nil
+	})
+}
+
+func TestAllreduceSumInt64(t *testing.T) {
+	run(t, 5, func(c *Comm) error {
+		sum, err := c.AllreduceSumInt64(int64(c.Rank() + 1))
+		if err != nil {
+			return err
+		}
+		if sum != 15 {
+			return fmt.Errorf("rank %d: sum = %d", c.Rank(), sum)
+		}
+		return nil
+	})
+}
+
+func TestCollectivesCoexistWithP2P(t *testing.T) {
+	// Point-to-point traffic on non-negative tags must not disturb
+	// collectives running concurrently.
+	run(t, 4, func(c *Comm) error {
+		next := (c.Rank() + 1) % 4
+		prev := (c.Rank() + 3) % 4
+		for i := 0; i < 20; i++ {
+			if err := c.E.Send(next, 50, []byte{byte(i)}); err != nil {
+				return err
+			}
+			if _, err := c.Alltoallv(make([][]byte, 4)); err != nil {
+				return err
+			}
+			m, err := c.E.Recv(50)
+			if err != nil {
+				return err
+			}
+			if m.From != prev || m.Data[0] != byte(i) {
+				return fmt.Errorf("p2p disturbed: %+v at round %d", m, i)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,100 @@
+package collective
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestAlltoallvRandomSizes: random payload sizes (including zero) must
+// arrive intact and correctly attributed for any group size.
+func TestAlltoallvRandomSizes(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		seed := int64(trial)
+		np := rand.New(rand.NewSource(seed)).Intn(12) + 1
+		// Pre-generate every payload deterministically: payload[i][j] is
+		// what rank i sends to rank j.
+		payload := make([][][]byte, np)
+		for i := range payload {
+			rng := rand.New(rand.NewSource(seed*1000 + int64(i)))
+			payload[i] = make([][]byte, np)
+			for j := range payload[i] {
+				n := rng.Intn(2000)
+				b := make([]byte, n)
+				rng.Read(b)
+				payload[i][j] = b
+			}
+		}
+		run(t, np, func(c *Comm) error {
+			got, err := c.Alltoallv(payload[c.Rank()])
+			if err != nil {
+				return err
+			}
+			for from := range got {
+				if !bytes.Equal(got[from], payload[from][c.Rank()]) {
+					return fmt.Errorf("trial %d: rank %d payload from %d corrupted", trial, c.Rank(), from)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// TestMixedCollectiveSequence: an arbitrary but rank-uniform sequence of
+// different collectives must not cross-contaminate.
+func TestMixedCollectiveSequence(t *testing.T) {
+	run(t, 6, func(c *Comm) error {
+		for round := 0; round < 5; round++ {
+			if err := c.BarrierDissemination(); err != nil {
+				return err
+			}
+			sum, err := c.AllreduceSumInt64(int64(c.Rank()))
+			if err != nil {
+				return err
+			}
+			if sum != 15 {
+				return fmt.Errorf("round %d: sum %d", round, sum)
+			}
+			max, err := c.AllreduceMaxInt64(int64(c.Rank() * round))
+			if err != nil {
+				return err
+			}
+			if max != int64(5*round) {
+				return fmt.Errorf("round %d: max %d", round, max)
+			}
+			out, err := c.Bcast(round%6, []byte{byte(round)})
+			if err != nil {
+				return err
+			}
+			if out[0] != byte(round) {
+				return fmt.Errorf("round %d: bcast %d", round, out[0])
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// TestGatherTreeLargePayloads exercises frame aggregation above the bufio
+// boundary sizes.
+func TestGatherTreeLargePayloads(t *testing.T) {
+	run(t, 5, func(c *Comm) error {
+		buf := bytes.Repeat([]byte{byte(c.Rank() + 1)}, 100_000)
+		out, err := c.GatherTree(0, buf)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			return nil
+		}
+		for r := range out {
+			if len(out[r]) != 100_000 || out[r][99_999] != byte(r+1) {
+				return fmt.Errorf("rank %d payload corrupted", r)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,142 @@
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Tree algorithms: the flat star implementations in collective.go serialize
+// np-1 messages through the root, which costs O(np) latency; the binomial
+// trees below run in O(log np) rounds, which matters at the multi-hundred-
+// rank shapes of the scaling experiments. Bcast, Gather, Barrier and the
+// reductions built on them use the trees; the *Flat variants remain for the
+// ablation benches.
+
+// BcastTree distributes root's buffer with a binomial tree.
+func (c *Comm) BcastTree(root int, buf []byte) ([]byte, error) {
+	np, me := c.Size(), c.Rank()
+	tag := c.nextTag()
+	rel := (me - root + np) % np
+
+	// Receive from the parent (the rank that differs at our lowest set bit).
+	mask := 1
+	for mask < np {
+		if rel&mask != 0 {
+			m, err := c.E.Recv(tag)
+			if err != nil {
+				return nil, err
+			}
+			buf = m.Data
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children at decreasing distances.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < np {
+			dst := (rel + mask + root) % np
+			if err := c.E.Send(dst, tag, buf); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return buf, nil
+}
+
+// frame layout for tree gather: rank int32 | len uint32 | payload, repeated.
+func appendFrame(dst []byte, rank int, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(int32(rank)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+func parseFrames(buf []byte, out [][]byte) error {
+	for len(buf) > 0 {
+		if len(buf) < 8 {
+			return fmt.Errorf("collective: truncated gather frame header")
+		}
+		rank := int(int32(binary.LittleEndian.Uint32(buf[0:4])))
+		n := int(binary.LittleEndian.Uint32(buf[4:8]))
+		buf = buf[8:]
+		if rank < 0 || rank >= len(out) {
+			return fmt.Errorf("collective: gather frame from rank %d of %d", rank, len(out))
+		}
+		if len(buf) < n {
+			return fmt.Errorf("collective: truncated gather frame body")
+		}
+		out[rank] = buf[:n:n]
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// GatherTree collects every rank's buffer at root along a binomial tree:
+// each node absorbs its subtree's frames, then ships the batch to its
+// parent. Non-root ranks receive nil.
+func (c *Comm) GatherTree(root int, buf []byte) ([][]byte, error) {
+	np, me := c.Size(), c.Rank()
+	tag := c.nextTag()
+	rel := (me - root + np) % np
+
+	acc := appendFrame(nil, me, buf)
+	// Absorb children: ranks rel+mask for each mask below our lowest set
+	// bit (or all masks for the root).
+	children := 0
+	for mask := 1; mask < np; mask <<= 1 {
+		if rel&mask != 0 {
+			break
+		}
+		if rel+mask < np {
+			children++
+		}
+	}
+	for i := 0; i < children; i++ {
+		m, err := c.E.Recv(tag)
+		if err != nil {
+			return nil, err
+		}
+		acc = append(acc, m.Data...)
+	}
+	// Ship to the parent, unless we are the root.
+	if rel != 0 {
+		parent := rel
+		mask := 1
+		for rel&mask == 0 {
+			mask <<= 1
+		}
+		parent = (rel - mask + root + np) % np
+		return nil, c.E.Send(parent, tag, acc)
+	}
+	out := make([][]byte, np)
+	if err := parseFrames(acc, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BarrierDissemination synchronizes all ranks in ceil(log2 np) rounds: in
+// round k every rank signals (rank+2^k) mod np and waits for a signal from
+// (rank-2^k) mod np. Rounds use distinct tags so an early peer's round-k+1
+// signal cannot satisfy a round-k wait.
+func (c *Comm) BarrierDissemination() error {
+	np := c.Size()
+	if np == 1 {
+		return nil
+	}
+	me := c.Rank()
+	for dist := 1; dist < np; dist <<= 1 {
+		tag := c.nextTag()
+		to := (me + dist) % np
+		if err := c.E.Send(to, tag, nil); err != nil {
+			return err
+		}
+		if _, err := c.E.Recv(tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}

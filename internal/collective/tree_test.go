@@ -1,0 +1,159 @@
+package collective
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBcastTreeAllRootsAndSizes(t *testing.T) {
+	for _, np := range []int{1, 2, 3, 5, 8, 13, 16} {
+		for root := 0; root < np; root += 1 + np/3 {
+			run(t, np, func(c *Comm) error {
+				var in []byte
+				if c.Rank() == root {
+					in = []byte(fmt.Sprintf("payload-from-%d", root))
+				}
+				out, err := c.BcastTree(root, in)
+				if err != nil {
+					return err
+				}
+				want := fmt.Sprintf("payload-from-%d", root)
+				if string(out) != want {
+					return fmt.Errorf("np=%d root=%d rank=%d: got %q", np, root, c.Rank(), out)
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestGatherTreeAllRootsAndSizes(t *testing.T) {
+	for _, np := range []int{1, 2, 3, 7, 8, 12, 16} {
+		for root := 0; root < np; root += 1 + np/2 {
+			run(t, np, func(c *Comm) error {
+				buf := bytes.Repeat([]byte{byte(c.Rank())}, c.Rank()+1) // varied lengths
+				out, err := c.GatherTree(root, buf)
+				if err != nil {
+					return err
+				}
+				if c.Rank() != root {
+					if out != nil {
+						return fmt.Errorf("non-root got %v", out)
+					}
+					return nil
+				}
+				for r := 0; r < np; r++ {
+					if len(out[r]) != r+1 {
+						return fmt.Errorf("root: from %d got %d bytes, want %d", r, len(out[r]), r+1)
+					}
+					for _, b := range out[r] {
+						if b != byte(r) {
+							return fmt.Errorf("root: corrupted payload from %d", r)
+						}
+					}
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestGatherTreeEmptyBuffers(t *testing.T) {
+	run(t, 6, func(c *Comm) error {
+		out, err := c.GatherTree(0, nil)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && len(out) != 6 {
+			return fmt.Errorf("root got %d slots", len(out))
+		}
+		return nil
+	})
+}
+
+func TestBarrierDissemination(t *testing.T) {
+	for _, np := range []int{1, 2, 3, 8, 11} {
+		var mu sync.Mutex
+		entered := 0
+		run(t, np, func(c *Comm) error {
+			mu.Lock()
+			entered++
+			mu.Unlock()
+			if err := c.BarrierDissemination(); err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if entered != np {
+				return fmt.Errorf("released with %d/%d entered", entered, np)
+			}
+			return nil
+		})
+	}
+}
+
+func TestBarrierDisseminationRepeated(t *testing.T) {
+	// Back-to-back barriers must not cross-talk (per-round tags).
+	run(t, 7, func(c *Comm) error {
+		for i := 0; i < 20; i++ {
+			if err := c.BarrierDissemination(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestTreeAndFlatAgree(t *testing.T) {
+	run(t, 9, func(c *Comm) error {
+		in := []byte{byte(c.Rank())}
+		flat, err := c.GatherFlat(3, in)
+		if err != nil {
+			return err
+		}
+		tree, err := c.GatherTree(3, in)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 3 {
+			for r := range flat {
+				if !bytes.Equal(flat[r], tree[r]) {
+					return fmt.Errorf("flat/tree disagree for rank %d", r)
+				}
+			}
+		}
+		var bin []byte
+		if c.Rank() == 3 {
+			bin = []byte("x")
+		}
+		bf, err := c.BcastFlat(3, bin)
+		if err != nil {
+			return err
+		}
+		bt, err := c.BcastTree(3, bin)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(bf, bt) {
+			return fmt.Errorf("bcast flat/tree disagree")
+		}
+		return nil
+	})
+}
+
+func TestParseFramesErrors(t *testing.T) {
+	out := make([][]byte, 2)
+	if err := parseFrames([]byte{1, 2, 3}, out); err == nil {
+		t.Error("accepted truncated header")
+	}
+	buf := appendFrame(nil, 5, []byte("x")) // rank out of range
+	if err := parseFrames(buf, out); err == nil {
+		t.Error("accepted out-of-range rank")
+	}
+	buf = appendFrame(nil, 1, []byte("abc"))
+	if err := parseFrames(buf[:len(buf)-1], out); err == nil {
+		t.Error("accepted truncated body")
+	}
+}

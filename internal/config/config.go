@@ -1,0 +1,221 @@
+// Package config parses the run-configuration file that drives
+// reptile-correct, mirroring the paper's input convention: "The input to
+// parallel Reptile consists of a configuration file, which specifies the
+// fasta file and the quality file to be used for the error correction"
+// (Step I), plus the chunk size, thresholds, and heuristic switches.
+//
+// Format: one `key = value` pair per line; '#' starts a comment; keys are
+// case-insensitive with '-', '_' interchangeable. Unknown keys are errors —
+// a typo silently ignored would change the experiment.
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"reptile/internal/core"
+)
+
+// Settings is everything a run needs.
+type Settings struct {
+	FastaPath string
+	QualPath  string
+	OutPrefix string
+	Ranks     int
+	Streaming bool
+	Options   core.Options
+}
+
+// Default returns the settings implied by an empty file.
+func Default() Settings {
+	return Settings{
+		OutPrefix: "corrected",
+		Ranks:     8,
+		Options:   core.DefaultOptions(),
+	}
+}
+
+// Parse reads a configuration stream.
+func Parse(r io.Reader) (Settings, error) {
+	s := Default()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return s, fmt.Errorf("config: line %d: expected key = value, got %q", lineNo, line)
+		}
+		key := normalize(line[:eq])
+		val := strings.TrimSpace(line[eq+1:])
+		if err := s.apply(key, val); err != nil {
+			return s, fmt.Errorf("config: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return s, err
+	}
+	return s, s.Options.Validate()
+}
+
+// Load parses a configuration file from disk.
+func Load(path string) (Settings, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Settings{}, err
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func normalize(key string) string {
+	return strings.ReplaceAll(strings.ToLower(strings.TrimSpace(key)), "-", "_")
+}
+
+func (s *Settings) apply(key, val string) error {
+	asInt := func() (int, error) {
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %q is not an integer", key, val)
+		}
+		return v, nil
+	}
+	asUint32 := func() (uint32, error) {
+		v, err := strconv.ParseUint(val, 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %q is not a count", key, val)
+		}
+		return uint32(v), nil
+	}
+	asBool := func() (bool, error) {
+		v, err := strconv.ParseBool(val)
+		if err != nil {
+			return false, fmt.Errorf("%s: %q is not a boolean", key, val)
+		}
+		return v, nil
+	}
+
+	cfg := &s.Options.Config
+	h := &s.Options.Heuristics
+	var err error
+	switch key {
+	case "fasta":
+		s.FastaPath = val
+	case "qual", "quality":
+		s.QualPath = val
+	case "out", "output":
+		s.OutPrefix = val
+	case "ranks", "np":
+		s.Ranks, err = asInt()
+	case "streaming", "stream":
+		s.Streaming, err = asBool()
+	case "k":
+		cfg.Spec.K, err = asInt()
+	case "overlap", "tile_overlap":
+		cfg.Spec.Overlap, err = asInt()
+	case "kmer_threshold":
+		cfg.KmerThreshold, err = asUint32()
+	case "tile_threshold":
+		cfg.TileThreshold, err = asUint32()
+	case "quality_threshold":
+		var v uint32
+		v, err = asUint32()
+		if v > 93 {
+			return fmt.Errorf("quality_threshold %d out of range", v)
+		}
+		cfg.QualThreshold = byte(v)
+	case "max_err_positions":
+		cfg.MaxErrPositions, err = asInt()
+	case "max_err_per_tile":
+		cfg.MaxErrPerTile, err = asInt()
+	case "max_corrections_per_read":
+		cfg.MaxCorrectionsPerRead, err = asInt()
+	case "chunk", "chunk_size":
+		cfg.ChunkReads, err = asInt()
+	case "load_balance":
+		s.Options.LoadBalance, err = asBool()
+	case "auto_thresholds":
+		s.Options.AutoThresholds, err = asBool()
+	case "universal":
+		h.Universal, err = asBool()
+	case "read_kmers":
+		h.RetainReadKmers, err = asBool()
+	case "cache_remote":
+		h.CacheRemote, err = asBool()
+		if h.CacheRemote {
+			h.RetainReadKmers = true
+		}
+	case "replicate_kmers", "allgather_kmers":
+		h.ReplicateKmers, err = asBool()
+	case "replicate_tiles", "allgather_tiles":
+		h.ReplicateTiles, err = asBool()
+	case "batch_reads":
+		h.BatchReads, err = asBool()
+	case "partial_replication":
+		h.PartialReplicationGroup, err = asInt()
+	case "replicated_layout":
+		switch normalize(val) {
+		case "hash":
+			h.ReplicatedLayout = core.LayoutHash
+		case "sorted":
+			h.ReplicatedLayout = core.LayoutSorted
+		case "cacheaware", "cache_aware":
+			h.ReplicatedLayout = core.LayoutCacheAware
+		default:
+			return fmt.Errorf("replicated_layout: unknown layout %q", val)
+		}
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return err
+}
+
+// Render writes settings back in file form, for -dump-config style
+// round-tripping and for recording the exact configuration of a run.
+func (s Settings) Render() string {
+	var sb strings.Builder
+	w := func(k string, v interface{}) { fmt.Fprintf(&sb, "%s = %v\n", k, v) }
+	w("fasta", s.FastaPath)
+	w("qual", s.QualPath)
+	w("out", s.OutPrefix)
+	w("ranks", s.Ranks)
+	w("streaming", s.Streaming)
+	c := s.Options.Config
+	w("k", c.Spec.K)
+	w("overlap", c.Spec.Overlap)
+	w("kmer_threshold", c.KmerThreshold)
+	w("tile_threshold", c.TileThreshold)
+	w("quality_threshold", c.QualThreshold)
+	w("max_err_positions", c.MaxErrPositions)
+	w("max_err_per_tile", c.MaxErrPerTile)
+	w("max_corrections_per_read", c.MaxCorrectionsPerRead)
+	w("chunk", c.ChunkReads)
+	w("load_balance", s.Options.LoadBalance)
+	w("auto_thresholds", s.Options.AutoThresholds)
+	h := s.Options.Heuristics
+	w("universal", h.Universal)
+	w("read_kmers", h.RetainReadKmers)
+	w("cache_remote", h.CacheRemote)
+	w("replicate_kmers", h.ReplicateKmers)
+	w("replicate_tiles", h.ReplicateTiles)
+	w("batch_reads", h.BatchReads)
+	w("partial_replication", h.PartialReplicationGroup)
+	w("replicated_layout", h.ReplicatedLayout)
+	return sb.String()
+}

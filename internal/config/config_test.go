@@ -1,0 +1,161 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reptile/internal/core"
+)
+
+func TestParseFull(t *testing.T) {
+	in := `
+# experiment configuration
+fasta = /data/ecoli.fa
+qual  = /data/ecoli.qual
+out   = /tmp/corrected
+ranks = 64
+streaming = true
+
+k = 10
+overlap = 2
+kmer-threshold = 5          # dashes and underscores interchangeable
+tile_threshold = 4
+quality_threshold = 20
+max_err_positions = 8
+max_err_per_tile = 1
+max_corrections_per_read = 12
+chunk = 2000
+load_balance = false
+
+universal = true
+read_kmers = true
+cache_remote = true
+batch_reads = true
+partial_replication = 4
+`
+	s, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FastaPath != "/data/ecoli.fa" || s.QualPath != "/data/ecoli.qual" || s.OutPrefix != "/tmp/corrected" {
+		t.Errorf("paths: %+v", s)
+	}
+	if s.Ranks != 64 || !s.Streaming {
+		t.Errorf("ranks/streaming: %+v", s)
+	}
+	c := s.Options.Config
+	if c.Spec.K != 10 || c.Spec.Overlap != 2 || c.KmerThreshold != 5 || c.TileThreshold != 4 {
+		t.Errorf("spec: %+v", c)
+	}
+	if c.QualThreshold != 20 || c.MaxErrPositions != 8 || c.MaxErrPerTile != 1 || c.MaxCorrectionsPerRead != 12 || c.ChunkReads != 2000 {
+		t.Errorf("corrector params: %+v", c)
+	}
+	if s.Options.LoadBalance {
+		t.Error("load_balance not applied")
+	}
+	if s.Options.AutoThresholds {
+		t.Error("auto_thresholds default should be false")
+	}
+	s2, err := Parse(strings.NewReader("auto_thresholds = true\n"))
+	if err != nil || !s2.Options.AutoThresholds {
+		t.Errorf("auto_thresholds not applied: %v", err)
+	}
+	h := s.Options.Heuristics
+	if !h.Universal || !h.RetainReadKmers || !h.CacheRemote || !h.BatchReads || h.PartialReplicationGroup != 4 {
+		t.Errorf("heuristics: %+v", h)
+	}
+}
+
+func TestParseDefaultsAndComments(t *testing.T) {
+	s, err := Parse(strings.NewReader("# nothing but comments\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Default()
+	if s.Ranks != d.Ranks || s.OutPrefix != d.OutPrefix {
+		t.Errorf("defaults not preserved: %+v", s)
+	}
+	if err := s.Options.Validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown key":     "bogus = 1\n",
+		"no equals":       "fasta /x\n",
+		"bad int":         "ranks = many\n",
+		"bad bool":        "universal = yes-ish\n",
+		"bad layout":      "replicate_kmers = true\nreplicated_layout = btree\n",
+		"invalid combo":   "k = 0\n",
+		"quality range":   "quality_threshold = 1000\n",
+		"cache sans read": "", // covered below separately
+	}
+	delete(cases, "cache sans read")
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestCacheRemoteImpliesReadKmers(t *testing.T) {
+	s, err := Parse(strings.NewReader("cache_remote = true\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Options.Heuristics.RetainReadKmers {
+		t.Error("cache_remote did not imply read_kmers")
+	}
+}
+
+func TestLayoutParsing(t *testing.T) {
+	for val, want := range map[string]core.Layout{
+		"hash": core.LayoutHash, "sorted": core.LayoutSorted,
+		"cacheaware": core.LayoutCacheAware, "cache-aware": core.LayoutCacheAware,
+	} {
+		in := "replicate_tiles = true\nreplicated_layout = " + val + "\n"
+		s, err := Parse(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%s: %v", val, err)
+		}
+		if s.Options.Heuristics.ReplicatedLayout != want {
+			t.Errorf("%s parsed as %v", val, s.Options.Heuristics.ReplicatedLayout)
+		}
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	orig := Default()
+	orig.FastaPath = "a.fa"
+	orig.QualPath = "a.qual"
+	orig.Ranks = 32
+	orig.Streaming = true
+	orig.Options.Heuristics.Universal = true
+	orig.Options.Heuristics.ReplicateTiles = true
+	orig.Options.Heuristics.ReplicatedLayout = core.LayoutCacheAware
+	back, err := Parse(strings.NewReader(orig.Render()))
+	if err != nil {
+		t.Fatalf("rendered config does not parse: %v\n%s", err, orig.Render())
+	}
+	if back != orig {
+		t.Errorf("round trip drifted:\n%+v\n%+v", orig, back)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.conf")
+	if err := os.WriteFile(path, []byte("ranks = 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil || s.Ranks != 3 {
+		t.Errorf("Load: %+v, %v", s, err)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.conf")); err == nil {
+		t.Error("Load accepted missing file")
+	}
+}

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"testing"
+
+	"reptile/internal/dna"
+	"reptile/internal/genome"
+	"reptile/internal/kmer"
+	"reptile/internal/reads"
+	"reptile/internal/reptile"
+	"reptile/internal/stats"
+)
+
+// statsRank shortens the aggregation callbacks below.
+type statsRank = stats.Rank
+
+// testDataset builds a small simulated dataset with a matching config.
+func testDataset(t testing.TB, nReads int, seed int64) (*genome.Dataset, Options) {
+	t.Helper()
+	g := genome.NewGenome(8000, seed)
+	ds := genome.Simulate("core-test", g, nReads, genome.DefaultProfile(70), seed+1)
+	cfg := reptile.ForCoverage(ds.Coverage())
+	cfg.Spec = kmer.Spec{K: 10, Overlap: 4}
+	opts := Options{Config: cfg, LoadBalance: true}
+	return ds, opts
+}
+
+// runAndEvaluate runs the engine and scores against ground truth.
+func runAndEvaluate(t *testing.T, ds *genome.Dataset, np int, opts Options) (*Output, genome.Accuracy) {
+	t.Helper()
+	out, err := Run(&MemorySource{Reads: ds.Reads}, np, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ds.Evaluate(out.Corrected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, acc
+}
+
+func TestSingleRankMatchesSequential(t *testing.T) {
+	ds, opts := testDataset(t, 3000, 100)
+	seq, seqRes, err := reptile.CorrectDataset(ds.Reads, opts.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(&MemorySource{Reads: ds.Reads}, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Corrected()
+	if len(got) != len(seq) {
+		t.Fatalf("got %d reads, sequential %d", len(got), len(seq))
+	}
+	for i := range got {
+		if got[i].Seq != seq[i].Seq {
+			t.Fatalf("order mismatch at %d", i)
+		}
+		if dna.DecodeString(got[i].Base) != dna.DecodeString(seq[i].Base) {
+			t.Fatalf("read %d differs from sequential corrector", got[i].Seq)
+		}
+	}
+	if out.Result.BasesCorrected != seqRes.BasesCorrected {
+		t.Errorf("bases corrected %d, sequential %d", out.Result.BasesCorrected, seqRes.BasesCorrected)
+	}
+}
+
+func TestDistributedMatchesSequentialAcrossRankCounts(t *testing.T) {
+	ds, opts := testDataset(t, 3000, 200)
+	seq, _, err := reptile.CorrectDataset(ds.Reads, opts.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, np := range []int{2, 4, 8} {
+		out, err := Run(&MemorySource{Reads: ds.Reads}, np, opts)
+		if err != nil {
+			t.Fatalf("np=%d: %v", np, err)
+		}
+		got := out.Corrected()
+		if len(got) != len(seq) {
+			t.Fatalf("np=%d: %d reads, want %d", np, len(got), len(seq))
+		}
+		diff := 0
+		for i := range got {
+			if dna.DecodeString(got[i].Base) != dna.DecodeString(seq[i].Base) {
+				diff++
+			}
+		}
+		// The distributed spectra are identical to the sequential ones (the
+		// merge is exact), so corrections must agree exactly.
+		if diff != 0 {
+			t.Errorf("np=%d: %d reads differ from sequential correction", np, diff)
+		}
+	}
+}
+
+func TestHeuristicModesAllCorrectEquivalently(t *testing.T) {
+	ds, opts := testDataset(t, 2000, 300)
+	base, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Result.BasesCorrected
+	if want == 0 {
+		t.Fatal("base mode corrected nothing; test is vacuous")
+	}
+	modes := map[string]Heuristics{
+		"universal":   {Universal: true},
+		"readkmers":   {RetainReadKmers: true},
+		"cache":       {RetainReadKmers: true, CacheRemote: true},
+		"replkmer":    {ReplicateKmers: true},
+		"repltile":    {ReplicateTiles: true},
+		"replboth":    {ReplicateKmers: true, ReplicateTiles: true},
+		"batch":       {BatchReads: true},
+		"partialrepl": {PartialReplicationGroup: 2},
+		"batchretain": {BatchReads: true, RetainReadKmers: true},
+		"kitchensink": {Universal: true, RetainReadKmers: true, CacheRemote: true, BatchReads: true},
+		"repl-sorted": {ReplicateKmers: true, ReplicateTiles: true, ReplicatedLayout: LayoutSorted},
+		"repl-cache":  {ReplicateKmers: true, ReplicateTiles: true, ReplicatedLayout: LayoutCacheAware},
+	}
+	for name, h := range modes {
+		o := opts
+		o.Heuristics = h
+		out, err := Run(&MemorySource{Reads: ds.Reads}, 4, o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Result.BasesCorrected != want {
+			t.Errorf("%s: corrected %d bases, base mode %d", name, out.Result.BasesCorrected, want)
+		}
+		got := out.Corrected()
+		if len(got) != len(ds.Reads) {
+			t.Errorf("%s: %d reads out, %d in", name, len(got), len(ds.Reads))
+		}
+	}
+}
+
+func TestHeuristicValidation(t *testing.T) {
+	if (Heuristics{CacheRemote: true}).Validate() == nil {
+		t.Error("CacheRemote without RetainReadKmers accepted")
+	}
+	if (Heuristics{PartialReplicationGroup: -1}).Validate() == nil {
+		t.Error("negative group accepted")
+	}
+	o := DefaultOptions()
+	o.Config.KmerThreshold = 0
+	if o.Validate() == nil {
+		t.Error("invalid config accepted")
+	}
+	if (Heuristics{ReplicatedLayout: LayoutSorted}).Validate() == nil {
+		t.Error("non-hash layout without replication accepted")
+	}
+	if (Heuristics{ReplicatedLayout: Layout(9), ReplicateKmers: true}).Validate() == nil {
+		t.Error("unknown layout accepted")
+	}
+	for l, want := range map[Layout]string{LayoutHash: "hash", LayoutSorted: "sorted", LayoutCacheAware: "cacheaware", Layout(9): "unknown"} {
+		if l.String() != want {
+			t.Errorf("Layout(%d).String() = %s", l, l.String())
+		}
+	}
+}
+
+func TestReplicationEliminatesRemoteTraffic(t *testing.T) {
+	ds, opts := testDataset(t, 1500, 400)
+	opts.Heuristics = Heuristics{ReplicateKmers: true, ReplicateTiles: true}
+	out, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range out.Run.Ranks {
+		if r.TotalRemoteLookups() != 0 {
+			t.Errorf("rank %d made %d remote lookups with full replication", r.Rank, r.TotalRemoteLookups())
+		}
+		if r.RequestsServed != 0 {
+			t.Errorf("rank %d served %d requests with full replication", r.Rank, r.RequestsServed)
+		}
+	}
+}
+
+func TestPartialReplicationReducesRemoteTraffic(t *testing.T) {
+	ds, opts := testDataset(t, 1500, 500)
+	base, err := Run(&MemorySource{Reads: ds.Reads}, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Heuristics = Heuristics{PartialReplicationGroup: 4}
+	part, err := Run(&MemorySource{Reads: ds.Reads}, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRemote := base.Run.Sum(func(r *statsRank) int64 { return r.TotalRemoteLookups() })
+	partRemote := part.Run.Sum(func(r *statsRank) int64 { return r.TotalRemoteLookups() })
+	if partRemote >= baseRemote {
+		t.Errorf("partial replication did not reduce remote lookups: %d vs %d", partRemote, baseRemote)
+	}
+	// And the post-construction footprint grows (Fig 5's metric).
+	baseMem := base.Run.Max(func(r *statsRank) int64 { return r.MemAfterConstruct })
+	partMem := part.Run.Max(func(r *statsRank) int64 { return r.MemAfterConstruct })
+	if partMem <= baseMem {
+		t.Errorf("partial replication memory %d not above base %d", partMem, baseMem)
+	}
+}
+
+func TestCacheRemoteReducesRepeatLookups(t *testing.T) {
+	ds, opts := testDataset(t, 1500, 600)
+	opts.Heuristics = Heuristics{RetainReadKmers: true}
+	noCache, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Heuristics = Heuristics{RetainReadKmers: true, CacheRemote: true}
+	cache, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cache.Run.Sum(func(r *statsRank) int64 { return r.TotalRemoteLookups() })
+	m := noCache.Run.Sum(func(r *statsRank) int64 { return r.TotalRemoteLookups() })
+	if n > m {
+		t.Errorf("cache increased remote lookups: %d vs %d", n, m)
+	}
+	hits := cache.Run.Sum(func(r *statsRank) int64 { return r.CacheHits })
+	if hits == 0 {
+		t.Error("cache recorded no hits")
+	}
+}
+
+func TestBatchReadsBoundsReadsTables(t *testing.T) {
+	ds, opts := testDataset(t, 2000, 700)
+	opts.Config.ChunkReads = 100
+	unbatched, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Heuristics = Heuristics{BatchReads: true}
+	batched, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := unbatched.Run.Max(func(r *statsRank) int64 { return r.ReadsKmers })
+	b := batched.Run.Max(func(r *statsRank) int64 { return r.ReadsKmers })
+	if b >= u {
+		t.Errorf("batch mode reads table peak %d not below unbatched %d", b, u)
+	}
+	if batched.Result.BasesCorrected != unbatched.Result.BasesCorrected {
+		t.Errorf("batch mode changed corrections: %d vs %d", batched.Result.BasesCorrected, unbatched.Result.BasesCorrected)
+	}
+}
+
+func TestSpectrumDistributionUniform(t *testing.T) {
+	ds, opts := testDataset(t, 4000, 800)
+	out, err := Run(&MemorySource{Reads: ds.Reads}, 16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kSpread := out.Run.SpreadPct(func(r *statsRank) int64 { return r.OwnedKmers })
+	tSpread := out.Run.SpreadPct(func(r *statsRank) int64 { return r.OwnedTiles })
+	// Paper Fig 3: <1% k-mer and <2% tile spread at 128 ranks on the full
+	// dataset. Our scaled dataset has only a few hundred entries per rank,
+	// so Poisson noise alone produces a ~4-sigma spread near 20%; rough
+	// uniformity is still distinguishable from a skewed hash, which would
+	// show 2x+ imbalances.
+	if kSpread > 30 {
+		t.Errorf("k-mer spread %.1f%% too high", kSpread)
+	}
+	if tSpread > 30 {
+		t.Errorf("tile spread %.1f%% too high", tSpread)
+	}
+}
+
+func TestLoadBalanceRedistributesErrorDenseRegions(t *testing.T) {
+	g := genome.NewGenome(8000, 900)
+	ds := genome.Simulate("lb", g, 4000, genome.LocalizedProfile(70), 901)
+	cfg := reptile.ForCoverage(ds.Coverage())
+	cfg.Spec = kmer.Spec{K: 10, Overlap: 4}
+
+	imb, err := Run(&MemorySource{Reads: ds.Reads}, 8, Options{Config: cfg, LoadBalance: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, err := Run(&MemorySource{Reads: ds.Reads}, 8, Options{Config: cfg, LoadBalance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrected := func(r *statsRank) int64 { return r.BasesCorrected }
+	imbSpread := imb.Run.SpreadPct(corrected)
+	balSpread := bal.Run.SpreadPct(corrected)
+	if balSpread >= imbSpread {
+		t.Errorf("balancing did not narrow per-rank corrections: %.1f%% -> %.1f%%", imbSpread, balSpread)
+	}
+	if bal.Result.BasesCorrected == 0 {
+		t.Error("balanced run corrected nothing")
+	}
+	// Reads must be conserved under redistribution.
+	if got := len(bal.Corrected()); got != len(ds.Reads) {
+		t.Errorf("balanced run returned %d reads, want %d", got, len(ds.Reads))
+	}
+	moved := bal.Run.Sum(func(r *statsRank) int64 { return r.ReadsExchanged })
+	if moved == 0 {
+		t.Error("no reads were exchanged by the balancer")
+	}
+}
+
+func TestAccuracyEndToEnd(t *testing.T) {
+	ds, opts := testDataset(t, 6000, 1000)
+	_, acc := runAndEvaluate(t, ds, 8, opts)
+	if acc.Gain() < 0.5 {
+		t.Errorf("distributed gain %.3f below 0.5 (%v)", acc.Gain(), acc)
+	}
+	if acc.FP > acc.TP/4 {
+		t.Errorf("too many false positives: %v", acc)
+	}
+}
+
+func TestRemoteMissesTracked(t *testing.T) {
+	ds, opts := testDataset(t, 1500, 1100)
+	out, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := out.Run.Sum(func(r *statsRank) int64 { return r.RemoteMisses })
+	remote := out.Run.Sum(func(r *statsRank) int64 { return r.TotalRemoteLookups() })
+	if remote == 0 {
+		t.Fatal("no remote lookups at np=4; test expects distributed traffic")
+	}
+	if misses == 0 {
+		t.Error("no remote misses recorded; candidate tiles should often be absent")
+	}
+	if misses > remote {
+		t.Errorf("misses %d exceed remote lookups %d", misses, remote)
+	}
+}
+
+func TestAutoThresholds(t *testing.T) {
+	// Deep coverage, visible error tail: the valley rule should land near
+	// the hand-tuned threshold and correct comparably.
+	g := genome.NewGenome(8000, 1400)
+	ds := genome.Simulate("auto", g, 8000, genome.DefaultProfile(70), 1401) // ~70x
+	cfg := reptile.ForCoverage(ds.Coverage())
+	cfg.Spec = kmer.Spec{K: 10, Overlap: 4}
+
+	manual, err := Run(&MemorySource{Reads: ds.Reads}, 4, Options{Config: cfg, LoadBalance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auto mode starts from deliberately wrong fixed thresholds.
+	badCfg := cfg
+	badCfg.KmerThreshold = 50
+	badCfg.TileThreshold = 50
+	auto, err := Run(&MemorySource{Reads: ds.Reads}, 4, Options{Config: badCfg, LoadBalance: true, AutoThresholds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mAcc, err := ds.Evaluate(manual.Corrected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aAcc, err := ds.Evaluate(auto.Corrected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("manual: %v", mAcc)
+	t.Logf("auto:   %v", aAcc)
+	if aAcc.Gain() < mAcc.Gain()-0.1 {
+		t.Errorf("auto thresholds gain %.3f far below manual %.3f", aAcc.Gain(), mAcc.Gain())
+	}
+	// Spectra must agree across ranks (same thresholds everywhere): the
+	// owned spectra partition cleanly, so total solid k-mers is consistent
+	// and nonzero.
+	if auto.Run.Sum(func(r *statsRank) int64 { return r.OwnedKmers }) == 0 {
+		t.Error("auto thresholds pruned everything")
+	}
+}
+
+func TestTileTrafficDominatesAndMostlyMisses(t *testing.T) {
+	// Paper Section IV: "the majority of the communication time is spent in
+	// communication of tiles, especially tiles which are not part of the
+	// tile spectrum (non-existent on any rank)". With tiles extracted at
+	// every offset the tile spectrum outnumbers the k-mer spectrum, and
+	// candidate probes are mostly for absent tiles.
+	g := genome.NewGenome(8000, 1300)
+	p := genome.DefaultProfile(70)
+	p.ErrorBoost = 2 // enough errors that candidate probing is visible
+	ds := genome.Simulate("traffic", g, 4000, p, 1301)
+	cfg := reptile.ForCoverage(ds.Coverage())
+	cfg.Spec = kmer.Spec{K: 10, Overlap: 4}
+	out, err := Run(&MemorySource{Reads: ds.Reads}, 8, Options{Config: cfg, LoadBalance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tileRemote := out.Run.Sum(func(r *statsRank) int64 { return r.TileLookupsRemote })
+	kmerRemote := out.Run.Sum(func(r *statsRank) int64 { return r.KmerLookupsRemote })
+	misses := out.Run.Sum(func(r *statsRank) int64 { return r.RemoteMisses })
+	if tileRemote <= kmerRemote {
+		t.Errorf("tile remote lookups (%d) do not dominate k-mer remote lookups (%d)", tileRemote, kmerRemote)
+	}
+	if misses*2 < tileRemote {
+		t.Errorf("non-existent lookups (%d) are not the bulk of tile traffic (%d)", misses, tileRemote)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ds, opts := testDataset(t, 10, 1200)
+	if _, err := Run(&MemorySource{Reads: ds.Reads}, 0, opts); err == nil {
+		t.Error("np=0 accepted")
+	}
+	bad := opts
+	bad.Heuristics.CacheRemote = true
+	if _, err := Run(&MemorySource{Reads: ds.Reads}, 2, bad); err == nil {
+		t.Error("invalid heuristics accepted")
+	}
+}
+
+func TestMemorySourceSharding(t *testing.T) {
+	rs := make([]reads.Read, 10)
+	for i := range rs {
+		rs[i] = reads.Read{Seq: int64(i + 1), Base: dna.MustEncode("ACGT"), Qual: []byte{30, 30, 30, 30}}
+	}
+	src := &MemorySource{Reads: rs}
+	total := 0
+	for rank := 0; rank < 3; rank++ {
+		br, err := src.Open(rank, 3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			b, err := br.NextBatch()
+			if err != nil {
+				break
+			}
+			total += len(b)
+		}
+		br.Close()
+	}
+	if total != 10 {
+		t.Errorf("shards total %d reads", total)
+	}
+	if _, err := src.Open(3, 3, 4); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"reptile/internal/reptile"
+	"reptile/internal/spectrum"
+	"reptile/internal/transport"
+)
+
+// correctPhase is Step IV: fork a responder goroutine (the paper's
+// communication thread), run the corrector over this rank's reads on the
+// worker side, then drive the done/stop termination protocol — a rank keeps
+// answering remote lookups until *every* worker has finished.
+func (ctx *rankCtx) correctPhase() (reptile.Result, error) {
+	msgs0, bytes0 := ctx.e.Counters().PerDestSnapshot()
+
+	var wg sync.WaitGroup
+	respErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := ctx.responderLoop(); err != nil {
+			respErr <- err
+		}
+	}()
+
+	oracle := &distOracle{
+		e:         ctx.e,
+		st:        &ctx.st,
+		rank:      ctx.rank,
+		np:        ctx.np,
+		h:         ctx.opts.Heuristics,
+		ownKmer:   ctx.hashKmer,
+		ownTile:   ctx.hashTile,
+		replKmer:  ctx.replKmer,
+		replTile:  ctx.replTile,
+		groupKmer: ctx.groupKmer,
+		groupTile: ctx.groupTile,
+		readsKmer: ctx.readsKmer,
+		readsTile: ctx.readsTile,
+		groupSize: ctx.opts.Heuristics.PartialReplicationGroup,
+	}
+	corrector, err := reptile.NewCorrector(ctx.opts.Config, oracle)
+	if err != nil {
+		return reptile.Result{}, err
+	}
+	var res reptile.Result
+	for i := range ctx.myReads {
+		res.Add(corrector.CorrectRead(&ctx.myReads[i]))
+		if oracle.err != nil {
+			return res, oracle.err
+		}
+	}
+
+	// Worker finished: notify the coordinator and keep the responder
+	// serving until everyone is done.
+	if err := ctx.e.Send(0, tagDone, nil); err != nil {
+		return res, err
+	}
+	wg.Wait()
+	select {
+	case err := <-respErr:
+		return res, err
+	default:
+	}
+
+	// Attribute correction-phase request traffic per destination for the
+	// machine model (responses and control messages excluded: we count the
+	// requester's per-dest sends minus the pre-phase snapshot, then remove
+	// this rank's own responses by construction — responses go to sources,
+	// which the model accounts on the requester's round trip already).
+	msgs1, bytes1 := ctx.e.Counters().PerDestSnapshot()
+	ctx.st.MsgsTo = make([]int64, ctx.np)
+	ctx.st.BytesTo = make([]int64, ctx.np)
+	for d := range msgs1 {
+		ctx.st.MsgsTo[d] = msgs1[d] - msgs0[d]
+		ctx.st.BytesTo[d] = bytes1[d] - bytes0[d]
+	}
+	ctx.st.MemAfterCorrect = ctx.currentMem()
+	ctx.observeMem() // the remote-lookup cache may have grown
+	return res, nil
+}
+
+// responderLoop services k-mer/tile count requests until the stop message
+// arrives. Rank 0 doubles as the coordinator: it counts done messages and
+// broadcasts stop when all workers have finished.
+func (ctx *rankCtx) responderLoop() error {
+	service := func(tag int) bool {
+		switch tag {
+		case tagKmerReq, tagTileReq, tagUniReq, tagStop:
+			return true
+		case tagDone:
+			return ctx.rank == 0
+		}
+		return false
+	}
+	done := 0
+	for {
+		m, err := ctx.e.RecvMatch(service)
+		if err != nil {
+			return err
+		}
+		switch m.Tag {
+		case tagStop:
+			return nil
+		case tagDone:
+			done++
+			if done == ctx.np {
+				for r := 0; r < ctx.np; r++ {
+					if err := ctx.e.Send(r, tagStop, nil); err != nil {
+						return err
+					}
+				}
+			}
+		default:
+			if err := ctx.serve(m); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// serve answers one count request from the owned spectra. In the
+// non-universal ("probe") mode the kind is implied by the tag; in universal
+// mode it is read from the payload — the structural difference the paper's
+// universal heuristic describes.
+func (ctx *rankCtx) serve(m transport.Message) error {
+	kind, id, err := decodeReq(m.Tag, m.Data)
+	if err != nil {
+		return err
+	}
+	var store *spectrum.HashStore
+	switch kind {
+	case kindKmer:
+		store = ctx.hashKmer
+	case kindTile:
+		store = ctx.hashTile
+	default:
+		return fmt.Errorf("core: request kind %d", kind)
+	}
+	cnt, ok := store.Count(id)
+	ctx.st.RequestsServed++
+	return ctx.e.Send(m.From, tagResp, encodeResp(cnt, ok))
+}
+
+// ProjectOptsFor returns the machine-model options matching this run's
+// heuristics and wire sizes.
+func ProjectOptsFor(h Heuristics) (universal bool, reqBytes, respBytes int) {
+	reqBytes = ReqBytesTagged
+	if h.Universal {
+		reqBytes = ReqBytesUniversal
+	}
+	return h.Universal, reqBytes, RespBytes
+}

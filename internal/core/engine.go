@@ -1,0 +1,511 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"reptile/internal/collective"
+	"reptile/internal/kmer"
+	"reptile/internal/reads"
+	"reptile/internal/reptile"
+	"reptile/internal/spectrum"
+	"reptile/internal/stats"
+	"reptile/internal/transport"
+)
+
+// RankOutput is what one rank produces.
+type RankOutput struct {
+	Corrected []reads.Read
+	Stats     stats.Rank
+	Result    reptile.Result
+}
+
+// rankCtx carries one rank's state through the pipeline phases.
+type rankCtx struct {
+	e    *transport.Endpoint
+	comm *collective.Comm
+	opts Options
+	rank int
+	np   int
+	st   stats.Rank
+
+	myReads []reads.Read
+
+	hashKmer, hashTile   *spectrum.HashStore // owned entries
+	readsKmer, readsTile *spectrum.HashStore // non-owned entries from own reads
+	replKmer, replTile   spectrum.Lookuper   // full replicas (heuristic)
+	groupKmer, groupTile *spectrum.HashStore // partial-replication copies
+}
+
+// RunRank executes the full pipeline for one rank. Every rank of the group
+// must call it concurrently (collectives synchronize them); it works over
+// any transport, so one process per rank over TCP behaves identically to
+// goroutine ranks.
+func RunRank(e *transport.Endpoint, src Source, opts Options) (*RankOutput, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	ctx := &rankCtx{
+		e:         e,
+		comm:      collective.New(e),
+		opts:      opts,
+		rank:      e.Rank(),
+		np:        e.Size(),
+		hashKmer:  spectrum.NewHash(0),
+		hashTile:  spectrum.NewHash(0),
+		readsKmer: spectrum.NewHash(0),
+		readsTile: spectrum.NewHash(0),
+	}
+	ctx.st.Rank = ctx.rank
+
+	phase := func(p stats.Phase, f func() error) error {
+		start := time.Now()
+		err := f()
+		ctx.st.Wall[p] += time.Since(start)
+		return err
+	}
+
+	if err := phase(stats.PhaseRead, func() error { return ctx.readPhase(src) }); err != nil {
+		return nil, fmt.Errorf("core: rank %d read: %w", ctx.rank, err)
+	}
+	if err := phase(stats.PhaseBalance, ctx.balancePhase); err != nil {
+		return nil, fmt.Errorf("core: rank %d balance: %w", ctx.rank, err)
+	}
+	if err := phase(stats.PhaseSpectrum, ctx.spectrumPhase); err != nil {
+		return nil, fmt.Errorf("core: rank %d spectrum: %w", ctx.rank, err)
+	}
+	if err := phase(stats.PhaseExchange, ctx.postExchangePhase); err != nil {
+		return nil, fmt.Errorf("core: rank %d exchange: %w", ctx.rank, err)
+	}
+	var res reptile.Result
+	if err := phase(stats.PhaseCorrect, func() error {
+		var err error
+		res, err = ctx.correctPhase()
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: rank %d correct: %w", ctx.rank, err)
+	}
+
+	ctx.st.BasesCorrected = res.BasesCorrected
+	ctx.st.ReadsChanged = res.ReadsChanged
+	ctx.st.MsgsSent = e.Counters().MsgsSent()
+	ctx.st.BytesSent = e.Counters().BytesSent()
+	ctx.st.MaxInboxDepth = int64(e.MaxQueueDepth())
+	return &RankOutput{Corrected: ctx.myReads, Stats: ctx.st, Result: res}, nil
+}
+
+// readPhase is Step I: pull this rank's shard from the source. Reads are
+// cloned so correction never aliases caller-owned storage.
+func (ctx *rankCtx) readPhase(src Source) error {
+	br, err := src.Open(ctx.rank, ctx.np, ctx.opts.Config.ChunkReads)
+	if err != nil {
+		return err
+	}
+	defer br.Close()
+	for {
+		batch, err := br.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for i := range batch {
+			ctx.st.ReadBases += int64(len(batch[i].Base))
+			ctx.myReads = append(ctx.myReads, batch[i].Clone())
+		}
+	}
+	return nil
+}
+
+// balancePhase is the static load-balancing exchange of Section III-A:
+// reads are bucketed by content hash and shipped to their owner ranks with
+// one all-to-all, "randomizing" the file order so error-dense stretches
+// spread across all ranks.
+func (ctx *rankCtx) balancePhase() error {
+	if !ctx.opts.LoadBalance {
+		ctx.st.ReadsAssigned = int64(len(ctx.myReads))
+		return nil
+	}
+	buckets := make([][]reads.Read, ctx.np)
+	var kept []reads.Read
+	for i := range ctx.myReads {
+		owner := ctx.myReads[i].OwnerRank(ctx.np)
+		if owner == ctx.rank {
+			kept = append(kept, ctx.myReads[i])
+		} else {
+			buckets[owner] = append(buckets[owner], ctx.myReads[i])
+			ctx.st.ReadsExchanged++
+		}
+	}
+	bufs := make([][]byte, ctx.np)
+	for r, b := range buckets {
+		if r != ctx.rank {
+			bufs[r] = reads.EncodeBatch(b)
+			ctx.st.ExchangeBytes += int64(len(bufs[r]))
+		}
+	}
+	got, err := ctx.comm.Alltoallv(bufs)
+	if err != nil {
+		return err
+	}
+	ctx.myReads = kept
+	for r, buf := range got {
+		if r == ctx.rank || len(buf) == 0 {
+			continue
+		}
+		batch, err := reads.DecodeBatch(buf)
+		if err != nil {
+			return fmt.Errorf("decoding reads from rank %d: %w", r, err)
+		}
+		ctx.myReads = append(ctx.myReads, batch...)
+	}
+	// Deterministic processing order regardless of arrival order.
+	sort.Slice(ctx.myReads, func(i, j int) bool { return ctx.myReads[i].Seq < ctx.myReads[j].Seq })
+	ctx.st.ReadsAssigned = int64(len(ctx.myReads))
+	return nil
+}
+
+// spectrumPhase is Steps II-III: build the owned/reads hash-table pairs and
+// merge counts at the owners with all-to-all exchanges. In batch-reads mode
+// the exchange runs after every chunk and the reads tables are cleared, so
+// their size stays bounded by the chunk (paper Section III-B); otherwise a
+// single exchange runs at the end.
+func (ctx *rankCtx) spectrumPhase() error {
+	chunk := len(ctx.myReads)
+	if ctx.opts.Heuristics.BatchReads {
+		chunk = ctx.opts.Config.ChunkReads
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	rounds := int64((len(ctx.myReads) + chunk - 1) / chunk)
+	// Rank batch counts may differ; everyone must join every collective
+	// (the paper's MPI_Reduce-MAX step).
+	maxRounds, err := ctx.comm.AllreduceMaxInt64(rounds)
+	if err != nil {
+		return err
+	}
+	spec := ctx.opts.Config.Spec
+	// With RetainReadKmers the per-round exchange tables are folded into
+	// cumulative retained tables, so entries are shipped to their owners
+	// exactly once even across batch rounds.
+	var retainedK, retainedT *spectrum.HashStore
+	if ctx.opts.Heuristics.RetainReadKmers {
+		retainedK = spectrum.NewHash(0)
+		retainedT = spectrum.NewHash(0)
+	}
+	for round := int64(0); round < maxRounds; round++ {
+		lo := int(round) * chunk
+		hi := lo + chunk
+		if lo > len(ctx.myReads) {
+			lo = len(ctx.myReads)
+		}
+		if hi > len(ctx.myReads) {
+			hi = len(ctx.myReads)
+		}
+		for i := lo; i < hi; i++ {
+			ctx.accumulate(&ctx.myReads[i], spec)
+		}
+		retLen := 0
+		if retainedK != nil {
+			retLen = retainedK.Len()
+		}
+		if v := int64(ctx.readsKmer.Len() + retLen); ctx.st.ReadsKmers < v {
+			ctx.st.ReadsKmers = v
+		}
+		retLen = 0
+		if retainedT != nil {
+			retLen = retainedT.Len()
+		}
+		if v := int64(ctx.readsTile.Len() + retLen); ctx.st.ReadsTiles < v {
+			ctx.st.ReadsTiles = v
+		}
+		ctx.observeMem()
+		if err := ctx.mergeToOwners(ctx.readsKmer, ctx.hashKmer); err != nil {
+			return err
+		}
+		if err := ctx.mergeToOwners(ctx.readsTile, ctx.hashTile); err != nil {
+			return err
+		}
+		if retainedK != nil {
+			ctx.readsKmer.Each(func(e spectrum.Entry) bool { retainedK.Add(e.ID, e.Count); return true })
+			ctx.readsTile.Each(func(e spectrum.Entry) bool { retainedT.Add(e.ID, e.Count); return true })
+		}
+		ctx.readsKmer.Clear()
+		ctx.readsTile.Clear()
+	}
+	if retainedK != nil {
+		ctx.readsKmer, ctx.readsTile = retainedK, retainedT
+	}
+	if err := ctx.resolveThresholds(); err != nil {
+		return err
+	}
+	ctx.hashKmer.Prune(ctx.opts.Config.KmerThreshold)
+	ctx.hashTile.Prune(ctx.opts.Config.TileThreshold)
+	ctx.st.OwnedKmers = int64(ctx.hashKmer.Len())
+	ctx.st.OwnedTiles = int64(ctx.hashTile.Len())
+	ctx.observeMem()
+	return nil
+}
+
+// accumulate routes one read's k-mers and tiles into the owned or reads
+// table by owner rank (Step II).
+func (ctx *rankCtx) accumulate(r *reads.Read, spec kmer.Spec) {
+	spec.EachKmer(r.Base, func(_ int, id kmer.ID) {
+		ctx.st.KmersExtracted++
+		if kmer.Owner(id, ctx.np) == ctx.rank {
+			ctx.hashKmer.Add(id, 1)
+		} else {
+			ctx.readsKmer.Add(id, 1)
+		}
+	})
+	spec.EachTileStep(r.Base, 1, func(_ int, id kmer.ID) {
+		ctx.st.TilesExtracted++
+		if kmer.Owner(id, ctx.np) == ctx.rank {
+			ctx.hashTile.Add(id, 1)
+		} else {
+			ctx.readsTile.Add(id, 1)
+		}
+	})
+}
+
+// mergeToOwners ships every entry of reads to its owner with one
+// all-to-all and merges what this rank receives into own (Step III).
+func (ctx *rankCtx) mergeToOwners(readsTable, own *spectrum.HashStore) error {
+	buckets := make([][]spectrum.Entry, ctx.np)
+	readsTable.Each(func(e spectrum.Entry) bool {
+		buckets[kmer.Owner(e.ID, ctx.np)] = append(buckets[kmer.Owner(e.ID, ctx.np)], e)
+		return true
+	})
+	bufs := make([][]byte, ctx.np)
+	for r, b := range buckets {
+		if r == ctx.rank || len(b) == 0 {
+			continue
+		}
+		bufs[r] = spectrum.EncodeEntries(nil, b)
+		ctx.st.ExchangeBytes += int64(len(bufs[r]))
+	}
+	got, err := ctx.comm.Alltoallv(bufs)
+	if err != nil {
+		return err
+	}
+	for r, buf := range got {
+		if r == ctx.rank || len(buf) == 0 {
+			continue
+		}
+		entries, err := spectrum.DecodeEntries(buf)
+		if err != nil {
+			return fmt.Errorf("merging entries from rank %d: %w", r, err)
+		}
+		for _, e := range entries {
+			if kmer.Owner(e.ID, ctx.np) != ctx.rank {
+				return fmt.Errorf("rank %d received entry owned by rank %d", ctx.rank, kmer.Owner(e.ID, ctx.np))
+			}
+			own.Add(e.ID, e.Count)
+		}
+	}
+	return nil
+}
+
+// postExchangePhase runs the optional post-construction exchanges: global
+// count resolution of retained reads tables, full replication, and partial
+// group replication. Every rank participates in the same collectives in the
+// same order even when a mode is off (with empty buffers), keeping the
+// collective schedule aligned.
+func (ctx *rankCtx) postExchangePhase() error {
+	h := ctx.opts.Heuristics
+	if h.RetainReadKmers {
+		if err := ctx.resolveReadsTable(ctx.readsKmer, ctx.hashKmer); err != nil {
+			return err
+		}
+		if err := ctx.resolveReadsTable(ctx.readsTile, ctx.hashTile); err != nil {
+			return err
+		}
+	} else {
+		ctx.readsKmer, ctx.readsTile = nil, nil
+	}
+	if h.ReplicateKmers {
+		repl, err := ctx.replicate(ctx.hashKmer)
+		if err != nil {
+			return err
+		}
+		ctx.replKmer = repl
+	}
+	if h.ReplicateTiles {
+		repl, err := ctx.replicate(ctx.hashTile)
+		if err != nil {
+			return err
+		}
+		ctx.replTile = repl
+	}
+	if g := h.PartialReplicationGroup; g > 1 {
+		gk, err := ctx.groupReplicate(ctx.hashKmer, g)
+		if err != nil {
+			return err
+		}
+		gt, err := ctx.groupReplicate(ctx.hashTile, g)
+		if err != nil {
+			return err
+		}
+		ctx.groupKmer, ctx.groupTile = gk, gt
+	}
+	ctx.st.MemAfterConstruct = ctx.currentMem()
+	ctx.observeMem()
+	return nil
+}
+
+// resolveReadsTable swaps the local counts in a retained reads table for
+// global counts fetched from the owners in bulk ("Read K-mers/Tiles"):
+// one all-to-all carries the IDs, a second carries the counts back, and a
+// zero count records a definitive absence.
+func (ctx *rankCtx) resolveReadsTable(readsTable, own *spectrum.HashStore) error {
+	ids := make([][]kmer.ID, ctx.np)
+	readsTable.Each(func(e spectrum.Entry) bool {
+		o := kmer.Owner(e.ID, ctx.np)
+		ids[o] = append(ids[o], e.ID)
+		return true
+	})
+	bufs := make([][]byte, ctx.np)
+	for r, list := range ids {
+		if r == ctx.rank || len(list) == 0 {
+			continue
+		}
+		buf := make([]byte, 0, len(list)*12)
+		entries := make([]spectrum.Entry, len(list))
+		for i, id := range list {
+			entries[i] = spectrum.Entry{ID: id}
+		}
+		bufs[r] = spectrum.EncodeEntries(buf, entries)
+		ctx.st.ExchangeBytes += int64(len(bufs[r]))
+	}
+	got, err := ctx.comm.Alltoallv(bufs)
+	if err != nil {
+		return err
+	}
+	// Answer each requester in its own order.
+	resp := make([][]byte, ctx.np)
+	for r, buf := range got {
+		if r == ctx.rank || len(buf) == 0 {
+			continue
+		}
+		entries, err := spectrum.DecodeEntries(buf)
+		if err != nil {
+			return err
+		}
+		for i := range entries {
+			cnt, _ := own.Count(entries[i].ID)
+			entries[i].Count = cnt // 0 = pruned/absent
+		}
+		resp[r] = spectrum.EncodeEntries(nil, entries)
+		ctx.st.ExchangeBytes += int64(len(resp[r]))
+	}
+	answers, err := ctx.comm.Alltoallv(resp)
+	if err != nil {
+		return err
+	}
+	for r, buf := range answers {
+		if r == ctx.rank || len(buf) == 0 {
+			continue
+		}
+		entries, err := spectrum.DecodeEntries(buf)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			readsTable.Set(e.ID, e.Count)
+		}
+	}
+	return nil
+}
+
+// replicate allgathers the owned spectrum onto every rank and lays it out
+// per the configured replicated layout (hash by default; sorted or
+// cache-aware arrays reproduce the prior parallelizations' storage).
+func (ctx *rankCtx) replicate(own *spectrum.HashStore) (spectrum.Lookuper, error) {
+	buf := spectrum.EncodeEntries(nil, own.Entries())
+	ctx.st.ExchangeBytes += int64(len(buf)) * int64(ctx.np-1)
+	all, err := ctx.comm.Allgatherv(buf)
+	if err != nil {
+		return nil, err
+	}
+	repl := spectrum.NewHash(own.Len() * ctx.np)
+	for _, b := range all {
+		entries, err := spectrum.DecodeEntries(b)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			repl.Set(e.ID, e.Count)
+		}
+	}
+	switch ctx.opts.Heuristics.ReplicatedLayout {
+	case LayoutSorted:
+		return spectrum.NewSorted(repl.Entries()), nil
+	case LayoutCacheAware:
+		return spectrum.NewCacheAware(repl.Entries()), nil
+	}
+	return repl, nil
+}
+
+// groupReplicate exchanges owned spectra within replication groups of g
+// consecutive ranks (the paper's proposed partial-replication extension).
+func (ctx *rankCtx) groupReplicate(own *spectrum.HashStore, g int) (*spectrum.HashStore, error) {
+	buf := spectrum.EncodeEntries(nil, own.Entries())
+	bufs := make([][]byte, ctx.np)
+	myGroup := ctx.rank / g
+	for r := 0; r < ctx.np; r++ {
+		if r != ctx.rank && r/g == myGroup {
+			bufs[r] = buf
+			ctx.st.ExchangeBytes += int64(len(buf))
+		}
+	}
+	got, err := ctx.comm.Alltoallv(bufs)
+	if err != nil {
+		return nil, err
+	}
+	group := spectrum.NewHash(own.Len() * g)
+	own.Each(func(e spectrum.Entry) bool { group.Set(e.ID, e.Count); return true })
+	for r, b := range got {
+		if r == ctx.rank || len(b) == 0 {
+			continue
+		}
+		entries, err := spectrum.DecodeEntries(b)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			group.Set(e.ID, e.Count)
+		}
+	}
+	return group, nil
+}
+
+// currentMem sums the live table footprint. Reads themselves are excluded:
+// the paper streams them from the file precisely to keep them out of the
+// 512 MB budget, and our in-memory copy is an artifact of returning
+// corrected reads to the caller.
+func (ctx *rankCtx) currentMem() int64 {
+	var total int64
+	for _, s := range []*spectrum.HashStore{
+		ctx.hashKmer, ctx.hashTile, ctx.readsKmer, ctx.readsTile,
+		ctx.groupKmer, ctx.groupTile,
+	} {
+		if s != nil {
+			total += s.MemBytes()
+		}
+	}
+	for _, s := range []spectrum.Lookuper{ctx.replKmer, ctx.replTile} {
+		if s != nil {
+			total += s.MemBytes()
+		}
+	}
+	return total
+}
+
+// observeMem records the table-footprint high-water mark.
+func (ctx *rankCtx) observeMem() {
+	ctx.st.ObserveMem(ctx.currentMem())
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"reptile/internal/reads"
+)
+
+// failingSource errors on a chosen rank after a few batches; every other
+// rank serves normally. It exercises the engine's error propagation: a
+// failed rank must not leave its peers blocked in collectives forever.
+type failingSource struct {
+	inner    Source
+	failRank int
+	after    int
+}
+
+type failingReader struct {
+	inner BatchReader
+	fail  bool
+	after int
+	count int
+}
+
+func (s *failingSource) Open(rank, np, chunk int) (BatchReader, error) {
+	br, err := s.inner.Open(rank, np, chunk)
+	if err != nil {
+		return nil, err
+	}
+	return &failingReader{inner: br, fail: rank == s.failRank, after: s.after}, nil
+}
+
+func (r *failingReader) NextBatch() ([]reads.Read, error) {
+	if r.fail && r.count >= r.after {
+		return nil, errors.New("injected source failure")
+	}
+	r.count++
+	return r.inner.NextBatch()
+}
+
+func (r *failingReader) Close() error { return r.inner.Close() }
+
+func TestRankFailurePropagatesWithoutHanging(t *testing.T) {
+	ds, opts := testDataset(t, 2000, 5000)
+	opts.Config.ChunkReads = 100
+	src := &failingSource{inner: &MemorySource{Reads: ds.Reads}, failRank: 2, after: 1}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(src, 4, opts)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run succeeded despite injected failure")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run hung after rank failure")
+	}
+}
+
+// openFailSource fails at Open time on one rank — before any collective.
+type openFailSource struct{ failRank int }
+
+func (s *openFailSource) Open(rank, np, chunk int) (BatchReader, error) {
+	if rank == s.failRank {
+		return nil, fmt.Errorf("injected open failure")
+	}
+	return &emptyReader{}, nil
+}
+
+type emptyReader struct{}
+
+func (e *emptyReader) NextBatch() ([]reads.Read, error) { return nil, io.EOF }
+func (e *emptyReader) Close() error                     { return nil }
+
+func TestOpenFailurePropagatesWithoutHanging(t *testing.T) {
+	_, opts := testDataset(t, 10, 5100)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(&openFailSource{failRank: 0}, 4, opts)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run succeeded despite open failure")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run hung after open failure")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	_, opts := testDataset(t, 10, 5200)
+	out, err := Run(&MemorySource{Reads: nil}, 4, opts)
+	if err != nil {
+		t.Fatalf("empty input failed: %v", err)
+	}
+	if len(out.Corrected()) != 0 || out.Result.BasesCorrected != 0 {
+		t.Errorf("empty input produced output: %+v", out.Result)
+	}
+}
+
+func TestFewerReadsThanRanks(t *testing.T) {
+	ds, opts := testDataset(t, 3, 5300)
+	out, err := Run(&MemorySource{Reads: ds.Reads}, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(out.Corrected()); got != 3 {
+		t.Errorf("returned %d reads, want 3", got)
+	}
+}
+
+func TestCorrectionIsIdempotent(t *testing.T) {
+	// Correcting already-corrected reads must change (almost) nothing: the
+	// corrected reads' tiles are solid by construction. Allow a tiny
+	// residue for reads whose first pass hit the per-read correction cap.
+	ds, opts := testDataset(t, 3000, 5400)
+	first, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(&MemorySource{Reads: first.Corrected()}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Result.BasesCorrected == 0 {
+		t.Fatal("first pass corrected nothing; test is vacuous")
+	}
+	if second.Result.BasesCorrected*10 > first.Result.BasesCorrected {
+		t.Errorf("second pass corrected %d bases vs first pass %d: not converging",
+			second.Result.BasesCorrected, first.Result.BasesCorrected)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	ds, opts := testDataset(t, 1500, 5500)
+	a, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, bc := a.Corrected(), b.Corrected()
+	for i := range ac {
+		for j := range ac[i].Base {
+			if ac[i].Base[j] != bc[i].Base[j] {
+				t.Fatalf("run-to-run nondeterminism at read %d pos %d", ac[i].Seq, j)
+			}
+		}
+	}
+	if a.Result != b.Result {
+		t.Errorf("results differ: %+v vs %+v", a.Result, b.Result)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"reptile/internal/collective"
+	"reptile/internal/dna"
+	"reptile/internal/kmer"
+	"reptile/internal/reads"
+	"reptile/internal/reptile"
+	"reptile/internal/spectrum"
+	"reptile/internal/transport"
+)
+
+// TestPaperFigure1Flow walks the exact scenario of the paper's Figure 1:
+// ranks extract k-mers from their reads, split them into hashKmer (owned)
+// and readsKmer (not owned), run the all-to-all, and end up with the true
+// global count of every k-mer at exactly its owning rank.
+func TestPaperFigure1Flow(t *testing.T) {
+	const np = 8
+	const k = 3
+	// Overlapping reads so the same k-mers appear on several ranks.
+	readSeqs := []string{
+		"ACGTACGT", "CGTACGTA", "GTACGTAC", "TACGTACG",
+		"ACGTACGT", "CGTACGTA", "GGGGGGGG", "ACGTACGT",
+	}
+	spec := kmer.Spec{K: k, Overlap: 1}
+
+	// Ground truth: global k-mer counts over all reads.
+	truth := spectrum.NewHash(0)
+	for _, s := range readSeqs {
+		spec.EachKmer(dna.MustEncode(s), func(_ int, id kmer.ID) { truth.Add(id, 1) })
+	}
+
+	eps, err := transport.NewProcGroup(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer transport.CloseGroup(eps)
+
+	owned := make([]*spectrum.HashStore, np)
+	var wg sync.WaitGroup
+	errs := make(chan error, np)
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ctx := &rankCtx{
+				e:    eps[r],
+				comm: collective.New(eps[r]),
+				opts: Options{Config: func() reptile.Config {
+					c := reptile.Default()
+					c.Spec = spec
+					return c
+				}()},
+				rank:      r,
+				np:        np,
+				hashKmer:  spectrum.NewHash(0),
+				hashTile:  spectrum.NewHash(0),
+				readsKmer: spectrum.NewHash(0),
+				readsTile: spectrum.NewHash(0),
+			}
+			// Step II: rank r processes read r only.
+			rd := reads.Read{Seq: int64(r + 1), Base: dna.MustEncode(readSeqs[r]), Qual: make([]byte, len(readSeqs[r]))}
+			ctx.accumulate(&rd, spec)
+			// hashKmer must hold only owned IDs, readsKmer only foreign ones.
+			ctx.hashKmer.Each(func(e spectrum.Entry) bool {
+				if kmer.Owner(e.ID, np) != r {
+					t.Errorf("rank %d hashKmer holds foreign id %v", r, e.ID)
+				}
+				return true
+			})
+			ctx.readsKmer.Each(func(e spectrum.Entry) bool {
+				if kmer.Owner(e.ID, np) == r {
+					t.Errorf("rank %d readsKmer holds own id %v", r, e.ID)
+				}
+				return true
+			})
+			// Step III: the collective count merge.
+			if err := ctx.mergeToOwners(ctx.readsKmer, ctx.hashKmer); err != nil {
+				errs <- err
+				return
+			}
+			owned[r] = ctx.hashKmer
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// After the merge: every k-mer lives at exactly its owner with its true
+	// global count, and nowhere else.
+	total := 0
+	for r := 0; r < np; r++ {
+		owned[r].Each(func(e spectrum.Entry) bool {
+			total++
+			if kmer.Owner(e.ID, np) != r {
+				t.Errorf("id %v at rank %d, owner is %d", e.ID, r, kmer.Owner(e.ID, np))
+			}
+			want, ok := truth.Count(e.ID)
+			if !ok || want != e.Count {
+				t.Errorf("id %v count %d, true global count %d", e.ID, e.Count, want)
+			}
+			return true
+		})
+	}
+	if total != truth.Len() {
+		t.Errorf("%d distinct k-mers across ranks, want %d", total, truth.Len())
+	}
+}
+
+func TestPartialReplicationGroupEdgeCases(t *testing.T) {
+	ds, opts := testDataset(t, 1200, 7000)
+	for _, g := range []int{2, 3, 8, 16} { // 3 does not divide 8; 16 > np
+		opts.Heuristics = Heuristics{PartialReplicationGroup: g}
+		out, err := Run(&MemorySource{Reads: ds.Reads}, 8, opts)
+		if err != nil {
+			t.Fatalf("group=%d: %v", g, err)
+		}
+		if got := len(out.Corrected()); got != len(ds.Reads) {
+			t.Fatalf("group=%d: %d reads", g, got)
+		}
+		if g >= 8 {
+			// Group covers every rank: equivalent to full replication.
+			if remote := out.Run.Sum(func(r *statsRank) int64 { return r.TotalRemoteLookups() }); remote != 0 {
+				t.Errorf("group=%d: %d remote lookups, want 0", g, remote)
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"reptile/internal/dna"
+	"reptile/internal/fastaio"
+	"reptile/internal/spectrum"
+	"reptile/internal/transport"
+)
+
+func TestFileSourceEndToEnd(t *testing.T) {
+	ds, opts := testDataset(t, 2000, 2000)
+	fa, qual, err := fastaio.WriteDataset(t.TempDir(), ds.Name, ds.Reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileOut, err := Run(&FileSource{FastaPath: fa, QualPath: qual}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memOut, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, mc := fileOut.Corrected(), memOut.Corrected()
+	if len(fc) != len(mc) {
+		t.Fatalf("file source: %d reads, memory source: %d", len(fc), len(mc))
+	}
+	for i := range fc {
+		if fc[i].Seq != mc[i].Seq || dna.DecodeString(fc[i].Base) != dna.DecodeString(mc[i].Base) {
+			t.Fatalf("read %d differs between file and memory sources", fc[i].Seq)
+		}
+	}
+	acc, err := ds.Evaluate(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.TP == 0 {
+		t.Error("file-source run corrected nothing")
+	}
+}
+
+// TestTCPTransportEndToEnd runs the full engine over real TCP connections
+// on loopback: the same RunRank call a one-process-per-rank deployment
+// makes, exercising frame encoding, reader goroutines, and collectives over
+// the network path.
+func TestTCPTransportEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp integration")
+	}
+	ds, opts := testDataset(t, 1200, 3000)
+	const np = 4
+	// Reserve ports.
+	addrs := make([]string, np)
+	lns := make([]net.Listener, np)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+
+	src := &MemorySource{Reads: ds.Reads}
+	outs := make([]*RankOutput, np)
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			e, err := transport.NewTCP(transport.TCPConfig{Rank: r, Addrs: addrs, DialTimeout: 10 * time.Second})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer e.Close()
+			outs[r], errs[r] = RunRank(e, src, opts)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+
+	memOut, err := Run(src, np, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tcpCorrected int64
+	for _, o := range outs {
+		tcpCorrected += o.Result.BasesCorrected
+	}
+	if tcpCorrected != memOut.Result.BasesCorrected {
+		t.Errorf("tcp run corrected %d bases, proc run %d", tcpCorrected, memOut.Result.BasesCorrected)
+	}
+	total := 0
+	for _, o := range outs {
+		total += len(o.Corrected)
+	}
+	if total != len(ds.Reads) {
+		t.Errorf("tcp run returned %d reads, want %d", total, len(ds.Reads))
+	}
+}
+
+func TestUniversalModeUsesUniversalTag(t *testing.T) {
+	ds, opts := testDataset(t, 1000, 4000)
+	opts.Heuristics.Universal = true
+	out, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remote lookups must have happened and been served.
+	remote := out.Run.Sum(func(r *statsRank) int64 { return r.TotalRemoteLookups() })
+	served := out.Run.Sum(func(r *statsRank) int64 { return r.RequestsServed })
+	if remote == 0 || served != remote {
+		t.Errorf("universal mode: remote=%d served=%d", remote, served)
+	}
+}
+
+func TestProjectOptsFor(t *testing.T) {
+	u, req, resp := ProjectOptsFor(Heuristics{Universal: true})
+	if !u || req != ReqBytesUniversal || resp != RespBytes {
+		t.Errorf("universal opts: %v %d %d", u, req, resp)
+	}
+	u, req, _ = ProjectOptsFor(Heuristics{})
+	if u || req != ReqBytesTagged {
+		t.Errorf("tagged opts: %v %d", u, req)
+	}
+}
+
+// TestResponderRejectsMalformedRequests: a garbage request must surface as
+// an error (failed rank), not a hang or a silent wrong answer.
+func TestResponderRejectsMalformedRequests(t *testing.T) {
+	eps, err := transport.NewProcGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer transport.CloseGroup(eps)
+	_, opts := testDataset(t, 10, 8000)
+	ctx := &rankCtx{
+		e:        eps[0],
+		opts:     opts,
+		rank:     0,
+		np:       2,
+		hashKmer: spectrum.NewHash(0),
+		hashTile: spectrum.NewHash(0),
+	}
+	done := make(chan error, 1)
+	go func() { done <- ctx.responderLoop() }()
+	// A tagged k-mer request must be exactly 8 bytes.
+	if err := eps[1].Send(0, tagKmerReq, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("responder accepted a malformed request")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("responder hung on malformed request")
+	}
+}
+
+func TestWireRoundTrips(t *testing.T) {
+	for _, universal := range []bool{false, true} {
+		for _, kind := range []byte{kindKmer, kindTile} {
+			tag, payload := encodeReq(universal, kind, 0xDEADBEEF)
+			k, id, err := decodeReq(tag, payload)
+			if err != nil || k != kind || id != 0xDEADBEEF {
+				t.Errorf("universal=%v kind=%d: %v %v %v", universal, kind, k, id, err)
+			}
+		}
+	}
+	cnt, ok, err := decodeResp(encodeResp(42, true))
+	if err != nil || !ok || cnt != 42 {
+		t.Errorf("resp round trip: %d %v %v", cnt, ok, err)
+	}
+	_, ok, err = decodeResp(encodeResp(0, false))
+	if err != nil || ok {
+		t.Errorf("absent resp: %v %v", ok, err)
+	}
+	if _, _, err := decodeReq(tagUniReq, []byte{1}); err == nil {
+		t.Error("short universal request accepted")
+	}
+	if _, _, err := decodeReq(99, make([]byte, 8)); err == nil {
+		t.Error("unknown tag accepted")
+	}
+	if _, _, err := decodeResp([]byte{1}); err == nil {
+		t.Error("short response accepted")
+	}
+}

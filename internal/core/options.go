@@ -1,0 +1,143 @@
+// Package core implements the paper's contribution: a distributed-memory
+// Reptile in which both the k-mer and the tile spectrum are partitioned
+// across ranks by owner hashing, spectrum construction runs through
+// all-to-all count merges, and error correction resolves missing spectrum
+// entries by messaging the owning rank's communication thread.
+//
+// The engine follows the paper's Section III step for step:
+//
+//	Step I    each rank reads its shard of the input (byte-offset
+//	          partitioning via internal/fastaio, or a proportional slice of
+//	          an in-memory dataset), optionally redistributing reads to
+//	          their owner ranks for static load balance (Section III-A).
+//	Step II   per-rank spectrum construction into hashKmer/readsKmer and
+//	          hashTile/readsTile, split by owner rank.
+//	Step III  all-to-all exchange of non-owned entries, count merge at the
+//	          owners, threshold pruning. The batch-reads heuristic repeats
+//	          this per chunk to bound the reads tables.
+//	Step IV   correction with two goroutines per rank — a worker running
+//	          the Reptile corrector and a responder servicing remote k-mer/
+//	          tile count requests — plus a done/stop termination protocol.
+//
+// Every heuristic of Section III-B is implemented and selectable.
+package core
+
+import (
+	"fmt"
+
+	"reptile/internal/reptile"
+)
+
+// Heuristics selects the paper's optional execution modes (Section III-B).
+// The zero value is the paper's base mode.
+type Heuristics struct {
+	// Universal packs the request kind into the message payload so the
+	// responder accepts any message without probing tags first.
+	Universal bool
+
+	// RetainReadKmers keeps the readsKmer/readsTile tables after spectrum
+	// construction and resolves their entries' *global* counts with one
+	// extra all-to-all, so correction can answer from them before
+	// messaging ("Read K-mers/Tiles").
+	RetainReadKmers bool
+
+	// ReplicateKmers/ReplicateTiles allgather the respective spectrum onto
+	// every rank, eliminating its request traffic at a memory cost
+	// ("Allgather k-mers/tiles/both").
+	ReplicateKmers bool
+	ReplicateTiles bool
+
+	// CacheRemote adds answers from remote lookups to the reads tables so
+	// repeated misses are served locally ("Add remote k-mer/tile lookups").
+	// It requires RetainReadKmers, as in the paper.
+	CacheRemote bool
+
+	// BatchReads runs the Step III exchange after every chunk of reads and
+	// clears the reads tables, bounding their size ("Batch Reads Table").
+	BatchReads bool
+
+	// PartialReplicationGroup is the paper's proposed future-work mode:
+	// every rank additionally holds the owned spectra of its replication
+	// group (G consecutive ranks), so a miss tries the group copy before
+	// messaging. 0 or 1 disables it.
+	PartialReplicationGroup int
+
+	// ReplicatedLayout selects the in-memory layout of replicated spectra.
+	// The prior parallelizations the paper contrasts against replicated the
+	// spectrum as sorted arrays (Shah et al., binary search) or a
+	// cache-aware (B+1)-ary layout (Jammula et al.); this implementation's
+	// default is the paper's hash tables. Only meaningful together with
+	// ReplicateKmers/ReplicateTiles.
+	ReplicatedLayout Layout
+}
+
+// Layout names a replicated-spectrum storage layout.
+type Layout int
+
+// Replicated-spectrum layouts.
+const (
+	LayoutHash       Layout = iota // this paper: hash tables
+	LayoutSorted                   // Shah et al. 2012: sorted array + binary search
+	LayoutCacheAware               // Jammula et al. 2015: (B+1)-ary cache-aware tree
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case LayoutHash:
+		return "hash"
+	case LayoutSorted:
+		return "sorted"
+	case LayoutCacheAware:
+		return "cacheaware"
+	}
+	return "unknown"
+}
+
+// Validate checks heuristic combinations.
+func (h Heuristics) Validate() error {
+	if h.CacheRemote && !h.RetainReadKmers {
+		return fmt.Errorf("core: CacheRemote requires RetainReadKmers (the cache lives in the reads tables)")
+	}
+	if h.PartialReplicationGroup < 0 {
+		return fmt.Errorf("core: negative partial replication group")
+	}
+	if h.ReplicatedLayout < LayoutHash || h.ReplicatedLayout > LayoutCacheAware {
+		return fmt.Errorf("core: unknown replicated layout %d", h.ReplicatedLayout)
+	}
+	if h.ReplicatedLayout != LayoutHash && !h.ReplicateKmers && !h.ReplicateTiles {
+		return fmt.Errorf("core: ReplicatedLayout=%s requires ReplicateKmers or ReplicateTiles", h.ReplicatedLayout)
+	}
+	return nil
+}
+
+// Options configures one engine run.
+type Options struct {
+	// Config are the Reptile correction parameters.
+	Config reptile.Config
+	// Heuristics are the Section III-B execution modes.
+	Heuristics Heuristics
+	// LoadBalance enables the static sequence-redistribution scheme of
+	// Section III-A.
+	LoadBalance bool
+	// AutoThresholds derives the k-mer/tile solidity thresholds from the
+	// global count histograms (valley between the error and coverage
+	// peaks) instead of Config's fixed values. The histograms are
+	// allreduced, so every rank picks identical thresholds; Config's values
+	// remain the fallback when a histogram has no usable valley.
+	AutoThresholds bool
+}
+
+// Validate checks the whole option set.
+func (o Options) Validate() error {
+	if err := o.Config.Validate(); err != nil {
+		return err
+	}
+	return o.Heuristics.Validate()
+}
+
+// DefaultOptions is the configuration the paper's scaling experiments use:
+// base heuristics plus static load balancing.
+func DefaultOptions() Options {
+	return Options{Config: reptile.Default(), LoadBalance: true}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"reptile/internal/kmer"
+	"reptile/internal/spectrum"
+	"reptile/internal/stats"
+	"reptile/internal/transport"
+)
+
+// distOracle resolves spectrum lookups for the corrector during Step IV,
+// implementing the paper's lookup chain: owned table → replicated/group
+// copy → retained reads table (with resolved global counts) → message to
+// the owning rank's communication thread.
+type distOracle struct {
+	e    *transport.Endpoint
+	st   *stats.Rank
+	rank int
+	np   int
+
+	h Heuristics
+
+	// Owned (pruned, global-count) spectra.
+	ownKmer, ownTile *spectrum.HashStore
+	// Full replicas (nil unless the allgather heuristics are on); the
+	// layout depends on Heuristics.ReplicatedLayout.
+	replKmer, replTile spectrum.Lookuper
+	// Partial-replication group copies (nil unless enabled).
+	groupKmer, groupTile *spectrum.HashStore
+	groupSize            int
+	// Retained reads tables with *global* counts; an entry with count 0
+	// records a resolved "does not exist".
+	readsKmer, readsTile *spectrum.HashStore
+
+	err error // first transport error; checked by the worker after the run
+}
+
+// KmerCount implements reptile.Oracle.
+func (o *distOracle) KmerCount(id kmer.ID) (uint32, bool) {
+	return o.lookup(kindKmer, id)
+}
+
+// TileCount implements reptile.Oracle.
+func (o *distOracle) TileCount(id kmer.ID) (uint32, bool) {
+	return o.lookup(kindTile, id)
+}
+
+func (o *distOracle) lookup(kind byte, id kmer.ID) (uint32, bool) {
+	var repl spectrum.Lookuper = o.replKmer
+	own, group, reads := o.ownKmer, o.groupKmer, o.readsKmer
+	if kind == kindTile {
+		repl, own, group, reads = o.replTile, o.ownTile, o.groupTile, o.readsTile
+	}
+
+	if repl != nil {
+		o.countLocal(kind)
+		return repl.Count(id)
+	}
+
+	owner := kmer.Owner(id, o.np)
+	if owner == o.rank {
+		o.countLocal(kind)
+		return own.Count(id) // a miss here is definitive
+	}
+
+	if group != nil && owner/o.groupSize == o.rank/o.groupSize {
+		// The group copy is the complete owned spectrum of every group
+		// member, so a miss is definitive too.
+		o.countLocal(kind)
+		return group.Count(id)
+	}
+
+	if reads != nil {
+		if cnt, ok := reads.Count(id); ok {
+			o.countLocal(kind)
+			if cnt == 0 {
+				return 0, false // resolved known-absent
+			}
+			if o.h.CacheRemote {
+				o.st.CacheHits++
+			}
+			return cnt, true
+		}
+	}
+
+	// Remote round trip to the owner's communication thread.
+	cnt, exists, err := o.remote(kind, id, owner)
+	if err != nil {
+		if o.err == nil {
+			o.err = err
+		}
+		return 0, false
+	}
+	if kind == kindKmer {
+		o.st.KmerLookupsRemote++
+	} else {
+		o.st.TileLookupsRemote++
+	}
+	if !exists {
+		o.st.RemoteMisses++
+	}
+	if o.h.CacheRemote && reads != nil {
+		if exists {
+			reads.Set(id, cnt)
+		} else {
+			reads.Set(id, 0)
+		}
+	}
+	return cnt, exists
+}
+
+func (o *distOracle) countLocal(kind byte) {
+	if kind == kindKmer {
+		o.st.KmerLookupsLocal++
+	} else {
+		o.st.TileLookupsLocal++
+	}
+}
+
+// remote performs one synchronous request/response with the owning rank.
+// The worker issues at most one request at a time, so the tagResp stream
+// cannot interleave.
+func (o *distOracle) remote(kind byte, id kmer.ID, owner int) (uint32, bool, error) {
+	tag, payload := encodeReq(o.h.Universal, kind, id)
+	if err := o.e.Send(owner, tag, payload); err != nil {
+		return 0, false, err
+	}
+	m, err := o.e.Recv(tagResp)
+	if err != nil {
+		return 0, false, err
+	}
+	if m.From != owner {
+		return 0, false, fmt.Errorf("core: response from rank %d, expected %d", m.From, owner)
+	}
+	cnt, exists, err := decodeResp(m.Data)
+	if err != nil {
+		return 0, false, err
+	}
+	return cnt, exists, nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"reptile/internal/reads"
+	"reptile/internal/reptile"
+	"reptile/internal/stats"
+	"reptile/internal/transport"
+)
+
+// Output aggregates a whole run.
+type Output struct {
+	// ByRank holds each rank's corrected reads in rank order.
+	ByRank [][]reads.Read
+	// Run carries every rank's counters and the per-phase wall times.
+	Run stats.Run
+	// Result is the correction totals across ranks.
+	Result reptile.Result
+}
+
+// Corrected returns all corrected reads sorted by sequence number, the
+// order of the input file.
+func (o *Output) Corrected() []reads.Read {
+	var all []reads.Read
+	for _, b := range o.ByRank {
+		all = append(all, b...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	return all
+}
+
+// Run executes the distributed pipeline with np goroutine ranks over the
+// in-process transport — the standard way to run the engine inside one
+// process. For one-process-per-rank deployments, call RunRank directly
+// with TCP endpoints (see cmd/reptile-correct).
+func Run(src Source, np int, opts Options) (*Output, error) {
+	if np < 1 {
+		return nil, fmt.Errorf("core: np=%d", np)
+	}
+	eps, err := transport.NewProcGroup(np)
+	if err != nil {
+		return nil, err
+	}
+	defer transport.CloseGroup(eps)
+
+	outs := make([]*RankOutput, np)
+	errs := make([]error, np)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			outs[r], errs[r] = RunRank(eps[r], src, opts)
+			if errs[r] != nil {
+				// A failed rank can never again participate in collectives
+				// or answer requests, so peers blocked on it would wait
+				// forever; tear the whole group down to unblock them.
+				transport.CloseGroup(eps)
+			}
+		}(r)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Report the root cause, not the ErrClosed errors induced by teardown.
+	var firstErr error
+	firstRank := -1
+	for r, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil || (errors.Is(firstErr, transport.ErrClosed) && !errors.Is(err, transport.ErrClosed)) {
+			firstErr, firstRank = err, r
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("core: rank %d failed: %w", firstRank, firstErr)
+	}
+
+	out := &Output{
+		ByRank: make([][]reads.Read, np),
+		Run:    stats.Run{Ranks: make([]stats.Rank, np)},
+	}
+	for r, ro := range outs {
+		out.ByRank[r] = ro.Corrected
+		out.Run.Ranks[r] = ro.Stats
+		out.Result.Add(ro.Result)
+		for p := stats.Phase(0); p < stats.NumPhases; p++ {
+			if ro.Stats.Wall[p] > out.Run.Wall[p] {
+				out.Run.Wall[p] = ro.Stats.Wall[p]
+			}
+		}
+	}
+	_ = elapsed // Wall maxima are per-rank; the launcher total is implicit.
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"bufio"
+	"os"
+
+	"reptile/internal/fastaio"
+	"reptile/internal/reads"
+)
+
+// FileSink writes corrected reads incrementally to a fasta + quality pair,
+// so a streaming run's output never accumulates in memory either. Records
+// appear in completion order, which under load balancing is not globally
+// sorted by sequence number; downstream tools that require monotone headers
+// should sort the output or use the non-streaming engine.
+type FileSink struct {
+	fa, qual   *os.File
+	faW, qualW *bufio.Writer
+}
+
+// NewFileSink creates <prefix>.fa and <prefix>.qual.
+func NewFileSink(prefix string) (*FileSink, error) {
+	fa, err := os.Create(prefix + ".fa")
+	if err != nil {
+		return nil, err
+	}
+	qual, err := os.Create(prefix + ".qual")
+	if err != nil {
+		fa.Close()
+		return nil, err
+	}
+	return &FileSink{
+		fa: fa, qual: qual,
+		faW:   bufio.NewWriterSize(fa, 256<<10),
+		qualW: bufio.NewWriterSize(qual, 256<<10),
+	}, nil
+}
+
+// Write implements Sink.
+func (s *FileSink) Write(batch []reads.Read) error {
+	if err := fastaio.WriteFasta(s.faW, batch); err != nil {
+		return err
+	}
+	return fastaio.WriteQual(s.qualW, batch)
+}
+
+// Close flushes and closes both files.
+func (s *FileSink) Close() error {
+	var first error
+	for _, f := range []func() error{s.faW.Flush, s.qualW.Flush, s.fa.Close, s.qual.Close} {
+		if err := f(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

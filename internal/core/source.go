@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"reptile/internal/fastaio"
+	"reptile/internal/reads"
+)
+
+// Source provides each rank's shard of the input reads. Implementations
+// mirror the paper's Step I: the file source performs real byte-offset
+// partitioning of a fasta+qual pair; the memory source slices an in-memory
+// dataset proportionally (used by tests, benches and the harness).
+type Source interface {
+	// Open returns a chunked reader over rank's shard. chunk is the batch
+	// size (the configuration file's chunk parameter).
+	Open(rank, np, chunk int) (BatchReader, error)
+}
+
+// BatchReader streams a shard chunk by chunk; io.EOF ends the shard.
+type BatchReader interface {
+	NextBatch() ([]reads.Read, error)
+	Close() error
+}
+
+// MemorySource shards a dataset already in memory.
+type MemorySource struct {
+	Reads []reads.Read
+}
+
+// Open returns rank's proportional contiguous slice.
+func (s *MemorySource) Open(rank, np, chunk int) (BatchReader, error) {
+	if rank < 0 || rank >= np {
+		return nil, fmt.Errorf("core: rank %d out of range [0,%d)", rank, np)
+	}
+	n := len(s.Reads)
+	lo := n * rank / np
+	hi := n * (rank + 1) / np
+	return &memoryReader{shard: s.Reads[lo:hi], chunk: chunk}, nil
+}
+
+type memoryReader struct {
+	shard []reads.Read
+	chunk int
+	pos   int
+}
+
+func (r *memoryReader) NextBatch() ([]reads.Read, error) {
+	if r.pos >= len(r.shard) {
+		return nil, io.EOF
+	}
+	end := r.pos + r.chunk
+	if end > len(r.shard) {
+		end = len(r.shard)
+	}
+	batch := r.shard[r.pos:end]
+	r.pos = end
+	return batch, nil
+}
+
+func (r *memoryReader) Close() error { return nil }
+
+// FileSource shards a fasta + quality file pair with the paper's
+// byte-offset partitioning.
+type FileSource struct {
+	FastaPath string
+	QualPath  string
+}
+
+// Open locates rank's shard in both files.
+func (s *FileSource) Open(rank, np, chunk int) (BatchReader, error) {
+	sr, err := fastaio.OpenShard(s.FastaPath, s.QualPath, rank, np)
+	if err != nil {
+		return nil, err
+	}
+	sr.ChunkReads = chunk
+	return sr, nil
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"reptile/internal/collective"
+	"reptile/internal/reads"
+	"reptile/internal/reptile"
+	"reptile/internal/spectrum"
+	"reptile/internal/stats"
+	"reptile/internal/transport"
+)
+
+// Sink receives corrected reads incrementally during a streaming run.
+type Sink interface {
+	Write(batch []reads.Read) error
+	Close() error
+}
+
+// SinkFactory builds one rank's sink.
+type SinkFactory func(rank int) (Sink, error)
+
+// CollectSink accumulates corrected reads in memory; the test/bench sink.
+type CollectSink struct {
+	mu    sync.Mutex
+	Reads []reads.Read
+}
+
+// Write implements Sink.
+func (s *CollectSink) Write(batch []reads.Read) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range batch {
+		s.Reads = append(s.Reads, batch[i].Clone())
+	}
+	return nil
+}
+
+// Close implements Sink.
+func (s *CollectSink) Close() error { return nil }
+
+// RunRankStreaming is RunRank in the paper's low-memory shape: reads are
+// never held whole. The source is traversed twice — once to build the
+// spectra (with the batch-reads exchange after every chunk), and once more
+// during correction, where each chunk is balanced, corrected, written to
+// the sink, and dropped ("the short reads are again processed from the
+// file... storing the reads is not a feasible option", paper Step IV).
+func RunRankStreaming(e *transport.Endpoint, src Source, opts Options, sink Sink) (*RankOutput, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("core: streaming run needs a sink")
+	}
+	ctx := &rankCtx{
+		e:         e,
+		comm:      collective.New(e),
+		opts:      opts,
+		rank:      e.Rank(),
+		np:        e.Size(),
+		hashKmer:  spectrum.NewHash(0),
+		hashTile:  spectrum.NewHash(0),
+		readsKmer: spectrum.NewHash(0),
+		readsTile: spectrum.NewHash(0),
+	}
+	ctx.st.Rank = ctx.rank
+
+	phase := func(p stats.Phase, f func() error) error {
+		start := time.Now()
+		err := f()
+		ctx.st.Wall[p] += time.Since(start)
+		return err
+	}
+
+	if err := phase(stats.PhaseSpectrum, func() error { return ctx.spectrumPassStreaming(src) }); err != nil {
+		return nil, fmt.Errorf("core: rank %d streaming spectrum: %w", ctx.rank, err)
+	}
+	if err := phase(stats.PhaseExchange, ctx.postExchangePhase); err != nil {
+		return nil, fmt.Errorf("core: rank %d exchange: %w", ctx.rank, err)
+	}
+	var res reptile.Result
+	if err := phase(stats.PhaseCorrect, func() error {
+		var err error
+		res, err = ctx.correctPassStreaming(src, sink)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: rank %d streaming correct: %w", ctx.rank, err)
+	}
+
+	ctx.st.BasesCorrected = res.BasesCorrected
+	ctx.st.ReadsChanged = res.ReadsChanged
+	ctx.st.MsgsSent = e.Counters().MsgsSent()
+	ctx.st.BytesSent = e.Counters().BytesSent()
+	ctx.st.MaxInboxDepth = int64(e.MaxQueueDepth())
+	return &RankOutput{Stats: ctx.st, Result: res}, nil
+}
+
+// moreRounds aligns open-ended chunk loops across ranks: every rank reports
+// whether it still has local work, and all continue until nobody does.
+func (ctx *rankCtx) moreRounds(localMore bool) (bool, error) {
+	v := int64(0)
+	if localMore {
+		v = 1
+	}
+	max, err := ctx.comm.AllreduceMaxInt64(v)
+	if err != nil {
+		return false, err
+	}
+	return max > 0, nil
+}
+
+// spectrumPassStreaming builds the distributed spectra chunk by chunk
+// without retaining reads: batch-reads semantics are inherent here.
+func (ctx *rankCtx) spectrumPassStreaming(src Source) error {
+	br, err := src.Open(ctx.rank, ctx.np, ctx.opts.Config.ChunkReads)
+	if err != nil {
+		return err
+	}
+	defer br.Close()
+	spec := ctx.opts.Config.Spec
+	exhausted := false
+	for {
+		var batch []reads.Read
+		if !exhausted {
+			batch, err = br.NextBatch()
+			if err == io.EOF {
+				exhausted = true
+				err = nil
+			}
+			if err != nil {
+				return err
+			}
+		}
+		for i := range batch {
+			ctx.st.ReadBases += int64(len(batch[i].Base))
+			ctx.accumulate(&batch[i], spec)
+		}
+		if v := int64(ctx.readsKmer.Len()); ctx.st.ReadsKmers < v {
+			ctx.st.ReadsKmers = v
+		}
+		if v := int64(ctx.readsTile.Len()); ctx.st.ReadsTiles < v {
+			ctx.st.ReadsTiles = v
+		}
+		ctx.observeMem()
+		if err := ctx.mergeToOwners(ctx.readsKmer, ctx.hashKmer); err != nil {
+			return err
+		}
+		if err := ctx.mergeToOwners(ctx.readsTile, ctx.hashTile); err != nil {
+			return err
+		}
+		ctx.readsKmer.Clear()
+		ctx.readsTile.Clear()
+		more, err := ctx.moreRounds(!exhausted)
+		if err != nil {
+			return err
+		}
+		if !more {
+			break
+		}
+	}
+	if err := ctx.resolveThresholds(); err != nil {
+		return err
+	}
+	ctx.hashKmer.Prune(ctx.opts.Config.KmerThreshold)
+	ctx.hashTile.Prune(ctx.opts.Config.TileThreshold)
+	ctx.st.OwnedKmers = int64(ctx.hashKmer.Len())
+	ctx.st.OwnedTiles = int64(ctx.hashTile.Len())
+	// The reads tables stay empty in streaming mode (retaining them would
+	// grow memory with the dataset, defeating the point); RetainReadKmers
+	// then only matters as the CacheRemote prerequisite, with the cache
+	// budget left to the caller.
+	ctx.st.MemAfterConstruct = ctx.currentMem()
+	ctx.observeMem()
+	return nil
+}
+
+// correctPassStreaming re-reads the source, balancing and correcting one
+// chunk at a time. The worker's chunk-boundary collectives coexist with the
+// live responder because collective tags are disjoint from service tags.
+func (ctx *rankCtx) correctPassStreaming(src Source, sink Sink) (reptile.Result, error) {
+	msgs0, bytes0 := ctx.e.Counters().PerDestSnapshot()
+
+	var wg sync.WaitGroup
+	respErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := ctx.responderLoop(); err != nil {
+			respErr <- err
+		}
+	}()
+
+	oracle := &distOracle{
+		e: ctx.e, st: &ctx.st, rank: ctx.rank, np: ctx.np,
+		h:       ctx.opts.Heuristics,
+		ownKmer: ctx.hashKmer, ownTile: ctx.hashTile,
+		replKmer: ctx.replKmer, replTile: ctx.replTile,
+		groupKmer: ctx.groupKmer, groupTile: ctx.groupTile,
+		readsKmer: ctx.readsKmer, readsTile: ctx.readsTile, // empty; cache space when CacheRemote is on
+		groupSize: ctx.opts.Heuristics.PartialReplicationGroup,
+	}
+	corrector, err := reptile.NewCorrector(ctx.opts.Config, oracle)
+	if err != nil {
+		return reptile.Result{}, err
+	}
+
+	var res reptile.Result
+	runErr := func() error {
+		br, err := src.Open(ctx.rank, ctx.np, ctx.opts.Config.ChunkReads)
+		if err != nil {
+			return err
+		}
+		defer br.Close()
+		exhausted := false
+		for {
+			var batch []reads.Read
+			if !exhausted {
+				batch, err = br.NextBatch()
+				if err == io.EOF {
+					exhausted = true
+					err = nil
+				}
+				if err != nil {
+					return err
+				}
+			}
+			mine, err := ctx.balanceChunk(batch)
+			if err != nil {
+				return err
+			}
+			for i := range mine {
+				res.Add(corrector.CorrectRead(&mine[i]))
+				if oracle.err != nil {
+					return oracle.err
+				}
+			}
+			ctx.st.ReadsAssigned += int64(len(mine))
+			if len(mine) > 0 {
+				if err := sink.Write(mine); err != nil {
+					return err
+				}
+			}
+			more, err := ctx.moreRounds(!exhausted)
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+		}
+	}()
+	if runErr != nil {
+		return res, runErr
+	}
+
+	if err := ctx.e.Send(0, tagDone, nil); err != nil {
+		return res, err
+	}
+	wg.Wait()
+	select {
+	case err := <-respErr:
+		return res, err
+	default:
+	}
+
+	msgs1, bytes1 := ctx.e.Counters().PerDestSnapshot()
+	ctx.st.MsgsTo = make([]int64, ctx.np)
+	ctx.st.BytesTo = make([]int64, ctx.np)
+	for d := range msgs1 {
+		ctx.st.MsgsTo[d] = msgs1[d] - msgs0[d]
+		ctx.st.BytesTo[d] = bytes1[d] - bytes0[d]
+	}
+	ctx.st.MemAfterCorrect = ctx.currentMem()
+	ctx.observeMem()
+	return res, sink.Close()
+}
+
+// balanceChunk redistributes one chunk of reads to owner ranks (or clones
+// them locally when balancing is off) and returns the reads this rank must
+// correct from this round.
+func (ctx *rankCtx) balanceChunk(batch []reads.Read) ([]reads.Read, error) {
+	if !ctx.opts.LoadBalance {
+		out := make([]reads.Read, len(batch))
+		for i := range batch {
+			out[i] = batch[i].Clone()
+		}
+		return out, nil
+	}
+	buckets := make([][]reads.Read, ctx.np)
+	var mine []reads.Read
+	for i := range batch {
+		owner := batch[i].OwnerRank(ctx.np)
+		if owner == ctx.rank {
+			mine = append(mine, batch[i].Clone())
+		} else {
+			buckets[owner] = append(buckets[owner], batch[i])
+			ctx.st.ReadsExchanged++
+		}
+	}
+	bufs := make([][]byte, ctx.np)
+	for r, b := range buckets {
+		if r != ctx.rank && len(b) > 0 {
+			bufs[r] = reads.EncodeBatch(b)
+			ctx.st.ExchangeBytes += int64(len(bufs[r]))
+		}
+	}
+	got, err := ctx.comm.Alltoallv(bufs)
+	if err != nil {
+		return nil, err
+	}
+	for r, buf := range got {
+		if r == ctx.rank || len(buf) == 0 {
+			continue
+		}
+		in, err := reads.DecodeBatch(buf)
+		if err != nil {
+			return nil, fmt.Errorf("decoding reads from rank %d: %w", r, err)
+		}
+		mine = append(mine, in...)
+	}
+	// Deterministic order within the chunk. Across chunks the sink output
+	// is NOT globally sorted by sequence number: balancing interleaves the
+	// file order by design.
+	sort.Slice(mine, func(i, j int) bool { return mine[i].Seq < mine[j].Seq })
+	return mine, nil
+}
+
+// RunStreaming executes the streaming pipeline with np goroutine ranks.
+func RunStreaming(src Source, np int, opts Options, sinks SinkFactory) (*Output, error) {
+	if np < 1 {
+		return nil, fmt.Errorf("core: np=%d", np)
+	}
+	eps, err := transport.NewProcGroup(np)
+	if err != nil {
+		return nil, err
+	}
+	defer transport.CloseGroup(eps)
+
+	outs := make([]*RankOutput, np)
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sink, err := sinks(r)
+			if err != nil {
+				errs[r] = err
+				transport.CloseGroup(eps)
+				return
+			}
+			outs[r], errs[r] = RunRankStreaming(eps[r], src, opts, sink)
+			if errs[r] != nil {
+				transport.CloseGroup(eps)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	var firstErr error
+	firstRank := -1
+	for r, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil || (errors.Is(firstErr, transport.ErrClosed) && !errors.Is(err, transport.ErrClosed)) {
+			firstErr, firstRank = err, r
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("core: rank %d failed: %w", firstRank, firstErr)
+	}
+
+	out := &Output{
+		ByRank: make([][]reads.Read, np),
+		Run:    stats.Run{Ranks: make([]stats.Rank, np)},
+	}
+	for r, ro := range outs {
+		out.Run.Ranks[r] = ro.Stats
+		out.Result.Add(ro.Result)
+		for p := stats.Phase(0); p < stats.NumPhases; p++ {
+			if ro.Stats.Wall[p] > out.Run.Wall[p] {
+				out.Run.Wall[p] = ro.Stats.Wall[p]
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"reptile/internal/spectrum"
+)
+
+// resolveThresholds replaces the configured solidity thresholds with ones
+// derived from the *global* count histograms when AutoThresholds is on.
+// Each rank histograms its owned (post-merge, pre-prune) spectrum, the
+// histograms are allreduced, and every rank picks the same valley — so the
+// spectra stay globally consistent without any hand tuning per dataset.
+// When AutoThresholds is off this is a no-op and, crucially, performs no
+// collectives, so on/off runs have different collective schedules but each
+// is internally aligned across ranks (the flag is part of Options, which
+// all ranks share).
+func (ctx *rankCtx) resolveThresholds() error {
+	if !ctx.opts.AutoThresholds {
+		return nil
+	}
+	kThr, err := ctx.globalValley(ctx.hashKmer, ctx.opts.Config.KmerThreshold)
+	if err != nil {
+		return err
+	}
+	tThr, err := ctx.globalValley(ctx.hashTile, ctx.opts.Config.TileThreshold)
+	if err != nil {
+		return err
+	}
+	ctx.opts.Config.KmerThreshold = kThr
+	ctx.opts.Config.TileThreshold = tThr
+	return nil
+}
+
+// globalValley computes the allreduced histogram of a store and returns its
+// valley threshold.
+func (ctx *rankCtx) globalValley(store *spectrum.HashStore, fallback uint32) (uint32, error) {
+	local := store.Histogram()
+	buf := make([]byte, 8*len(local))
+	for i, v := range local {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+	all, err := ctx.comm.Allgatherv(buf)
+	if err != nil {
+		return 0, err
+	}
+	global := make([]int64, len(local))
+	for r, b := range all {
+		if len(b) != len(buf) {
+			return 0, fmt.Errorf("core: histogram from rank %d has %d bytes, want %d", r, len(b), len(buf))
+		}
+		part := make([]int64, len(local))
+		for i := range part {
+			part[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+		spectrum.MergeHistograms(global, part)
+	}
+	return spectrum.ValleyThreshold(global, fallback), nil
+}

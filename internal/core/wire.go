@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"reptile/internal/kmer"
+)
+
+// Application tags (non-negative; collectives use negative tag space).
+const (
+	tagKmerReq = 1 // request payload: id (8 bytes); kind implied by tag
+	tagTileReq = 2
+	tagUniReq  = 3 // universal mode: kind byte + id (9 bytes)
+	tagResp    = 4 // exists byte + count (5 bytes)
+	tagDone    = 5 // worker finished its shard (sent to rank 0)
+	tagStop    = 6 // rank 0: all workers done, responders shut down
+)
+
+// Request kinds.
+const (
+	kindKmer byte = 0
+	kindTile byte = 1
+)
+
+// Wire payload sizes, used by the machine-model projection.
+const (
+	ReqBytesTagged    = 8 // id only; kind travels in the tag
+	ReqBytesUniversal = 9 // kind + id in the payload
+	RespBytes         = 5 // exists + count
+)
+
+// encodeReq builds a request payload. In universal mode the kind rides in
+// the payload; otherwise it is implied by the tag and only the ID is sent.
+func encodeReq(universal bool, kind byte, id kmer.ID) (tag int, payload []byte) {
+	if universal {
+		buf := make([]byte, 9)
+		buf[0] = kind
+		binary.LittleEndian.PutUint64(buf[1:], uint64(id))
+		return tagUniReq, buf
+	}
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(id))
+	if kind == kindKmer {
+		return tagKmerReq, buf
+	}
+	return tagTileReq, buf
+}
+
+// decodeReq parses a request received with the given tag.
+func decodeReq(tag int, payload []byte) (kind byte, id kmer.ID, err error) {
+	switch tag {
+	case tagUniReq:
+		if len(payload) != 9 {
+			return 0, 0, fmt.Errorf("core: universal request of %d bytes", len(payload))
+		}
+		return payload[0], kmer.ID(binary.LittleEndian.Uint64(payload[1:])), nil
+	case tagKmerReq, tagTileReq:
+		if len(payload) != 8 {
+			return 0, 0, fmt.Errorf("core: tagged request of %d bytes", len(payload))
+		}
+		kind = kindKmer
+		if tag == tagTileReq {
+			kind = kindTile
+		}
+		return kind, kmer.ID(binary.LittleEndian.Uint64(payload)), nil
+	default:
+		return 0, 0, fmt.Errorf("core: unexpected request tag %d", tag)
+	}
+}
+
+// encodeResp builds a response payload: the count, or "does not exist"
+// (the paper's -1 convention; absence at the owner is definitive).
+func encodeResp(count uint32, exists bool) []byte {
+	buf := make([]byte, RespBytes)
+	if exists {
+		buf[0] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[1:], count)
+	return buf
+}
+
+// decodeResp parses a response payload.
+func decodeResp(payload []byte) (count uint32, exists bool, err error) {
+	if len(payload) != RespBytes {
+		return 0, false, fmt.Errorf("core: response of %d bytes", len(payload))
+	}
+	return binary.LittleEndian.Uint32(payload[1:]), payload[0] == 1, nil
+}

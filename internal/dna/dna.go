@@ -1,0 +1,153 @@
+// Package dna provides the base-level DNA alphabet: 2-bit base codes,
+// conversions to and from ASCII, complements, and Hamming-distance helpers.
+//
+// Every higher layer (k-mer IDs, tile IDs, spectra, the corrector) works in
+// terms of the 2-bit codes defined here, so reads are validated and encoded
+// exactly once at the boundary.
+package dna
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Base is a 2-bit DNA base code: A=0, C=1, G=2, T=3.
+type Base uint8
+
+// The four base codes in encoding order.
+const (
+	A Base = 0
+	C Base = 1
+	G Base = 2
+	T Base = 3
+)
+
+// NumBases is the alphabet size.
+const NumBases = 4
+
+// letters maps a base code to its upper-case ASCII letter.
+var letters = [NumBases]byte{'A', 'C', 'G', 'T'}
+
+// codes maps ASCII to base code; 0xFF marks an invalid character.
+var codes [256]byte
+
+func init() {
+	for i := range codes {
+		codes[i] = 0xFF
+	}
+	codes['A'], codes['a'] = 0, 0
+	codes['C'], codes['c'] = 1, 1
+	codes['G'], codes['g'] = 2, 2
+	codes['T'], codes['t'] = 3, 3
+}
+
+// Valid reports whether b is one of the four base codes.
+func (b Base) Valid() bool { return b < NumBases }
+
+// Byte returns the upper-case ASCII letter for b. It panics if b is invalid.
+func (b Base) Byte() byte { return letters[b] }
+
+// String returns the single-letter representation of b.
+func (b Base) String() string { return string(letters[b]) }
+
+// Complement returns the Watson-Crick complement (A<->T, C<->G).
+// With the 2-bit encoding this is simply the bitwise NOT of the low two bits.
+func (b Base) Complement() Base { return b ^ 3 }
+
+// FromByte converts an ASCII character to a base code. The second result is
+// false when c is not one of acgtACGT (e.g. N or a gap).
+func FromByte(c byte) (Base, bool) {
+	v := codes[c]
+	return Base(v), v != 0xFF
+}
+
+// Encode converts an ASCII sequence into base codes. It returns an error on
+// the first invalid character, reporting its position.
+func Encode(seq []byte) ([]Base, error) {
+	out := make([]Base, len(seq))
+	for i, c := range seq {
+		b, ok := FromByte(c)
+		if !ok {
+			return nil, fmt.Errorf("dna: invalid base %q at position %d", c, i)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// EncodeLossy converts an ASCII sequence into base codes, substituting sub
+// for every invalid character (sequencers emit N for no-calls; Reptile maps
+// them to a fixed base before spectrum construction).
+func EncodeLossy(seq []byte, sub Base) []Base {
+	out := make([]Base, len(seq))
+	for i, c := range seq {
+		b, ok := FromByte(c)
+		if !ok {
+			b = sub
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// Decode converts base codes back to upper-case ASCII.
+func Decode(seq []Base) []byte {
+	out := make([]byte, len(seq))
+	for i, b := range seq {
+		out[i] = letters[b]
+	}
+	return out
+}
+
+// DecodeString is Decode returning a string.
+func DecodeString(seq []Base) string { return string(Decode(seq)) }
+
+// MustEncode is Encode that panics on invalid input; for tests and literals.
+func MustEncode(seq string) []Base {
+	out, err := Encode([]byte(seq))
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ReverseComplement returns the reverse complement of seq as a new slice.
+func ReverseComplement(seq []Base) []Base {
+	out := make([]Base, len(seq))
+	for i, b := range seq {
+		out[len(seq)-1-i] = b.Complement()
+	}
+	return out
+}
+
+// Hamming returns the Hamming distance between two equal-length sequences.
+// It panics if the lengths differ, as that is always a programming error in
+// this codebase (tiles and k-mers have fixed lengths).
+func Hamming(a, b []Base) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("dna: Hamming on unequal lengths %d and %d", len(a), len(b)))
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// Format renders a sequence with a separator every group bases, for
+// diagnostics. group <= 0 disables grouping.
+func Format(seq []Base, group int) string {
+	if group <= 0 {
+		return DecodeString(seq)
+	}
+	var sb strings.Builder
+	for i, b := range seq {
+		if i > 0 && i%group == 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteByte(b.Byte())
+	}
+	return sb.String()
+}

@@ -1,0 +1,198 @@
+package dna
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseRoundTrip(t *testing.T) {
+	for b := Base(0); b < NumBases; b++ {
+		got, ok := FromByte(b.Byte())
+		if !ok || got != b {
+			t.Errorf("FromByte(%q) = %v, %v; want %v, true", b.Byte(), got, ok, b)
+		}
+	}
+}
+
+func TestFromByteLowerCase(t *testing.T) {
+	for i, c := range []byte{'a', 'c', 'g', 't'} {
+		got, ok := FromByte(c)
+		if !ok || got != Base(i) {
+			t.Errorf("FromByte(%q) = %v, %v; want %v, true", c, got, ok, Base(i))
+		}
+	}
+}
+
+func TestFromByteInvalid(t *testing.T) {
+	for _, c := range []byte{'N', 'n', 'X', '-', ' ', 0, 255} {
+		if _, ok := FromByte(c); ok {
+			t.Errorf("FromByte(%q) accepted an invalid base", c)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	pairs := map[Base]Base{A: T, C: G, G: C, T: A}
+	for b, want := range pairs {
+		if got := b.Complement(); got != want {
+			t.Errorf("%v.Complement() = %v, want %v", b, got, want)
+		}
+		if got := b.Complement().Complement(); got != b {
+			t.Errorf("double complement of %v = %v", b, got)
+		}
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	in := []byte("ACGTACGTTTGGCCAA")
+	enc, err := Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if got := Decode(enc); !bytes.Equal(got, in) {
+		t.Errorf("Decode(Encode(%q)) = %q", in, got)
+	}
+}
+
+func TestEncodeError(t *testing.T) {
+	_, err := Encode([]byte("ACGNT"))
+	if err == nil {
+		t.Fatal("Encode accepted N")
+	}
+}
+
+func TestEncodeLossy(t *testing.T) {
+	got := EncodeLossy([]byte("ACNNGT"), A)
+	want := []Base{A, C, A, A, G, T}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EncodeLossy = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	seq := MustEncode("AACGT")
+	rc := ReverseComplement(seq)
+	if s := DecodeString(rc); s != "ACGTT" {
+		t.Errorf("ReverseComplement(AACGT) = %s, want ACGTT", s)
+	}
+}
+
+func TestReverseComplementInvolution(t *testing.T) {
+	f := func(raw []byte) bool {
+		seq := make([]Base, len(raw))
+		for i, r := range raw {
+			seq[i] = Base(r % NumBases)
+		}
+		back := ReverseComplement(ReverseComplement(seq))
+		for i := range seq {
+			if back[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHamming(t *testing.T) {
+	a := MustEncode("ACGTA")
+	b := MustEncode("ACCTT")
+	if d := Hamming(a, b); d != 2 {
+		t.Errorf("Hamming = %d, want 2", d)
+	}
+	if d := Hamming(a, a); d != 0 {
+		t.Errorf("Hamming(a,a) = %d, want 0", d)
+	}
+}
+
+func TestHammingPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Hamming did not panic on unequal lengths")
+		}
+	}()
+	Hamming(MustEncode("ACG"), MustEncode("AC"))
+}
+
+func TestFormat(t *testing.T) {
+	seq := MustEncode("ACGTACGT")
+	if got := Format(seq, 4); got != "ACGT ACGT" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := Format(seq, 0); got != "ACGTACGT" {
+		t.Errorf("Format(group=0) = %q", got)
+	}
+}
+
+func TestPackedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 3, 4, 5, 63, 64, 65, 1000} {
+		seq := make([]Base, n)
+		for i := range seq {
+			seq[i] = Base(rng.Intn(NumBases))
+		}
+		p := NewPacked(seq)
+		if p.Len() != n {
+			t.Fatalf("Len = %d, want %d", p.Len(), n)
+		}
+		got := p.Unpack()
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("n=%d: Unpack[%d] = %v, want %v", n, i, got[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestPackedSet(t *testing.T) {
+	p := NewPacked(MustEncode("AAAA"))
+	p.Set(2, T)
+	if s := DecodeString(p.Unpack()); s != "AATA" {
+		t.Errorf("after Set: %s, want AATA", s)
+	}
+	p.Set(2, C)
+	if s := DecodeString(p.Unpack()); s != "AACA" {
+		t.Errorf("after second Set: %s, want AACA", s)
+	}
+}
+
+func TestPackedSlice(t *testing.T) {
+	p := NewPacked(MustEncode("ACGTACGT"))
+	dst := make([]Base, 4)
+	p.Slice(dst, 2, 6)
+	if s := DecodeString(dst); s != "GTAC" {
+		t.Errorf("Slice = %s, want GTAC", s)
+	}
+}
+
+func TestPackedBounds(t *testing.T) {
+	p := NewPacked(MustEncode("ACGT"))
+	for name, f := range map[string]func(){
+		"At":    func() { p.At(4) },
+		"AtNeg": func() { p.At(-1) },
+		"Set":   func() { p.Set(4, A) },
+		"Slice": func() { p.Slice(make([]Base, 2), 3, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic out of range", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPackedMemBytes(t *testing.T) {
+	p := NewPacked(make([]Base, 4000))
+	if got := p.MemBytes(); got < 1000 || got > 1100 {
+		t.Errorf("MemBytes = %d, want ~1016", got)
+	}
+}

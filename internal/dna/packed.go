@@ -1,0 +1,71 @@
+package dna
+
+import "fmt"
+
+// Packed is a 2-bit-per-base packed DNA sequence. It stores up to 4 bases
+// per byte, which is the layout the genome simulator uses to hold reference
+// genomes compactly (a 2 Mb genome fits in 500 kB).
+type Packed struct {
+	data []byte
+	n    int
+}
+
+// NewPacked packs seq into a Packed sequence.
+func NewPacked(seq []Base) *Packed {
+	p := &Packed{
+		data: make([]byte, (len(seq)+3)/4),
+		n:    len(seq),
+	}
+	for i, b := range seq {
+		p.data[i>>2] |= byte(b) << uint((i&3)*2)
+	}
+	return p
+}
+
+// Len returns the number of bases.
+func (p *Packed) Len() int { return p.n }
+
+// At returns the base at position i. It panics when i is out of range.
+func (p *Packed) At(i int) Base {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("dna: Packed.At(%d) out of range [0,%d)", i, p.n))
+	}
+	return Base(p.data[i>>2] >> uint((i&3)*2) & 3)
+}
+
+// Set overwrites the base at position i.
+func (p *Packed) Set(i int, b Base) {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("dna: Packed.Set(%d) out of range [0,%d)", i, p.n))
+	}
+	shift := uint((i & 3) * 2)
+	p.data[i>>2] = p.data[i>>2]&^(3<<shift) | byte(b)<<shift
+}
+
+// Slice copies bases [from, to) into dst, which must have length to-from.
+// It returns dst for chaining. Slice panics on an out-of-range window.
+func (p *Packed) Slice(dst []Base, from, to int) []Base {
+	if from < 0 || to > p.n || from > to {
+		panic(fmt.Sprintf("dna: Packed.Slice(%d,%d) out of range [0,%d]", from, to, p.n))
+	}
+	if len(dst) != to-from {
+		panic(fmt.Sprintf("dna: Packed.Slice dst length %d != window %d", len(dst), to-from))
+	}
+	for i := from; i < to; i++ {
+		dst[i-from] = p.At(i)
+	}
+	return dst
+}
+
+// Unpack returns the whole sequence as a fresh []Base.
+func (p *Packed) Unpack() []Base {
+	out := make([]Base, p.n)
+	return p.Slice(out, 0, p.n)
+}
+
+// Bytes returns the packed backing bytes (4 bases/byte, little-endian within
+// the byte). The caller must not mutate the result.
+func (p *Packed) Bytes() []byte { return p.data }
+
+// MemBytes returns the approximate heap footprint in bytes.
+func (p *Packed) MemBytes() int { return len(p.data) + 16 }

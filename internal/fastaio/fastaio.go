@@ -1,0 +1,206 @@
+// Package fastaio reads and writes the fasta + quality-score file pair that
+// Reptile consumes, including the byte-offset parallel partitioning of
+// Step I of the paper: every rank seeks to fileSize*rank/np, aligns to the
+// next record boundary, notes the starting sequence number, and locates the
+// same sequence number in the quality file so both streams stay in lockstep.
+//
+// Record format (as produced by the paper's preprocessing): headers are
+// ascending integer sequence numbers starting at 1,
+//
+//	>17
+//	ACGT...
+//
+// and the quality file carries the same headers with space-separated Phred
+// scores. Sequence data may span multiple lines; writers emit one line.
+package fastaio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"reptile/internal/dna"
+	"reptile/internal/reads"
+)
+
+// WriteFasta writes batch to w in fasta form, headers = sequence numbers.
+func WriteFasta(w io.Writer, batch []reads.Read) error {
+	bw := bufio.NewWriter(w)
+	for i := range batch {
+		r := &batch[i]
+		if _, err := fmt.Fprintf(bw, ">%d\n%s\n", r.Seq, dna.Decode(r.Base)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteQual writes batch's quality scores to w, space-separated per read.
+func WriteQual(w io.Writer, batch []reads.Read) error {
+	bw := bufio.NewWriter(w)
+	for i := range batch {
+		r := &batch[i]
+		if _, err := fmt.Fprintf(bw, ">%d\n", r.Seq); err != nil {
+			return err
+		}
+		for j, q := range r.Qual {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(q))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteDataset writes name.fa and name.qual under dir and returns the paths.
+func WriteDataset(dir, name string, batch []reads.Read) (fastaPath, qualPath string, err error) {
+	fastaPath = filepath.Join(dir, name+".fa")
+	qualPath = filepath.Join(dir, name+".qual")
+	ff, err := os.Create(fastaPath)
+	if err != nil {
+		return "", "", err
+	}
+	defer ff.Close()
+	if err := WriteFasta(ff, batch); err != nil {
+		return "", "", err
+	}
+	qf, err := os.Create(qualPath)
+	if err != nil {
+		return "", "", err
+	}
+	defer qf.Close()
+	if err := WriteQual(qf, batch); err != nil {
+		return "", "", err
+	}
+	return fastaPath, qualPath, nil
+}
+
+// Record is one raw record: its sequence number and payload lines joined.
+type Record struct {
+	Seq  int64
+	Body []byte
+}
+
+// Scanner streams records (">N" header + body until next header) from r.
+type Scanner struct {
+	br   *bufio.Reader
+	next []byte // buffered header line, without ">"
+	err  error
+}
+
+// NewScanner wraps r for record-at-a-time reading.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+func (s *Scanner) readLine() ([]byte, error) {
+	line, err := s.br.ReadBytes('\n')
+	line = bytes.TrimRight(line, "\r\n")
+	if len(line) == 0 && err != nil {
+		return nil, err
+	}
+	return line, nil
+}
+
+// Next returns the next record, or io.EOF when the stream ends.
+func (s *Scanner) Next() (Record, error) {
+	if s.err != nil {
+		return Record{}, s.err
+	}
+	var header []byte
+	if s.next != nil {
+		header = s.next
+		s.next = nil
+	} else {
+		for {
+			line, err := s.readLine()
+			if err != nil {
+				s.err = err
+				return Record{}, err
+			}
+			if len(line) == 0 {
+				continue
+			}
+			if line[0] != '>' {
+				s.err = fmt.Errorf("fastaio: expected header, got %q", line)
+				return Record{}, s.err
+			}
+			header = line[1:]
+			break
+		}
+	}
+	seq, err := strconv.ParseInt(string(bytes.TrimSpace(header)), 10, 64)
+	if err != nil {
+		s.err = fmt.Errorf("fastaio: non-numeric header %q (headers must be sequence numbers)", header)
+		return Record{}, s.err
+	}
+	var body []byte
+	for {
+		line, err := s.readLine()
+		if err == io.EOF {
+			s.err = io.EOF // next call reports EOF
+			return Record{Seq: seq, Body: body}, nil
+		}
+		if err != nil {
+			s.err = err
+			return Record{}, err
+		}
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '>' {
+			s.next = line[1:]
+			return Record{Seq: seq, Body: body}, nil
+		}
+		if len(body) == 0 {
+			body = append(body, line...)
+		} else {
+			body = append(body, ' ') // keeps qual tokens separated across lines
+			body = append(body, line...)
+		}
+	}
+}
+
+// parseQual converts a space-separated score body to Phred bytes.
+func parseQual(body []byte) ([]byte, error) {
+	fields := bytes.Fields(body)
+	out := make([]byte, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(string(f))
+		if err != nil || v < 0 || v > 93 {
+			return nil, fmt.Errorf("fastaio: bad quality token %q", f)
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+// parseBases converts a fasta body (which may contain joiner spaces from
+// multi-line records) to base codes, mapping non-ACGT characters to A as
+// Reptile's preprocessing does.
+func parseBases(body []byte) []dna.Base {
+	out := make([]dna.Base, 0, len(body))
+	for _, c := range body {
+		if c == ' ' {
+			continue
+		}
+		b, ok := dna.FromByte(c)
+		if !ok {
+			b = dna.A
+		}
+		out = append(out, b)
+	}
+	return out
+}

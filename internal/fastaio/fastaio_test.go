@@ -1,0 +1,368 @@
+package fastaio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reptile/internal/dna"
+	"reptile/internal/reads"
+)
+
+// mkDataset builds n reads of varying lengths with deterministic content.
+func mkDataset(t *testing.T, n int) []reads.Read {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	out := make([]reads.Read, n)
+	for i := range out {
+		ln := 20 + rng.Intn(30)
+		b := make([]dna.Base, ln)
+		q := make([]byte, ln)
+		for j := range b {
+			b[j] = dna.Base(rng.Intn(4))
+			q[j] = byte(rng.Intn(42))
+		}
+		out[i] = reads.Read{Seq: int64(i + 1), Base: b, Qual: q}
+	}
+	return out
+}
+
+func writePair(t *testing.T, batch []reads.Read) (string, string) {
+	t.Helper()
+	fa, qual, err := WriteDataset(t.TempDir(), "ds", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fa, qual
+}
+
+func sameRead(a, b reads.Read) bool {
+	if a.Seq != b.Seq || len(a.Base) != len(b.Base) {
+		return false
+	}
+	for i := range a.Base {
+		if a.Base[i] != b.Base[i] || a.Qual[i] != b.Qual[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWriteReadRoundTripSingleRank(t *testing.T) {
+	ds := mkDataset(t, 100)
+	fa, qual := writePair(t, ds)
+	got, err := ReadShard(fa, qual, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds) {
+		t.Fatalf("read %d reads, want %d", len(got), len(ds))
+	}
+	for i := range ds {
+		if !sameRead(got[i], ds[i]) {
+			t.Fatalf("read %d mismatch", i)
+		}
+	}
+}
+
+func TestShardsPartitionWithoutOverlap(t *testing.T) {
+	ds := mkDataset(t, 237)
+	fa, qual := writePair(t, ds)
+	for _, np := range []int{1, 2, 3, 7, 16, 64} {
+		seen := map[int64]int{}
+		total := 0
+		for rank := 0; rank < np; rank++ {
+			shard, err := ReadShard(fa, qual, rank, np)
+			if err != nil {
+				t.Fatalf("np=%d rank=%d: %v", np, rank, err)
+			}
+			for _, r := range shard {
+				seen[r.Seq]++
+				if !sameRead(r, ds[r.Seq-1]) {
+					t.Fatalf("np=%d rank=%d: read %d corrupted", np, rank, r.Seq)
+				}
+			}
+			total += len(shard)
+		}
+		if total != len(ds) {
+			t.Fatalf("np=%d: shards total %d reads, want %d", np, total, len(ds))
+		}
+		for seq, c := range seen {
+			if c != 1 {
+				t.Fatalf("np=%d: read %d appeared %d times", np, seq, c)
+			}
+		}
+	}
+}
+
+func TestShardsAreContiguousAndOrdered(t *testing.T) {
+	ds := mkDataset(t, 100)
+	fa, qual := writePair(t, ds)
+	const np = 8
+	var prevEnd int64
+	for rank := 0; rank < np; rank++ {
+		shard, err := ReadShard(fa, qual, rank, np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(shard); i++ {
+			if shard[i].Seq != shard[i-1].Seq+1 {
+				t.Fatalf("rank %d shard not contiguous at %d", rank, i)
+			}
+		}
+		if len(shard) > 0 {
+			if shard[0].Seq <= prevEnd {
+				t.Fatalf("rank %d starts at %d, before previous end %d", rank, shard[0].Seq, prevEnd)
+			}
+			prevEnd = shard[len(shard)-1].Seq
+		}
+	}
+}
+
+func TestMoreRanksThanReads(t *testing.T) {
+	ds := mkDataset(t, 3)
+	fa, qual := writePair(t, ds)
+	const np = 16
+	total := 0
+	for rank := 0; rank < np; rank++ {
+		shard, err := ReadShard(fa, qual, rank, np)
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		total += len(shard)
+	}
+	if total != len(ds) {
+		t.Fatalf("total %d, want %d", total, len(ds))
+	}
+}
+
+func TestNextBatchChunking(t *testing.T) {
+	ds := mkDataset(t, 50)
+	fa, qual := writePair(t, ds)
+	sr, err := OpenShard(fa, qual, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	sr.ChunkReads = 7
+	total := 0
+	batches := 0
+	for {
+		b, err := sr.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) > 7 {
+			t.Fatalf("batch of %d exceeds chunk size", len(b))
+		}
+		total += len(b)
+		batches++
+	}
+	if total != 50 || batches != 8 {
+		t.Errorf("total=%d batches=%d, want 50 reads in 8 batches", total, batches)
+	}
+}
+
+func TestSeekToSeq(t *testing.T) {
+	ds := mkDataset(t, 200)
+	fa, _ := writePair(t, ds)
+	f, err := os.Open(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	size, _ := fileSize(f)
+	for _, target := range []int64{1, 2, 57, 199, 200} {
+		off, err := SeekToSeq(f, size, target)
+		if err != nil {
+			t.Fatalf("SeekToSeq(%d): %v", target, err)
+		}
+		_, seq, err := AlignToRecord(f, size, off)
+		if err != nil || seq != target {
+			t.Fatalf("SeekToSeq(%d) landed on %d (err %v)", target, seq, err)
+		}
+	}
+	off, err := SeekToSeq(f, size, 500)
+	if err != nil || off != size {
+		t.Errorf("SeekToSeq(beyond file) = %d, %v; want %d, nil", off, err, size)
+	}
+}
+
+func TestAlignToRecordAtBoundaries(t *testing.T) {
+	data := ">1\nACGT\n>2\nGGTT\n"
+	ra := bytes.NewReader([]byte(data))
+	off, seq, err := AlignToRecord(ra, int64(len(data)), 0)
+	if err != nil || off != 0 || seq != 1 {
+		t.Errorf("align at 0: off=%d seq=%d err=%v", off, seq, err)
+	}
+	off, seq, err = AlignToRecord(ra, int64(len(data)), 1)
+	if err != nil || seq != 2 {
+		t.Errorf("align at 1: off=%d seq=%d err=%v", off, seq, err)
+	}
+	off, _, err = AlignToRecord(ra, int64(len(data)), int64(len(data))-2)
+	if err != nil || off != int64(len(data)) {
+		t.Errorf("align near EOF: off=%d err=%v", off, err)
+	}
+}
+
+func TestScannerMultiLineBody(t *testing.T) {
+	s := NewScanner(strings.NewReader(">1\nACGT\nTTAA\n>2\nGG\n"))
+	rec, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(rec.Body); got != "ACGT TTAA" {
+		t.Errorf("multi-line body = %q", got)
+	}
+	if b := parseBases(rec.Body); dna.DecodeString(b) != "ACGTTTAA" {
+		t.Errorf("parseBases = %s", dna.DecodeString(b))
+	}
+	rec, err = s.Next()
+	if err != nil || rec.Seq != 2 {
+		t.Errorf("second record: %v %v", rec, err)
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestScannerRejectsGarbage(t *testing.T) {
+	s := NewScanner(strings.NewReader("not a fasta\n"))
+	if _, err := s.Next(); err == nil {
+		t.Error("accepted garbage input")
+	}
+	s = NewScanner(strings.NewReader(">abc\nACGT\n"))
+	if _, err := s.Next(); err == nil {
+		t.Error("accepted non-numeric header")
+	}
+}
+
+func TestParseQualRejectsBadTokens(t *testing.T) {
+	if _, err := parseQual([]byte("10 20 banana")); err == nil {
+		t.Error("accepted non-numeric quality")
+	}
+	if _, err := parseQual([]byte("10 200")); err == nil {
+		t.Error("accepted out-of-range quality")
+	}
+}
+
+func TestMismatchedPairDetected(t *testing.T) {
+	ds := mkDataset(t, 10)
+	dir := t.TempDir()
+	fa := filepath.Join(dir, "a.fa")
+	qual := filepath.Join(dir, "a.qual")
+	ff, _ := os.Create(fa)
+	if err := WriteFasta(ff, ds); err != nil {
+		t.Fatal(err)
+	}
+	ff.Close()
+	// Quality file with different sequence numbers.
+	shifted := make([]reads.Read, len(ds))
+	copy(shifted, ds)
+	for i := range shifted {
+		shifted[i].Seq += 100
+	}
+	qf, _ := os.Create(qual)
+	if err := WriteQual(qf, shifted); err != nil {
+		t.Fatal(err)
+	}
+	qf.Close()
+	if _, err := ReadShard(fa, qual, 0, 1); err == nil {
+		t.Error("accepted fasta/qual sequence number mismatch")
+	}
+}
+
+func TestOpenShardErrorsAndBounds(t *testing.T) {
+	ds := mkDataset(t, 20)
+	fa, qual := writePair(t, ds)
+	if _, err := OpenShard(fa, qual, -1, 4); err == nil {
+		t.Error("negative rank accepted")
+	}
+	if _, err := OpenShard(fa, qual, 4, 4); err == nil {
+		t.Error("rank == np accepted")
+	}
+	if _, err := OpenShard(fa, qual+".missing", 0, 2); err == nil {
+		t.Error("missing quality file accepted")
+	}
+	if _, err := OpenShard(fa+".missing", qual, 0, 2); err == nil {
+		t.Error("missing fasta file accepted")
+	}
+	sr, err := OpenShard(fa, qual, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	start, end := sr.Bounds()
+	if start <= 1 || end <= start {
+		t.Errorf("Bounds = [%d, %d)", start, end)
+	}
+	all, err := sr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(all)) == 0 || all[0].Seq != start {
+		t.Errorf("shard starts at %d, Bounds said %d", all[0].Seq, start)
+	}
+}
+
+func TestConvertFastq(t *testing.T) {
+	fq := "@r1\nACGT\n+\nIIII\n@r2\nGGTT\n+\n!!!!\n"
+	var fa, qual bytes.Buffer
+	n, err := ConvertFastq(strings.NewReader(fq), &fa, &qual, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("converted %d records", n)
+	}
+	if got := fa.String(); got != ">1\nACGT\n>2\nGGTT\n" {
+		t.Errorf("fasta = %q", got)
+	}
+	if got := qual.String(); got != ">1\n40 40 40 40\n>2\n0 0 0 0\n" {
+		t.Errorf("qual = %q", got)
+	}
+}
+
+func TestConvertFastqErrors(t *testing.T) {
+	cases := []string{
+		"r1\nACGT\n+\nIIII\n",   // missing @
+		"@r1\nACGT\nX\nIIII\n",  // bad separator
+		"@r1\nACGT\n+\nIII\n",   // qual length mismatch
+		"@r1\nACGT\n+\n\x20!!!", // qual char below offset
+	}
+	for i, fq := range cases {
+		var fa, qual bytes.Buffer
+		if _, err := ConvertFastq(strings.NewReader(fq), &fa, &qual, 33); err == nil {
+			t.Errorf("case %d accepted malformed fastq", i)
+		}
+	}
+}
+
+func TestConvertedFastqReadableByShardReader(t *testing.T) {
+	fq := "@a\nACGTACGTACGTACGTACGTACGT\n+\nIIIIIIIIIIIIIIIIIIIIIIII\n" +
+		"@b\nTTTTACGTACGTACGTACGTGGGG\n+\nHHHHHHHHHHHHHHHHHHHHHHHH\n"
+	dir := t.TempDir()
+	faPath := filepath.Join(dir, "c.fa")
+	qualPath := filepath.Join(dir, "c.qual")
+	faF, _ := os.Create(faPath)
+	qualF, _ := os.Create(qualPath)
+	if _, err := ConvertFastq(strings.NewReader(fq), faF, qualF, 33); err != nil {
+		t.Fatal(err)
+	}
+	faF.Close()
+	qualF.Close()
+	got, err := ReadShard(faPath, qualPath, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Qual[0] != 40 || got[1].Qual[0] != 39 {
+		t.Errorf("round trip through fastq conversion failed: %+v", got)
+	}
+}

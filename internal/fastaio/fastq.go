@@ -1,0 +1,87 @@
+package fastaio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// ConvertFastq converts a FASTQ stream into the fasta + quality pair Reptile
+// consumes, renumbering records with ascending sequence numbers starting at
+// 1 (the preprocessing the paper applies to the downloaded datasets, since
+// "Reptile is not capable of reading the fastq format"). qualOffset is the
+// FASTQ quality ASCII offset, 33 for modern Illumina. It returns the number
+// of records converted.
+func ConvertFastq(fq io.Reader, fastaW, qualW io.Writer, qualOffset byte) (int, error) {
+	br := bufio.NewReaderSize(fq, 64<<10)
+	fw := bufio.NewWriter(fastaW)
+	qw := bufio.NewWriter(qualW)
+	n := 0
+	for {
+		header, err := readFastqLine(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		if len(header) == 0 {
+			continue
+		}
+		if header[0] != '@' {
+			return n, fmt.Errorf("fastaio: fastq record %d: header %q does not start with '@'", n+1, header)
+		}
+		seqLine, err := readFastqLine(br)
+		if err != nil {
+			return n, fmt.Errorf("fastaio: fastq record %d: truncated sequence: %w", n+1, err)
+		}
+		plus, err := readFastqLine(br)
+		if err != nil || len(plus) == 0 || plus[0] != '+' {
+			return n, fmt.Errorf("fastaio: fastq record %d: malformed separator line", n+1)
+		}
+		qualLine, err := readFastqLine(br)
+		if err != nil {
+			return n, fmt.Errorf("fastaio: fastq record %d: truncated quality: %w", n+1, err)
+		}
+		if len(qualLine) != len(seqLine) {
+			return n, fmt.Errorf("fastaio: fastq record %d: %d bases vs %d quality chars", n+1, len(seqLine), len(qualLine))
+		}
+		n++
+		if _, err := fmt.Fprintf(fw, ">%d\n%s\n", n, seqLine); err != nil {
+			return n, err
+		}
+		if _, err := fmt.Fprintf(qw, ">%d\n", n); err != nil {
+			return n, err
+		}
+		for i, q := range qualLine {
+			if q < qualOffset {
+				return n, fmt.Errorf("fastaio: fastq record %d: quality char %q below offset %d", n, q, qualOffset)
+			}
+			if i > 0 {
+				if err := qw.WriteByte(' '); err != nil {
+					return n, err
+				}
+			}
+			if _, err := fmt.Fprintf(qw, "%d", q-qualOffset); err != nil {
+				return n, err
+			}
+		}
+		if err := qw.WriteByte('\n'); err != nil {
+			return n, err
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		return n, err
+	}
+	return n, qw.Flush()
+}
+
+func readFastqLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	line = bytes.TrimRight(line, "\r\n")
+	if len(line) == 0 && err != nil {
+		return nil, err
+	}
+	return line, nil
+}

@@ -1,0 +1,85 @@
+package fastaio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"reptile/internal/dna"
+	"reptile/internal/reads"
+)
+
+// TestShardPartitionProperty: for random datasets and rank counts, the
+// shards always form an exact partition of the input, in order, regardless
+// of read-length variance (which moves the byte-offset boundaries around).
+func TestShardPartitionProperty(t *testing.T) {
+	f := func(seed int64, nRaw, npRaw uint8) bool {
+		n := int(nRaw%150) + 1
+		np := int(npRaw%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		ds := make([]reads.Read, n)
+		for i := range ds {
+			ln := 10 + rng.Intn(90)
+			b := make([]dna.Base, ln)
+			q := make([]byte, ln)
+			for j := range b {
+				b[j] = dna.Base(rng.Intn(4))
+				q[j] = byte(rng.Intn(42))
+			}
+			ds[i] = reads.Read{Seq: int64(i + 1), Base: b, Qual: q}
+		}
+		dir := t.TempDir()
+		fa, qual, err := WriteDataset(dir, "p", ds)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		var next int64 = 1
+		for rank := 0; rank < np; rank++ {
+			shard, err := ReadShard(fa, qual, rank, np)
+			if err != nil {
+				t.Logf("rank %d: %v", rank, err)
+				return false
+			}
+			for _, r := range shard {
+				if r.Seq != next {
+					t.Logf("expected seq %d, got %d", next, r.Seq)
+					return false
+				}
+				next++
+			}
+		}
+		return next == int64(n+1)
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSeekToSeqProperty: SeekToSeq finds every present sequence number.
+func TestSeekToSeqProperty(t *testing.T) {
+	ds := mkDataset(t, 300)
+	fa, _ := writePair(t, ds)
+	f, err := openAt(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	size, err := fileSize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(targetRaw uint16) bool {
+		target := int64(targetRaw%300) + 1
+		off, err := SeekToSeq(f, size, target)
+		if err != nil {
+			return false
+		}
+		_, seq, err := AlignToRecord(f, size, off)
+		return err == nil && seq == target
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package fastaio
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"reptile/internal/reads"
+)
+
+// ShardReader streams rank's shard of a fasta+qual pair in chunks, keeping
+// the two files in lockstep by sequence number exactly as Step I of the
+// paper describes: the fasta shard is located by byte offset, then the same
+// starting sequence number is looked up in the quality file.
+type ShardReader struct {
+	fa, qual   *os.File
+	fs, qs     *Scanner
+	startSeq   int64
+	endSeq     int64 // exclusive; MaxInt64 for the last rank
+	nextSeq    int64 // next expected sequence number
+	exhausted  bool
+	ChunkReads int // batch size for NextBatch; default 4096
+}
+
+// OpenShard opens rank's shard of the dataset. It performs the offset
+// computation, record alignment, and qual-file sequence lookup eagerly so
+// errors surface before any processing starts.
+func OpenShard(fastaPath, qualPath string, rank, np int) (*ShardReader, error) {
+	if rank < 0 || rank >= np {
+		return nil, fmt.Errorf("fastaio: rank %d out of range [0,%d)", rank, np)
+	}
+	fa, err := os.Open(fastaPath)
+	if err != nil {
+		return nil, err
+	}
+	size, err := fileSize(fa)
+	if err != nil {
+		fa.Close()
+		return nil, err
+	}
+	startSeq, endSeq, err := ShardBounds(fa, size, rank, np)
+	if err != nil {
+		fa.Close()
+		return nil, err
+	}
+	sr := &ShardReader{fa: fa, startSeq: startSeq, endSeq: endSeq, nextSeq: startSeq, ChunkReads: 4096}
+	if startSeq == math.MaxInt64 { // empty shard
+		sr.exhausted = true
+		return sr, nil
+	}
+	faOff, err := SeekToSeq(fa, size, startSeq)
+	if err != nil {
+		fa.Close()
+		return nil, err
+	}
+	if _, err := fa.Seek(faOff, io.SeekStart); err != nil {
+		fa.Close()
+		return nil, err
+	}
+	sr.fs = NewScanner(fa)
+
+	qf, err := os.Open(qualPath)
+	if err != nil {
+		fa.Close()
+		return nil, err
+	}
+	qsize, err := fileSize(qf)
+	if err != nil {
+		fa.Close()
+		qf.Close()
+		return nil, err
+	}
+	qOff, err := SeekToSeq(qf, qsize, startSeq)
+	if err != nil {
+		fa.Close()
+		qf.Close()
+		return nil, fmt.Errorf("fastaio: locating sequence %d in quality file: %w", startSeq, err)
+	}
+	if _, err := qf.Seek(qOff, io.SeekStart); err != nil {
+		fa.Close()
+		qf.Close()
+		return nil, err
+	}
+	sr.qual = qf
+	sr.qs = NewScanner(qf)
+	return sr, nil
+}
+
+// Bounds returns the [start, end) sequence-number range of this shard.
+func (sr *ShardReader) Bounds() (start, end int64) { return sr.startSeq, sr.endSeq }
+
+// NextBatch returns up to ChunkReads reads, or (nil, io.EOF) once the shard
+// is exhausted. Fasta and quality records are verified to carry matching
+// sequence numbers and lengths.
+func (sr *ShardReader) NextBatch() ([]reads.Read, error) {
+	if sr.exhausted {
+		return nil, io.EOF
+	}
+	chunk := sr.ChunkReads
+	if chunk <= 0 {
+		chunk = 4096
+	}
+	out := make([]reads.Read, 0, chunk)
+	for len(out) < chunk {
+		if sr.nextSeq >= sr.endSeq {
+			sr.exhausted = true
+			break
+		}
+		frec, err := sr.fs.Next()
+		if err == io.EOF {
+			sr.exhausted = true
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		qrec, err := sr.qs.Next()
+		if err != nil {
+			return nil, fmt.Errorf("fastaio: quality file ended before fasta at sequence %d: %w", frec.Seq, err)
+		}
+		if frec.Seq != qrec.Seq {
+			return nil, fmt.Errorf("fastaio: fasta sequence %d paired with quality sequence %d", frec.Seq, qrec.Seq)
+		}
+		base := parseBases(frec.Body)
+		qual, err := parseQual(qrec.Body)
+		if err != nil {
+			return nil, err
+		}
+		if len(base) != len(qual) {
+			return nil, fmt.Errorf("fastaio: sequence %d has %d bases but %d scores", frec.Seq, len(base), len(qual))
+		}
+		out = append(out, reads.Read{Seq: frec.Seq, Base: base, Qual: qual})
+		sr.nextSeq = frec.Seq + 1
+	}
+	if len(out) == 0 {
+		return nil, io.EOF
+	}
+	return out, nil
+}
+
+// ReadAll drains the shard into one slice.
+func (sr *ShardReader) ReadAll() ([]reads.Read, error) {
+	var all []reads.Read
+	for {
+		batch, err := sr.NextBatch()
+		if err == io.EOF {
+			return all, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, batch...)
+	}
+}
+
+// Close releases both file handles.
+func (sr *ShardReader) Close() error {
+	var first error
+	if sr.fa != nil {
+		first = sr.fa.Close()
+	}
+	if sr.qual != nil {
+		if err := sr.qual.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ReadShard is the one-shot convenience: open, drain, close.
+func ReadShard(fastaPath, qualPath string, rank, np int) ([]reads.Read, error) {
+	sr, err := OpenShard(fastaPath, qualPath, rank, np)
+	if err != nil {
+		return nil, err
+	}
+	defer sr.Close()
+	return sr.ReadAll()
+}

@@ -1,0 +1,154 @@
+package fastaio
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// PartitionOffset returns rank's proportional byte offset into a file of the
+// given size: the paper's "file size divided by the number of ranks" start
+// point (Step I).
+func PartitionOffset(size int64, rank, np int) int64 {
+	return size * int64(rank) / int64(np)
+}
+
+// AlignToRecord scans forward from off for the next record boundary (a '>'
+// at offset 0 or immediately after a newline) and returns the boundary
+// offset together with that record's sequence number. It returns
+// (size, 0, nil) when no record starts at or after off.
+func AlignToRecord(ra io.ReaderAt, size, off int64) (recOff int64, seq int64, err error) {
+	if off >= size {
+		return size, 0, nil
+	}
+	const chunk = 64 << 10
+	buf := make([]byte, chunk)
+	// Back up one byte so a '>' exactly at off preceded by '\n' is found,
+	// and so off==0 is handled uniformly.
+	searchStart := off
+	prevNewline := off == 0
+	if off > 0 {
+		searchStart = off - 1
+	}
+	for pos := searchStart; pos < size; {
+		n, rerr := ra.ReadAt(buf[:min64(chunk, size-pos)], pos)
+		if n == 0 && rerr != nil && rerr != io.EOF {
+			return 0, 0, rerr
+		}
+		for i := 0; i < n; i++ {
+			c := buf[i]
+			at := pos + int64(i)
+			if c == '>' && (prevNewline || at == 0) && at >= off {
+				s, err := readSeqAt(ra, size, at)
+				if err != nil {
+					return 0, 0, err
+				}
+				return at, s, nil
+			}
+			prevNewline = c == '\n'
+		}
+		pos += int64(n)
+		if rerr == io.EOF {
+			break
+		}
+	}
+	return size, 0, nil
+}
+
+// readSeqAt parses the integer header of the record starting at off (which
+// must point at '>').
+func readSeqAt(ra io.ReaderAt, size, off int64) (int64, error) {
+	var buf [32]byte
+	n, err := ra.ReadAt(buf[:min64(int64(len(buf)), size-off)], off)
+	if n == 0 && err != nil && err != io.EOF {
+		return 0, err
+	}
+	if n == 0 || buf[0] != '>' {
+		return 0, fmt.Errorf("fastaio: no record at offset %d", off)
+	}
+	v := int64(0)
+	got := false
+	for _, c := range buf[1:n] {
+		if c >= '0' && c <= '9' {
+			v = v*10 + int64(c-'0')
+			got = true
+			continue
+		}
+		break
+	}
+	if !got {
+		return 0, fmt.Errorf("fastaio: non-numeric header at offset %d", off)
+	}
+	return v, nil
+}
+
+// SeekToSeq finds the byte offset of the record whose sequence number is
+// target, by binary search over byte offsets (sequence numbers ascend with
+// file position). It returns size when target is beyond the last record.
+func SeekToSeq(ra io.ReaderAt, size, target int64) (int64, error) {
+	lo, hi := int64(0), size // invariant: record(target) starts at >= lo
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		off, seq, err := AlignToRecord(ra, size, mid)
+		if err != nil {
+			return 0, err
+		}
+		if off >= size || seq >= target {
+			hi = mid
+		} else {
+			lo = off + 1 // the record at off has seq < target
+		}
+	}
+	off, seq, err := AlignToRecord(ra, size, lo)
+	if err != nil {
+		return 0, err
+	}
+	if off >= size {
+		return size, nil
+	}
+	if seq != target {
+		return 0, fmt.Errorf("fastaio: sequence %d not found (nearest at %d is %d)", target, off, seq)
+	}
+	return off, nil
+}
+
+// ShardBounds computes the [startSeq, endSeq) sequence-number range rank is
+// responsible for in the fasta file, per the paper's Step I. endSeq is
+// math.MaxInt64 for the last rank.
+func ShardBounds(ra io.ReaderAt, size int64, rank, np int) (startSeq, endSeq int64, err error) {
+	_, startSeq, err = AlignToRecord(ra, size, PartitionOffset(size, rank, np))
+	if err != nil {
+		return 0, 0, err
+	}
+	if startSeq == 0 { // aligned past EOF: empty shard
+		return math.MaxInt64, math.MaxInt64, nil
+	}
+	if rank == np-1 {
+		return startSeq, math.MaxInt64, nil
+	}
+	off, next, err := AlignToRecord(ra, size, PartitionOffset(size, rank+1, np))
+	if err != nil {
+		return 0, 0, err
+	}
+	if off >= size || next == 0 {
+		return startSeq, math.MaxInt64, nil
+	}
+	return startSeq, next, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// fileSize returns the size of an *os.File-backed ReaderAt.
+func fileSize(f *os.File) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

@@ -1,0 +1,6 @@
+package fastaio
+
+import "os"
+
+// openAt opens a file for random access in tests.
+func openAt(path string) (*os.File, error) { return os.Open(path) }

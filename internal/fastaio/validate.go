@@ -1,0 +1,117 @@
+package fastaio
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// ValidationReport summarizes a fasta + quality pair check.
+type ValidationReport struct {
+	Reads       int
+	Bases       int64
+	MinLen      int
+	MaxLen      int
+	FirstSeq    int64
+	LastSeq     int64
+	NonACGT     int64 // characters mapped to A at parse time
+	MinQ, MaxQ  byte
+	QualSamples int64
+}
+
+// String renders the report.
+func (r ValidationReport) String() string {
+	return fmt.Sprintf("reads=%d bases=%d len=[%d,%d] seq=[%d,%d] nonACGT=%d qual=[%d,%d]",
+		r.Reads, r.Bases, r.MinLen, r.MaxLen, r.FirstSeq, r.LastSeq, r.NonACGT, r.MinQ, r.MaxQ)
+}
+
+// ValidatePair verifies that a fasta + quality pair is well-formed for the
+// parallel reader: strictly ascending sequence numbers starting anywhere,
+// identical numbering in both files, matching per-read lengths, and sane
+// quality values. It returns summary statistics on success and the first
+// violation otherwise.
+func ValidatePair(fastaPath, qualPath string) (ValidationReport, error) {
+	var rep ValidationReport
+	ff, err := os.Open(fastaPath)
+	if err != nil {
+		return rep, err
+	}
+	defer ff.Close()
+	qf, err := os.Open(qualPath)
+	if err != nil {
+		return rep, err
+	}
+	defer qf.Close()
+
+	fs, qs := NewScanner(ff), NewScanner(qf)
+	var prevSeq int64
+	rep.MinQ = 255
+	for {
+		frec, ferr := fs.Next()
+		qrec, qerr := qs.Next()
+		if ferr == io.EOF && qerr == io.EOF {
+			break
+		}
+		if ferr == io.EOF || qerr == io.EOF {
+			return rep, fmt.Errorf("fastaio: files have different record counts (after %d reads)", rep.Reads)
+		}
+		if ferr != nil {
+			return rep, fmt.Errorf("fastaio: fasta: %w", ferr)
+		}
+		if qerr != nil {
+			return rep, fmt.Errorf("fastaio: quality: %w", qerr)
+		}
+		if frec.Seq != qrec.Seq {
+			return rep, fmt.Errorf("fastaio: record %d: fasta seq %d vs quality seq %d", rep.Reads+1, frec.Seq, qrec.Seq)
+		}
+		if rep.Reads > 0 && frec.Seq <= prevSeq {
+			return rep, fmt.Errorf("fastaio: sequence numbers not strictly ascending at %d (prev %d)", frec.Seq, prevSeq)
+		}
+		if rep.Reads == 0 {
+			rep.FirstSeq = frec.Seq
+		}
+		prevSeq = frec.Seq
+		rep.LastSeq = frec.Seq
+
+		nBases := 0
+		for _, c := range frec.Body {
+			if c == ' ' {
+				continue
+			}
+			nBases++
+			switch c {
+			case 'A', 'C', 'G', 'T', 'a', 'c', 'g', 't':
+			default:
+				rep.NonACGT++
+			}
+		}
+		qual, err := parseQual(qrec.Body)
+		if err != nil {
+			return rep, fmt.Errorf("fastaio: sequence %d: %w", frec.Seq, err)
+		}
+		if len(qual) != nBases {
+			return rep, fmt.Errorf("fastaio: sequence %d: %d bases but %d quality scores", frec.Seq, nBases, len(qual))
+		}
+		for _, q := range qual {
+			if q < rep.MinQ {
+				rep.MinQ = q
+			}
+			if q > rep.MaxQ {
+				rep.MaxQ = q
+			}
+			rep.QualSamples++
+		}
+		if rep.Reads == 0 || nBases < rep.MinLen {
+			rep.MinLen = nBases
+		}
+		if nBases > rep.MaxLen {
+			rep.MaxLen = nBases
+		}
+		rep.Bases += int64(nBases)
+		rep.Reads++
+	}
+	if rep.Reads == 0 {
+		return rep, fmt.Errorf("fastaio: empty dataset")
+	}
+	return rep, nil
+}

@@ -1,0 +1,75 @@
+package fastaio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestValidatePairClean(t *testing.T) {
+	ds := mkDataset(t, 50)
+	fa, qual := writePair(t, ds)
+	rep, err := ValidatePair(fa, qual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reads != 50 || rep.FirstSeq != 1 || rep.LastSeq != 50 {
+		t.Errorf("report %v", rep)
+	}
+	if rep.MinLen < 20 || rep.MaxLen > 50 || rep.Bases == 0 {
+		t.Errorf("lengths wrong: %v", rep)
+	}
+	if rep.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func writeFiles(t *testing.T, fasta, qual string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	fp := filepath.Join(dir, "x.fa")
+	qp := filepath.Join(dir, "x.qual")
+	if err := os.WriteFile(fp, []byte(fasta), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(qp, []byte(qual), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return fp, qp
+}
+
+func TestValidatePairViolations(t *testing.T) {
+	cases := map[string][2]string{
+		"seq mismatch":    {">1\nACGT\n", ">2\n30 30 30 30\n"},
+		"length mismatch": {">1\nACGT\n", ">1\n30 30 30\n"},
+		"not ascending":   {">2\nACGT\n>1\nACGT\n", ">2\n30 30 30 30\n>1\n30 30 30 30\n"},
+		"duplicate seq":   {">1\nACGT\n>1\nACGT\n", ">1\n30 30 30 30\n>1\n30 30 30 30\n"},
+		"count mismatch":  {">1\nACGT\n>2\nACGT\n", ">1\n30 30 30 30\n"},
+		"bad quality":     {">1\nACGT\n", ">1\n30 30 30 999\n"},
+		"non-numeric hdr": {">x\nACGT\n", ">x\n30 30 30 30\n"},
+		"empty dataset":   {"", ""},
+	}
+	for name, pair := range cases {
+		fp, qp := writeFiles(t, pair[0], pair[1])
+		if _, err := ValidatePair(fp, qp); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestValidatePairCountsNonACGT(t *testing.T) {
+	fp, qp := writeFiles(t, ">1\nACGNT\n", ">1\n30 30 30 30 30\n")
+	rep, err := ValidatePair(fp, qp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NonACGT != 1 {
+		t.Errorf("NonACGT = %d", rep.NonACGT)
+	}
+}
+
+func TestValidatePairMissingFiles(t *testing.T) {
+	if _, err := ValidatePair("/nonexistent.fa", "/nonexistent.qual"); err == nil {
+		t.Error("accepted missing files")
+	}
+}

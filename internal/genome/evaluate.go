@@ -1,0 +1,99 @@
+package genome
+
+import (
+	"fmt"
+
+	"reptile/internal/reads"
+)
+
+// Accuracy aggregates per-base correction outcomes against ground truth,
+// using the standard error-correction bookkeeping (Yang et al. 2013):
+//
+//	TP — an injected error restored to the true base
+//	FP — a correct base overwritten, or an error "corrected" to a wrong base
+//	FN — an injected error left (or still) wrong
+type Accuracy struct {
+	TP, FP, FN int64
+	// ErrorsCorrected counts reads-level corrections applied (TP+FP), the
+	// quantity Fig 4 reports per rank.
+	ErrorsCorrected int64
+}
+
+// Gain is (TP-FP)/(TP+FN), the headline error-correction metric; 1.0 means
+// every error fixed with no collateral damage.
+func (a Accuracy) Gain() float64 {
+	if a.TP+a.FN == 0 {
+		return 0
+	}
+	return float64(a.TP-a.FP) / float64(a.TP+a.FN)
+}
+
+// Sensitivity is TP/(TP+FN).
+func (a Accuracy) Sensitivity() float64 {
+	if a.TP+a.FN == 0 {
+		return 0
+	}
+	return float64(a.TP) / float64(a.TP+a.FN)
+}
+
+// Precision is TP/(TP+FP).
+func (a Accuracy) Precision() float64 {
+	if a.TP+a.FP == 0 {
+		return 0
+	}
+	return float64(a.TP) / float64(a.TP+a.FP)
+}
+
+// Add accumulates b into a.
+func (a *Accuracy) Add(b Accuracy) {
+	a.TP += b.TP
+	a.FP += b.FP
+	a.FN += b.FN
+	a.ErrorsCorrected += b.ErrorsCorrected
+}
+
+func (a Accuracy) String() string {
+	return fmt.Sprintf("TP=%d FP=%d FN=%d gain=%.4f sens=%.4f prec=%.4f",
+		a.TP, a.FP, a.FN, a.Gain(), a.Sensitivity(), a.Precision())
+}
+
+// Evaluate scores corrected reads against the dataset's ground truth.
+// corrected may be any subset of the dataset's reads in any order (ranks
+// emit their shards independently); each is matched by sequence number.
+func (d *Dataset) Evaluate(corrected []reads.Read) (Accuracy, error) {
+	var acc Accuracy
+	for ci := range corrected {
+		cr := &corrected[ci]
+		idx := cr.Seq - 1
+		if idx < 0 || idx >= int64(len(d.Reads)) {
+			return Accuracy{}, fmt.Errorf("genome: corrected read has unknown sequence number %d", cr.Seq)
+		}
+		orig := &d.Reads[idx]
+		if len(cr.Base) != len(orig.Base) {
+			return Accuracy{}, fmt.Errorf("genome: corrected read %d length %d != original %d", cr.Seq, len(cr.Base), len(orig.Base))
+		}
+		errAt := make(map[int]ErrorSite, len(d.Truth[idx]))
+		for _, e := range d.Truth[idx] {
+			errAt[e.Pos] = e
+		}
+		for j := range cr.Base {
+			site, wasErr := errAt[j]
+			changed := cr.Base[j] != orig.Base[j]
+			if changed {
+				acc.ErrorsCorrected++
+			}
+			switch {
+			case wasErr && changed && cr.Base[j] == site.True:
+				acc.TP++
+			case wasErr: // unchanged, or changed to another wrong base
+				acc.FN++
+				if changed {
+					acc.FP++
+				}
+			case changed: // damaged a correct base
+				acc.FP++
+			}
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,203 @@
+// Package genome generates synthetic genomes and Illumina-like short-read
+// datasets with known ground truth.
+//
+// The paper evaluates on E.Coli, Drosophila and human Illumina runs that we
+// cannot ship; this package builds scaled-down synthetic equivalents that
+// preserve what the algorithm actually sees: read length, coverage, a
+// quality profile that decays along the read, substitution errors at rate
+// 10^(-Q/10), and — crucially for the load-balancing experiment (Fig 4) —
+// the option to cluster high-error reads in contiguous stretches of the
+// file order, which is what causes the paper's rank imbalance.
+package genome
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"reptile/internal/dna"
+	"reptile/internal/reads"
+)
+
+// Genome is a reference sequence stored 2-bit packed.
+type Genome struct {
+	Seq *dna.Packed
+}
+
+// NewGenome builds a random genome of the given size with a sprinkling of
+// long repeats (real genomes are repetitive, which stresses the spectra with
+// high-count k-mers).
+func NewGenome(size int, seed int64) *Genome {
+	if size < 1 {
+		panic(fmt.Sprintf("genome: size %d < 1", size))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seq := make([]dna.Base, size)
+	for i := range seq {
+		seq[i] = dna.Base(rng.Intn(dna.NumBases))
+	}
+	// Copy a few blocks around to create repeats (~2% of the genome).
+	repeatLen := size / 100
+	if repeatLen > 2000 {
+		repeatLen = 2000
+	}
+	if repeatLen >= 10 {
+		for r := 0; r < 2; r++ {
+			src := rng.Intn(size - repeatLen)
+			dst := rng.Intn(size - repeatLen)
+			copy(seq[dst:dst+repeatLen], seq[src:src+repeatLen])
+		}
+	}
+	return &Genome{Seq: dna.NewPacked(seq)}
+}
+
+// Len returns the genome length in bases.
+func (g *Genome) Len() int { return g.Seq.Len() }
+
+// Profile controls read simulation.
+type Profile struct {
+	ReadLen int     // bases per read
+	QStart  float64 // mean Phred quality at the first base
+	QEnd    float64 // mean Phred quality at the last base
+	QNoise  float64 // stddev of per-base quality jitter
+	// ErrorBoost scales the physical error rate relative to the quality
+	// model 10^(-Q/10); 1.0 means quality scores are perfectly calibrated.
+	ErrorBoost float64
+	// LocalizedSpans marks contiguous fractions of the *file order* whose
+	// reads get LocalizedBoost-times the base error rate, reproducing the
+	// paper's observation that "errors appear localized in several parts of
+	// the file". Each span is [start, end) as a fraction of the dataset.
+	LocalizedSpans [][2]float64
+	LocalizedBoost float64
+}
+
+// DefaultProfile mirrors a healthy Illumina run: Q38 falling to Q22.
+func DefaultProfile(readLen int) Profile {
+	return Profile{
+		ReadLen:    readLen,
+		QStart:     38,
+		QEnd:       22,
+		QNoise:     3,
+		ErrorBoost: 1.0,
+	}
+}
+
+// LocalizedProfile is DefaultProfile plus two degraded stretches covering
+// ~25% of the file with 8x the error rate — the imbalanced-input scenario.
+func LocalizedProfile(readLen int) Profile {
+	p := DefaultProfile(readLen)
+	p.LocalizedSpans = [][2]float64{{0.10, 0.22}, {0.60, 0.73}}
+	p.LocalizedBoost = 8
+	return p
+}
+
+// ErrorSite records one injected substitution: the read position and the
+// true genomic base that was overwritten.
+type ErrorSite struct {
+	Pos  int
+	True dna.Base
+}
+
+// Dataset is a simulated read set with ground truth.
+type Dataset struct {
+	Name    string
+	Genome  *Genome
+	Reads   []reads.Read
+	Truth   [][]ErrorSite // Truth[i] are the injected errors of Reads[i]
+	Pos     []int         // Pos[i] is the genomic start of Reads[i]
+	Profile Profile
+}
+
+// NumReads returns the dataset size.
+func (d *Dataset) NumReads() int { return len(d.Reads) }
+
+// TotalErrors returns the number of injected substitution errors.
+func (d *Dataset) TotalErrors() int {
+	n := 0
+	for _, t := range d.Truth {
+		n += len(t)
+	}
+	return n
+}
+
+// Coverage returns length*reads/genomeSize, the figure in Table I.
+func (d *Dataset) Coverage() float64 {
+	return float64(d.Profile.ReadLen) * float64(len(d.Reads)) / float64(d.Genome.Len())
+}
+
+// Simulate draws n reads from g under profile p. Reads are numbered 1..n in
+// file order; strand is always forward so a corrected read can be compared
+// base-for-base against the genome window it came from.
+func Simulate(name string, g *Genome, n int, p Profile, seed int64) *Dataset {
+	if p.ReadLen < 1 || p.ReadLen > g.Len() {
+		panic(fmt.Sprintf("genome: read length %d vs genome %d", p.ReadLen, g.Len()))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{
+		Name:    name,
+		Genome:  g,
+		Reads:   make([]reads.Read, n),
+		Truth:   make([][]ErrorSite, n),
+		Pos:     make([]int, n),
+		Profile: p,
+	}
+	window := make([]dna.Base, p.ReadLen)
+	for i := 0; i < n; i++ {
+		pos := rng.Intn(g.Len() - p.ReadLen + 1)
+		ds.Pos[i] = pos
+		g.Seq.Slice(window, pos, pos+p.ReadLen)
+		r := reads.Read{
+			Seq:  int64(i + 1),
+			Base: make([]dna.Base, p.ReadLen),
+			Qual: make([]byte, p.ReadLen),
+		}
+		copy(r.Base, window)
+		boost := p.ErrorBoost
+		if b := p.localBoost(i, n); b > 0 {
+			boost *= b
+		}
+		injectErrors(&r, ds, i, boost, p, rng)
+		ds.Reads[i] = r
+	}
+	return ds
+}
+
+// injectErrors assigns the quality profile to r and injects substitution
+// errors at rate boost*10^(-Q/10), recording ground truth in ds.Truth[idx].
+func injectErrors(r *reads.Read, ds *Dataset, idx int, boost float64, p Profile, rng *rand.Rand) {
+	for j := 0; j < p.ReadLen; j++ {
+		frac := float64(j) / float64(p.ReadLen-1)
+		if p.ReadLen == 1 {
+			frac = 0
+		}
+		q := p.QStart + (p.QEnd-p.QStart)*frac + rng.NormFloat64()*p.QNoise
+		if q < 2 {
+			q = 2
+		}
+		if q > 41 {
+			q = 41
+		}
+		r.Qual[j] = byte(math.Round(q))
+		errProb := boost * math.Pow(10, -q/10)
+		if errProb > 0.5 {
+			errProb = 0.5
+		}
+		if rng.Float64() < errProb {
+			truth := r.Base[j]
+			r.Base[j] = dna.Base((int(truth) + 1 + rng.Intn(3)) % dna.NumBases)
+			ds.Truth[idx] = append(ds.Truth[idx], ErrorSite{Pos: j, True: truth})
+		}
+	}
+}
+
+// localBoost returns the localized error multiplier for read index i of n,
+// or 0 when i is outside every span.
+func (p Profile) localBoost(i, n int) float64 {
+	frac := float64(i) / float64(n)
+	for _, span := range p.LocalizedSpans {
+		if frac >= span[0] && frac < span[1] {
+			return p.LocalizedBoost
+		}
+	}
+	return 0
+}

@@ -1,0 +1,283 @@
+package genome
+
+import (
+	"math"
+	"testing"
+
+	"reptile/internal/dna"
+	"reptile/internal/reads"
+)
+
+func TestNewGenomeDeterministic(t *testing.T) {
+	a := NewGenome(10000, 7)
+	b := NewGenome(10000, 7)
+	if a.Len() != 10000 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Seq.At(i) != b.Seq.At(i) {
+			t.Fatal("same seed produced different genomes")
+		}
+	}
+	c := NewGenome(10000, 8)
+	diff := 0
+	for i := 0; i < a.Len(); i++ {
+		if a.Seq.At(i) != c.Seq.At(i) {
+			diff++
+		}
+	}
+	if diff < 1000 {
+		t.Errorf("different seeds produced nearly identical genomes (%d diffs)", diff)
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	g := NewGenome(5000, 1)
+	ds := Simulate("t", g, 500, DefaultProfile(80), 2)
+	if ds.NumReads() != 500 {
+		t.Fatalf("NumReads = %d", ds.NumReads())
+	}
+	for i, r := range ds.Reads {
+		if r.Seq != int64(i+1) {
+			t.Fatalf("read %d has seq %d", i, r.Seq)
+		}
+		if len(r.Base) != 80 || len(r.Qual) != 80 {
+			t.Fatalf("read %d has wrong lengths", i)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("read %d invalid: %v", i, err)
+		}
+		for _, q := range r.Qual {
+			if q < 2 || q > 41 {
+				t.Fatalf("quality %d out of range", q)
+			}
+		}
+	}
+}
+
+func TestSimulateErrorRateTracksQuality(t *testing.T) {
+	g := NewGenome(20000, 3)
+	ds := Simulate("t", g, 5000, DefaultProfile(100), 4)
+	total := ds.TotalErrors()
+	if total == 0 {
+		t.Fatal("no errors injected")
+	}
+	// Expected error count: sum of 10^(-q/10) over all bases. Quality runs
+	// 38 -> 22, so the average per-base rate is around 0.1-0.6%.
+	rate := float64(total) / float64(5000*100)
+	if rate < 0.0005 || rate > 0.02 {
+		t.Errorf("error rate %.5f outside plausible band", rate)
+	}
+	// Errors should be biased toward the 3' (low-quality) end.
+	head, tail := 0, 0
+	for _, sites := range ds.Truth {
+		for _, s := range sites {
+			if s.Pos < 50 {
+				head++
+			} else {
+				tail++
+			}
+		}
+	}
+	if tail <= head {
+		t.Errorf("errors not biased to low-quality tail: head=%d tail=%d", head, tail)
+	}
+}
+
+func TestTruthMatchesGenomeDisagreement(t *testing.T) {
+	g := NewGenome(3000, 5)
+	ds := Simulate("t", g, 300, DefaultProfile(60), 6)
+	for i, sites := range ds.Truth {
+		marked := map[int]dna.Base{}
+		for _, s := range sites {
+			marked[s.Pos] = s.True
+			if ds.Reads[i].Base[s.Pos] == s.True {
+				t.Fatalf("read %d pos %d: error site equals true base", i, s.Pos)
+			}
+		}
+	}
+}
+
+func TestLocalizedProfileClustersErrors(t *testing.T) {
+	g := NewGenome(20000, 9)
+	n := 4000
+	ds := Simulate("t", g, n, LocalizedProfile(100), 10)
+	inSpan, outSpan := 0, 0
+	inReads, outReads := 0, 0
+	for i := range ds.Reads {
+		frac := float64(i) / float64(n)
+		local := (frac >= 0.10 && frac < 0.22) || (frac >= 0.60 && frac < 0.73)
+		if local {
+			inSpan += len(ds.Truth[i])
+			inReads++
+		} else {
+			outSpan += len(ds.Truth[i])
+			outReads++
+		}
+	}
+	inRate := float64(inSpan) / float64(inReads)
+	outRate := float64(outSpan) / float64(outReads)
+	if inRate < 3*outRate {
+		t.Errorf("localized spans not error-dense: in=%.3f out=%.3f errors/read", inRate, outRate)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, p := range Presets {
+		n := p.NumReads()
+		want := p.Coverage * float64(p.GenomeLen) / float64(p.ReadLen)
+		if math.Abs(float64(n)-want) > 1 {
+			t.Errorf("%s: NumReads %d, want ~%.0f", p.Name, n, want)
+		}
+	}
+	small := EColiSim.Scaled(0.05)
+	ds := small.Build()
+	if c := ds.Coverage(); math.Abs(c-96) > 2 {
+		t.Errorf("scaled preset coverage %.1f, want ~96", c)
+	}
+	if ds.Name != "ecoli-sim" {
+		t.Errorf("Name = %s", ds.Name)
+	}
+}
+
+func TestScaledFloor(t *testing.T) {
+	p := EColiSim.Scaled(0.000001)
+	if p.GenomeLen < 4*p.ReadLen {
+		t.Errorf("Scaled floor violated: %d", p.GenomeLen)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Scaled accepted non-positive factor")
+		}
+	}()
+	EColiSim.Scaled(0)
+}
+
+func TestEvaluatePerfectCorrection(t *testing.T) {
+	g := NewGenome(5000, 11)
+	ds := Simulate("t", g, 400, DefaultProfile(70), 12)
+	corrected := make([]reads.Read, len(ds.Reads))
+	for i := range ds.Reads {
+		corrected[i] = ds.Reads[i].Clone()
+		for _, s := range ds.Truth[i] {
+			corrected[i].Base[s.Pos] = s.True
+		}
+	}
+	acc, err := ds.Evaluate(corrected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.FP != 0 || acc.FN != 0 {
+		t.Errorf("perfect correction scored %v", acc)
+	}
+	if int(acc.TP) != ds.TotalErrors() {
+		t.Errorf("TP = %d, want %d", acc.TP, ds.TotalErrors())
+	}
+	if acc.Gain() != 1.0 {
+		t.Errorf("Gain = %f", acc.Gain())
+	}
+}
+
+func TestEvaluateNoCorrection(t *testing.T) {
+	g := NewGenome(5000, 13)
+	ds := Simulate("t", g, 200, DefaultProfile(70), 14)
+	acc, err := ds.Evaluate(ds.Reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.TP != 0 || acc.FP != 0 {
+		t.Errorf("identity correction scored %v", acc)
+	}
+	if int(acc.FN) != ds.TotalErrors() {
+		t.Errorf("FN = %d, want %d", acc.FN, ds.TotalErrors())
+	}
+}
+
+func TestEvaluateFalsePositives(t *testing.T) {
+	g := NewGenome(5000, 15)
+	ds := Simulate("t", g, 50, Profile{ReadLen: 60, QStart: 41, QEnd: 41, ErrorBoost: 0}, 16)
+	if ds.TotalErrors() != 0 {
+		t.Fatal("expected error-free dataset")
+	}
+	corrected := make([]reads.Read, len(ds.Reads))
+	for i := range ds.Reads {
+		corrected[i] = ds.Reads[i].Clone()
+	}
+	corrected[0].Base[5] = (corrected[0].Base[5] + 1) % 4
+	acc, err := ds.Evaluate(corrected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.FP != 1 || acc.ErrorsCorrected != 1 {
+		t.Errorf("Accuracy = %v, want FP=1", acc)
+	}
+}
+
+func TestEvaluateErrorToWrongBase(t *testing.T) {
+	g := NewGenome(5000, 17)
+	ds := Simulate("t", g, 300, DefaultProfile(70), 18)
+	var ri, pos int
+	found := false
+	for i := range ds.Truth {
+		if len(ds.Truth[i]) > 0 {
+			ri, pos = i, ds.Truth[i][0].Pos
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no errors injected")
+	}
+	corrected := []reads.Read{ds.Reads[ri].Clone()}
+	truth := ds.Truth[ri][0].True
+	wrong := (truth + 1) % 4
+	if wrong == ds.Reads[ri].Base[pos] {
+		wrong = (truth + 2) % 4
+	}
+	corrected[0].Base[pos] = wrong
+	acc, err := ds.Evaluate(corrected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.FP != 1 || acc.FN == 0 {
+		t.Errorf("miscorrection scored %v, want FP=1 and FN>=1", acc)
+	}
+}
+
+func TestEvaluateRejectsForeignReads(t *testing.T) {
+	g := NewGenome(2000, 19)
+	ds := Simulate("t", g, 10, DefaultProfile(50), 20)
+	bad := []reads.Read{{Seq: 99, Base: make([]dna.Base, 50), Qual: make([]byte, 50)}}
+	if _, err := ds.Evaluate(bad); err == nil {
+		t.Error("accepted unknown sequence number")
+	}
+	short := []reads.Read{{Seq: 1, Base: make([]dna.Base, 5), Qual: make([]byte, 5)}}
+	if _, err := ds.Evaluate(short); err == nil {
+		t.Error("accepted length mismatch")
+	}
+}
+
+func TestAccuracyMetrics(t *testing.T) {
+	a := Accuracy{TP: 80, FP: 10, FN: 20}
+	if g := a.Gain(); math.Abs(g-0.7) > 1e-9 {
+		t.Errorf("Gain = %f", g)
+	}
+	if s := a.Sensitivity(); math.Abs(s-0.8) > 1e-9 {
+		t.Errorf("Sensitivity = %f", s)
+	}
+	if p := a.Precision(); math.Abs(p-80.0/90.0) > 1e-9 {
+		t.Errorf("Precision = %f", p)
+	}
+	var zero Accuracy
+	if zero.Gain() != 0 || zero.Sensitivity() != 0 || zero.Precision() != 0 {
+		t.Error("zero Accuracy metrics not zero")
+	}
+	b := Accuracy{TP: 1, FP: 2, FN: 3, ErrorsCorrected: 4}
+	a.Add(b)
+	if a.TP != 81 || a.FP != 12 || a.FN != 23 || a.ErrorsCorrected != 4 {
+		t.Errorf("Add = %+v", a)
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,115 @@
+package genome
+
+import (
+	"math"
+	"math/rand"
+
+	"reptile/internal/dna"
+	"reptile/internal/reads"
+)
+
+// Non-uniform coverage simulation. The paper motivates the distributed
+// spectrum with RNA sequencing, population genetics and metagenomics
+// workloads, whose coverage is wildly non-uniform: a few highly-expressed
+// transcripts (or abundant species) soak up most reads while the long tail
+// is thinly covered. That skew stresses exactly what the distributed layout
+// must keep uniform — per-rank spectrum sizes — because a handful of
+// regions produce enormously common k-mers.
+
+// Abundance describes a weighted region of the genome for non-uniform
+// sampling.
+type Abundance struct {
+	Start, End int     // genomic interval [Start, End)
+	Weight     float64 // relative sampling weight
+}
+
+// TranscriptomeAbundances carves the genome into n equal "transcripts"
+// with Zipf-distributed weights (s ~ 1), the standard first-order model of
+// expression skew.
+func TranscriptomeAbundances(genomeLen, n int, seed int64) []Abundance {
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Abundance, n)
+	size := genomeLen / n
+	perm := rng.Perm(n) // rank-to-transcript assignment
+	for i := 0; i < n; i++ {
+		start := i * size
+		end := start + size
+		if i == n-1 {
+			end = genomeLen
+		}
+		out[i] = Abundance{
+			Start:  start,
+			End:    end,
+			Weight: 1 / math.Pow(float64(perm[i]+1), 1.0),
+		}
+	}
+	return out
+}
+
+// SimulateNonUniform draws n reads with per-region sampling weights; the
+// error model matches Simulate. Read positions are uniform within the
+// chosen region (reads near a region's end spill into the neighbour, as
+// fragments spanning transcript boundaries would).
+func SimulateNonUniform(name string, g *Genome, n int, p Profile, abundances []Abundance, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	cum := make([]float64, len(abundances))
+	total := 0.0
+	for i, a := range abundances {
+		total += a.Weight
+		cum[i] = total
+	}
+	positions := make([]int, n)
+	for i := range positions {
+		x := rng.Float64() * total
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		a := abundances[lo]
+		pos := a.Start + rng.Intn(a.End-a.Start)
+		if pos > g.Len()-p.ReadLen {
+			pos = g.Len() - p.ReadLen
+		}
+		positions[i] = pos
+	}
+	return simulateAt(name, g, positions, p, rng)
+}
+
+// simulateAt generates reads at the given genome positions under profile p,
+// sharing the error-injection model with Simulate.
+func simulateAt(name string, g *Genome, positions []int, p Profile, rng *rand.Rand) *Dataset {
+	n := len(positions)
+	ds := &Dataset{
+		Name:    name,
+		Genome:  g,
+		Reads:   make([]reads.Read, n),
+		Truth:   make([][]ErrorSite, n),
+		Pos:     positions,
+		Profile: p,
+	}
+	window := make([]dna.Base, p.ReadLen)
+	for i, pos := range positions {
+		g.Seq.Slice(window, pos, pos+p.ReadLen)
+		r := reads.Read{
+			Seq:  int64(i + 1),
+			Base: make([]dna.Base, p.ReadLen),
+			Qual: make([]byte, p.ReadLen),
+		}
+		copy(r.Base, window)
+		boost := p.ErrorBoost
+		if b := p.localBoost(i, n); b > 0 {
+			boost *= b
+		}
+		injectErrors(&r, ds, i, boost, p, rng)
+		ds.Reads[i] = r
+	}
+	return ds
+}

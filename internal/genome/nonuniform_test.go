@@ -1,0 +1,105 @@
+package genome
+
+import (
+	"math"
+	"testing"
+
+	"reptile/internal/dna"
+)
+
+func TestTranscriptomeAbundances(t *testing.T) {
+	abs := TranscriptomeAbundances(10000, 20, 1)
+	if len(abs) != 20 {
+		t.Fatalf("%d abundances", len(abs))
+	}
+	covered := 0
+	for i, a := range abs {
+		if a.End <= a.Start || a.Weight <= 0 {
+			t.Fatalf("abundance %d degenerate: %+v", i, a)
+		}
+		covered += a.End - a.Start
+	}
+	if covered != 10000 {
+		t.Errorf("regions cover %d of 10000 bases", covered)
+	}
+	// Zipf weights: max/min should be ~n.
+	min, max := math.Inf(1), 0.0
+	for _, a := range abs {
+		if a.Weight < min {
+			min = a.Weight
+		}
+		if a.Weight > max {
+			max = a.Weight
+		}
+	}
+	if max/min < 10 {
+		t.Errorf("weight skew %.1f too flat for a Zipf model", max/min)
+	}
+	if got := TranscriptomeAbundances(100, 0, 1); len(got) != 1 {
+		t.Errorf("n=0 produced %d regions", len(got))
+	}
+}
+
+func TestSimulateNonUniformSkewsCoverage(t *testing.T) {
+	g := NewGenome(20000, 2)
+	abs := TranscriptomeAbundances(g.Len(), 10, 3)
+	ds := SimulateNonUniform("rna", g, 8000, DefaultProfile(80), abs, 4)
+	if ds.NumReads() != 8000 || len(ds.Pos) != 8000 {
+		t.Fatalf("NumReads=%d Pos=%d", ds.NumReads(), len(ds.Pos))
+	}
+	var heavy, light Abundance
+	heavy.Weight, light.Weight = 0, math.Inf(1)
+	for _, a := range abs {
+		if a.Weight > heavy.Weight {
+			heavy = a
+		}
+		if a.Weight < light.Weight {
+			light = a
+		}
+	}
+	inRegion := func(a Abundance) int {
+		n := 0
+		for _, p := range ds.Pos {
+			if p >= a.Start && p < a.End {
+				n++
+			}
+		}
+		return n
+	}
+	h, l := inRegion(heavy), inRegion(light)
+	if h < 3*(l+1) {
+		t.Errorf("coverage skew too flat: heavy region %d reads, light %d", h, l)
+	}
+	for i := range ds.Reads {
+		if err := ds.Reads[i].Validate(); err != nil {
+			t.Fatalf("read %d invalid: %v", i, err)
+		}
+		if ds.Pos[i] < 0 || ds.Pos[i] > g.Len()-80 {
+			t.Fatalf("read %d position %d out of range", i, ds.Pos[i])
+		}
+	}
+	if ds.TotalErrors() == 0 {
+		t.Error("no errors injected")
+	}
+}
+
+func TestSimulateRecordsPositions(t *testing.T) {
+	g := NewGenome(5000, 5)
+	ds := Simulate("t", g, 200, DefaultProfile(60), 6)
+	if len(ds.Pos) != 200 {
+		t.Fatalf("Pos length %d", len(ds.Pos))
+	}
+	// Each error-free read must match the genome at its recorded position.
+	buf := make([]dna.Base, 60)
+	for i := range ds.Reads {
+		if len(ds.Truth[i]) > 0 {
+			continue
+		}
+		g.Seq.Slice(buf, ds.Pos[i], ds.Pos[i]+60)
+		for j := range buf {
+			if buf[j] != ds.Reads[i].Base[j] {
+				t.Fatalf("read %d does not match genome at recorded position %d", i, ds.Pos[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package genome
+
+// Scaled dataset presets mirroring Table I of the paper. The genomes are
+// scaled down ~20-2000x so a workstation can run the full pipeline, but the
+// read length, coverage, and relative ordering of the three datasets are
+// preserved; the distributed algorithm's communication volume per read is a
+// function of those, not of the absolute genome size.
+//
+//	Paper        reads      len  genome   cov    Here       reads   genome
+//	E.Coli       8.87e6     102  4.6e6    96X    EColiSim   ~188k   200 kb
+//	Drosophila   9.57e7      96  1.22e8   75X    DrosSim    ~469k   600 kb
+//	Human        1.55e9     102  3.3e9    47X    HumanSim   ~691k   1.5 Mb
+
+// Preset names a scaled dataset configuration.
+type Preset struct {
+	Name      string
+	GenomeLen int
+	ReadLen   int
+	Coverage  float64
+	Seed      int64
+}
+
+// The three presets of Table I.
+var (
+	EColiSim      = Preset{Name: "ecoli-sim", GenomeLen: 200_000, ReadLen: 102, Coverage: 96, Seed: 42}
+	DrosophilaSim = Preset{Name: "drosophila-sim", GenomeLen: 600_000, ReadLen: 96, Coverage: 75, Seed: 43}
+	HumanSim      = Preset{Name: "human-sim", GenomeLen: 1_500_000, ReadLen: 102, Coverage: 47, Seed: 44}
+)
+
+// Presets lists the Table I datasets in paper order.
+var Presets = []Preset{EColiSim, DrosophilaSim, HumanSim}
+
+// NumReads returns the read count implied by coverage.
+func (p Preset) NumReads() int {
+	return int(p.Coverage * float64(p.GenomeLen) / float64(p.ReadLen))
+}
+
+// Scaled returns a copy with the genome (and hence read count) scaled by f,
+// for tests and quick benches. f <= 0 panics.
+func (p Preset) Scaled(f float64) Preset {
+	if f <= 0 {
+		panic("genome: non-positive preset scale")
+	}
+	p.GenomeLen = int(float64(p.GenomeLen) * f)
+	if p.GenomeLen < 4*p.ReadLen {
+		p.GenomeLen = 4 * p.ReadLen
+	}
+	return p
+}
+
+// Build generates the preset's genome and reads with a well-behaved quality
+// profile (errors spread evenly through the file).
+func (p Preset) Build() *Dataset {
+	return p.BuildProfile(DefaultProfile(p.ReadLen))
+}
+
+// BuildLocalized generates the preset with error-dense stretches of the
+// file, the input that triggers the paper's load imbalance.
+func (p Preset) BuildLocalized() *Dataset {
+	return p.BuildProfile(LocalizedProfile(p.ReadLen))
+}
+
+// BuildProfile generates the preset under an explicit profile.
+func (p Preset) BuildProfile(prof Profile) *Dataset {
+	g := NewGenome(p.GenomeLen, p.Seed)
+	return Simulate(p.Name, g, p.NumReads(), prof, p.Seed+1)
+}

@@ -1,0 +1,205 @@
+// Package harness defines one runnable experiment per table and figure of
+// the paper's evaluation section. Each experiment builds its scaled
+// dataset, drives the distributed engine, projects times through the
+// BlueGene/Q machine model, and renders the same rows the paper reports.
+//
+// cmd/reptile-bench runs experiments from the command line; bench_test.go
+// wraps each one in a testing.B benchmark at a smaller scale.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"reptile/internal/core"
+	"reptile/internal/genome"
+	"reptile/internal/machine"
+	"reptile/internal/reptile"
+)
+
+// Scale shrinks the paper's workloads to workstation size. Dataset scales
+// the preset genome lengths (reads scale along to keep coverage); RankDiv
+// divides the paper's rank counts; MaxRanks caps the result (goroutine
+// ranks are cheap but not free).
+type Scale struct {
+	Dataset  float64
+	RankDiv  int
+	MaxRanks int
+}
+
+// DefaultScale is sized for cmd/reptile-bench: full harness in minutes.
+func DefaultScale() Scale { return Scale{Dataset: 0.25, RankDiv: 32, MaxRanks: 256} }
+
+// QuickScale is sized for go test -bench: each experiment in seconds.
+func QuickScale() Scale { return Scale{Dataset: 0.05, RankDiv: 128, MaxRanks: 16} }
+
+// Ranks maps a paper rank count onto this scale.
+func (s Scale) Ranks(paper int) int {
+	n := paper / s.RankDiv
+	if n < 2 {
+		n = 2
+	}
+	if s.MaxRanks > 0 && n > s.MaxRanks {
+		n = s.MaxRanks
+	}
+	return n
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Note   string // paper-reference note for EXPERIMENTS.md
+	Header []string
+	Rows   [][]string
+}
+
+// CSV renders the table as comma-separated values (header + rows), for
+// plotting the figures outside Go.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			sb.WriteString(c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "   paper: %s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	line(dashes(widths))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Scale) (*Table, error)
+}
+
+// All returns the experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Datasets used for experimentation", TableI},
+		{"fig2", "128 ranks, ranks-per-node sweep (E.Coli)", Fig2},
+		{"fig3", "Per-rank k-mer and tile counts (E.Coli)", Fig3},
+		{"fig4", "Load balance on/off: per-rank time and errors (E.Coli)", Fig4},
+		{"fig5", "Heuristics: time and memory footprint (E.Coli)", Fig5},
+		{"fig6", "E.Coli strong scaling, balanced vs imbalanced", Fig6},
+		{"fig7", "Drosophila strong scaling", Fig7},
+		{"fig8", "Human strong scaling", Fig8},
+		{"batchsweep", "Batch-reads chunk-size sweep (supplementary)", BatchSweep},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared helpers ---
+
+// buildDataset materializes a preset at scale.
+func buildDataset(p genome.Preset, sc Scale, localized bool) *genome.Dataset {
+	sp := p.Scaled(sc.Dataset)
+	if localized {
+		return sp.BuildLocalized()
+	}
+	return sp.Build()
+}
+
+// optionsFor derives engine options from a dataset's coverage.
+func optionsFor(ds *genome.Dataset, h core.Heuristics, balance bool) core.Options {
+	return core.Options{
+		Config:      reptile.ForCoverage(ds.Coverage()),
+		Heuristics:  h,
+		LoadBalance: balance,
+	}
+}
+
+// engineRun is the common run path.
+func engineRun(ds *genome.Dataset, np int, opts core.Options) (*core.Output, error) {
+	return core.Run(&core.MemorySource{Reads: ds.Reads}, np, opts)
+}
+
+// project applies the BG/Q model with the run's wire mode.
+func project(out *core.Output, shape machine.Shape, h core.Heuristics) (machine.Projection, error) {
+	universal, req, resp := core.ProjectOptsFor(h)
+	return machine.BGQ().Project(&out.Run, shape, machine.ProjectOpts{
+		Universal: universal, ReqBytes: req, RespBytes: resp,
+	})
+}
+
+// shape32 is the paper's standard layout: 32 ranks/node, 2 threads/rank.
+func shape32(np int) machine.Shape {
+	rpn := 32
+	if np < rpn {
+		rpn = np
+	}
+	return machine.Shape{Ranks: np, RanksPerNode: rpn, ThreadsPerRank: 2}
+}
+
+func secs(x float64) string {
+	if x < 1 {
+		return fmt.Sprintf("%.3fs", x)
+	}
+	return fmt.Sprintf("%.2fs", x)
+}
+func mib(b int64) string   { return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20)) }
+func count(v int64) string { return fmt.Sprintf("%d", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }

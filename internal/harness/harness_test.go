@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps harness tests fast.
+func tinyScale() Scale { return Scale{Dataset: 0.03, RankDiv: 256, MaxRanks: 8} }
+
+func TestScaleRanks(t *testing.T) {
+	sc := Scale{Dataset: 1, RankDiv: 32, MaxRanks: 64}
+	if got := sc.Ranks(128); got != 4 {
+		t.Errorf("Ranks(128) = %d", got)
+	}
+	if got := sc.Ranks(8192); got != 64 {
+		t.Errorf("Ranks(8192) = %d (cap)", got)
+	}
+	if got := sc.Ranks(1); got != 2 {
+		t.Errorf("Ranks(1) = %d (floor)", got)
+	}
+}
+
+func TestAllAndByID(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("expected 9 experiments, got %d", len(all))
+	}
+	ids := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if _, ok := ByID(e.ID); !ok {
+			t.Errorf("ByID(%s) missing", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID found a ghost")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "demo", Note: "ref",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	s := tab.Render()
+	for _, want := range []string{"== x: demo ==", "paper: ref", "a", "bbbb", "333"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Render missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", `x,"y`}},
+	}
+	got := tab.CSV()
+	want := "a,b\n1,\"x,\"\"y\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableIExperiment(t *testing.T) {
+	tab, err := TableI(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("Table I rows: %d", len(tab.Rows))
+	}
+	// Coverage column must match the paper presets.
+	wantCov := []string{"96X", "75X", "47X"}
+	for i, row := range tab.Rows {
+		if row[4] != wantCov[i] {
+			t.Errorf("row %d coverage %s, want %s", i, row[4], wantCov[i])
+		}
+	}
+}
+
+func TestFig2Experiment(t *testing.T) {
+	tab, err := Fig2(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if len(tab.Rows[0]) != len(tab.Header) {
+		t.Error("ragged table")
+	}
+}
+
+func TestFig4ShowsBalanceEffect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two engine runs")
+	}
+	tab, err := Fig4(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "imbalanced" || tab.Rows[1][0] != "balanced" {
+		t.Errorf("mode order: %v %v", tab.Rows[0][0], tab.Rows[1][0])
+	}
+}
+
+func TestFig5AllModesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine engine runs")
+	}
+	tab, err := Fig5(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+}
+
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	sc := tinyScale()
+	for _, e := range All() {
+		tab, err := e.Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", e.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s: ragged row %v", e.ID, row)
+			}
+		}
+		if tab.CSV() == "" || tab.Render() == "" {
+			t.Errorf("%s: empty rendering", e.ID)
+		}
+	}
+}
+
+func TestScalingExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweeps")
+	}
+	for _, f := range []func(Scale) (*Table, error){Fig3, Fig6} {
+		tab, err := f(tinyScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty", tab.ID)
+		}
+	}
+}

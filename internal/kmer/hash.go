@@ -1,0 +1,40 @@
+package kmer
+
+// Owner-rank hashing. The paper assigns every k-mer, tile and (for load
+// balancing) sequence an owning rank via hashFunction(x) % np. The C++
+// implementation used std::hash; we need a hash that (a) spreads the dense
+// low bits of small IDs so the modulo is uniform, and (b) is identical on
+// every rank and platform. A 64-bit finalizer (SplitMix64/Murmur3 style)
+// satisfies both.
+
+// HashID mixes an ID into a well-distributed 64-bit value.
+func HashID(id ID) uint64 {
+	x := uint64(id)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owner returns the rank that owns id among np ranks.
+func Owner(id ID, np int) int {
+	return int(HashID(id) % uint64(np))
+}
+
+// HashBytes hashes arbitrary bytes (used for sequence ownership in the load
+// balancing step, where the key is the read itself). FNV-1a, inlined so the
+// hot path allocates nothing.
+func HashBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

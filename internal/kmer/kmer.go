@@ -1,0 +1,224 @@
+// Package kmer defines integer identifiers for k-mers and tiles and the
+// routines that extract them from reads.
+//
+// A k-mer of length k <= 32 is packed into a uint64 ID, two bits per base,
+// first base in the highest-order position. Tiles — the concatenation of two
+// k-mers with a fixed overlap, Reptile's unit of correction — use the same
+// encoding with length 2k-overlap, so a single ID type serves both spectra.
+// The paper stores k-mer IDs as integers and tile IDs as long integers for
+// exactly this reason (Section III, Step II).
+package kmer
+
+import (
+	"fmt"
+
+	"reptile/internal/dna"
+)
+
+// MaxLen is the longest sequence an ID can hold (32 bases * 2 bits).
+const MaxLen = 32
+
+// ID is a packed 2-bit-per-base identifier for a k-mer or a tile.
+type ID uint64
+
+// Spec fixes the geometry of k-mers and tiles for a run. K is the k-mer
+// length; Overlap is how many bases the two k-mers of a tile share.
+type Spec struct {
+	K       int // k-mer length, 1..32
+	Overlap int // bases shared by a tile's two k-mers, 0..K-1
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.K < 1 || s.K > MaxLen {
+		return fmt.Errorf("kmer: K=%d out of range [1,%d]", s.K, MaxLen)
+	}
+	if s.Overlap < 0 || s.Overlap >= s.K {
+		return fmt.Errorf("kmer: Overlap=%d out of range [0,%d)", s.Overlap, s.K)
+	}
+	if s.TileLen() > MaxLen {
+		return fmt.Errorf("kmer: tile length %d exceeds %d", s.TileLen(), MaxLen)
+	}
+	return nil
+}
+
+// TileLen is the number of bases a tile covers: 2K - Overlap.
+func (s Spec) TileLen() int { return 2*s.K - s.Overlap }
+
+// Step is the distance between consecutive tile start positions. It equals
+// K - Overlap, so the second k-mer of tile i is the first k-mer of tile i+1.
+func (s Spec) Step() int { return s.K - s.Overlap }
+
+// Mask returns the bit mask covering an n-base ID.
+func Mask(n int) uint64 {
+	if n >= MaxLen {
+		return ^uint64(0)
+	}
+	return (1 << uint(2*n)) - 1
+}
+
+// Encode packs seq (length <= 32) into an ID. It panics on oversize input;
+// callers always work with fixed k/tile lengths.
+func Encode(seq []dna.Base) ID {
+	if len(seq) > MaxLen {
+		panic(fmt.Sprintf("kmer: Encode of %d bases exceeds %d", len(seq), MaxLen))
+	}
+	var id ID
+	for _, b := range seq {
+		id = id<<2 | ID(b)
+	}
+	return id
+}
+
+// Decode unpacks an n-base ID into a fresh base slice.
+func Decode(id ID, n int) []dna.Base {
+	out := make([]dna.Base, n)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = dna.Base(id & 3)
+		id >>= 2
+	}
+	return out
+}
+
+// String is a debugging helper; IDs do not know their own length, so this
+// renders the low 32 bases without leading-A trimming.
+func (id ID) String() string { return fmt.Sprintf("kmer.ID(%#x)", uint64(id)) }
+
+// BaseAt returns the base at position i of an n-base ID (position 0 is the
+// first/leftmost base).
+func (id ID) BaseAt(i, n int) dna.Base {
+	return dna.Base(id >> uint(2*(n-1-i)) & 3)
+}
+
+// WithBase returns a copy of the n-base ID with position i substituted by b.
+func (id ID) WithBase(i, n int, b dna.Base) ID {
+	shift := uint(2 * (n - 1 - i))
+	return id&^(3<<shift) | ID(b)<<shift
+}
+
+// Append shifts the n-base ID left by one base, appends b, and re-masks to
+// n bases. This is the rolling-extraction step.
+func (id ID) Append(b dna.Base, n int) ID {
+	return (id<<2 | ID(b)) & ID(Mask(n))
+}
+
+// Prefix returns the first n bases of an m-base ID as an n-base ID.
+func (id ID) Prefix(n, m int) ID { return id >> uint(2*(m-n)) }
+
+// Suffix returns the last n bases of an ID as an n-base ID.
+func (id ID) Suffix(n int) ID { return id & ID(Mask(n)) }
+
+// ReverseComplement returns the reverse complement of an n-base ID.
+func (id ID) ReverseComplement(n int) ID {
+	var rc ID
+	for i := 0; i < n; i++ {
+		rc = rc<<2 | (id & 3) ^ 3
+		id >>= 2
+	}
+	return rc
+}
+
+// Canonical returns the smaller of the ID and its reverse complement, which
+// merges the two strands of the same genomic locus into one spectrum key.
+func (id ID) Canonical(n int) ID {
+	rc := id.ReverseComplement(n)
+	if rc < id {
+		return rc
+	}
+	return id
+}
+
+// Hamming returns the Hamming distance between two n-base IDs.
+func Hamming(a, b ID, n int) int {
+	x := uint64(a ^ b)
+	d := 0
+	for i := 0; i < n; i++ {
+		if x&3 != 0 {
+			d++
+		}
+		x >>= 2
+	}
+	return d
+}
+
+// TileOf combines two k-mer IDs that overlap by spec.Overlap bases into the
+// tile ID covering both. The caller guarantees the k-mers really do overlap
+// (i.e. first's suffix equals second's prefix); TileOf does not re-check.
+func (s Spec) TileOf(first, second ID) ID {
+	extra := s.K - s.Overlap // bases second adds beyond first
+	return first<<uint(2*extra) | second.Suffix(extra)
+}
+
+// Kmers splits an n-base tile ID back into its two k-mer IDs.
+func (s Spec) Kmers(tile ID) (first, second ID) {
+	n := s.TileLen()
+	first = tile.Prefix(s.K, n)
+	second = tile.Suffix(s.K)
+	return first, second
+}
+
+// EachKmer calls fn with the start position and ID of every k-mer in read,
+// in order. Reads shorter than K produce no calls.
+func (s Spec) EachKmer(read []dna.Base, fn func(pos int, id ID)) {
+	if len(read) < s.K {
+		return
+	}
+	id := Encode(read[:s.K])
+	fn(0, id)
+	for i := s.K; i < len(read); i++ {
+		id = id.Append(read[i], s.K)
+		fn(i-s.K+1, id)
+	}
+}
+
+// EachTile calls fn with the start position and ID of every tile in read.
+// Tiles start at 0, Step, 2*Step, ... as long as a full tile fits; this is
+// the walk the corrector follows, so consecutive tiles share one k-mer.
+func (s Spec) EachTile(read []dna.Base, fn func(pos int, id ID)) {
+	s.EachTileStep(read, s.Step(), fn)
+}
+
+// EachTileStep is EachTile with an explicit stride. Spectrum construction
+// uses stride 1 so every tile window occurring in any read is counted —
+// otherwise a correction walk whose phase differs from the extraction phase
+// would find no support for perfectly genomic tiles.
+func (s Spec) EachTileStep(read []dna.Base, step int, fn func(pos int, id ID)) {
+	if step < 1 {
+		panic(fmt.Sprintf("kmer: non-positive tile step %d", step))
+	}
+	tl := s.TileLen()
+	if tl > len(read) {
+		return
+	}
+	id := Encode(read[:tl])
+	fn(0, id)
+	if step == 1 {
+		for p := 1; p+tl <= len(read); p++ {
+			id = id.Append(read[p+tl-1], tl)
+			fn(p, id)
+		}
+		return
+	}
+	for p := step; p+tl <= len(read); p += step {
+		fn(p, Encode(read[p:p+tl]))
+	}
+}
+
+// TileStarts returns the tile start positions EachTile would visit for a
+// read of length n.
+func (s Spec) TileStarts(n int) []int {
+	var out []int
+	tl := s.TileLen()
+	for p := 0; p+tl <= n; p += s.Step() {
+		out = append(out, p)
+	}
+	return out
+}
+
+// KmersPerRead returns how many k-mers a read of length n yields.
+func (s Spec) KmersPerRead(n int) int {
+	if n < s.K {
+		return 0
+	}
+	return n - s.K + 1
+}

@@ -1,0 +1,438 @@
+package kmer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"reptile/internal/dna"
+)
+
+func spec(t *testing.T, k, overlap int) Spec {
+	t.Helper()
+	s := Spec{K: k, Overlap: overlap}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	return s
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		s  Spec
+		ok bool
+	}{
+		{Spec{K: 12, Overlap: 4}, true},
+		{Spec{K: 1, Overlap: 0}, true},
+		{Spec{K: 16, Overlap: 0}, true},
+		{Spec{K: 0, Overlap: 0}, false},
+		{Spec{K: 33, Overlap: 0}, false},
+		{Spec{K: 12, Overlap: 12}, false},
+		{Spec{K: 12, Overlap: -1}, false},
+		{Spec{K: 20, Overlap: 2}, false}, // tile length 38 > 32
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.s, err, c.ok)
+		}
+	}
+}
+
+func TestSpecGeometry(t *testing.T) {
+	s := spec(t, 12, 4)
+	if got := s.TileLen(); got != 20 {
+		t.Errorf("TileLen = %d, want 20", got)
+	}
+	if got := s.Step(); got != 8 {
+		t.Errorf("Step = %d, want 8", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 12, 20, 31, 32} {
+		for trial := 0; trial < 50; trial++ {
+			seq := make([]dna.Base, n)
+			for i := range seq {
+				seq[i] = dna.Base(rng.Intn(dna.NumBases))
+			}
+			id := Encode(seq)
+			back := Decode(id, n)
+			for i := range seq {
+				if back[i] != seq[i] {
+					t.Fatalf("n=%d: round trip failed at %d", n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodePanicsOversize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode accepted 33 bases")
+		}
+	}()
+	Encode(make([]dna.Base, 33))
+}
+
+func TestBaseAtWithBase(t *testing.T) {
+	seq := dna.MustEncode("ACGTACGTACGT")
+	id := Encode(seq)
+	n := len(seq)
+	for i, b := range seq {
+		if got := id.BaseAt(i, n); got != b {
+			t.Fatalf("BaseAt(%d) = %v, want %v", i, got, b)
+		}
+	}
+	id2 := id.WithBase(3, n, dna.A)
+	want := dna.MustEncode("ACGAACGTACGT")
+	if got := Decode(id2, n); dna.DecodeString(got) != dna.DecodeString(want) {
+		t.Errorf("WithBase = %s", dna.DecodeString(got))
+	}
+	// WithBase with the original base is a no-op.
+	if id.WithBase(5, n, seq[5]) != id {
+		t.Error("WithBase with same base changed the ID")
+	}
+}
+
+func TestAppendMatchesReencoding(t *testing.T) {
+	seq := dna.MustEncode("ACGTACGTACGTTTT")
+	k := 6
+	id := Encode(seq[:k])
+	for i := k; i < len(seq); i++ {
+		id = id.Append(seq[i], k)
+		want := Encode(seq[i-k+1 : i+1])
+		if id != want {
+			t.Fatalf("Append at %d: got %v want %v", i, id, want)
+		}
+	}
+}
+
+func TestPrefixSuffix(t *testing.T) {
+	seq := dna.MustEncode("ACGTACGT")
+	id := Encode(seq)
+	if got := id.Prefix(3, 8); got != Encode(seq[:3]) {
+		t.Errorf("Prefix = %v", got)
+	}
+	if got := id.Suffix(3); got != Encode(seq[5:]) {
+		t.Errorf("Suffix = %v", got)
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	seq := dna.MustEncode("AACGT")
+	id := Encode(seq)
+	want := Encode(dna.ReverseComplement(seq))
+	if got := id.ReverseComplement(len(seq)); got != want {
+		t.Errorf("ReverseComplement = %v, want %v", got, want)
+	}
+}
+
+func TestCanonicalSymmetry(t *testing.T) {
+	f := func(raw uint64) bool {
+		const n = 15
+		id := ID(raw) & ID(Mask(n))
+		return id.Canonical(n) == id.ReverseComplement(n).Canonical(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingID(t *testing.T) {
+	a := Encode(dna.MustEncode("ACGTACGT"))
+	b := Encode(dna.MustEncode("ACCTACGA"))
+	if d := Hamming(a, b, 8); d != 2 {
+		t.Errorf("Hamming = %d, want 2", d)
+	}
+	if d := Hamming(a, a, 8); d != 0 {
+		t.Errorf("Hamming(a,a) = %d", d)
+	}
+}
+
+func TestHammingMatchesDNA(t *testing.T) {
+	f := func(x, y uint64) bool {
+		const n = 16
+		a, b := ID(x)&ID(Mask(n)), ID(y)&ID(Mask(n))
+		return Hamming(a, b, n) == dna.Hamming(Decode(a, n), Decode(b, n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTileOfAndKmers(t *testing.T) {
+	s := spec(t, 6, 2)
+	read := dna.MustEncode("ACGTACGTAC") // tile length 10
+	first := Encode(read[:6])
+	second := Encode(read[4:10])
+	tile := s.TileOf(first, second)
+	if tile != Encode(read) {
+		t.Fatalf("TileOf = %v, want %v", tile, Encode(read))
+	}
+	f, sec := s.Kmers(tile)
+	if f != first || sec != second {
+		t.Errorf("Kmers = %v,%v want %v,%v", f, sec, first, second)
+	}
+}
+
+func TestEachKmer(t *testing.T) {
+	s := spec(t, 4, 0)
+	read := dna.MustEncode("ACGTACG")
+	var got []ID
+	var pos []int
+	s.EachKmer(read, func(p int, id ID) {
+		pos = append(pos, p)
+		got = append(got, id)
+	})
+	if len(got) != 4 {
+		t.Fatalf("EachKmer produced %d k-mers, want 4", len(got))
+	}
+	for i, p := range pos {
+		if p != i {
+			t.Errorf("pos[%d] = %d", i, p)
+		}
+		if want := Encode(read[p : p+4]); got[i] != want {
+			t.Errorf("kmer at %d = %v, want %v", p, got[i], want)
+		}
+	}
+}
+
+func TestEachKmerShortRead(t *testing.T) {
+	s := spec(t, 8, 0)
+	calls := 0
+	s.EachKmer(dna.MustEncode("ACGT"), func(int, ID) { calls++ })
+	if calls != 0 {
+		t.Errorf("EachKmer on short read made %d calls", calls)
+	}
+}
+
+func TestEachTile(t *testing.T) {
+	s := spec(t, 4, 2) // tile length 6, step 2
+	read := dna.MustEncode("ACGTACGTAC")
+	var pos []int
+	s.EachTile(read, func(p int, id ID) {
+		pos = append(pos, p)
+		if want := Encode(read[p : p+6]); id != want {
+			t.Errorf("tile at %d mismatch", p)
+		}
+	})
+	want := []int{0, 2, 4}
+	if len(pos) != len(want) {
+		t.Fatalf("tile positions %v, want %v", pos, want)
+	}
+	for i := range want {
+		if pos[i] != want[i] {
+			t.Fatalf("tile positions %v, want %v", pos, want)
+		}
+	}
+	if ts := s.TileStarts(len(read)); len(ts) != 3 || ts[2] != 4 {
+		t.Errorf("TileStarts = %v", ts)
+	}
+}
+
+func TestEachTileStepStrideOne(t *testing.T) {
+	s := spec(t, 4, 2) // tile length 6
+	read := dna.MustEncode("ACGTACGTACGT")
+	var pos []int
+	s.EachTileStep(read, 1, func(p int, id ID) {
+		pos = append(pos, p)
+		if want := Encode(read[p : p+6]); id != want {
+			t.Errorf("tile at %d mismatch (rolling extraction)", p)
+		}
+	})
+	if len(pos) != 7 { // 12-6+1 windows
+		t.Fatalf("stride-1 visited %d windows, want 7", len(pos))
+	}
+	for i, p := range pos {
+		if p != i {
+			t.Fatalf("positions %v not consecutive", pos)
+		}
+	}
+}
+
+func TestEachTileStepMatchesEachTile(t *testing.T) {
+	s := spec(t, 6, 2)
+	rng := rand.New(rand.NewSource(9))
+	read := make([]dna.Base, 53)
+	for i := range read {
+		read[i] = dna.Base(rng.Intn(4))
+	}
+	var a, b []ID
+	s.EachTile(read, func(_ int, id ID) { a = append(a, id) })
+	s.EachTileStep(read, s.Step(), func(_ int, id ID) { b = append(b, id) })
+	if len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestEachTileStepShortReadAndBadStride(t *testing.T) {
+	s := spec(t, 6, 2)
+	calls := 0
+	s.EachTileStep(dna.MustEncode("ACGT"), 1, func(int, ID) { calls++ })
+	if calls != 0 {
+		t.Error("short read produced tiles")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive stride accepted")
+		}
+	}()
+	s.EachTileStep(make([]dna.Base, 20), 0, func(int, ID) {})
+}
+
+func TestConsecutiveTilesShareAKmer(t *testing.T) {
+	s := spec(t, 6, 2)
+	read := make([]dna.Base, 40)
+	rng := rand.New(rand.NewSource(3))
+	for i := range read {
+		read[i] = dna.Base(rng.Intn(4))
+	}
+	var tiles []ID
+	s.EachTile(read, func(_ int, id ID) { tiles = append(tiles, id) })
+	for i := 1; i < len(tiles); i++ {
+		_, prev2 := s.Kmers(tiles[i-1])
+		cur1, _ := s.Kmers(tiles[i])
+		if prev2 != cur1 {
+			t.Fatalf("tile %d second k-mer != tile %d first k-mer", i-1, i)
+		}
+	}
+}
+
+func TestKmersPerRead(t *testing.T) {
+	s := spec(t, 12, 4)
+	if got := s.KmersPerRead(102); got != 91 {
+		t.Errorf("KmersPerRead(102) = %d, want 91", got)
+	}
+	if got := s.KmersPerRead(5); got != 0 {
+		t.Errorf("KmersPerRead(5) = %d, want 0", got)
+	}
+}
+
+// Algebraic laws of the ID operations, checked with testing/quick.
+
+func TestQuickTileOfKmersInverse(t *testing.T) {
+	s := Spec{K: 8, Overlap: 3} // tile length 13
+	f := func(raw uint64) bool {
+		tile := ID(raw) & ID(Mask(s.TileLen()))
+		k1, k2 := s.Kmers(tile)
+		return s.TileOf(k1, k2) == tile
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPrefixSuffixCover(t *testing.T) {
+	const n = 20
+	f := func(raw uint64) bool {
+		id := ID(raw) & ID(Mask(n))
+		for split := 1; split < n; split++ {
+			pre := id.Prefix(split, n)
+			suf := id.Suffix(n - split)
+			if pre<<uint(2*(n-split))|suf != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWithBaseSelfInverse(t *testing.T) {
+	const n = 16
+	f := func(raw uint64, posRaw, baseRaw uint8) bool {
+		id := ID(raw) & ID(Mask(n))
+		pos := int(posRaw) % n
+		b := dna.Base(baseRaw % 4)
+		orig := id.BaseAt(pos, n)
+		mutated := id.WithBase(pos, n, b)
+		if mutated.BaseAt(pos, n) != b {
+			return false
+		}
+		return mutated.WithBase(pos, n, orig) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAppendShiftsWindow(t *testing.T) {
+	const n = 12
+	f := func(raw uint64, baseRaw uint8) bool {
+		id := ID(raw) & ID(Mask(n))
+		b := dna.Base(baseRaw % 4)
+		next := id.Append(b, n)
+		// The new last base is b and positions shift left by one.
+		if next.BaseAt(n-1, n) != b {
+			return false
+		}
+		for i := 0; i < n-1; i++ {
+			if next.BaseAt(i, n) != id.BaseAt(i+1, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOwnerInRange(t *testing.T) {
+	f := func(raw uint64, npRaw uint8) bool {
+		np := int(npRaw%128) + 1
+		o := Owner(ID(raw), np)
+		return o >= 0 && o < np
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOwnerUniformity(t *testing.T) {
+	// Dense consecutive IDs (the worst case for id % np) must spread evenly.
+	const np = 128
+	counts := make([]int, np)
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		counts[Owner(ID(i), np)]++
+	}
+	mean := float64(n) / np
+	for r, c := range counts {
+		if f := float64(c); f < 0.8*mean || f > 1.2*mean {
+			t.Fatalf("rank %d owns %d of %d ids (mean %.0f): hash is not uniform", r, c, n, mean)
+		}
+	}
+}
+
+func TestHashBytesDiffers(t *testing.T) {
+	a := HashBytes([]byte("ACGTACGT"))
+	b := HashBytes([]byte("ACGTACGA"))
+	if a == b {
+		t.Error("HashBytes collided on a single-base change")
+	}
+	if HashBytes(nil) != HashBytes([]byte{}) {
+		t.Error("HashBytes(nil) != HashBytes(empty)")
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(0) != 0 {
+		t.Errorf("Mask(0) = %#x", Mask(0))
+	}
+	if Mask(1) != 3 {
+		t.Errorf("Mask(1) = %#x", Mask(1))
+	}
+	if Mask(32) != ^uint64(0) {
+		t.Errorf("Mask(32) = %#x", Mask(32))
+	}
+}

@@ -1,0 +1,199 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"reptile/internal/stats"
+)
+
+func TestShapeGeometry(t *testing.T) {
+	s := Shape{Ranks: 128, RanksPerNode: 32, ThreadsPerRank: 2}
+	if s.Nodes() != 4 {
+		t.Errorf("Nodes = %d", s.Nodes())
+	}
+	if s.NodeOf(0) != 0 || s.NodeOf(31) != 0 || s.NodeOf(32) != 1 || s.NodeOf(127) != 3 {
+		t.Error("NodeOf mapping wrong")
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []Shape{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		if bad.Validate() == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestComputeSlowdownMonotone(t *testing.T) {
+	m := BGQ()
+	s8 := Shape{Ranks: 128, RanksPerNode: 8, ThreadsPerRank: 2}
+	s16 := Shape{Ranks: 128, RanksPerNode: 16, ThreadsPerRank: 2}
+	s32 := Shape{Ranks: 128, RanksPerNode: 32, ThreadsPerRank: 2}
+	f8, f16, f32 := m.computeSlowdown(s8), m.computeSlowdown(s16), m.computeSlowdown(s32)
+	if f8 != 1 {
+		t.Errorf("16 threads on 16 cores slowed: %f", f8)
+	}
+	if !(f16 > f8) || !(f32 > f16) {
+		t.Errorf("slowdown not monotone: %f %f %f", f8, f16, f32)
+	}
+	if f32 > 2.5 {
+		t.Errorf("4-way SMT slowdown %f implausibly high", f32)
+	}
+}
+
+func TestRTTLocality(t *testing.T) {
+	m := BGQ()
+	s := Shape{Ranks: 64, RanksPerNode: 32, ThreadsPerRank: 2}
+	intra := m.RTT(s, 0, 1, 13, 9)  // same node
+	inter := m.RTT(s, 0, 33, 13, 9) // different node
+	if intra >= inter {
+		t.Errorf("intra-node RTT %g >= inter-node %g", intra, inter)
+	}
+}
+
+func TestRTTBandwidthSharing(t *testing.T) {
+	m := BGQ()
+	few := Shape{Ranks: 64, RanksPerNode: 8, ThreadsPerRank: 2}
+	many := Shape{Ranks: 64, RanksPerNode: 32, ThreadsPerRank: 2}
+	big := 1 << 20
+	if m.RTT(few, 0, 63, big, big) >= m.RTT(many, 0, 63, big, big) {
+		t.Error("NIC sharing did not raise per-rank transfer time")
+	}
+}
+
+func TestCollectiveTimeGrowsWithBytesAndRanks(t *testing.T) {
+	m := BGQ()
+	s := Shape{Ranks: 128, RanksPerNode: 32, ThreadsPerRank: 2}
+	if m.CollectiveTime(s, 1<<20) >= m.CollectiveTime(s, 1<<24) {
+		t.Error("collective time not monotone in bytes")
+	}
+	sBig := Shape{Ranks: 1024, RanksPerNode: 32, ThreadsPerRank: 2}
+	if m.CollectiveTime(s, 0) >= m.CollectiveTime(sBig, 0) {
+		t.Error("collective latency not monotone in ranks")
+	}
+}
+
+// mkRun builds a uniform synthetic run for projection tests.
+func mkRun(np int, remotePerRank int64) *stats.Run {
+	run := &stats.Run{Ranks: make([]stats.Rank, np)}
+	for i := range run.Ranks {
+		r := &run.Ranks[i]
+		r.Rank = i
+		r.ReadBases = 1e6
+		r.KmersExtracted = 1e6
+		r.TilesExtracted = 1e6
+		r.ExchangeBytes = 1 << 20
+		r.KmerLookupsLocal = 5e5
+		r.TileLookupsLocal = 5e5
+		r.KmerLookupsRemote = remotePerRank / 2
+		r.TileLookupsRemote = remotePerRank / 2
+		r.RequestsServed = remotePerRank
+		r.MsgsTo = make([]int64, np)
+		r.BytesTo = make([]int64, np)
+		per := remotePerRank / int64(np)
+		for d := range r.MsgsTo {
+			if d != i {
+				r.MsgsTo[d] = per
+				r.BytesTo[d] = per * 13
+			}
+		}
+	}
+	return run
+}
+
+func TestProjectBasics(t *testing.T) {
+	m := BGQ()
+	s := Shape{Ranks: 16, RanksPerNode: 8, ThreadsPerRank: 2}
+	p, err := m.Project(mkRun(16, 1e6), s, ProjectOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.PerRank) != 16 {
+		t.Fatalf("PerRank len %d", len(p.PerRank))
+	}
+	if p.ConstructTime <= 0 || p.CorrectTime <= 0 {
+		t.Errorf("non-positive phase times: %+v", p)
+	}
+	if p.CommTimeMax < p.CommTimeMin {
+		t.Error("comm max < min")
+	}
+	if p.TotalTime() != p.ConstructTime+p.CorrectTime {
+		t.Error("TotalTime mismatch")
+	}
+	if p.PerRank[0].Total() != p.PerRank[0].Construct+p.PerRank[0].Correct {
+		t.Error("RankTime.Total mismatch")
+	}
+}
+
+func TestProjectShapeMismatch(t *testing.T) {
+	m := BGQ()
+	if _, err := m.Project(mkRun(8, 100), Shape{Ranks: 16, RanksPerNode: 8, ThreadsPerRank: 2}, ProjectOpts{}); err == nil {
+		t.Error("accepted rank-count mismatch")
+	}
+	if _, err := m.Project(mkRun(8, 100), Shape{Ranks: 0, RanksPerNode: 8, ThreadsPerRank: 2}, ProjectOpts{}); err == nil {
+		t.Error("accepted invalid shape")
+	}
+}
+
+func TestProjectRanksPerNodeSweepMatchesFig2(t *testing.T) {
+	// Fig 2: for fixed 128 ranks on E.Coli, 32 ranks/node is slower than
+	// 8 ranks/node, driven by communication.
+	m := BGQ()
+	run := mkRun(128, 2e6)
+	var prev float64
+	for i, rpn := range []int{8, 16, 32} {
+		s := Shape{Ranks: 128, RanksPerNode: rpn, ThreadsPerRank: 2}
+		p, err := m.Project(run, s, ProjectOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && p.TotalTime() <= prev {
+			t.Errorf("rpn=%d total %g not slower than previous %g", rpn, p.TotalTime(), prev)
+		}
+		prev = p.TotalTime()
+	}
+}
+
+func TestProjectUniversalFasterOnServeSide(t *testing.T) {
+	// The universal heuristic removes probe overhead from the responder at
+	// the cost of larger requests; for a serve-bound run it must win.
+	m := BGQ()
+	run := mkRun(16, 4e6)
+	s := Shape{Ranks: 16, RanksPerNode: 16, ThreadsPerRank: 2}
+	base, _ := m.Project(run, s, ProjectOpts{Universal: false})
+	uni, _ := m.Project(run, s, ProjectOpts{Universal: true})
+	if uni.PerRank[0].Serve >= base.PerRank[0].Serve {
+		t.Errorf("universal serve %g >= probe-based %g", uni.PerRank[0].Serve, base.PerRank[0].Serve)
+	}
+}
+
+func TestProjectNoRemoteTrafficNoCommWait(t *testing.T) {
+	m := BGQ()
+	run := mkRun(8, 0)
+	s := Shape{Ranks: 8, RanksPerNode: 8, ThreadsPerRank: 2}
+	p, err := m.Project(run, s, ProjectOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CommTimeMax != 0 {
+		t.Errorf("comm wait %g with zero remote lookups", p.CommTimeMax)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if e := Efficiency(1024, 100, 8192, 15.4); math.Abs(e-0.81) > 0.02 {
+		t.Errorf("Efficiency = %f, want ~0.81", e)
+	}
+	if Efficiency(1, 1, 0, 1) != 0 || Efficiency(1, 1, 1, 0) != 0 {
+		t.Error("degenerate efficiency not zero")
+	}
+}
+
+func TestMemPerRankBudget(t *testing.T) {
+	m := BGQ()
+	s := Shape{Ranks: 128, RanksPerNode: 32, ThreadsPerRank: 2}
+	if got := m.MemPerRankBudget(s); got != 512<<20 {
+		t.Errorf("budget = %d, want 512 MB", got)
+	}
+}

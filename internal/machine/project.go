@@ -1,0 +1,151 @@
+package machine
+
+import (
+	"fmt"
+
+	"reptile/internal/stats"
+)
+
+// ProjectOpts carries the run-mode details that change message costs.
+type ProjectOpts struct {
+	// Universal: requests are self-describing (no MPI_Probe on the
+	// receiver, slightly larger request payload).
+	Universal bool
+	// ReqBytes/RespBytes are the request/response payload sizes; zero means
+	// the engine's defaults (13-byte request: kind + ID + reply info;
+	// 9-byte response: kind + count).
+	ReqBytes, RespBytes int
+}
+
+func (o ProjectOpts) reqBytes(m Model) int {
+	b := o.ReqBytes
+	if b == 0 {
+		b = 13
+	}
+	if o.Universal {
+		b += m.UniversalExtraBytes
+	}
+	return b
+}
+
+func (o ProjectOpts) respBytes() int {
+	if o.RespBytes == 0 {
+		return 9
+	}
+	return o.RespBytes
+}
+
+// RankTime is one rank's projected timing decomposition.
+type RankTime struct {
+	Rank      int
+	Construct float64 // Steps I-III: parse + inserts + collective exchange
+	Compute   float64 // correction-phase worker compute
+	CommWait  float64 // correction-phase round-trip waits
+	Serve     float64 // responder-thread service load
+	Correct   float64 // max(Compute+CommWait, Serve): two threads per rank
+}
+
+// Total returns construction + correction.
+func (rt RankTime) Total() float64 { return rt.Construct + rt.Correct }
+
+// Projection is the modeled timing of a whole run.
+type Projection struct {
+	Shape   Shape
+	PerRank []RankTime
+
+	// Phase maxima across ranks (the times the paper's figures plot).
+	ConstructTime float64
+	CorrectTime   float64
+	CommTimeMax   float64
+	CommTimeMin   float64
+}
+
+// TotalTime returns construction + correction (slowest-rank each).
+func (p Projection) TotalTime() float64 { return p.ConstructTime + p.CorrectTime }
+
+// Project converts a run's measured counters into modeled times on shape s.
+func (m Model) Project(run *stats.Run, s Shape, opts ProjectOpts) (Projection, error) {
+	if err := s.Validate(); err != nil {
+		return Projection{}, err
+	}
+	if len(run.Ranks) != s.Ranks {
+		return Projection{}, fmt.Errorf("machine: run has %d ranks, shape %d", len(run.Ranks), s.Ranks)
+	}
+	slow := m.computeSlowdown(s)
+	req, resp := opts.reqBytes(m), opts.respBytes()
+
+	p := Projection{Shape: s, PerRank: make([]RankTime, s.Ranks)}
+	for i := range run.Ranks {
+		r := &run.Ranks[i]
+		rt := RankTime{Rank: r.Rank}
+
+		// Steps I-III: parse input, build hash tables, exchange spectra.
+		inserts := float64(r.KmersExtracted + r.TilesExtracted)
+		rt.Construct = slow*(float64(r.ReadBases)*m.ReadBaseCost+inserts*m.KmerInsertCost) +
+			m.CollectiveTime(s, r.ExchangeBytes)
+
+		// Step IV worker thread: local lookups plus remote round trips.
+		// Each round trip also pays the responder's service time — the
+		// lookup plus, in probe mode, the MPI_Probe the universal heuristic
+		// eliminates; that is where its ~9% win (paper Fig 5) comes from.
+		localOps := float64(r.TotalLocalLookups())*m.LookupCost + float64(r.TotalRemoteLookups())*m.CandidateCost
+		rt.Compute = slow * localOps
+		service := m.LookupCost
+		if !opts.Universal {
+			service += m.ProbeOverhead
+		}
+		service *= slow
+		for dest, msgs := range r.MsgsTo {
+			if msgs == 0 {
+				continue
+			}
+			rt.CommWait += float64(msgs) * (m.RTT(s, r.Rank, dest, req, resp) + service)
+		}
+
+		// Step IV responder thread.
+		perReq := m.LookupCost
+		if !opts.Universal {
+			perReq += m.ProbeOverhead
+		}
+		rt.Serve = slow * float64(r.RequestsServed) * perReq
+
+		worker := rt.Compute + rt.CommWait
+		if rt.Serve > worker {
+			rt.Correct = rt.Serve
+		} else {
+			rt.Correct = worker
+		}
+		p.PerRank[i] = rt
+	}
+
+	for i, rt := range p.PerRank {
+		if rt.Construct > p.ConstructTime {
+			p.ConstructTime = rt.Construct
+		}
+		if rt.Correct > p.CorrectTime {
+			p.CorrectTime = rt.Correct
+		}
+		if rt.CommWait > p.CommTimeMax {
+			p.CommTimeMax = rt.CommWait
+		}
+		if i == 0 || rt.CommWait < p.CommTimeMin {
+			p.CommTimeMin = rt.CommWait
+		}
+	}
+	return p, nil
+}
+
+// Efficiency returns the parallel efficiency of scaling from (baseRanks,
+// baseTime) to (ranks, time): E = (baseTime*baseRanks)/(time*ranks).
+func Efficiency(baseRanks int, baseTime float64, ranks int, time float64) float64 {
+	if time <= 0 || ranks <= 0 {
+		return 0
+	}
+	return baseTime * float64(baseRanks) / (time * float64(ranks))
+}
+
+// MemPerRankBudget returns the per-rank memory implied by the node memory
+// and ranks-per-node (the paper's 512 MB figure at 32 rpn on 16 GB nodes).
+func (m Model) MemPerRankBudget(s Shape) int64 {
+	return m.MemPerNodeBytes / int64(s.RanksPerNode)
+}

@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Monotonicity properties of the cost model: if any of these break, the
+// scaling figures can invert for spurious reasons.
+
+func TestRTTMonotoneInBytes(t *testing.T) {
+	m := BGQ()
+	s := Shape{Ranks: 64, RanksPerNode: 16, ThreadsPerRank: 2}
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := int(aRaw), int(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		return m.RTT(s, 0, 63, a, 8) <= m.RTT(s, 0, 63, b, 8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRTTMonotoneInRanksPerNode(t *testing.T) {
+	m := BGQ()
+	f := func(rpnRaw uint8) bool {
+		rpn := int(rpnRaw%31) + 1
+		s1 := Shape{Ranks: 128, RanksPerNode: rpn, ThreadsPerRank: 2}
+		s2 := Shape{Ranks: 128, RanksPerNode: rpn + 1, ThreadsPerRank: 2}
+		// Same inter-node pair: more ranks per node can only slow it down.
+		return m.RTT(s1, 0, 127, 13, 9) <= m.RTT(s2, 0, 127, 13, 9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeSlowdownBounds(t *testing.T) {
+	m := BGQ()
+	f := func(rpnRaw, tprRaw uint8) bool {
+		rpn := int(rpnRaw%64) + 1
+		tpr := int(tprRaw%4) + 1
+		s := Shape{Ranks: 128, RanksPerNode: rpn, ThreadsPerRank: tpr}
+		slow := m.computeSlowdown(s)
+		if slow < 1 {
+			return false
+		}
+		// Slowdown never exceeds the raw oversubscription ratio.
+		ratio := float64(rpn*tpr) / float64(m.CoresPerNode)
+		return ratio <= 1 || slow <= ratio
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectiveTimeMonotone(t *testing.T) {
+	m := BGQ()
+	f := func(bytesRaw uint32, ranksRaw uint16) bool {
+		ranks := int(ranksRaw%1000) + 2
+		s := Shape{Ranks: ranks, RanksPerNode: 32, ThreadsPerRank: 2}
+		a := m.CollectiveTime(s, int64(bytesRaw))
+		b := m.CollectiveTime(s, int64(bytesRaw)+4096)
+		return a <= b && a >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEfficiencyScaleInvariance(t *testing.T) {
+	// Perfect scaling gives efficiency 1 regardless of units.
+	f := func(timeRaw uint16, baseRaw uint8) bool {
+		base := int(baseRaw%100) + 1
+		time := float64(timeRaw%10000) + 1
+		e := Efficiency(base, time, base*2, time/2)
+		return e > 0.999 && e < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+package reads
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"reptile/internal/dna"
+)
+
+// Correction is one substitution the corrector applied, in the style of the
+// original Reptile's output: which read, which position, what changed.
+type Correction struct {
+	Seq      int64
+	Pos      int
+	From, To dna.Base
+}
+
+// Diff compares original and corrected read sets (matched by sequence
+// number) and returns every substitution, sorted by (Seq, Pos). Reads
+// missing from either side are ignored; length mismatches are an error.
+func Diff(orig, corrected []Read) ([]Correction, error) {
+	bySeq := make(map[int64]*Read, len(orig))
+	for i := range orig {
+		bySeq[orig[i].Seq] = &orig[i]
+	}
+	var out []Correction
+	for i := range corrected {
+		c := &corrected[i]
+		o, ok := bySeq[c.Seq]
+		if !ok {
+			continue
+		}
+		if len(o.Base) != len(c.Base) {
+			return nil, fmt.Errorf("reads: read %d length %d vs %d", c.Seq, len(o.Base), len(c.Base))
+		}
+		for j := range c.Base {
+			if c.Base[j] != o.Base[j] {
+				out = append(out, Correction{Seq: c.Seq, Pos: j, From: o.Base[j], To: c.Base[j]})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seq != out[j].Seq {
+			return out[i].Seq < out[j].Seq
+		}
+		return out[i].Pos < out[j].Pos
+	})
+	return out, nil
+}
+
+// WriteCorrections emits corrections as tab-separated "seq pos from to"
+// lines, one per substitution.
+func WriteCorrections(w io.Writer, cs []Correction) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range cs {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%s\t%s\n", c.Seq, c.Pos, c.From, c.To); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

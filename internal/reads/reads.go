@@ -1,0 +1,141 @@
+// Package reads defines the short-read record every stage operates on and
+// its wire encoding.
+//
+// Following the paper's input convention, reads are named by ascending
+// sequence numbers starting at 1, and each base carries a Phred quality
+// score. The wire encoding exists because the static load-balancing step
+// redistributes whole reads between ranks with an all-to-all exchange.
+package reads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"reptile/internal/dna"
+	"reptile/internal/kmer"
+)
+
+// MaxLen is the longest supported read. Illumina short reads are ~100-300
+// bases; the cap keeps the wire format's length field at 16 bits.
+const MaxLen = 1 << 16
+
+// Read is one short read: its sequence number (1-based, file order), base
+// codes, and per-base Phred quality scores (0-60, not ASCII-offset).
+type Read struct {
+	Seq  int64
+	Base []dna.Base
+	Qual []byte
+}
+
+// Len returns the read length in bases.
+func (r *Read) Len() int { return len(r.Base) }
+
+// Validate checks internal consistency.
+func (r *Read) Validate() error {
+	if r.Seq < 1 {
+		return fmt.Errorf("reads: sequence number %d < 1", r.Seq)
+	}
+	if len(r.Base) != len(r.Qual) {
+		return fmt.Errorf("reads: read %d has %d bases but %d quality scores", r.Seq, len(r.Base), len(r.Qual))
+	}
+	if len(r.Base) >= MaxLen {
+		return fmt.Errorf("reads: read %d length %d exceeds %d", r.Seq, len(r.Base), MaxLen-1)
+	}
+	return nil
+}
+
+// Clone returns a deep copy, used before in-place correction so the original
+// stays available for accuracy evaluation.
+func (r *Read) Clone() Read {
+	c := Read{Seq: r.Seq, Base: make([]dna.Base, len(r.Base)), Qual: make([]byte, len(r.Qual))}
+	copy(c.Base, r.Base)
+	copy(c.Qual, r.Qual)
+	return c
+}
+
+// OwnerRank returns the rank that owns this read under the static
+// load-balancing scheme: hash of the read content modulo np (paper
+// Section III-A). The hash covers the bases only, so two ranks holding the
+// same read agree regardless of quality representation.
+func (r *Read) OwnerRank(np int) int {
+	return int(kmer.HashBytes(dna.Decode(r.Base)) % uint64(np))
+}
+
+// wire layout: seq int64 | n uint16 | n base bytes | n qual bytes.
+// Bases travel as raw codes (one byte each); the exchange buffers are
+// transient so 2-bit packing would only complicate the hot path.
+
+// AppendWire serializes r, appending to dst.
+func AppendWire(dst []byte, r *Read) []byte {
+	var hdr [10]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(r.Seq))
+	binary.LittleEndian.PutUint16(hdr[8:10], uint16(len(r.Base)))
+	dst = append(dst, hdr[:]...)
+	for _, b := range r.Base {
+		dst = append(dst, byte(b))
+	}
+	dst = append(dst, r.Qual...)
+	return dst
+}
+
+// DecodeWire parses one read from b, returning the read and the remaining
+// bytes.
+func DecodeWire(b []byte) (Read, []byte, error) {
+	if len(b) < 10 {
+		return Read{}, nil, fmt.Errorf("reads: truncated header (%d bytes)", len(b))
+	}
+	seq := int64(binary.LittleEndian.Uint64(b[0:8]))
+	n := int(binary.LittleEndian.Uint16(b[8:10]))
+	b = b[10:]
+	if len(b) < 2*n {
+		return Read{}, nil, fmt.Errorf("reads: truncated body for read %d (%d < %d)", seq, len(b), 2*n)
+	}
+	r := Read{Seq: seq, Base: make([]dna.Base, n), Qual: make([]byte, n)}
+	for i := 0; i < n; i++ {
+		r.Base[i] = dna.Base(b[i])
+		if !r.Base[i].Valid() {
+			return Read{}, nil, fmt.Errorf("reads: invalid base code %d in read %d", b[i], seq)
+		}
+	}
+	copy(r.Qual, b[n:2*n])
+	return r, b[2*n:], nil
+}
+
+// EncodeBatch serializes a batch of reads into one buffer.
+func EncodeBatch(batch []Read) []byte {
+	if len(batch) == 0 {
+		return nil
+	}
+	size := 0
+	for i := range batch {
+		size += 10 + 2*len(batch[i].Base)
+	}
+	out := make([]byte, 0, size)
+	for i := range batch {
+		out = AppendWire(out, &batch[i])
+	}
+	return out
+}
+
+// DecodeBatch parses a buffer produced by EncodeBatch.
+func DecodeBatch(b []byte) ([]Read, error) {
+	var out []Read
+	for len(b) > 0 {
+		r, rest, err := DecodeWire(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		b = rest
+	}
+	return out, nil
+}
+
+// MemBytes estimates the heap footprint of a batch.
+func MemBytes(batch []Read) int64 {
+	var total int64
+	for i := range batch {
+		total += int64(len(batch[i].Base)) + int64(len(batch[i].Qual)) + 64
+	}
+	return total
+}

@@ -1,0 +1,206 @@
+package reads
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"reptile/internal/dna"
+)
+
+func mkRead(seq int64, s string) Read {
+	b := dna.MustEncode(s)
+	q := make([]byte, len(b))
+	for i := range q {
+		q[i] = byte(30 + i%10)
+	}
+	return Read{Seq: seq, Base: b, Qual: q}
+}
+
+func TestValidate(t *testing.T) {
+	r := mkRead(1, "ACGT")
+	if err := r.Validate(); err != nil {
+		t.Errorf("valid read rejected: %v", err)
+	}
+	bad := r
+	bad.Seq = 0
+	if bad.Validate() == nil {
+		t.Error("accepted sequence number 0")
+	}
+	bad = r
+	bad.Qual = bad.Qual[:2]
+	if bad.Validate() == nil {
+		t.Error("accepted qual/base length mismatch")
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := mkRead(5, "ACGT")
+	c := r.Clone()
+	c.Base[0] = dna.T
+	c.Qual[0] = 99
+	if r.Base[0] != dna.A || r.Qual[0] == 99 {
+		t.Error("Clone shares storage with original")
+	}
+	if c.Seq != r.Seq {
+		t.Error("Clone lost sequence number")
+	}
+}
+
+func TestOwnerRankRange(t *testing.T) {
+	f := func(seed int64, npRaw uint8) bool {
+		np := int(npRaw%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		b := make([]dna.Base, 50)
+		for i := range b {
+			b[i] = dna.Base(rng.Intn(4))
+		}
+		r := Read{Seq: 1, Base: b, Qual: make([]byte, 50)}
+		o := r.OwnerRank(np)
+		return o >= 0 && o < np
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOwnerRankDependsOnContentOnly(t *testing.T) {
+	a := mkRead(1, "ACGTACGTACGT")
+	b := mkRead(999, "ACGTACGTACGT")
+	b.Qual[3] = 2
+	if a.OwnerRank(16) != b.OwnerRank(16) {
+		t.Error("owner rank depends on metadata, not just bases")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	r := mkRead(123456789, "ACGTACGTTTGGCA")
+	buf := AppendWire(nil, &r)
+	got, rest, err := DecodeWire(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d bytes left over", len(rest))
+	}
+	if got.Seq != r.Seq {
+		t.Errorf("Seq = %d", got.Seq)
+	}
+	if dna.DecodeString(got.Base) != dna.DecodeString(r.Base) {
+		t.Error("bases mismatch")
+	}
+	for i := range r.Qual {
+		if got.Qual[i] != r.Qual[i] {
+			t.Fatal("qual mismatch")
+		}
+	}
+}
+
+func TestWireEmptyRead(t *testing.T) {
+	r := Read{Seq: 7}
+	got, rest, err := DecodeWire(AppendWire(nil, &r))
+	if err != nil || len(rest) != 0 || got.Seq != 7 || len(got.Base) != 0 {
+		t.Errorf("empty read round trip: %v %v %v", got, rest, err)
+	}
+}
+
+func TestDecodeWireErrors(t *testing.T) {
+	if _, _, err := DecodeWire([]byte{1, 2, 3}); err == nil {
+		t.Error("accepted truncated header")
+	}
+	r := mkRead(1, "ACGT")
+	buf := AppendWire(nil, &r)
+	if _, _, err := DecodeWire(buf[:12]); err == nil {
+		t.Error("accepted truncated body")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[10] = 77 // invalid base code
+	if _, _, err := DecodeWire(bad); err == nil {
+		t.Error("accepted invalid base code")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	batch := []Read{mkRead(1, "ACGT"), mkRead(2, "TTTTTTTT"), mkRead(3, "G")}
+	out, err := DecodeBatch(EncodeBatch(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(batch) {
+		t.Fatalf("decoded %d reads", len(out))
+	}
+	for i := range batch {
+		if out[i].Seq != batch[i].Seq || dna.DecodeString(out[i].Base) != dna.DecodeString(batch[i].Base) {
+			t.Fatalf("read %d mismatch", i)
+		}
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	if EncodeBatch(nil) != nil {
+		t.Error("EncodeBatch(nil) != nil")
+	}
+	out, err := DecodeBatch(nil)
+	if err != nil || out != nil {
+		t.Error("DecodeBatch(nil) failed")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	orig := []Read{mkRead(1, "ACGT"), mkRead(2, "TTTT"), mkRead(3, "GGGG")}
+	corr := []Read{orig[1].Clone(), orig[0].Clone(), orig[2].Clone()} // shuffled
+	corr[0].Base[2] = dna.A                                           // read 2 pos 2: T->A
+	corr[1].Base[0] = dna.C                                           // read 1 pos 0: A->C
+	cs, err := Diff(orig, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Correction{
+		{Seq: 1, Pos: 0, From: dna.A, To: dna.C},
+		{Seq: 2, Pos: 2, From: dna.T, To: dna.A},
+	}
+	if len(cs) != len(want) {
+		t.Fatalf("got %d corrections: %+v", len(cs), cs)
+	}
+	for i := range want {
+		if cs[i] != want[i] {
+			t.Errorf("correction %d = %+v, want %+v", i, cs[i], want[i])
+		}
+	}
+}
+
+func TestDiffLengthMismatch(t *testing.T) {
+	orig := []Read{mkRead(1, "ACGT")}
+	corr := []Read{mkRead(1, "ACGTA")}
+	if _, err := Diff(orig, corr); err == nil {
+		t.Error("accepted length mismatch")
+	}
+}
+
+func TestDiffIgnoresUnknownReads(t *testing.T) {
+	orig := []Read{mkRead(1, "ACGT")}
+	corr := []Read{mkRead(9, "ACGT")}
+	cs, err := Diff(orig, corr)
+	if err != nil || len(cs) != 0 {
+		t.Errorf("Diff = %v, %v", cs, err)
+	}
+}
+
+func TestWriteCorrections(t *testing.T) {
+	var sb strings.Builder
+	cs := []Correction{{Seq: 7, Pos: 3, From: dna.A, To: dna.G}}
+	if err := WriteCorrections(&sb, cs); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "7\t3\tA\tG\n" {
+		t.Errorf("output %q", sb.String())
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	batch := []Read{mkRead(1, "ACGT"), mkRead(2, "ACGTACGT")}
+	if got := MemBytes(batch); got < 20 || got > 1000 {
+		t.Errorf("MemBytes = %d", got)
+	}
+}

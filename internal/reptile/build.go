@@ -1,0 +1,92 @@
+package reptile
+
+import (
+	"reptile/internal/bloom"
+	"reptile/internal/kmer"
+	"reptile/internal/reads"
+	"reptile/internal/spectrum"
+)
+
+// BuildSpectra constructs the k-mer and tile spectra from a read set and
+// prunes entries below the configured thresholds. This is the sequential
+// equivalent of the paper's Steps II-III collapsed onto one rank.
+func BuildSpectra(batch []reads.Read, cfg Config) (kmers, tiles *spectrum.HashStore) {
+	kmers = spectrum.NewHash(len(batch) * 8)
+	tiles = spectrum.NewHash(len(batch) * 2)
+	for i := range batch {
+		AccumulateRead(&batch[i], cfg.Spec, kmers, tiles)
+	}
+	kmers.Prune(cfg.KmerThreshold)
+	tiles.Prune(cfg.TileThreshold)
+	return kmers, tiles
+}
+
+// AccumulateRead adds one read's k-mers and tiles into the given stores.
+// The distributed spectrum-construction phase calls this per read before
+// routing entries to their owning ranks. Tiles are extracted at every
+// offset (stride 1) so the spectrum supports correction walks of any phase.
+func AccumulateRead(r *reads.Read, spec kmer.Spec, kmers, tiles *spectrum.HashStore) {
+	spec.EachKmer(r.Base, func(_ int, id kmer.ID) { kmers.Add(id, 1) })
+	spec.EachTileStep(r.Base, 1, func(_ int, id kmer.ID) { tiles.Add(id, 1) })
+}
+
+// BuildSpectraAuto is BuildSpectra with histogram-derived thresholds: the
+// count-of-counts valley between the error peak and the coverage peak
+// replaces the configured thresholds (which remain the fallback for
+// histograms without a usable valley). It returns the adjusted config so
+// the corrector prunes and validates with the same values.
+func BuildSpectraAuto(batch []reads.Read, cfg Config) (kmers, tiles *spectrum.HashStore, adjusted Config) {
+	kmers = spectrum.NewHash(len(batch) * 8)
+	tiles = spectrum.NewHash(len(batch) * 2)
+	for i := range batch {
+		AccumulateRead(&batch[i], cfg.Spec, kmers, tiles)
+	}
+	adjusted = cfg
+	adjusted.KmerThreshold = spectrum.ValleyThreshold(kmers.Histogram(), cfg.KmerThreshold)
+	adjusted.TileThreshold = spectrum.ValleyThreshold(tiles.Histogram(), cfg.TileThreshold)
+	kmers.Prune(adjusted.KmerThreshold)
+	tiles.Prune(adjusted.TileThreshold)
+	return kmers, tiles, adjusted
+}
+
+// BuildSpectraBloom is BuildSpectra with a Bloom-filter gate in front of
+// each exact table: an ID only enters the hash table once the filter has
+// seen it before, dropping the long tail of singleton error k-mers from
+// memory (the "memory-efficient alternative" of paper Step III). Counts for
+// gated entries are one below their true value, which is immaterial after
+// threshold pruning as long as thresholds are >= 2.
+func BuildSpectraBloom(batch []reads.Read, cfg Config, fpRate float64) (kmers, tiles *spectrum.HashStore, filters [2]*bloom.Filter) {
+	nk := 0
+	for i := range batch {
+		nk += cfg.Spec.KmersPerRead(len(batch[i].Base))
+	}
+	kf := bloom.New(nk, fpRate)
+	tf := bloom.New(nk/2+1, fpRate)
+	kmers = spectrum.NewHash(len(batch))
+	tiles = spectrum.NewHash(len(batch) / 2)
+	for i := range batch {
+		r := &batch[i]
+		cfg.Spec.EachKmer(r.Base, func(_ int, id kmer.ID) {
+			if kf.Add(id) {
+				kmers.Add(id, 1)
+			}
+		})
+		cfg.Spec.EachTileStep(r.Base, 1, func(_ int, id kmer.ID) {
+			if tf.Add(id) {
+				tiles.Add(id, 1)
+			}
+		})
+	}
+	// The filter absorbed each ID's first occurrence; thresholds shift down
+	// by one to compensate.
+	kt, tt := cfg.KmerThreshold, cfg.TileThreshold
+	if kt > 1 {
+		kt--
+	}
+	if tt > 1 {
+		tt--
+	}
+	kmers.Prune(kt)
+	tiles.Prune(tt)
+	return kmers, tiles, [2]*bloom.Filter{kf, tf}
+}

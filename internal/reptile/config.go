@@ -1,0 +1,102 @@
+// Package reptile implements the Reptile error-correction algorithm
+// (Yang, Dorman & Aluru, Bioinformatics 2010): spectrum-based substitution
+// correction that validates *tiles* — two overlapping k-mers — rather than
+// bare k-mers, using base quality scores to prioritize which positions to
+// try mutating. This is the sequential substrate the paper parallelizes;
+// the distributed engine in internal/core runs exactly this corrector with
+// a remote spectrum oracle.
+package reptile
+
+import (
+	"fmt"
+
+	"reptile/internal/kmer"
+)
+
+// Config fixes the correction parameters for a run. It corresponds to the
+// configuration file the paper's implementation reads.
+type Config struct {
+	Spec kmer.Spec // k-mer length and tile overlap
+
+	// KmerThreshold and TileThreshold are the minimum global counts for a
+	// k-mer/tile to be considered solid (present in the pruned spectrum).
+	KmerThreshold uint32
+	TileThreshold uint32
+
+	// QualThreshold: bases with Phred quality below this are the preferred
+	// substitution sites when repairing a weak tile.
+	QualThreshold byte
+
+	// MaxErrPositions caps how many (lowest-quality-first) positions inside
+	// a tile are tried as substitution sites.
+	MaxErrPositions int
+
+	// MaxErrPerTile is the Hamming search radius: 1 tries single
+	// substitutions, 2 additionally tries pairs of the lowest-quality sites.
+	MaxErrPerTile int
+
+	// MaxCorrectionsPerRead aborts correction of reads needing more fixes
+	// than plausible (likely mismapped or chimeric).
+	MaxCorrectionsPerRead int
+
+	// ChunkReads is the batch size used when streaming reads from disk
+	// (the "chunk size" of the paper's configuration file).
+	ChunkReads int
+}
+
+// Default returns the baseline configuration used throughout the repo:
+// k=12 with a 4-base tile overlap (20-base tiles), matching the scale of
+// the original Reptile defaults.
+func Default() Config {
+	return Config{
+		Spec:                  kmer.Spec{K: 12, Overlap: 4},
+		KmerThreshold:         6,
+		TileThreshold:         3,
+		QualThreshold:         25,
+		MaxErrPositions:       6,
+		MaxErrPerTile:         2,
+		MaxCorrectionsPerRead: 8,
+		ChunkReads:            4096,
+	}
+}
+
+// ForCoverage adapts the solidity thresholds to the dataset's read coverage:
+// deeper coverage pushes true k-mer/tile counts up, so the thresholds rise
+// proportionally while staying above the error noise floor.
+func ForCoverage(cov float64) Config {
+	c := Default()
+	kt := uint32(cov / 12)
+	if kt < 3 {
+		kt = 3
+	}
+	tt := uint32(cov / 24)
+	if tt < 2 {
+		tt = 2
+	}
+	c.KmerThreshold = kt
+	c.TileThreshold = tt
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.KmerThreshold < 1 || c.TileThreshold < 1 {
+		return fmt.Errorf("reptile: thresholds must be >= 1 (kmer=%d tile=%d)", c.KmerThreshold, c.TileThreshold)
+	}
+	if c.MaxErrPositions < 1 {
+		return fmt.Errorf("reptile: MaxErrPositions %d < 1", c.MaxErrPositions)
+	}
+	if c.MaxErrPerTile < 1 || c.MaxErrPerTile > 2 {
+		return fmt.Errorf("reptile: MaxErrPerTile %d outside [1,2]", c.MaxErrPerTile)
+	}
+	if c.MaxCorrectionsPerRead < 1 {
+		return fmt.Errorf("reptile: MaxCorrectionsPerRead %d < 1", c.MaxCorrectionsPerRead)
+	}
+	if c.ChunkReads < 1 {
+		return fmt.Errorf("reptile: ChunkReads %d < 1", c.ChunkReads)
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package reptile
+
+import (
+	"sort"
+
+	"reptile/internal/dna"
+	"reptile/internal/kmer"
+	"reptile/internal/reads"
+)
+
+// Result aggregates correction outcomes over a batch of reads.
+type Result struct {
+	ReadsProcessed int64
+	ReadsChanged   int64
+	BasesCorrected int64 // "errors corrected" in the paper's Fig 4
+	TilesSolid     int64 // tiles already present in the spectrum
+	TilesRepaired  int64
+	TilesGivenUp   int64 // weak tiles with no acceptable candidate
+}
+
+// Add accumulates o into r.
+func (r *Result) Add(o Result) {
+	r.ReadsProcessed += o.ReadsProcessed
+	r.ReadsChanged += o.ReadsChanged
+	r.BasesCorrected += o.BasesCorrected
+	r.TilesSolid += o.TilesSolid
+	r.TilesRepaired += o.TilesRepaired
+	r.TilesGivenUp += o.TilesGivenUp
+}
+
+// Corrector runs Reptile's tile-walk correction against an Oracle. It is
+// not safe for concurrent use; each worker owns one Corrector (scratch
+// buffers are reused across reads).
+type Corrector struct {
+	cfg    Config
+	oracle Oracle
+
+	posBuf []int
+}
+
+// NewCorrector validates cfg and builds a corrector.
+func NewCorrector(cfg Config, oracle Oracle) (*Corrector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Corrector{cfg: cfg, oracle: oracle}, nil
+}
+
+// Config returns the corrector's configuration.
+func (c *Corrector) Config() Config { return c.cfg }
+
+// CorrectRead corrects r in place and returns per-read statistics. The walk
+// visits tiles left to right; a repair rewrites the read, so downstream
+// tiles see corrected bases (greedy propagation, as in Reptile).
+func (c *Corrector) CorrectRead(r *reads.Read) Result {
+	res := Result{ReadsProcessed: 1}
+	spec := c.cfg.Spec
+	tl := spec.TileLen()
+	if len(r.Base) < tl {
+		return res
+	}
+	corrections := 0
+	for p := 0; p+tl <= len(r.Base); p += spec.Step() {
+		tile := kmer.Encode(r.Base[p : p+tl])
+		if cnt, ok := c.oracle.TileCount(tile); ok && cnt >= c.cfg.TileThreshold {
+			res.TilesSolid++
+			continue
+		}
+		fixed, nchanged := c.repairTile(r, p, tile)
+		if !fixed {
+			res.TilesGivenUp++
+			continue
+		}
+		res.TilesRepaired++
+		res.BasesCorrected += int64(nchanged)
+		corrections += nchanged
+		if corrections >= c.cfg.MaxCorrectionsPerRead {
+			break
+		}
+	}
+	if res.BasesCorrected > 0 {
+		res.ReadsChanged++
+	}
+	return res
+}
+
+// candidate is one proposed tile repair.
+type candidate struct {
+	tile  kmer.ID
+	count uint32
+	pos   [2]int // read-relative changed positions; pos[1] = -1 for singles
+	base  [2]dna.Base
+	n     int
+}
+
+// repairTile attempts to replace the weak tile starting at read position p.
+// It returns whether a repair was applied and how many bases changed.
+func (c *Corrector) repairTile(r *reads.Read, p int, tile kmer.ID) (bool, int) {
+	tl := c.cfg.Spec.TileLen()
+	positions, lowN := c.errPositions(r, p, tl)
+	if len(positions) == 0 {
+		return false, 0
+	}
+
+	var best, second candidate
+	consider := func(cand candidate) {
+		if cand.count > best.count {
+			second = best
+			best = cand
+		} else if cand.count > second.count {
+			second = cand
+		}
+	}
+
+	// Radius 1: single substitutions at the lowest-quality positions.
+	for _, tp := range positions {
+		orig := tile.BaseAt(tp, tl)
+		for delta := 1; delta < dna.NumBases; delta++ {
+			b := dna.Base((int(orig) + delta) % dna.NumBases)
+			cand := tile.WithBase(tp, tl, b)
+			cnt, ok := c.validCandidate(cand, tp, -1)
+			if !ok {
+				continue
+			}
+			consider(candidate{tile: cand, count: cnt, pos: [2]int{p + tp, -1}, base: [2]dna.Base{b}, n: 1})
+		}
+	}
+
+	// Radius 2 only when no single substitution worked: pairs of the
+	// lowest-quality positions (capped, since pairs are quadratic).
+	if best.n == 0 && c.cfg.MaxErrPerTile >= 2 {
+		for i := 0; i < lowN; i++ {
+			for j := i + 1; j < lowN; j++ {
+				tp1, tp2 := positions[i], positions[j]
+				o1, o2 := tile.BaseAt(tp1, tl), tile.BaseAt(tp2, tl)
+				for d1 := 1; d1 < dna.NumBases; d1++ {
+					b1 := dna.Base((int(o1) + d1) % dna.NumBases)
+					t1 := tile.WithBase(tp1, tl, b1)
+					for d2 := 1; d2 < dna.NumBases; d2++ {
+						b2 := dna.Base((int(o2) + d2) % dna.NumBases)
+						cand := t1.WithBase(tp2, tl, b2)
+						cnt, ok := c.validCandidate(cand, tp1, tp2)
+						if !ok {
+							continue
+						}
+						consider(candidate{
+							tile: cand, count: cnt,
+							pos:  [2]int{p + tp1, p + tp2},
+							base: [2]dna.Base{b1, b2},
+							n:    2,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// Require an unambiguous winner: correcting on a tie risks writing the
+	// wrong haplotype (this is Reptile's exactness argument for tiles).
+	if best.n == 0 || best.count == second.count {
+		return false, 0
+	}
+	for i := 0; i < best.n; i++ {
+		r.Base[best.pos[i]] = best.base[i]
+	}
+	return true, best.n
+}
+
+// validCandidate validates a candidate tile against the tile spectrum,
+// then confirms the changed k-mers are solid. Probing the tile first
+// mirrors Reptile's candidate validation and produces the traffic profile
+// the paper reports: the bulk of correction-phase communication is tile
+// lookups, most of them answered "does not exist" (Section IV). The k-mer
+// confirmation only runs for the rare candidates whose tile is solid.
+// tp2 < 0 means a single change.
+func (c *Corrector) validCandidate(cand kmer.ID, tp1, tp2 int) (uint32, bool) {
+	cnt, ok := c.oracle.TileCount(cand)
+	if !ok || cnt < c.cfg.TileThreshold {
+		return 0, false
+	}
+	spec := c.cfg.Spec
+	k1, k2 := spec.Kmers(cand)
+	needK1 := tp1 < spec.K || (tp2 >= 0 && tp2 < spec.K)
+	needK2 := tp1 >= spec.Step() || (tp2 >= 0 && tp2 >= spec.Step())
+	if needK1 {
+		if kc, ok := c.oracle.KmerCount(k1); !ok || kc < c.cfg.KmerThreshold {
+			return 0, false
+		}
+	}
+	if needK2 {
+		if kc, ok := c.oracle.KmerCount(k2); !ok || kc < c.cfg.KmerThreshold {
+			return 0, false
+		}
+	}
+	return cnt, true
+}
+
+// errPositions returns every tile-relative position sorted by ascending
+// quality — the radius-1 search tries them all, cheapest-suspicion first —
+// plus lowN, the size of the low-quality prefix that the quadratic radius-2
+// search is restricted to (positions below the quality threshold, floored
+// at 2 and capped at MaxErrPositions).
+func (c *Corrector) errPositions(r *reads.Read, p, tl int) ([]int, int) {
+	c.posBuf = c.posBuf[:0]
+	for i := 0; i < tl; i++ {
+		c.posBuf = append(c.posBuf, i)
+	}
+	qual := r.Qual[p : p+tl]
+	sort.SliceStable(c.posBuf, func(a, b int) bool { return qual[c.posBuf[a]] < qual[c.posBuf[b]] })
+	lowN := 0
+	for lowN < len(c.posBuf) && qual[c.posBuf[lowN]] < c.cfg.QualThreshold {
+		lowN++
+	}
+	if lowN < 2 {
+		lowN = 2
+	}
+	if lowN > c.cfg.MaxErrPositions {
+		lowN = c.cfg.MaxErrPositions
+	}
+	if lowN > len(c.posBuf) {
+		lowN = len(c.posBuf)
+	}
+	return c.posBuf, lowN
+}
+
+// CorrectBatch corrects every read in place and returns totals.
+func (c *Corrector) CorrectBatch(batch []reads.Read) Result {
+	var total Result
+	for i := range batch {
+		total.Add(c.CorrectRead(&batch[i]))
+	}
+	return total
+}
+
+// CorrectDataset is the one-shot sequential pipeline: build spectra from
+// the reads, then correct a deep copy and return it with statistics. The
+// input batch is left untouched so callers can evaluate against it.
+func CorrectDataset(batch []reads.Read, cfg Config) ([]reads.Read, Result, error) {
+	kmers, tiles := BuildSpectra(batch, cfg)
+	oracle := &LocalOracle{Kmers: kmers, Tiles: tiles}
+	c, err := NewCorrector(cfg, oracle)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	out := make([]reads.Read, len(batch))
+	for i := range batch {
+		out[i] = batch[i].Clone()
+	}
+	res := c.CorrectBatch(out)
+	return out, res, nil
+}

@@ -1,0 +1,129 @@
+package reptile
+
+import (
+	"sort"
+
+	"reptile/internal/dna"
+	"reptile/internal/kmer"
+	"reptile/internal/reads"
+)
+
+// KmerCorrector is the plain k-spectrum baseline Reptile argues against:
+// it repairs weak k-mers by substituting toward a solid Hamming-distance-1
+// neighbour, without tile-level confirmation. With only k bases of context
+// a weak k-mer often has several solid neighbours, so this corrector either
+// refuses (ambiguity) or risks picking the wrong one — the exactness
+// problem tiles solve (paper Section II-A). It exists to reproduce that
+// comparison; production use should go through Corrector.
+type KmerCorrector struct {
+	cfg    Config
+	oracle Oracle
+	posBuf []int
+}
+
+// NewKmerCorrector builds the baseline corrector.
+func NewKmerCorrector(cfg Config, oracle Oracle) (*KmerCorrector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &KmerCorrector{cfg: cfg, oracle: oracle}, nil
+}
+
+// CorrectRead repairs r in place with k-mer-level decisions only.
+func (c *KmerCorrector) CorrectRead(r *reads.Read) Result {
+	res := Result{ReadsProcessed: 1}
+	k := c.cfg.Spec.K
+	if len(r.Base) < k {
+		return res
+	}
+	corrections := 0
+	// Walk k-mers at stride k (disjoint windows): overlapping windows would
+	// re-flag the same error k times.
+	for p := 0; p+k <= len(r.Base); p += k {
+		id := kmer.Encode(r.Base[p : p+k])
+		if cnt, ok := c.oracle.KmerCount(id); ok && cnt >= c.cfg.KmerThreshold {
+			res.TilesSolid++
+			continue
+		}
+		fixed := c.repairKmer(r, p, id)
+		if !fixed {
+			res.TilesGivenUp++
+			continue
+		}
+		res.TilesRepaired++
+		res.BasesCorrected++
+		corrections++
+		if corrections >= c.cfg.MaxCorrectionsPerRead {
+			break
+		}
+	}
+	if res.BasesCorrected > 0 {
+		res.ReadsChanged++
+	}
+	return res
+}
+
+// repairKmer tries single substitutions ordered by ascending quality and
+// applies the unique solid winner.
+func (c *KmerCorrector) repairKmer(r *reads.Read, p int, id kmer.ID) bool {
+	k := c.cfg.Spec.K
+	c.posBuf = c.posBuf[:0]
+	for i := 0; i < k; i++ {
+		c.posBuf = append(c.posBuf, i)
+	}
+	qual := r.Qual[p : p+k]
+	sort.SliceStable(c.posBuf, func(a, b int) bool { return qual[c.posBuf[a]] < qual[c.posBuf[b]] })
+
+	var bestCnt, secondCnt uint32
+	bestPos := -1
+	var bestBase dna.Base
+	for _, kp := range c.posBuf {
+		orig := id.BaseAt(kp, k)
+		for delta := 1; delta < dna.NumBases; delta++ {
+			b := dna.Base((int(orig) + delta) % dna.NumBases)
+			cand := id.WithBase(kp, k, b)
+			cnt, ok := c.oracle.KmerCount(cand)
+			if !ok || cnt < c.cfg.KmerThreshold {
+				continue
+			}
+			if cnt > bestCnt {
+				secondCnt = bestCnt
+				bestCnt, bestPos, bestBase = cnt, kp, b
+			} else if cnt > secondCnt {
+				secondCnt = cnt
+			}
+		}
+	}
+	if bestPos < 0 || bestCnt == secondCnt {
+		return false // nothing solid, or ambiguous
+	}
+	r.Base[p+bestPos] = bestBase
+	return true
+}
+
+// CorrectBatch corrects every read in place.
+func (c *KmerCorrector) CorrectBatch(batch []reads.Read) Result {
+	var total Result
+	for i := range batch {
+		total.Add(c.CorrectRead(&batch[i]))
+	}
+	return total
+}
+
+// CorrectDatasetKmerOnly is the one-shot baseline pipeline, the analogue of
+// CorrectDataset without tiles.
+func CorrectDatasetKmerOnly(batch []reads.Read, cfg Config) ([]reads.Read, Result, error) {
+	kmers, tiles := BuildSpectra(batch, cfg)
+	_ = tiles
+	oracle := &LocalOracle{Kmers: kmers, Tiles: tiles}
+	c, err := NewKmerCorrector(cfg, oracle)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	out := make([]reads.Read, len(batch))
+	for i := range batch {
+		out[i] = batch[i].Clone()
+	}
+	res := c.CorrectBatch(out)
+	return out, res, nil
+}

@@ -1,0 +1,42 @@
+package reptile
+
+import (
+	"reptile/internal/kmer"
+	"reptile/internal/spectrum"
+)
+
+// Oracle answers spectrum count queries during correction. The sequential
+// corrector is written against this interface so the distributed engine can
+// substitute an oracle that resolves misses over the message-passing layer
+// (paper Step IV): the algorithm is identical, only the lookup path changes.
+type Oracle interface {
+	// KmerCount returns the global count of a k-mer, with ok=false when the
+	// k-mer is absent from the (pruned) spectrum.
+	KmerCount(id kmer.ID) (count uint32, ok bool)
+	// TileCount is the tile-spectrum analogue.
+	TileCount(id kmer.ID) (count uint32, ok bool)
+}
+
+// LocalOracle serves counts from in-memory stores; the replicated-spectrum
+// and sequential modes use it directly.
+type LocalOracle struct {
+	Kmers spectrum.Lookuper
+	Tiles spectrum.Lookuper
+
+	// KmerLookups/TileLookups count queries, mirroring the per-rank lookup
+	// statistics the paper reports.
+	KmerLookups int64
+	TileLookups int64
+}
+
+// KmerCount implements Oracle.
+func (o *LocalOracle) KmerCount(id kmer.ID) (uint32, bool) {
+	o.KmerLookups++
+	return o.Kmers.Count(id)
+}
+
+// TileCount implements Oracle.
+func (o *LocalOracle) TileCount(id kmer.ID) (uint32, bool) {
+	o.TileLookups++
+	return o.Tiles.Count(id)
+}

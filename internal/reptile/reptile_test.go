@@ -1,0 +1,362 @@
+package reptile
+
+import (
+	"testing"
+
+	"reptile/internal/dna"
+	"reptile/internal/genome"
+	"reptile/internal/kmer"
+	"reptile/internal/reads"
+	"reptile/internal/spectrum"
+)
+
+func testConfig() Config {
+	c := Default()
+	c.Spec = kmer.Spec{K: 8, Overlap: 2} // tile length 14, step 6
+	c.KmerThreshold = 3
+	c.TileThreshold = 2
+	return c
+}
+
+// perfectReads tiles a genome exhaustively with error-free reads.
+func perfectReads(g *genome.Genome, readLen, stride int) []reads.Read {
+	var out []reads.Read
+	seq := int64(1)
+	buf := make([]dna.Base, readLen)
+	for p := 0; p+readLen <= g.Len(); p += stride {
+		r := reads.Read{Seq: seq, Base: make([]dna.Base, readLen), Qual: make([]byte, readLen)}
+		copy(r.Base, g.Seq.Slice(buf, p, p+readLen))
+		for i := range r.Qual {
+			r.Qual[i] = 38
+		}
+		out = append(out, r)
+		seq++
+	}
+	return out
+}
+
+// mkShortRead builds an n-base read of As with mid quality.
+func mkShortRead(n int) reads.Read {
+	r := reads.Read{Seq: 1, Base: make([]dna.Base, n), Qual: make([]byte, n)}
+	for i := range r.Qual {
+		r.Qual[i] = 30
+	}
+	return r
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default invalid: %v", err)
+	}
+	bad := Default()
+	bad.KmerThreshold = 0
+	if bad.Validate() == nil {
+		t.Error("accepted zero kmer threshold")
+	}
+	bad = Default()
+	bad.MaxErrPerTile = 3
+	if bad.Validate() == nil {
+		t.Error("accepted radius 3")
+	}
+	bad = Default()
+	bad.MaxErrPositions = 0
+	if bad.Validate() == nil {
+		t.Error("accepted zero error positions")
+	}
+	bad = Default()
+	bad.ChunkReads = 0
+	if bad.Validate() == nil {
+		t.Error("accepted zero chunk size")
+	}
+}
+
+func TestForCoverage(t *testing.T) {
+	c96 := ForCoverage(96)
+	c47 := ForCoverage(47)
+	if c96.KmerThreshold <= c47.KmerThreshold {
+		t.Errorf("thresholds not monotone in coverage: %d vs %d", c96.KmerThreshold, c47.KmerThreshold)
+	}
+	if ForCoverage(1).KmerThreshold < 3 || ForCoverage(1).TileThreshold < 2 {
+		t.Error("low-coverage floor violated")
+	}
+}
+
+func TestBuildSpectraCounts(t *testing.T) {
+	cfg := testConfig()
+	g := genome.NewGenome(2000, 1)
+	batch := perfectReads(g, 50, 1) // ~40x coverage of every window
+	kmers, tiles := BuildSpectra(batch, cfg)
+	if kmers.Len() == 0 || tiles.Len() == 0 {
+		t.Fatal("empty spectra")
+	}
+	// Every k-mer of an interior genome window must be solid.
+	window := make([]dna.Base, 200)
+	g.Seq.Slice(window, 500, 700)
+	cfg.Spec.EachKmer(window, func(_ int, id kmer.ID) {
+		if cnt, ok := kmers.Count(id); !ok || cnt < cfg.KmerThreshold {
+			t.Fatalf("interior genome k-mer missing from spectrum (count %d)", cnt)
+		}
+	})
+}
+
+func TestCorrectorFixesSingleError(t *testing.T) {
+	cfg := testConfig()
+	g := genome.NewGenome(3000, 2)
+	batch := perfectReads(g, 60, 1)
+	kmers, tiles := BuildSpectra(batch, cfg)
+	oracle := &LocalOracle{Kmers: kmers, Tiles: tiles}
+	c, err := NewCorrector(cfg, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one mid-read base of a fresh copy of read 100 and mark it
+	// low-quality.
+	r := batch[100].Clone()
+	truth := r.Base[30]
+	r.Base[30] = (truth + 1) % 4
+	r.Qual[30] = 5
+	res := c.CorrectRead(&r)
+	if r.Base[30] != truth {
+		t.Fatalf("error at 30 not corrected (res %+v)", res)
+	}
+	if res.BasesCorrected < 1 || res.ReadsChanged != 1 {
+		t.Errorf("result %+v", res)
+	}
+	// The rest of the read is untouched.
+	for i := range r.Base {
+		if i != 30 && r.Base[i] != batch[100].Base[i] {
+			t.Fatalf("collateral damage at %d", i)
+		}
+	}
+}
+
+func TestCorrectorFixesDoubleErrorInTile(t *testing.T) {
+	cfg := testConfig()
+	g := genome.NewGenome(3000, 3)
+	batch := perfectReads(g, 60, 1)
+	kmers, tiles := BuildSpectra(batch, cfg)
+	c, _ := NewCorrector(cfg, &LocalOracle{Kmers: kmers, Tiles: tiles})
+	r := batch[50].Clone()
+	t1, t2 := r.Base[24], r.Base[27] // same tile (step 6, tile len 14)
+	r.Base[24], r.Base[27] = (t1+2)%4, (t2+1)%4
+	r.Qual[24], r.Qual[27] = 4, 6
+	c.CorrectRead(&r)
+	if r.Base[24] != t1 || r.Base[27] != t2 {
+		t.Errorf("double error not corrected: got %v,%v want %v,%v", r.Base[24], r.Base[27], t1, t2)
+	}
+}
+
+func TestCorrectorLeavesCleanReadsAlone(t *testing.T) {
+	cfg := testConfig()
+	g := genome.NewGenome(3000, 4)
+	batch := perfectReads(g, 60, 1)
+	kmers, tiles := BuildSpectra(batch, cfg)
+	c, _ := NewCorrector(cfg, &LocalOracle{Kmers: kmers, Tiles: tiles})
+	for i := 0; i < 50; i++ {
+		r := batch[i].Clone()
+		res := c.CorrectRead(&r)
+		if res.BasesCorrected != 0 {
+			t.Fatalf("read %d: clean read modified (%+v)", i, res)
+		}
+		if res.TilesSolid == 0 {
+			t.Fatalf("read %d: no solid tiles in clean read", i)
+		}
+	}
+}
+
+func TestCorrectorShortRead(t *testing.T) {
+	cfg := testConfig()
+	c, _ := NewCorrector(cfg, &LocalOracle{Kmers: spectrum.NewHash(0), Tiles: spectrum.NewHash(0)})
+	r := reads.Read{Seq: 1, Base: make([]dna.Base, 5), Qual: make([]byte, 5)}
+	res := c.CorrectRead(&r)
+	if res.BasesCorrected != 0 || res.TilesSolid != 0 {
+		t.Errorf("short read produced work: %+v", res)
+	}
+}
+
+func TestCorrectorAmbiguityAborts(t *testing.T) {
+	// Two equally-supported candidate tiles must leave the read unchanged.
+	cfg := testConfig()
+	cfg.Spec = kmer.Spec{K: 4, Overlap: 2} // tile length 6
+	cfg.KmerThreshold = 1
+	cfg.TileThreshold = 1
+	kmers := spectrum.NewHash(0)
+	tiles := spectrum.NewHash(0)
+	// Read: ACGTAC; two variants at position 5 are equally common.
+	read := dna.MustEncode("ACGTAC")
+	varA := dna.MustEncode("ACGTAA")
+	varB := dna.MustEncode("ACGTAG")
+	for _, v := range [][]dna.Base{varA, varB} {
+		cfg.Spec.EachKmer(v, func(_ int, id kmer.ID) { kmers.Add(id, 5) })
+		cfg.Spec.EachTile(v, func(_ int, id kmer.ID) { tiles.Add(id, 5) })
+	}
+	c, _ := NewCorrector(cfg, &LocalOracle{Kmers: kmers, Tiles: tiles})
+	r := reads.Read{Seq: 1, Base: read, Qual: []byte{30, 30, 30, 30, 30, 5}}
+	res := c.CorrectRead(&r)
+	if res.BasesCorrected != 0 {
+		t.Errorf("ambiguous tile was corrected: %+v", res)
+	}
+	if dna.DecodeString(r.Base) != "ACGTAC" {
+		t.Errorf("read mutated to %s", dna.DecodeString(r.Base))
+	}
+}
+
+func TestMaxCorrectionsPerRead(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxCorrectionsPerRead = 1
+	g := genome.NewGenome(3000, 5)
+	batch := perfectReads(g, 60, 1)
+	kmers, tiles := BuildSpectra(batch, cfg)
+	c, _ := NewCorrector(cfg, &LocalOracle{Kmers: kmers, Tiles: tiles})
+	r := batch[10].Clone()
+	// Errors in two far-apart tiles.
+	r.Base[2] = (r.Base[2] + 1) % 4
+	r.Qual[2] = 5
+	r.Base[50] = (r.Base[50] + 1) % 4
+	r.Qual[50] = 5
+	res := c.CorrectRead(&r)
+	if res.BasesCorrected > 1 {
+		t.Errorf("corrected %d bases with cap 1", res.BasesCorrected)
+	}
+}
+
+func TestEndToEndAccuracyOnSimulatedDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset pipeline")
+	}
+	g := genome.NewGenome(30000, 6)
+	ds := genome.Simulate("t", g, 12000, genome.DefaultProfile(80), 7) // ~32x
+	cfg := ForCoverage(ds.Coverage())
+	corrected, res, err := CorrectDataset(ds.Reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ds.Evaluate(corrected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("coverage=%.0fx errors=%d result=%+v accuracy=%v", ds.Coverage(), ds.TotalErrors(), res, acc)
+	if acc.Gain() < 0.55 {
+		t.Errorf("gain %.3f below 0.55: corrector is not actually correcting", acc.Gain())
+	}
+	if acc.Sensitivity() < 0.60 {
+		t.Errorf("sensitivity %.3f below 0.60", acc.Sensitivity())
+	}
+	if acc.FP > acc.TP/4 {
+		t.Errorf("false positives %d too high vs TP %d", acc.FP, acc.TP)
+	}
+	// Input must not have been mutated.
+	if ds.Reads[0].Seq != corrected[0].Seq {
+		t.Error("output order changed")
+	}
+}
+
+func TestBuildSpectraAuto(t *testing.T) {
+	g := genome.NewGenome(20000, 80)
+	ds := genome.Simulate("auto", g, 12000, genome.DefaultProfile(80), 81) // ~48x
+	cfg := Default()
+	cfg.KmerThreshold = 40 // deliberately wrong
+	cfg.TileThreshold = 40
+	kmers, tiles, adjusted := BuildSpectraAuto(ds.Reads, cfg)
+	if adjusted.KmerThreshold == 40 {
+		t.Error("k-mer threshold not adjusted despite a clear bimodal histogram")
+	}
+	if adjusted.KmerThreshold < 2 || adjusted.KmerThreshold > 30 {
+		t.Errorf("auto k-mer threshold %d implausible for ~48x coverage", adjusted.KmerThreshold)
+	}
+	if kmers.Len() == 0 || tiles.Len() == 0 {
+		t.Error("auto thresholds pruned everything")
+	}
+	// The adjusted config must correct well.
+	oracle := &LocalOracle{Kmers: kmers, Tiles: tiles}
+	c, err := NewCorrector(adjusted, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]reads.Read, len(ds.Reads))
+	for i := range ds.Reads {
+		out[i] = ds.Reads[i].Clone()
+	}
+	c.CorrectBatch(out)
+	acc, err := ds.Evaluate(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Gain() < 0.6 {
+		t.Errorf("auto-threshold gain %.3f below 0.6 (%v)", acc.Gain(), acc)
+	}
+}
+
+func TestBuildSpectraBloomApproximatesExact(t *testing.T) {
+	cfg := testConfig()
+	g := genome.NewGenome(5000, 8)
+	batch := perfectReads(g, 60, 1)
+	exactK, exactT := BuildSpectra(batch, cfg)
+	bloomK, bloomT, filters := BuildSpectraBloom(batch, cfg, 0.01)
+	if filters[0] == nil || filters[1] == nil {
+		t.Fatal("missing filters")
+	}
+	// Every exact-solid k-mer must survive the bloom build (counts are off
+	// by one, thresholds compensate).
+	missingK := 0
+	exactK.Each(func(e spectrum.Entry) bool {
+		if _, ok := bloomK.Count(e.ID); !ok {
+			missingK++
+		}
+		return true
+	})
+	if missingK > 0 {
+		t.Errorf("%d solid k-mers missing from bloom-gated spectrum", missingK)
+	}
+	missingT := 0
+	exactT.Each(func(e spectrum.Entry) bool {
+		if _, ok := bloomT.Count(e.ID); !ok {
+			missingT++
+		}
+		return true
+	})
+	if missingT > 0 {
+		t.Errorf("%d solid tiles missing from bloom-gated spectrum", missingT)
+	}
+}
+
+func TestBloomBuildSavesMemoryOnErrorRichData(t *testing.T) {
+	g := genome.NewGenome(20000, 9)
+	p := genome.DefaultProfile(80)
+	p.ErrorBoost = 3
+	ds := genome.Simulate("t", g, 8000, p, 10)
+	cfg := ForCoverage(ds.Coverage())
+	exactK, _ := func() (*spectrum.HashStore, *spectrum.HashStore) {
+		k := spectrum.NewHash(0)
+		tl := spectrum.NewHash(0)
+		for i := range ds.Reads {
+			AccumulateRead(&ds.Reads[i], cfg.Spec, k, tl)
+		}
+		return k, tl
+	}()
+	bloomK, _, _ := BuildSpectraBloom(ds.Reads, cfg, 0.01)
+	if bloomK.Len() >= exactK.Len() {
+		t.Errorf("bloom gate did not shrink the exact table: %d vs %d", bloomK.Len(), exactK.Len())
+	}
+}
+
+func TestLocalOracleCountsLookups(t *testing.T) {
+	k := spectrum.NewHash(0)
+	k.Add(1, 5)
+	tl := spectrum.NewHash(0)
+	o := &LocalOracle{Kmers: k, Tiles: tl}
+	o.KmerCount(1)
+	o.KmerCount(2)
+	o.TileCount(3)
+	if o.KmerLookups != 2 || o.TileLookups != 1 {
+		t.Errorf("lookup counters: %d kmer, %d tile", o.KmerLookups, o.TileLookups)
+	}
+}
+
+func TestResultAdd(t *testing.T) {
+	a := Result{ReadsProcessed: 1, BasesCorrected: 2, TilesSolid: 3}
+	a.Add(Result{ReadsProcessed: 10, ReadsChanged: 1, BasesCorrected: 20, TilesRepaired: 4, TilesGivenUp: 5})
+	if a.ReadsProcessed != 11 || a.BasesCorrected != 22 || a.TilesRepaired != 4 || a.TilesGivenUp != 5 || a.ReadsChanged != 1 || a.TilesSolid != 3 {
+		t.Errorf("Add = %+v", a)
+	}
+}

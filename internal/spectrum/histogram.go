@@ -1,0 +1,68 @@
+package spectrum
+
+// Count histograms and automatic threshold selection. The count-of-counts
+// histogram of a k-mer spectrum is bimodal: erroneous k-mers pile up at
+// count 1-2, genuine genomic k-mers peak near the read coverage. The valley
+// between the two peaks is the natural solidity threshold — picking it
+// automatically removes the most dataset-sensitive knob in the
+// configuration file.
+
+// HistogramBins caps the histogram length; counts at or above the cap share
+// the last bin (the genomic peak of deep datasets can exceed any fixed cap,
+// but the valley always sits far below it).
+const HistogramBins = 256
+
+// Histogram returns h where h[c] is the number of distinct IDs with count
+// c (c in [0, HistogramBins); larger counts accumulate in the last bin).
+func (h *HashStore) Histogram() []int64 {
+	out := make([]int64, HistogramBins)
+	h.Each(func(e Entry) bool {
+		c := e.Count
+		if c >= HistogramBins {
+			c = HistogramBins - 1
+		}
+		out[c]++
+		return true
+	})
+	return out
+}
+
+// MergeHistograms adds b into a element-wise; the distributed engine
+// allreduces per-rank histograms this way so every rank picks the same
+// threshold.
+func MergeHistograms(a, b []int64) {
+	for i := range a {
+		if i < len(b) {
+			a[i] += b[i]
+		}
+	}
+}
+
+// ValleyThreshold returns the count at the first local minimum of the
+// histogram after the initial (error) peak — the classic k-mer-histogram
+// threshold rule. The fallback is returned when the histogram has no
+// usable valley (too little data, or unimodal).
+func ValleyThreshold(hist []int64, fallback uint32) uint32 {
+	// Find the first descent, then the first index where the curve turns
+	// back up; the valley is that index.
+	i := 1
+	for i+1 < len(hist) && hist[i+1] <= hist[i] {
+		// still descending (or flat) from the error peak
+		if hist[i] == 0 && hist[i+1] == 0 {
+			break
+		}
+		i++
+	}
+	if i+1 >= len(hist) || i <= 1 {
+		return fallback
+	}
+	// Confirm there is a genuine second mode after the valley: some bin
+	// beyond i must rise above the valley floor by more than noise.
+	valley := hist[i]
+	for j := i + 1; j < len(hist); j++ {
+		if hist[j] > valley*2+4 {
+			return uint32(i)
+		}
+	}
+	return fallback
+}

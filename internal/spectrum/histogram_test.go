@@ -1,0 +1,105 @@
+package spectrum
+
+import (
+	"testing"
+
+	"reptile/internal/kmer"
+)
+
+func TestHistogram(t *testing.T) {
+	h := NewHash(0)
+	h.Set(1, 1)
+	h.Set(2, 1)
+	h.Set(3, 5)
+	h.Set(4, 300) // beyond the cap
+	hist := h.Histogram()
+	if len(hist) != HistogramBins {
+		t.Fatalf("len = %d", len(hist))
+	}
+	if hist[1] != 2 || hist[5] != 1 || hist[HistogramBins-1] != 1 {
+		t.Errorf("histogram wrong: h[1]=%d h[5]=%d h[last]=%d", hist[1], hist[5], hist[HistogramBins-1])
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	a := []int64{1, 2, 3}
+	MergeHistograms(a, []int64{10, 20, 30, 40})
+	if a[0] != 11 || a[1] != 22 || a[2] != 33 {
+		t.Errorf("merge = %v", a)
+	}
+}
+
+// bimodal builds the classic error-peak + coverage-peak histogram.
+func bimodal(errorPeak, coveragePeak int64, valleyAt, coverageAt int) []int64 {
+	hist := make([]int64, HistogramBins)
+	for c := 1; c < HistogramBins; c++ {
+		switch {
+		case c < valleyAt:
+			hist[c] = errorPeak / int64(1<<uint(c)) // decaying error tail
+		case c == valleyAt:
+			hist[c] = 1
+		default:
+			// Gaussian-ish bump around coverageAt.
+			d := c - coverageAt
+			if d < 0 {
+				d = -d
+			}
+			if d < 10 {
+				hist[c] = coveragePeak / int64(d+1)
+			}
+		}
+	}
+	return hist
+}
+
+func TestValleyThresholdBimodal(t *testing.T) {
+	hist := bimodal(100000, 5000, 6, 40)
+	got := ValleyThreshold(hist, 99)
+	// Any threshold inside the inter-peak gap (valley at 6, coverage bump
+	// starting at 31) prunes exactly the same spectrum.
+	if got < 6 || got > 30 {
+		t.Errorf("valley = %d, want within [6, 30]", got)
+	}
+}
+
+func TestValleyThresholdFallbacks(t *testing.T) {
+	// Unimodal decaying histogram: no second mode, keep the fallback.
+	hist := make([]int64, HistogramBins)
+	for c := 1; c < HistogramBins; c++ {
+		hist[c] = int64(1000 / c)
+	}
+	if got := ValleyThreshold(hist, 7); got != 7 {
+		t.Errorf("unimodal: %d, want fallback 7", got)
+	}
+	// Empty histogram.
+	if got := ValleyThreshold(make([]int64, HistogramBins), 5); got != 5 {
+		t.Errorf("empty: %d, want fallback 5", got)
+	}
+	// Tiny histogram slice.
+	if got := ValleyThreshold([]int64{0, 3}, 4); got != 4 {
+		t.Errorf("short: %d, want fallback", got)
+	}
+}
+
+func TestValleyThresholdOnRealisticSpectrum(t *testing.T) {
+	// Emulate 40x coverage with an error tail: 100k genomic k-mers at
+	// counts ~35-45, 500k error k-mers at counts 1-3.
+	h := NewHash(0)
+	id := kmer.ID(1)
+	add := func(count uint32, n int) {
+		for i := 0; i < n; i++ {
+			h.Set(id, count)
+			id++
+		}
+	}
+	add(1, 400000)
+	add(2, 80000)
+	add(3, 15000)
+	for c := uint32(30); c <= 50; c++ {
+		add(c, 5000)
+	}
+	got := ValleyThreshold(h.Histogram(), 99)
+	if got < 4 || got > 29 {
+		t.Errorf("valley = %d, want within (3, 30)", got)
+	}
+}

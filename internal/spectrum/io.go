@@ -1,0 +1,84 @@
+package spectrum
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"reptile/internal/kmer"
+)
+
+// Disk format for spectra: spectrum construction is a fixed cost per
+// dataset, so a rank (or a sequential pipeline) can save the pruned
+// spectrum once and reload it for later correction runs.
+//
+// Layout: magic "RSP1" | count uint64 | count * (id uint64 | count uint32),
+// entries sorted by ID, all little-endian.
+
+var magic = [4]byte{'R', 'S', 'P', '1'}
+
+// WriteTo serializes the store's entries (sorted by ID) to w and returns
+// the byte count written.
+func (h *HashStore) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 256<<10)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return 0, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(h.Len()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n := int64(len(magic) + 8)
+	var buf [EntrySize]byte
+	for _, e := range h.Entries() {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(e.ID))
+		binary.LittleEndian.PutUint32(buf[8:12], e.Count)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return n, err
+		}
+		n += EntrySize
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom parses a spectrum produced by WriteTo into a fresh HashStore.
+func ReadFrom(r io.Reader) (*HashStore, error) {
+	br := bufio.NewReaderSize(r, 256<<10)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("spectrum: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("spectrum: bad magic %q", m)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("spectrum: reading header: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	const maxEntries = 1 << 34 // 16 Gi entries ~ 192 GiB: reject corrupt headers
+	if count > maxEntries {
+		return nil, fmt.Errorf("spectrum: implausible entry count %d", count)
+	}
+	h := NewHash(int(count))
+	var buf [EntrySize]byte
+	var prev kmer.ID
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("spectrum: truncated at entry %d of %d: %w", i, count, err)
+		}
+		id := kmer.ID(binary.LittleEndian.Uint64(buf[0:8]))
+		if i > 0 && id <= prev {
+			return nil, fmt.Errorf("spectrum: entries out of order at %d", i)
+		}
+		prev = id
+		h.Set(id, binary.LittleEndian.Uint32(buf[8:12]))
+	}
+	// A trailing byte means the file does not match its header.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("spectrum: trailing data after %d entries", count)
+	}
+	return h, nil
+}

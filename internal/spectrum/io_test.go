@@ -1,0 +1,67 @@
+package spectrum
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWriteToReadFromRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 1000} {
+		h, _ := buildRandom(n, int64(n)+77)
+		var buf bytes.Buffer
+		written, err := h.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written != int64(buf.Len()) {
+			t.Errorf("n=%d: WriteTo reported %d bytes, wrote %d", n, written, buf.Len())
+		}
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != h.Len() {
+			t.Fatalf("n=%d: reloaded %d entries, want %d", n, got.Len(), h.Len())
+		}
+		h.Each(func(e Entry) bool {
+			if c, ok := got.Count(e.ID); !ok || c != e.Count {
+				t.Fatalf("n=%d: entry %v lost (got %d,%v)", n, e.ID, c, ok)
+			}
+			return true
+		})
+	}
+}
+
+func TestReadFromRejectsCorruption(t *testing.T) {
+	h, _ := buildRandom(100, 9)
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ok := buf.Bytes()
+
+	cases := map[string][]byte{
+		"bad magic":  append([]byte("XXXX"), ok[4:]...),
+		"truncated":  ok[:len(ok)-5],
+		"trailing":   append(append([]byte{}, ok...), 0),
+		"empty":      {},
+		"just magic": ok[:4],
+	}
+	// Out-of-order entries: swap two entry IDs.
+	swapped := append([]byte{}, ok...)
+	copy(swapped[12:20], ok[24:32])
+	copy(swapped[24:32], ok[12:20])
+	cases["out of order"] = swapped
+	// Implausible count.
+	big := append([]byte{}, ok...)
+	for i := 4; i < 12; i++ {
+		big[i] = 0xFF
+	}
+	cases["huge count"] = big
+
+	for name, data := range cases {
+		if _, err := ReadFrom(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted corrupt spectrum", name)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package spectrum
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"reptile/internal/kmer"
+)
+
+func TestHashStoreAddCount(t *testing.T) {
+	h := NewHash(0)
+	if _, ok := h.Count(1); ok {
+		t.Error("empty store reported presence")
+	}
+	h.Add(1, 1)
+	h.Add(1, 2)
+	h.Add(2, 5)
+	if c, ok := h.Count(1); !ok || c != 3 {
+		t.Errorf("Count(1) = %d,%v want 3,true", c, ok)
+	}
+	if c, ok := h.Count(2); !ok || c != 5 {
+		t.Errorf("Count(2) = %d,%v want 5,true", c, ok)
+	}
+	if h.Len() != 2 {
+		t.Errorf("Len = %d", h.Len())
+	}
+}
+
+func TestHashStorePrune(t *testing.T) {
+	h := NewHash(0)
+	for i := kmer.ID(0); i < 10; i++ {
+		h.Add(i, uint32(i))
+	}
+	removed := h.Prune(5)
+	if removed != 5 { // counts 0..4
+		t.Errorf("Prune removed %d, want 5", removed)
+	}
+	if h.Len() != 5 {
+		t.Errorf("Len after prune = %d, want 5", h.Len())
+	}
+	if _, ok := h.Count(3); ok {
+		t.Error("pruned entry still present")
+	}
+	if c, ok := h.Count(7); !ok || c != 7 {
+		t.Error("surviving entry lost")
+	}
+}
+
+func TestHashStoreDeleteClear(t *testing.T) {
+	h := NewHash(0)
+	h.Add(9, 1)
+	h.Delete(9)
+	if h.Len() != 0 {
+		t.Error("Delete did not remove")
+	}
+	h.Add(1, 1)
+	h.Add(2, 1)
+	h.Clear()
+	if h.Len() != 0 {
+		t.Error("Clear left entries")
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	h := NewHash(0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		h.Add(kmer.ID(rng.Uint64()), 1)
+	}
+	es := h.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i].ID <= es[i-1].ID {
+			t.Fatalf("Entries not strictly sorted at %d", i)
+		}
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	h := NewHash(0)
+	for i := kmer.ID(0); i < 100; i++ {
+		h.Add(i, 1)
+	}
+	n := 0
+	h.Each(func(Entry) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Errorf("Each visited %d entries after early stop", n)
+	}
+}
+
+// buildRandom returns a HashStore with n random entries plus the entry list.
+func buildRandom(n int, seed int64) (*HashStore, []Entry) {
+	h := NewHash(n)
+	rng := rand.New(rand.NewSource(seed))
+	for h.Len() < n {
+		h.Add(kmer.ID(rng.Uint64()), uint32(rng.Intn(100)+1))
+	}
+	return h, h.Entries()
+}
+
+func TestSortedStoreMatchesHash(t *testing.T) {
+	h, es := buildRandom(5000, 2)
+	s := NewSorted(es)
+	if s.Len() != h.Len() {
+		t.Fatalf("Len = %d, want %d", s.Len(), h.Len())
+	}
+	for _, e := range es[:500] {
+		if c, ok := s.Count(e.ID); !ok || c != e.Count {
+			t.Fatalf("SortedStore.Count(%v) = %d,%v want %d,true", e.ID, c, ok, e.Count)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		id := kmer.ID(rng.Uint64())
+		wc, wok := h.Count(id)
+		if c, ok := s.Count(id); ok != wok || c != wc {
+			t.Fatalf("mismatch on random id %v", id)
+		}
+	}
+}
+
+func TestCacheAwareMatchesHash(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 65, 1000, 4096} {
+		h, es := buildRandom(n, int64(n)+10)
+		c := NewCacheAware(es)
+		if c.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, c.Len())
+		}
+		for _, e := range es {
+			if got, ok := c.Count(e.ID); !ok || got != e.Count {
+				t.Fatalf("n=%d: Count(%v) = %d,%v want %d,true", n, e.ID, got, ok, e.Count)
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < 200; i++ {
+			id := kmer.ID(rng.Uint64())
+			wc, wok := h.Count(id)
+			if got, ok := c.Count(id); ok != wok || got != wc {
+				t.Fatalf("n=%d: random id %v: got %d,%v want %d,%v", n, id, got, ok, wc, wok)
+			}
+		}
+	}
+}
+
+func TestCacheAwareSentinelID(t *testing.T) {
+	// The all-ones ID is a legal tile; the store must handle it despite
+	// using it as padding internally.
+	max := ^kmer.ID(0)
+	c := NewCacheAware([]Entry{{ID: 5, Count: 2}, {ID: max, Count: 9}})
+	if got, ok := c.Count(max); !ok || got != 9 {
+		t.Fatalf("Count(max) = %d,%v", got, ok)
+	}
+	if got, ok := c.Count(5); !ok || got != 2 {
+		t.Fatalf("Count(5) = %d,%v", got, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// And absence of the max ID is reported correctly.
+	c2 := NewCacheAware([]Entry{{ID: 5, Count: 2}})
+	if _, ok := c2.Count(max); ok {
+		t.Error("Count(max) false positive")
+	}
+}
+
+func TestNewSortedRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSorted accepted unsorted input")
+		}
+	}()
+	NewSorted([]Entry{{ID: 2}, {ID: 1}})
+}
+
+func TestEncodeDecodeEntries(t *testing.T) {
+	_, es := buildRandom(257, 5)
+	wire := EncodeEntries(nil, es)
+	if len(wire) != len(es)*EntrySize {
+		t.Fatalf("wire length %d", len(wire))
+	}
+	back, err := DecodeEntries(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range es {
+		if back[i] != es[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeEntriesBadLength(t *testing.T) {
+	if _, err := DecodeEntries(make([]byte, 13)); err == nil {
+		t.Error("DecodeEntries accepted a ragged buffer")
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(ids []uint64, counts []uint32) bool {
+		n := len(ids)
+		if len(counts) < n {
+			n = len(counts)
+		}
+		es := make([]Entry, n)
+		for i := 0; i < n; i++ {
+			es[i] = Entry{ID: kmer.ID(ids[i]), Count: counts[i]}
+		}
+		back, err := DecodeEntries(EncodeEntries(nil, es))
+		if err != nil || len(back) != n {
+			return false
+		}
+		for i := range es {
+			if back[i] != es[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemBytesOrdering(t *testing.T) {
+	_, es := buildRandom(10000, 8)
+	h := NewHash(0)
+	for _, e := range es {
+		h.Add(e.ID, e.Count)
+	}
+	s := NewSorted(es)
+	c := NewCacheAware(es)
+	if h.MemBytes() <= s.MemBytes() {
+		t.Errorf("hash store (%d) should cost more than sorted array (%d)", h.MemBytes(), s.MemBytes())
+	}
+	if c.MemBytes() < s.MemBytes() {
+		t.Errorf("cache-aware (%d) should pad above sorted (%d)", c.MemBytes(), s.MemBytes())
+	}
+}

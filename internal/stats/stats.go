@@ -1,0 +1,173 @@
+// Package stats defines the per-rank event counters the distributed engine
+// records and the aggregations the experiments report.
+//
+// The paper's figures are all functions of these counters: per-rank k-mer/
+// tile spectrum sizes (Fig 3), errors corrected and communication volume
+// per rank (Fig 4), memory footprints per heuristic (Fig 5), and phase
+// times (Figs 2, 6-8) which the machine model projects from the counters.
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// Phase indexes the engine's execution phases.
+type Phase int
+
+// Execution phases in paper order: Step I (read+balance), Steps II-III
+// (spectrum build + exchange), Step IV (correction).
+const (
+	PhaseRead Phase = iota
+	PhaseBalance
+	PhaseSpectrum
+	PhaseExchange
+	PhaseCorrect
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{"read", "balance", "spectrum", "exchange", "correct"}
+
+// String returns the phase name.
+func (p Phase) String() string {
+	if p < 0 || p >= NumPhases {
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// Rank holds one rank's counters for a run. The engine writes it from the
+// rank's own goroutines; it must not be read until the run completes.
+type Rank struct {
+	Rank int
+
+	// Step I / load balancing.
+	ReadsAssigned  int64 // reads this rank ended up correcting
+	ReadsExchanged int64 // reads shipped away during balancing
+	ReadBases      int64 // input bases parsed by this rank
+
+	// Spectrum construction (Steps II-III).
+	KmersExtracted int64
+	TilesExtracted int64
+	OwnedKmers     int64 // final (pruned) owned k-mer spectrum size
+	OwnedTiles     int64
+	ReadsKmers     int64 // peak size of the readsKmer table
+	ReadsTiles     int64
+
+	// Correction (Step IV), worker side.
+	KmerLookupsLocal  int64
+	TileLookupsLocal  int64
+	KmerLookupsRemote int64
+	TileLookupsRemote int64
+	RemoteMisses      int64 // remote lookups answered "does not exist"
+	CacheHits         int64 // hits in the remote-lookup cache heuristic
+	BasesCorrected    int64
+	ReadsChanged      int64
+
+	// Correction, responder side.
+	RequestsServed int64
+
+	// Transport totals (whole run).
+	MsgsSent  int64
+	BytesSent int64
+	// Correction-phase per-destination tallies (request traffic only),
+	// for intra/inter-node splits in the machine model.
+	MsgsTo  []int64
+	BytesTo []int64
+	// ExchangeBytes is what this rank sent through collectives during
+	// spectrum construction and load balancing.
+	ExchangeBytes int64
+	// MaxInboxDepth is the transport mailbox's high-water mark: how far
+	// behind this rank's receivers fell at the worst moment.
+	MaxInboxDepth int64
+
+	// Peak application memory this rank held (spectra + reads tables +
+	// caches), in bytes.
+	PeakMemBytes int64
+	// Fig 5 reports the highest-footprint rank "after the k-mer
+	// construction and the error correction steps"; these are those two
+	// snapshots.
+	MemAfterConstruct int64
+	MemAfterCorrect   int64
+
+	// Measured wall time per phase.
+	Wall [NumPhases]time.Duration
+}
+
+// TotalRemoteLookups returns all lookups that left the rank.
+func (r *Rank) TotalRemoteLookups() int64 {
+	return r.KmerLookupsRemote + r.TileLookupsRemote
+}
+
+// TotalLocalLookups returns all lookups answered from local tables.
+func (r *Rank) TotalLocalLookups() int64 {
+	return r.KmerLookupsLocal + r.TileLookupsLocal
+}
+
+// ObserveMem records a memory high-water mark.
+func (r *Rank) ObserveMem(bytes int64) {
+	if bytes > r.PeakMemBytes {
+		r.PeakMemBytes = bytes
+	}
+}
+
+// Run aggregates every rank's counters for one engine execution.
+type Run struct {
+	Ranks []Rank
+	// Wall is the launcher-observed wall time per phase (max across ranks,
+	// measured outside the rank goroutines).
+	Wall [NumPhases]time.Duration
+}
+
+// NumRanks returns the rank count.
+func (r *Run) NumRanks() int { return len(r.Ranks) }
+
+// Sum folds a per-rank field across ranks.
+func (r *Run) Sum(f func(*Rank) int64) int64 {
+	var s int64
+	for i := range r.Ranks {
+		s += f(&r.Ranks[i])
+	}
+	return s
+}
+
+// Max returns the maximum of a per-rank field.
+func (r *Run) Max(f func(*Rank) int64) int64 {
+	var m int64
+	for i := range r.Ranks {
+		if v := f(&r.Ranks[i]); i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of a per-rank field.
+func (r *Run) Min(f func(*Rank) int64) int64 {
+	var m int64
+	for i := range r.Ranks {
+		if v := f(&r.Ranks[i]); i == 0 || v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// SpreadPct returns (max-min)/max as a percentage — the uniformity metric
+// Fig 3 reports for per-rank spectrum sizes.
+func (r *Run) SpreadPct(f func(*Rank) int64) float64 {
+	max := r.Max(f)
+	if max == 0 {
+		return 0
+	}
+	return 100 * float64(max-r.Min(f)) / float64(max)
+}
+
+// TotalWall returns the sum of all phase wall times.
+func (r *Run) TotalWall() time.Duration {
+	var t time.Duration
+	for _, w := range r.Wall {
+		t += w
+	}
+	return t
+}

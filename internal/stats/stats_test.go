@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func sampleRun() *Run {
+	return &Run{
+		Ranks: []Rank{
+			{Rank: 0, OwnedKmers: 100, BasesCorrected: 10, KmerLookupsLocal: 5, TileLookupsLocal: 5, KmerLookupsRemote: 2, TileLookupsRemote: 8},
+			{Rank: 1, OwnedKmers: 110, BasesCorrected: 30},
+			{Rank: 2, OwnedKmers: 90, BasesCorrected: 20},
+		},
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseRead.String() != "read" || PhaseCorrect.String() != "correct" {
+		t.Error("phase names wrong")
+	}
+	if Phase(99).String() == "" {
+		t.Error("out-of-range phase has empty name")
+	}
+}
+
+func TestAggregations(t *testing.T) {
+	r := sampleRun()
+	owned := func(rk *Rank) int64 { return rk.OwnedKmers }
+	if got := r.Sum(owned); got != 300 {
+		t.Errorf("Sum = %d", got)
+	}
+	if got := r.Max(owned); got != 110 {
+		t.Errorf("Max = %d", got)
+	}
+	if got := r.Min(owned); got != 90 {
+		t.Errorf("Min = %d", got)
+	}
+	spread := r.SpreadPct(owned)
+	if spread < 18 || spread > 19 {
+		t.Errorf("SpreadPct = %f, want (110-90)/110*100", spread)
+	}
+}
+
+func TestSpreadPctZero(t *testing.T) {
+	r := &Run{Ranks: []Rank{{}, {}}}
+	if r.SpreadPct(func(rk *Rank) int64 { return rk.OwnedKmers }) != 0 {
+		t.Error("SpreadPct of zeros nonzero")
+	}
+}
+
+func TestLookupTotals(t *testing.T) {
+	rk := &sampleRun().Ranks[0]
+	if rk.TotalLocalLookups() != 10 {
+		t.Errorf("local = %d", rk.TotalLocalLookups())
+	}
+	if rk.TotalRemoteLookups() != 10 {
+		t.Errorf("remote = %d", rk.TotalRemoteLookups())
+	}
+}
+
+func TestObserveMem(t *testing.T) {
+	var rk Rank
+	rk.ObserveMem(100)
+	rk.ObserveMem(50)
+	rk.ObserveMem(200)
+	if rk.PeakMemBytes != 200 {
+		t.Errorf("PeakMemBytes = %d", rk.PeakMemBytes)
+	}
+}
+
+func TestTotalWall(t *testing.T) {
+	r := &Run{}
+	r.Wall[PhaseRead] = time.Second
+	r.Wall[PhaseCorrect] = 2 * time.Second
+	if r.TotalWall() != 3*time.Second {
+		t.Errorf("TotalWall = %v", r.TotalWall())
+	}
+}

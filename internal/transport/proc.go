@@ -1,0 +1,42 @@
+package transport
+
+import "fmt"
+
+// NewProcGroup creates np in-process endpoints wired directly to each
+// other's mailboxes: the transport used when ranks are goroutines of one
+// process (all tests, benches, and the default engine mode).
+//
+// Delivery is a direct mailbox insert, so a Send happens-before the
+// matching Recv returns, and per-(sender,tag) FIFO order follows from each
+// sender being a single goroutine per tag stream.
+func NewProcGroup(np int) ([]*Endpoint, error) {
+	if np < 1 {
+		return nil, fmt.Errorf("transport: group size %d < 1", np)
+	}
+	eps := make([]*Endpoint, np)
+	for r := 0; r < np; r++ {
+		eps[r] = &Endpoint{
+			rank:     r,
+			size:     np,
+			mbox:     newMailbox(),
+			counters: NewCounters(np),
+		}
+	}
+	for r := 0; r < np; r++ {
+		eps[r].sendFn = func(to int, m Message) error {
+			return eps[to].deliver(m)
+		}
+	}
+	return eps, nil
+}
+
+// CloseGroup closes every endpoint, returning the first error.
+func CloseGroup(eps []*Endpoint) error {
+	var first error
+	for _, e := range eps {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,217 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPConfig describes one rank of a multi-process TCP group. Addrs lists
+// every rank's listen address in rank order; all processes must agree on it
+// (the moral equivalent of an MPI host file).
+type TCPConfig struct {
+	Rank  int
+	Addrs []string
+	// DialTimeout bounds the whole connection-establishment phase.
+	// Zero means 30s.
+	DialTimeout time.Duration
+	// Retry is the delay between dial attempts while peers start up.
+	// Zero means 50ms.
+	Retry time.Duration
+}
+
+// frame layout: tag int32 | length uint32 | payload. The sender's rank is
+// established once per connection by a 4-byte hello, not repeated per frame.
+const frameHeader = 8
+
+// maxFrame bounds a single payload; collectives chunk beneath this.
+const maxFrame = 1 << 30
+
+// tcpPeer is one live connection with a serialized writer.
+type tcpPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (p *tcpPeer) write(tag int, data []byte) error {
+	buf := make([]byte, frameHeader+len(data))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(data)))
+	copy(buf[frameHeader:], data)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.conn.Write(buf)
+	return err
+}
+
+// NewTCP joins (or forms) a full-mesh TCP group and returns this rank's
+// endpoint, blocking until every pairwise connection is up. Rank i accepts
+// connections from ranks j > i and dials ranks j < i, so each pair shares
+// exactly one duplex connection.
+func NewTCP(cfg TCPConfig) (*Endpoint, error) {
+	np := len(cfg.Addrs)
+	if np < 1 {
+		return nil, fmt.Errorf("transport: empty address list")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= np {
+		return nil, fmt.Errorf("transport: rank %d out of range [0,%d)", cfg.Rank, np)
+	}
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout == 0 {
+		dialTimeout = 30 * time.Second
+	}
+	retry := cfg.Retry
+	if retry == 0 {
+		retry = 50 * time.Millisecond
+	}
+
+	e := &Endpoint{
+		rank:     cfg.Rank,
+		size:     np,
+		mbox:     newMailbox(),
+		counters: NewCounters(np),
+	}
+	peers := make([]*tcpPeer, np)
+
+	var ln net.Listener
+	needAccepts := np - 1 - cfg.Rank
+	if needAccepts > 0 {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("transport: rank %d listen: %w", cfg.Rank, err)
+		}
+	}
+
+	errc := make(chan error, np)
+	var wg sync.WaitGroup
+
+	// Accept from higher ranks.
+	if needAccepts > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < needAccepts; i++ {
+				conn, err := ln.Accept()
+				if err != nil {
+					errc <- err
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					errc <- err
+					return
+				}
+				from := int(binary.LittleEndian.Uint32(hello[:]))
+				if from <= cfg.Rank || from >= np {
+					errc <- fmt.Errorf("transport: bogus hello from rank %d", from)
+					return
+				}
+				peers[from] = &tcpPeer{conn: conn}
+			}
+		}()
+	}
+
+	// Dial lower ranks.
+	for j := 0; j < cfg.Rank; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			deadline := time.Now().Add(dialTimeout)
+			for {
+				conn, err := net.Dial("tcp", cfg.Addrs[j])
+				if err == nil {
+					var hello [4]byte
+					binary.LittleEndian.PutUint32(hello[:], uint32(cfg.Rank))
+					if _, err := conn.Write(hello[:]); err != nil {
+						errc <- err
+						return
+					}
+					peers[j] = &tcpPeer{conn: conn}
+					return
+				}
+				if time.Now().After(deadline) {
+					errc <- fmt.Errorf("transport: rank %d dialing rank %d: %w", cfg.Rank, j, err)
+					return
+				}
+				time.Sleep(retry)
+			}
+		}(j)
+	}
+
+	wg.Wait()
+	if ln != nil {
+		ln.Close()
+	}
+	select {
+	case err := <-errc:
+		for _, p := range peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+		return nil, err
+	default:
+	}
+
+	// Reader goroutines: one per peer, delivering into the shared mailbox.
+	for from, p := range peers {
+		if p == nil {
+			continue
+		}
+		go readLoop(e, from, p.conn)
+	}
+
+	e.sendFn = func(to int, m Message) error {
+		if to == e.rank {
+			return e.deliver(m)
+		}
+		if len(m.Data) > maxFrame {
+			return fmt.Errorf("transport: frame of %d bytes exceeds %d", len(m.Data), maxFrame)
+		}
+		return peers[to].write(m.Tag, m.Data)
+	}
+	e.closeFn = func() error {
+		for _, p := range peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+		return nil
+	}
+	return e, nil
+}
+
+func readLoop(e *Endpoint, from int, conn net.Conn) {
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // peer gone or endpoint closing
+		}
+		tag := int(int32(binary.LittleEndian.Uint32(hdr[0:4])))
+		n := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxFrame {
+			return
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		if err := e.deliver(Message{From: from, Tag: tag, Data: data}); err != nil {
+			return
+		}
+	}
+}
+
+// LoopbackAddrs returns np distinct loopback addresses starting at basePort,
+// for single-machine TCP groups (examples and tests).
+func LoopbackAddrs(np, basePort int) []string {
+	out := make([]string, np)
+	for i := range out {
+		out[i] = fmt.Sprintf("127.0.0.1:%d", basePort+i)
+	}
+	return out
+}

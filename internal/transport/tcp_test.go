@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freeAddrs reserves np distinct loopback ports by briefly listening.
+func freeAddrs(t *testing.T, np int) []string {
+	t.Helper()
+	addrs := make([]string, np)
+	lns := make([]net.Listener, np)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// tcpGroup spins up np TCP endpoints on loopback.
+func tcpGroup(t *testing.T, np int) []*Endpoint {
+	t.Helper()
+	addrs := freeAddrs(t, np)
+	eps := make([]*Endpoint, np)
+	var wg sync.WaitGroup
+	errs := make(chan error, np)
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			e, err := NewTCP(TCPConfig{Rank: r, Addrs: addrs, DialTimeout: 10 * time.Second})
+			if err != nil {
+				errs <- fmt.Errorf("rank %d: %w", r, err)
+				return
+			}
+			eps[r] = e
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	t.Cleanup(func() { CloseGroup(eps) })
+	return eps
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	eps := tcpGroup(t, 3)
+	if err := eps[0].Send(2, 5, []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := eps[2].Recv(5)
+	if err != nil || m.From != 0 || string(m.Data) != "over tcp" {
+		t.Fatalf("got %+v, %v", m, err)
+	}
+	// And the reverse direction on the same duplex connection.
+	if err := eps[2].Send(0, 6, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	m, err = eps[0].Recv(6)
+	if err != nil || m.From != 2 || string(m.Data) != "back" {
+		t.Fatalf("got %+v, %v", m, err)
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	eps := tcpGroup(t, 2)
+	eps[1].Send(1, 9, []byte("loop"))
+	m, err := eps[1].Recv(9)
+	if err != nil || string(m.Data) != "loop" {
+		t.Fatalf("self send over tcp: %+v %v", m, err)
+	}
+}
+
+func TestTCPLargeAndEmptyPayloads(t *testing.T) {
+	eps := tcpGroup(t, 2)
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	eps[0].Send(1, 1, big)
+	eps[0].Send(1, 1, nil)
+	m, err := eps[1].Recv(1)
+	if err != nil || len(m.Data) != len(big) {
+		t.Fatalf("large frame: %d bytes, %v", len(m.Data), err)
+	}
+	for i := 0; i < len(big); i += 4099 {
+		if m.Data[i] != byte(i) {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+	m, err = eps[1].Recv(1)
+	if err != nil || len(m.Data) != 0 {
+		t.Fatalf("empty frame: %+v %v", m, err)
+	}
+}
+
+func TestTCPManyConcurrentMessages(t *testing.T) {
+	eps := tcpGroup(t, 4)
+	const per = 300
+	var wg sync.WaitGroup
+	for _, e := range eps {
+		wg.Add(1)
+		go func(e *Endpoint) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for to := 0; to < 4; to++ {
+					if to != e.Rank() {
+						e.Send(to, 2, []byte{byte(e.Rank()), byte(i), byte(i >> 8)})
+					}
+				}
+			}
+		}(e)
+	}
+	recvCounts := make([][4]int, 4)
+	for i, e := range eps {
+		wg.Add(1)
+		go func(i int, e *Endpoint) {
+			defer wg.Done()
+			for n := 0; n < per*3; n++ {
+				m, err := e.Recv(2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Per-sender FIFO check.
+				from := int(m.Data[0])
+				seq := int(m.Data[1]) | int(m.Data[2])<<8
+				if seq != recvCounts[i][from] {
+					t.Errorf("rank %d: from %d got seq %d want %d", i, from, seq, recvCounts[i][from])
+					return
+				}
+				recvCounts[i][from]++
+			}
+		}(i, e)
+	}
+	wg.Wait()
+}
+
+func TestTCPConfigValidation(t *testing.T) {
+	if _, err := NewTCP(TCPConfig{Rank: 0}); err == nil {
+		t.Error("accepted empty address list")
+	}
+	if _, err := NewTCP(TCPConfig{Rank: 5, Addrs: []string{"a", "b"}}); err == nil {
+		t.Error("accepted out-of-range rank")
+	}
+}
+
+func TestTCPDialTimeout(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	// Rank 1 dials rank 0, which never listens.
+	_, err := NewTCP(TCPConfig{Rank: 1, Addrs: addrs, DialTimeout: 200 * time.Millisecond, Retry: 20 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dial to absent peer succeeded")
+	}
+}
+
+func TestLoopbackAddrs(t *testing.T) {
+	addrs := LoopbackAddrs(3, 9000)
+	if len(addrs) != 3 || addrs[0] != "127.0.0.1:9000" || addrs[2] != "127.0.0.1:9002" {
+		t.Errorf("LoopbackAddrs = %v", addrs)
+	}
+}

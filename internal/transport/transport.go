@@ -1,0 +1,308 @@
+// Package transport is the message-passing substrate the distributed
+// Reptile engine runs on — the stand-in for MPI on BlueGene/Q, built from
+// scratch on the standard library as the paper's algorithm requires only a
+// small slice of MPI semantics:
+//
+//   - tagged point-to-point sends with per-(sender,tag) FIFO ordering,
+//   - selective receive by tag (the MPI_Probe + tagged-recv pattern) and
+//     receive-any (the paper's "universal" heuristic),
+//   - and collectives (package collective) layered on top.
+//
+// Two transports implement the same Endpoint surface: proc (ranks are
+// goroutines in one process, delivery over in-memory mailboxes) and tcp
+// (one process per rank, full-mesh length-prefixed frames over net).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Message is one delivered unit: the sender's rank, the application tag,
+// and an owned payload.
+type Message struct {
+	From int
+	Tag  int
+	Data []byte
+}
+
+// Counters tracks per-endpoint traffic; the machine model converts these
+// into projected network time. All methods are safe for concurrent use.
+type Counters struct {
+	msgsSent  atomic.Int64
+	bytesSent atomic.Int64
+	msgsRecv  atomic.Int64
+	bytesRecv atomic.Int64
+	perDest   []atomic.Int64 // messages per destination rank
+	perDestB  []atomic.Int64 // bytes per destination rank
+}
+
+// NewCounters sizes the per-destination tallies for np ranks.
+func NewCounters(np int) *Counters {
+	return &Counters{
+		perDest:  make([]atomic.Int64, np),
+		perDestB: make([]atomic.Int64, np),
+	}
+}
+
+func (c *Counters) countSend(to, bytes int) {
+	c.msgsSent.Add(1)
+	c.bytesSent.Add(int64(bytes))
+	c.perDest[to].Add(1)
+	c.perDestB[to].Add(int64(bytes))
+}
+
+func (c *Counters) countRecv(bytes int) {
+	c.msgsRecv.Add(1)
+	c.bytesRecv.Add(int64(bytes))
+}
+
+// MsgsSent returns the total messages sent.
+func (c *Counters) MsgsSent() int64 { return c.msgsSent.Load() }
+
+// BytesSent returns the total payload bytes sent.
+func (c *Counters) BytesSent() int64 { return c.bytesSent.Load() }
+
+// MsgsRecv returns the total messages received (delivered to a Recv).
+func (c *Counters) MsgsRecv() int64 { return c.msgsRecv.Load() }
+
+// BytesRecv returns the total payload bytes received.
+func (c *Counters) BytesRecv() int64 { return c.bytesRecv.Load() }
+
+// MsgsTo returns messages sent to a specific rank.
+func (c *Counters) MsgsTo(rank int) int64 { return c.perDest[rank].Load() }
+
+// BytesTo returns bytes sent to a specific rank.
+func (c *Counters) BytesTo(rank int) int64 { return c.perDestB[rank].Load() }
+
+// PerDestSnapshot copies the current per-destination tallies; engines take
+// snapshots at phase boundaries to attribute traffic to phases.
+func (c *Counters) PerDestSnapshot() (msgs, bytes []int64) {
+	msgs = make([]int64, len(c.perDest))
+	bytes = make([]int64, len(c.perDestB))
+	for i := range c.perDest {
+		msgs[i] = c.perDest[i].Load()
+		bytes[i] = c.perDestB[i].Load()
+	}
+	return msgs, bytes
+}
+
+// Endpoint is one rank's connection to the group. It is safe for use by
+// multiple goroutines (the paper runs a worker thread and a communication
+// thread per rank).
+type Endpoint struct {
+	rank int
+	size int
+
+	mbox     *mailbox
+	counters *Counters
+
+	sendFn  func(to int, m Message) error
+	closeFn func() error
+
+	closed atomic.Bool
+}
+
+// Rank returns this endpoint's rank in [0, Size).
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Size returns the number of ranks in the group.
+func (e *Endpoint) Size() int { return e.size }
+
+// Counters returns the traffic counters.
+func (e *Endpoint) Counters() *Counters { return e.counters }
+
+// Send delivers data to rank `to` with the given tag. The payload is owned
+// by the transport after the call; callers must not reuse it. Self-sends
+// are legal and loop back through the local mailbox.
+func (e *Endpoint) Send(to, tag int, data []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if to < 0 || to >= e.size {
+		return fmt.Errorf("transport: send to rank %d of %d", to, e.size)
+	}
+	e.counters.countSend(to, len(data))
+	return e.sendFn(to, Message{From: e.rank, Tag: tag, Data: data})
+}
+
+// Recv blocks until a message with exactly this tag arrives (any sender).
+func (e *Endpoint) Recv(tag int) (Message, error) {
+	m, err := e.mbox.recv(func(t int) bool { return t == tag })
+	if err == nil {
+		e.counters.countRecv(len(m.Data))
+	}
+	return m, err
+}
+
+// RecvMatch blocks until a message whose tag satisfies match arrives. The
+// responder loop uses it to service multiple request tags at once.
+func (e *Endpoint) RecvMatch(match func(tag int) bool) (Message, error) {
+	m, err := e.mbox.recv(match)
+	if err == nil {
+		e.counters.countRecv(len(m.Data))
+	}
+	return m, err
+}
+
+// TryRecvMatch is RecvMatch without blocking; ok=false means no matching
+// message is currently queued.
+func (e *Endpoint) TryRecvMatch(match func(tag int) bool) (Message, bool, error) {
+	m, ok, err := e.mbox.tryRecv(match)
+	if ok {
+		e.counters.countRecv(len(m.Data))
+	}
+	return m, ok, err
+}
+
+// deliver enqueues an inbound message; transports call it from their
+// delivery paths.
+func (e *Endpoint) deliver(m Message) error {
+	return e.mbox.put(m)
+}
+
+// MaxQueueDepth returns the high-water mark of pending messages in this
+// endpoint's mailbox — the backlog a slow responder accumulated.
+func (e *Endpoint) MaxQueueDepth() int {
+	e.mbox.mu.Lock()
+	defer e.mbox.mu.Unlock()
+	return e.mbox.maxDepth
+}
+
+// Close shuts the endpoint down. Blocked receivers return ErrClosed.
+func (e *Endpoint) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	e.mbox.close()
+	if e.closeFn != nil {
+		return e.closeFn()
+	}
+	return nil
+}
+
+// mailbox is an unbounded tag-filterable message queue. Unboundedness is a
+// deliberate choice: the correction phase's request/response traffic forms
+// cycles between ranks, and any bounded intermediate queue could deadlock
+// under bursty load; memory for in-flight messages is part of the 512 MB
+// per-process budget the engine accounts for separately.
+// Messages are demultiplexed into per-tag FIFO queues on arrival, so a
+// selective receive is O(number of distinct tags), not O(queued messages):
+// MPI guarantees ordering only per (sender, tag), so per-tag FIFOs preserve
+// every ordering the algorithm may rely on.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	byTag  map[int]*tagQueue
+	closed bool
+	// Queue-depth accounting: depth is current pending messages, maxDepth
+	// the high-water mark. Unbounded queues make backlog invisible unless
+	// measured; the engine surfaces this per rank.
+	depth    int
+	maxDepth int
+}
+
+// tagQueue is a FIFO with an amortized-O(1) pop (head index advances and
+// the backing slice is compacted when mostly consumed).
+type tagQueue struct {
+	msgs []Message
+	head int
+}
+
+func (q *tagQueue) push(m Message) { q.msgs = append(q.msgs, m) }
+
+func (q *tagQueue) pop() (Message, bool) {
+	if q.head >= len(q.msgs) {
+		return Message{}, false
+	}
+	m := q.msgs[q.head]
+	q.msgs[q.head] = Message{} // release payload for GC
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.msgs) {
+		n := copy(q.msgs, q.msgs[q.head:])
+		q.msgs = q.msgs[:n]
+		q.head = 0
+	}
+	return m, true
+}
+
+func (q *tagQueue) empty() bool { return q.head >= len(q.msgs) }
+
+func newMailbox() *mailbox {
+	mb := &mailbox{byTag: make(map[int]*tagQueue)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m Message) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	q := mb.byTag[m.Tag]
+	if q == nil {
+		q = &tagQueue{}
+		mb.byTag[m.Tag] = q
+	}
+	q.push(m)
+	mb.depth++
+	if mb.depth > mb.maxDepth {
+		mb.maxDepth = mb.depth
+	}
+	mb.cond.Broadcast()
+	return nil
+}
+
+// take removes and returns a pending message whose tag matches.
+func (mb *mailbox) take(match func(int) bool) (Message, bool) {
+	for tag, q := range mb.byTag {
+		if q.empty() || !match(tag) {
+			continue
+		}
+		m, ok := q.pop()
+		if ok {
+			mb.depth--
+		}
+		return m, ok
+	}
+	return Message{}, false
+}
+
+func (mb *mailbox) recv(match func(int) bool) (Message, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if m, ok := mb.take(match); ok {
+			return m, nil
+		}
+		if mb.closed {
+			return Message{}, ErrClosed
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) tryRecv(match func(int) bool) (Message, bool, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if m, ok := mb.take(match); ok {
+		return m, true, nil
+	}
+	if mb.closed {
+		return Message{}, false, ErrClosed
+	}
+	return Message{}, false, nil
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}

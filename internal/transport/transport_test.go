@@ -1,0 +1,319 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func procPair(t *testing.T) (*Endpoint, *Endpoint) {
+	t.Helper()
+	eps, err := NewProcGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { CloseGroup(eps) })
+	return eps[0], eps[1]
+}
+
+func TestProcSendRecv(t *testing.T) {
+	a, b := procPair(t)
+	if err := a.Send(1, 7, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != 0 || m.Tag != 7 || string(m.Data) != "hello" {
+		t.Errorf("got %+v", m)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	a, _ := procPair(t)
+	if err := a.Send(0, 3, []byte("me")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.Recv(3)
+	if err != nil || string(m.Data) != "me" || m.From != 0 {
+		t.Errorf("self send: %+v %v", m, err)
+	}
+}
+
+func TestSendOutOfRange(t *testing.T) {
+	a, _ := procPair(t)
+	if err := a.Send(5, 0, nil); err == nil {
+		t.Error("accepted out-of-range destination")
+	}
+	if err := a.Send(-1, 0, nil); err == nil {
+		t.Error("accepted negative destination")
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	a, b := procPair(t)
+	a.Send(1, 1, []byte("one"))
+	a.Send(1, 2, []byte("two"))
+	// Receive tag 2 first even though tag 1 arrived first.
+	m, err := b.Recv(2)
+	if err != nil || string(m.Data) != "two" {
+		t.Fatalf("Recv(2) = %+v, %v", m, err)
+	}
+	m, err = b.Recv(1)
+	if err != nil || string(m.Data) != "one" {
+		t.Fatalf("Recv(1) = %+v, %v", m, err)
+	}
+}
+
+func TestPerTagFIFO(t *testing.T) {
+	a, b := procPair(t)
+	const n = 500
+	for i := 0; i < n; i++ {
+		a.Send(1, 9, []byte(fmt.Sprint(i)))
+	}
+	for i := 0; i < n; i++ {
+		m, err := b.Recv(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(m.Data) != fmt.Sprint(i) {
+			t.Fatalf("message %d out of order: %s", i, m.Data)
+		}
+	}
+}
+
+func TestRecvMatchMultipleTags(t *testing.T) {
+	a, b := procPair(t)
+	a.Send(1, 100, []byte("req"))
+	m, err := b.RecvMatch(func(tag int) bool { return tag == 100 || tag == 101 })
+	if err != nil || m.Tag != 100 {
+		t.Fatalf("RecvMatch: %+v %v", m, err)
+	}
+}
+
+func TestTryRecvMatch(t *testing.T) {
+	a, b := procPair(t)
+	if _, ok, err := b.TryRecvMatch(func(int) bool { return true }); ok || err != nil {
+		t.Error("TryRecvMatch on empty mailbox returned a message")
+	}
+	a.Send(1, 4, []byte("x"))
+	// Delivery is synchronous in the proc transport.
+	m, ok, err := b.TryRecvMatch(func(tag int) bool { return tag == 4 })
+	if !ok || err != nil || string(m.Data) != "x" {
+		t.Errorf("TryRecvMatch = %+v %v %v", m, ok, err)
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	a, b := procPair(t)
+	done := make(chan Message, 1)
+	go func() {
+		m, _ := b.Recv(8)
+		done <- m
+	}()
+	select {
+	case <-done:
+		t.Fatal("Recv returned before any send")
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Send(1, 8, []byte("late"))
+	select {
+	case m := <-done:
+		if string(m.Data) != "late" {
+			t.Errorf("got %q", m.Data)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv never woke up")
+	}
+}
+
+func TestCloseWakesReceivers(t *testing.T) {
+	_, b := procPair(t)
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := b.Recv(1)
+			errs <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != ErrClosed {
+				t.Errorf("Recv after close = %v, want ErrClosed", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("receiver not woken by Close")
+		}
+	}
+	if err := b.Send(0, 1, nil); err != ErrClosed {
+		t.Errorf("Send after close = %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("double Close = %v", err)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	a, b := procPair(t)
+	a.Send(1, 1, make([]byte, 10))
+	a.Send(1, 1, make([]byte, 20))
+	a.Send(0, 1, make([]byte, 5))
+	b.Recv(1)
+	c := a.Counters()
+	if c.MsgsSent() != 3 || c.BytesSent() != 35 {
+		t.Errorf("sent: %d msgs %d bytes", c.MsgsSent(), c.BytesSent())
+	}
+	if c.MsgsTo(1) != 2 || c.BytesTo(1) != 30 || c.MsgsTo(0) != 1 {
+		t.Errorf("per-dest: to1=%d/%d to0=%d", c.MsgsTo(1), c.BytesTo(1), c.MsgsTo(0))
+	}
+	if b.Counters().MsgsRecv() != 1 || b.Counters().BytesRecv() != 10 {
+		t.Errorf("recv counters: %d/%d", b.Counters().MsgsRecv(), b.Counters().BytesRecv())
+	}
+}
+
+func TestConcurrentSendersAndReceivers(t *testing.T) {
+	eps, err := NewProcGroup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseGroup(eps)
+	const per = 200
+	var wg sync.WaitGroup
+	// Every rank sends `per` messages to every other rank.
+	for _, e := range eps {
+		wg.Add(1)
+		go func(e *Endpoint) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for to := 0; to < 4; to++ {
+					if to != e.Rank() {
+						if err := e.Send(to, 11, []byte{byte(i)}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}
+		}(e)
+	}
+	counts := make([]int, 4)
+	for i, e := range eps {
+		wg.Add(1)
+		go func(i int, e *Endpoint) {
+			defer wg.Done()
+			for n := 0; n < per*3; n++ {
+				if _, err := e.Recv(11); err != nil {
+					t.Error(err)
+					return
+				}
+				counts[i]++
+			}
+		}(i, e)
+	}
+	wg.Wait()
+	for i, c := range counts {
+		if c != per*3 {
+			t.Errorf("rank %d received %d, want %d", i, c, per*3)
+		}
+	}
+}
+
+// TestConcurrentSelectiveReceiversDoNotSteal pins the worker/responder
+// invariant of the correction phase: a receiver waiting on tag A never
+// consumes tag-B messages, even under interleaved load from two goroutines
+// on the same endpoint.
+func TestConcurrentSelectiveReceiversDoNotSteal(t *testing.T) {
+	eps, err := NewProcGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseGroup(eps)
+	const n = 300
+	done := make(chan error, 2)
+	// "Responder": receives only tag 1.
+	go func() {
+		for i := 0; i < n; i++ {
+			m, err := eps[1].RecvMatch(func(tag int) bool { return tag == 1 })
+			if err != nil {
+				done <- err
+				return
+			}
+			if m.Tag != 1 {
+				done <- fmt.Errorf("responder got tag %d", m.Tag)
+				return
+			}
+		}
+		done <- nil
+	}()
+	// "Worker": receives only tag 2.
+	go func() {
+		for i := 0; i < n; i++ {
+			m, err := eps[1].Recv(2)
+			if err != nil {
+				done <- err
+				return
+			}
+			if m.Tag != 2 || int(m.Data[0]) != i%256 {
+				done <- fmt.Errorf("worker got tag %d seq %d at %d", m.Tag, m.Data[0], i)
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < n; i++ {
+		if err := eps[0].Send(1, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := eps[0].Send(1, 2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMaxQueueDepth(t *testing.T) {
+	a, b := procPair(t)
+	if b.MaxQueueDepth() != 0 {
+		t.Error("fresh endpoint has nonzero depth")
+	}
+	for i := 0; i < 10; i++ {
+		a.Send(1, 1, nil)
+	}
+	if got := b.MaxQueueDepth(); got != 10 {
+		t.Errorf("high-water mark %d, want 10", got)
+	}
+	for i := 0; i < 10; i++ {
+		b.Recv(1)
+	}
+	// Draining does not lower the high-water mark.
+	if got := b.MaxQueueDepth(); got != 10 {
+		t.Errorf("high-water mark after drain %d, want 10", got)
+	}
+	a.Send(1, 1, nil)
+	if got := b.MaxQueueDepth(); got != 10 {
+		t.Errorf("mark grew without exceeding previous peak: %d", got)
+	}
+}
+
+func TestNewProcGroupValidation(t *testing.T) {
+	if _, err := NewProcGroup(0); err == nil {
+		t.Error("accepted size 0")
+	}
+	eps, err := NewProcGroup(1)
+	if err != nil || len(eps) != 1 {
+		t.Fatalf("size-1 group: %v", err)
+	}
+	defer CloseGroup(eps)
+	if eps[0].Size() != 1 || eps[0].Rank() != 0 {
+		t.Error("size-1 group misconfigured")
+	}
+}

@@ -1,0 +1,188 @@
+// Package reptile is a distributed-memory implementation of the Reptile
+// short-read error-correction algorithm, reproducing "A Memory and Time
+// Scalable Parallelization of the Reptile Error-Correction Code"
+// (Sachdeva, Aluru, Bader — IPDPSW 2016).
+//
+// Both the k-mer spectrum and the tile spectrum are partitioned across
+// ranks by owner hashing; correction resolves missing spectrum entries by
+// messaging the owning rank, so any number of ranks with any per-rank
+// memory can correct any dataset. Ranks run as goroutines over an
+// in-process transport by default, or as separate processes over TCP.
+//
+// Quick start:
+//
+//	ds := reptile.EColiSim.Scaled(0.05).Build()        // synthetic dataset
+//	opts := reptile.DefaultOptions()
+//	opts.Config = reptile.ConfigForCoverage(ds.Coverage())
+//	out, err := reptile.Run(&reptile.MemorySource{Reads: ds.Reads}, 16, opts)
+//	acc, _ := ds.Evaluate(out.Corrected())             // scored vs ground truth
+//
+// The exported surface is a facade over the internal packages; every type
+// alias below carries its full method set.
+package reptile
+
+import (
+	"reptile/internal/core"
+	"reptile/internal/genome"
+	"reptile/internal/machine"
+	"reptile/internal/reads"
+	irept "reptile/internal/reptile"
+	"reptile/internal/stats"
+)
+
+// Read is one short read: 1-based sequence number, 2-bit base codes, and
+// per-base Phred quality scores.
+type Read = reads.Read
+
+// Config holds the Reptile correction parameters (k-mer/tile geometry,
+// solidity thresholds, quality-driven candidate search limits).
+type Config = irept.Config
+
+// Result aggregates correction outcomes (reads processed/changed, bases
+// corrected, tile-level accounting).
+type Result = irept.Result
+
+// DefaultConfig returns the baseline correction parameters (k=12, 20-base
+// tiles).
+func DefaultConfig() Config { return irept.Default() }
+
+// ConfigForCoverage adapts the solidity thresholds to a dataset's read
+// coverage.
+func ConfigForCoverage(cov float64) Config { return irept.ForCoverage(cov) }
+
+// Correct runs the sequential (single-process, in-memory) Reptile pipeline:
+// build spectra, correct a copy of the reads, return them with statistics.
+func Correct(batch []Read, cfg Config) ([]Read, Result, error) {
+	return irept.CorrectDataset(batch, cfg)
+}
+
+// Options configures a distributed run: correction parameters, the paper's
+// Section III-B heuristics, and static load balancing.
+type Options = core.Options
+
+// Heuristics selects the paper's optional execution modes: universal
+// messages, retained read k-mers/tiles, spectrum replication, remote-lookup
+// caching, batched reads tables, and partial replication.
+type Heuristics = core.Heuristics
+
+// Layout selects the replicated-spectrum storage layout: this paper's hash
+// tables, or the prior art's sorted / cache-aware arrays.
+type Layout = core.Layout
+
+// Replicated-spectrum layouts.
+const (
+	LayoutHash       = core.LayoutHash
+	LayoutSorted     = core.LayoutSorted
+	LayoutCacheAware = core.LayoutCacheAware
+)
+
+// DefaultOptions is the configuration the paper's scaling runs use: base
+// heuristics with static load balancing enabled.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Source provides each rank's shard of the input.
+type Source = core.Source
+
+// MemorySource shards an in-memory read set.
+type MemorySource = core.MemorySource
+
+// FileSource shards a fasta + quality file pair with byte-offset
+// partitioning (the paper's Step I).
+type FileSource = core.FileSource
+
+// Output is a distributed run's result: corrected reads, per-rank
+// statistics, and correction totals.
+type Output = core.Output
+
+// RankOutput is a single rank's result, for callers driving RunRank over
+// their own transport.
+type RankOutput = core.RankOutput
+
+// Run executes the distributed pipeline with np goroutine ranks inside
+// this process.
+func Run(src Source, np int, opts Options) (*Output, error) {
+	return core.Run(src, np, opts)
+}
+
+// Sink receives corrected reads incrementally during a streaming run.
+type Sink = core.Sink
+
+// SinkFactory builds one rank's sink.
+type SinkFactory = core.SinkFactory
+
+// CollectSink accumulates corrected reads in memory.
+type CollectSink = core.CollectSink
+
+// FileSink streams corrected reads to a fasta + quality pair.
+type FileSink = core.FileSink
+
+// NewFileSink creates <prefix>.fa and <prefix>.qual.
+func NewFileSink(prefix string) (*FileSink, error) { return core.NewFileSink(prefix) }
+
+// RunStreaming executes the pipeline in the paper's low-memory shape: reads
+// are never held whole — the source is traversed once for spectrum
+// construction and once more during correction, with each corrected chunk
+// handed to the rank's sink and dropped.
+func RunStreaming(src Source, np int, opts Options, sinks SinkFactory) (*Output, error) {
+	return core.RunStreaming(src, np, opts, sinks)
+}
+
+// Dataset is a simulated read set with ground truth for accuracy scoring.
+type Dataset = genome.Dataset
+
+// Accuracy is the per-base correction score sheet (TP/FP/FN, gain,
+// sensitivity, precision).
+type Accuracy = genome.Accuracy
+
+// Preset names a scaled synthetic dataset mirroring the paper's Table I.
+type Preset = genome.Preset
+
+// The Table I datasets: E.Coli (96X), Drosophila (75X), Human (47X),
+// scaled to workstation size with read length and coverage preserved.
+var (
+	EColiSim      = genome.EColiSim
+	DrosophilaSim = genome.DrosophilaSim
+	HumanSim      = genome.HumanSim
+)
+
+// SimulateRNASeq builds a dataset with RNA-seq-like coverage skew: the
+// genome is carved into `transcripts` regions with Zipf-distributed
+// abundances and reads are drawn proportionally — the non-uniform workload
+// the paper's introduction motivates the distributed spectrum with.
+func SimulateRNASeq(name string, genomeLen, nReads, readLen, transcripts int, seed int64) *Dataset {
+	g := genome.NewGenome(genomeLen, seed)
+	abs := genome.TranscriptomeAbundances(genomeLen, transcripts, seed+1)
+	return genome.SimulateNonUniform(name, g, nReads, genome.DefaultProfile(readLen), abs, seed+2)
+}
+
+// RunStats carries every rank's counters for a finished run.
+type RunStats = stats.Run
+
+// RankStats is one rank's counter set.
+type RankStats = stats.Rank
+
+// MachineModel converts measured per-rank event counters into projected
+// BlueGene/Q phase times.
+type MachineModel = machine.Model
+
+// MachineShape describes the rank layout (ranks, ranks/node, threads).
+type MachineShape = machine.Shape
+
+// Projection is a modeled run timing.
+type Projection = machine.Projection
+
+// BGQ returns the BlueGene/Q cost model from the paper's Section IV.
+func BGQ() MachineModel { return machine.BGQ() }
+
+// Project applies a machine model to a finished run, matching the wire
+// sizes and probe behaviour of the run's heuristics.
+func Project(m MachineModel, run *RunStats, shape MachineShape, h Heuristics) (Projection, error) {
+	universal, req, resp := core.ProjectOptsFor(h)
+	return m.Project(run, shape, machine.ProjectOpts{Universal: universal, ReqBytes: req, RespBytes: resp})
+}
+
+// Efficiency is the parallel efficiency of scaling from (baseRanks,
+// baseTime) to (ranks, time).
+func Efficiency(baseRanks int, baseTime float64, ranks int, time float64) float64 {
+	return machine.Efficiency(baseRanks, baseTime, ranks, time)
+}

@@ -1,0 +1,129 @@
+package reptile
+
+import (
+	"testing"
+)
+
+// The facade tests exercise the public API exactly as README documents it.
+
+func TestQuickstartFlow(t *testing.T) {
+	ds := EColiSim.Scaled(0.02).Build()
+	if ds.NumReads() == 0 || ds.TotalErrors() == 0 {
+		t.Fatal("degenerate dataset")
+	}
+	opts := DefaultOptions()
+	opts.Config = ConfigForCoverage(ds.Coverage())
+	out, err := Run(&MemorySource{Reads: ds.Reads}, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ds.Evaluate(out.Corrected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Gain() < 0.6 {
+		t.Errorf("quickstart gain %.3f below 0.6", acc.Gain())
+	}
+}
+
+func TestSequentialFacade(t *testing.T) {
+	ds := EColiSim.Scaled(0.02).Build()
+	corrected, res, err := Correct(ds.Reads, ConfigForCoverage(ds.Coverage()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BasesCorrected == 0 {
+		t.Error("sequential facade corrected nothing")
+	}
+	if len(corrected) != len(ds.Reads) {
+		t.Errorf("got %d reads", len(corrected))
+	}
+}
+
+func TestProjectionFacade(t *testing.T) {
+	ds := EColiSim.Scaled(0.02).Build()
+	opts := DefaultOptions()
+	opts.Config = ConfigForCoverage(ds.Coverage())
+	out, err := Run(&MemorySource{Reads: ds.Reads}, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := MachineShape{Ranks: 8, RanksPerNode: 8, ThreadsPerRank: 2}
+	proj, err := Project(BGQ(), &out.Run, shape, opts.Heuristics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.TotalTime() <= 0 {
+		t.Error("projection produced non-positive time")
+	}
+	if e := Efficiency(8, proj.TotalTime(), 16, proj.TotalTime()/1.5); e <= 0 {
+		t.Error("Efficiency facade broken")
+	}
+}
+
+func TestStreamingFacade(t *testing.T) {
+	ds := EColiSim.Scaled(0.02).Build()
+	opts := DefaultOptions()
+	opts.Config = ConfigForCoverage(ds.Coverage())
+	opts.Config.ChunkReads = 512
+	opts.AutoThresholds = true
+
+	dir := t.TempDir()
+	factory := func(rank int) (Sink, error) {
+		return NewFileSink(dir + "/out")
+	}
+	// Single rank so the one FileSink isn't contended.
+	out, err := RunStreaming(&MemorySource{Reads: ds.Reads}, 1, opts, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.BasesCorrected == 0 {
+		t.Error("streaming facade corrected nothing")
+	}
+}
+
+func TestSimulateRNASeqFacade(t *testing.T) {
+	ds := SimulateRNASeq("rna", 20000, 3000, 90, 12, 5)
+	if ds.NumReads() != 3000 {
+		t.Fatalf("NumReads = %d", ds.NumReads())
+	}
+	if ds.TotalErrors() == 0 {
+		t.Error("no errors injected")
+	}
+	// Coverage skew: some genome decile must hold >2x the uniform share.
+	decile := make([]int, 10)
+	for _, p := range ds.Pos {
+		decile[p*10/ds.Genome.Len()]++
+	}
+	max := 0
+	for _, d := range decile {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 600 { // uniform share would be 300
+		t.Errorf("no coverage skew: deciles %v", decile)
+	}
+}
+
+func TestLayoutFacade(t *testing.T) {
+	ds := EColiSim.Scaled(0.015).Build()
+	opts := DefaultOptions()
+	opts.Config = ConfigForCoverage(ds.Coverage())
+	opts.Heuristics = Heuristics{ReplicateKmers: true, ReplicateTiles: true, ReplicatedLayout: LayoutCacheAware}
+	out, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.BasesCorrected == 0 {
+		t.Error("cache-aware replicated run corrected nothing")
+	}
+}
+
+func TestPresetsExported(t *testing.T) {
+	for _, p := range []Preset{EColiSim, DrosophilaSim, HumanSim} {
+		if p.NumReads() <= 0 {
+			t.Errorf("%s: no reads", p.Name)
+		}
+	}
+}
