@@ -1,0 +1,27 @@
+# Local developer entry points, kept in lockstep with .github/workflows/ci.yml
+# so `make ci` reproduces exactly what the gate runs.
+
+GO ?= go
+
+.PHONY: build test race lint vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -count=1 ./...
+
+## race: the -race gate CI runs; -short skips the heavyweight end-to-end
+## core tests (guarded with testing.Short) to keep it fast.
+race:
+	$(GO) test -race -short -count=1 ./...
+
+## lint: the project-specific static analyzers (see internal/lint and the
+## "Concurrency invariants" section of DESIGN.md).
+lint:
+	$(GO) run ./cmd/reptile-lint ./...
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet lint test race

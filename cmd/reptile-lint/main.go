@@ -1,0 +1,64 @@
+// Command reptile-lint runs the project's static-analysis suite over the
+// module: lockguard, wireproto, nosleepsync, and goroutine-hygiene (see
+// internal/lint and the "Concurrency invariants" section of DESIGN.md).
+//
+// Usage:
+//
+//	reptile-lint [-list] [packages]
+//
+// Packages default to ./... and use go-list-style patterns resolved against
+// the enclosing module. The exit status is the number of findings capped at
+// 1, so `go run ./cmd/reptile-lint ./...` gates CI directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reptile/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.ModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(root, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "reptile-lint: %d finding(s) in %d package(s)\n", n, len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reptile-lint:", err)
+	os.Exit(2)
+}

@@ -67,6 +67,9 @@ func TestSingleRankMatchesSequential(t *testing.T) {
 }
 
 func TestDistributedMatchesSequentialAcrossRankCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short: heavyweight end-to-end run (race CI budget)")
+	}
 	ds, opts := testDataset(t, 3000, 200)
 	seq, _, err := reptile.CorrectDataset(ds.Reads, opts.Config)
 	if err != nil {
@@ -96,6 +99,9 @@ func TestDistributedMatchesSequentialAcrossRankCounts(t *testing.T) {
 }
 
 func TestHeuristicModesAllCorrectEquivalently(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short: heavyweight end-to-end run (race CI budget)")
+	}
 	ds, opts := testDataset(t, 2000, 300)
 	base, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
 	if err != nil {
@@ -269,6 +275,9 @@ func TestSpectrumDistributionUniform(t *testing.T) {
 }
 
 func TestLoadBalanceRedistributesErrorDenseRegions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short: heavyweight end-to-end run (race CI budget)")
+	}
 	g := genome.NewGenome(8000, 900)
 	ds := genome.Simulate("lb", g, 4000, genome.LocalizedProfile(70), 901)
 	cfg := reptile.ForCoverage(ds.Coverage())
@@ -302,6 +311,9 @@ func TestLoadBalanceRedistributesErrorDenseRegions(t *testing.T) {
 }
 
 func TestAccuracyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short: heavyweight end-to-end run (race CI budget)")
+	}
 	ds, opts := testDataset(t, 6000, 1000)
 	_, acc := runAndEvaluate(t, ds, 8, opts)
 	if acc.Gain() < 0.5 {
@@ -332,6 +344,9 @@ func TestRemoteMissesTracked(t *testing.T) {
 }
 
 func TestAutoThresholds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short: heavyweight end-to-end run (race CI budget)")
+	}
 	// Deep coverage, visible error tail: the valley rule should land near
 	// the hand-tuned threshold and correct comparably.
 	g := genome.NewGenome(8000, 1400)
@@ -373,6 +388,9 @@ func TestAutoThresholds(t *testing.T) {
 }
 
 func TestTileTrafficDominatesAndMostlyMisses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short: heavyweight end-to-end run (race CI budget)")
+	}
 	// Paper Section IV: "the majority of the communication time is spent in
 	// communication of tiles, especially tiles which are not part of the
 	// tile spectrum (non-existent on any rank)". With tiles extracted at

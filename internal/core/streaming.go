@@ -26,9 +26,11 @@ type Sink interface {
 type SinkFactory func(rank int) (Sink, error)
 
 // CollectSink accumulates corrected reads in memory; the test/bench sink.
+// Reads may be inspected without the mutex only after the run's goroutines
+// are joined (RunStreaming returning is the happens-before edge).
 type CollectSink struct {
 	mu    sync.Mutex
-	Reads []reads.Read
+	Reads []reads.Read // guarded by mu
 }
 
 // Write implements Sink.

@@ -24,6 +24,9 @@ func collectSinks(np int) ([]*CollectSink, SinkFactory) {
 }
 
 func TestStreamingMatchesInMemoryRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short: heavyweight end-to-end run (race CI budget)")
+	}
 	ds, opts := testDataset(t, 3000, 6000)
 	opts.Config.ChunkReads = 200 // several streaming rounds per rank
 
@@ -111,6 +114,9 @@ func TestStreamingFromFiles(t *testing.T) {
 }
 
 func TestStreamingHeuristicsWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short: heavyweight end-to-end run (race CI budget)")
+	}
 	ds, opts := testDataset(t, 1200, 6300)
 	opts.Config.ChunkReads = 100
 	base, err := RunStreaming(&MemorySource{Reads: ds.Reads}, 4, opts, discardFactory())
@@ -267,6 +273,9 @@ func TestStreamingOverTCP(t *testing.T) {
 }
 
 func TestStreamingBoundsMemoryBelowInMemoryRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short: heavyweight end-to-end run (race CI budget)")
+	}
 	// The point of the mode: with retained tables off, peak table memory in
 	// streaming mode must not exceed the unbatched in-memory run's peak
 	// (which holds the full readsKmer/readsTile tables at the exchange).

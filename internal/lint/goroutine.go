@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoroutineHygiene flags `go` statements that can outlive their owner. The
+// engine's protocol assumes every rank's goroutines are joined before the
+// endpoint is torn down — a leaked responder or reader touching a mailbox
+// after Close is exactly the bug class that killed comparable distributed
+// pipelines. A launch is accepted when the goroutine's own body shows a
+// lifecycle discipline:
+//
+//   - defer wg.Done() (any deferred *.Done() call) — joined via WaitGroup,
+//   - defer close(ch) — completion signalled on a done channel,
+//   - a send into a buffered result/error channel as the body's last act,
+//   - <-ctx.Done() (receiving from any *.Done() call) — context-bounded.
+//
+// Launching a named function (`go readLoop(...)`) hides the body from the
+// launch site, so it is flagged unconditionally: wrap it in a func literal
+// that declares its lifecycle, or annotate the line with
+// "// reptile-lint:allow goroutine-hygiene <reason>".
+//
+// Only non-test files in internal/ packages are checked.
+type GoroutineHygiene struct {
+	// Paths restricts the analyzer to import paths containing any of these
+	// substrings; empty means every package.
+	Paths []string
+}
+
+// NewGoroutineHygiene returns the analyzer scoped to internal packages.
+func NewGoroutineHygiene() *GoroutineHygiene {
+	return &GoroutineHygiene{Paths: []string{"internal/"}}
+}
+
+// Name implements Analyzer.
+func (*GoroutineHygiene) Name() string { return "goroutine-hygiene" }
+
+// Doc implements Analyzer.
+func (*GoroutineHygiene) Doc() string {
+	return "flags goroutine launches with no WaitGroup, done-channel, or context lifecycle"
+}
+
+// Check implements Analyzer.
+func (gh *GoroutineHygiene) Check(pkg *Package, r *Reporter) {
+	if !pathMatches(pkg.ImportPath, gh.Paths) {
+		return
+	}
+	for _, f := range pkg.SourceFiles() {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				r.Reportf(g.Pos(), "goroutine launches named function %s with no visible lifecycle; wrap it in a func literal with defer wg.Done() or a done channel", funcNameOf(g.Call))
+				return true
+			}
+			if !hasLifecycle(lit.Body) {
+				r.Reportf(g.Pos(), "goroutine has no lifecycle discipline: add defer wg.Done(), defer close(done), send a result on a channel, or bound it with a context")
+			}
+			return true
+		})
+	}
+}
+
+// hasLifecycle reports whether a goroutine body shows one of the accepted
+// completion signals.
+func hasLifecycle(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch t := n.(type) {
+		case *ast.DeferStmt:
+			name := funcNameOf(t.Call)
+			if name == "Done" || name == "close" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			// <-ctx.Done(): context-bounded loop.
+			if t.Op.String() == "<-" {
+				if call, ok := t.X.(*ast.CallExpr); ok && funcNameOf(call) == "Done" {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			// Completion/result handoff on a channel (e.g. done <- m,
+			// errc <- err).
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,21 @@
+package lint
+
+import "testing"
+
+func TestGoroutineHygieneGolden(t *testing.T) {
+	runGolden(t, NewGoroutineHygiene(), "goroutine", "reptile/internal/lint/testdata/goroutine")
+}
+
+// TestGoroutineHygienePathScoping pins that non-internal packages (the
+// public facade, cmds, examples) are out of scope.
+func TestGoroutineHygienePathScoping(t *testing.T) {
+	pkg, err := LoadDir("testdata/goroutine", "reptile/examples/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []Analyzer{NewGoroutineHygiene()}); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("unexpected: %s", d)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package lint implements reptile-lint, the project's static-analysis pass
+// for the message-passing runtime. The paper's contribution is a concurrency
+// design — distributed spectra served by a dedicated communication thread
+// per rank — and the analyzers here mechanically enforce the invariants that
+// design depends on: mutex discipline on shared state (lockguard), a closed
+// send/receive protocol over the wire tags (wireproto), no sleep-based
+// synchronization (nosleepsync), and joined goroutine lifetimes
+// (goroutine-hygiene).
+//
+// The tool is standard-library only: packages are discovered by walking the
+// module tree go-list style via go/build, and every analysis is syntactic
+// (go/ast) with lightweight intra-package type resolution — no go/packages,
+// no external analysis framework.
+//
+// Two comment directives tune the analyzers:
+//
+//	// reptile-lint:allow <analyzer> <reason>
+//	    suppresses that analyzer's diagnostics on the same or next line.
+//	// reptile-lint:holds <mu>
+//	    on a function's doc comment, declares that callers hold <mu>, so
+//	    lockguard treats the body as running under that mutex.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// File is one parsed source file.
+type File struct {
+	Name string // absolute path
+	AST  *ast.File
+	Test bool // *_test.go
+}
+
+// Package is one directory's worth of parsed Go files.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*File // GoFiles + TestGoFiles + XTestGoFiles, in that order
+}
+
+// SourceFiles returns the non-test files.
+func (p *Package) SourceFiles() []*File {
+	out := make([]*File, 0, len(p.Files))
+	for _, f := range p.Files {
+		if !f.Test {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Reporter collects diagnostics for one analyzer over one package.
+type Reporter struct {
+	pkg      *Package
+	analyzer string
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	*r.diags = append(*r.diags, Diagnostic{
+		Pos:      r.pkg.Fset.Position(pos),
+		Analyzer: r.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one lint pass. Check inspects a package and reports findings;
+// it must not depend on any other package having been checked.
+type Analyzer interface {
+	Name() string
+	Doc() string
+	Check(pkg *Package, r *Reporter)
+}
+
+// All returns the full analyzer suite with default configuration.
+func All() []Analyzer {
+	return []Analyzer{
+		NewLockGuard(),
+		NewWireProto(),
+		NewNoSleepSync(),
+		NewGoroutineHygiene(),
+	}
+}
+
+// ModuleRoot walks upward from dir to the nearest go.mod.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+var modulePathRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// modulePath reads the module path from root's go.mod.
+func modulePath(root string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	m := modulePathRe.FindSubmatch(b)
+	if m == nil {
+		return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+	return string(m[1]), nil
+}
+
+// Load expands go-list-style patterns (".", "./...", "./internal/core",
+// "./internal/...") relative to root into parsed packages. Directories named
+// testdata or vendor and hidden directories are skipped, matching the go
+// tool's conventions.
+func Load(root string, patterns []string) ([]*Package, error) {
+	mod, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		}
+		if pat == "" {
+			pat = "."
+		}
+		base := filepath.Join(root, filepath.FromSlash(pat))
+		if !recursive {
+			dirs[base] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, dir := range sorted {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		imp := mod
+		if rel != "." {
+			imp = mod + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := LoadDir(dir, imp)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses one directory as a package with the given import path.
+// Returns (nil, nil) when the directory holds no buildable Go files.
+func LoadDir(dir, importPath string) (*Package, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, err
+	}
+	pkg := &Package{Dir: dir, ImportPath: importPath, Fset: token.NewFileSet()}
+	add := func(names []string, test bool) error {
+		for _, name := range names {
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(pkg.Fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			pkg.Files = append(pkg.Files, &File{Name: path, AST: f, Test: test})
+		}
+		return nil
+	}
+	if err := add(bp.GoFiles, false); err != nil {
+		return nil, err
+	}
+	if err := add(bp.TestGoFiles, true); err != nil {
+		return nil, err
+	}
+	if err := add(bp.XTestGoFiles, true); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// Run applies every analyzer to every package, drops diagnostics silenced by
+// reptile-lint:allow directives, and returns the rest in file/line order.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := allowDirectives(pkg)
+		for _, a := range analyzers {
+			var found []Diagnostic
+			a.Check(pkg, &Reporter{pkg: pkg, analyzer: a.Name(), diags: &found})
+			for _, d := range found {
+				if allowed[allowKey{d.Pos.Filename, d.Pos.Line, a.Name()}] {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+var allowRe = regexp.MustCompile(`reptile-lint:allow\s+([\w-]+)`)
+
+// allowDirectives indexes every reptile-lint:allow comment: a directive
+// silences its analyzer on the comment's own line and on the next line, so
+// it can ride at the end of the offending statement or just above it.
+func allowDirectives(pkg *Package) map[allowKey]bool {
+	out := map[allowKey]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out[allowKey{f.Name, pos.Line, m[1]}] = true
+				out[allowKey{f.Name, pos.Line + 1, m[1]}] = true
+			}
+		}
+	}
+	return out
+}
+
+// pathMatches reports whether imp matches any substring filter; an empty
+// filter list matches everything.
+func pathMatches(imp string, filters []string) bool {
+	if len(filters) == 0 {
+		return true
+	}
+	for _, f := range filters {
+		if strings.Contains(imp, f) {
+			return true
+		}
+	}
+	return false
+}

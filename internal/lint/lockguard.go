@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// LockGuard enforces the "// guarded by <mu>" annotation convention: a
+// struct field carrying that comment may only be read or written inside a
+// function that locks the named mutex on the same owner value (an explicit
+// <owner>.<mu>.Lock() or .RLock() call in the body), or whose doc comment
+// carries a "reptile-lint:holds <mu>" directive declaring that its callers
+// already hold the lock.
+//
+// The check is syntactic with intra-package type resolution: selector chains
+// rooted at a method receiver or a function parameter are resolved through
+// locally-declared struct types, so e.mbox.depth is recognized as an access
+// to mailbox.depth guarded by e.mbox.mu. Accesses the resolver cannot type
+// are skipped — the analyzer never guesses, so it has no false positives
+// from same-named fields on unrelated types. Test files are exempt: tests
+// routinely inspect state after goroutines are joined, where the
+// happens-before edge comes from the join, not the mutex.
+type LockGuard struct{}
+
+// NewLockGuard returns the analyzer with default configuration.
+func NewLockGuard() *LockGuard { return &LockGuard{} }
+
+// Name implements Analyzer.
+func (*LockGuard) Name() string { return "lockguard" }
+
+// Doc implements Analyzer.
+func (*LockGuard) Doc() string {
+	return "flags accesses to '// guarded by <mu>' fields outside functions that lock <mu>"
+}
+
+var (
+	guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+	holdsRe     = regexp.MustCompile(`reptile-lint:holds\s+(\w+)`)
+)
+
+// typeRef is the resolver's notion of a type: a named struct declared in
+// this package, possibly behind a pointer and/or one slice/array/map level.
+type typeRef struct {
+	name  string
+	elem  bool // slice/array/map: name is the element's struct type
+	known bool
+}
+
+// structInfo is one declared struct's fields and annotations.
+type structInfo struct {
+	fields  map[string]typeRef // field name -> field type
+	guarded map[string]string  // field name -> mutex field name
+	pos     map[string]token.Pos
+}
+
+// Check implements Analyzer.
+func (lg *LockGuard) Check(pkg *Package, r *Reporter) {
+	structs := collectStructs(pkg)
+
+	// Validate annotations: the named mutex must be a sibling field.
+	for _, si := range structs {
+		for field, mu := range si.guarded {
+			if _, ok := si.fields[mu]; !ok {
+				r.Reportf(si.pos[field], "field %s is 'guarded by %s' but the struct has no field %s", field, mu, mu)
+			}
+		}
+	}
+
+	for _, f := range pkg.SourceFiles() {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			lg.checkFunc(pkg, structs, fn, r)
+		}
+	}
+}
+
+// collectStructs indexes every struct type declared in the package,
+// including in test files so annotations there are validated too.
+func collectStructs(pkg *Package) map[string]*structInfo {
+	structs := map[string]*structInfo{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				si := &structInfo{
+					fields:  map[string]typeRef{},
+					guarded: map[string]string{},
+					pos:     map[string]token.Pos{},
+				}
+				for _, fld := range st.Fields.List {
+					ref := refOfExpr(fld.Type)
+					mu := guardAnnotation(fld)
+					for _, name := range fld.Names {
+						si.fields[name.Name] = ref
+						si.pos[name.Name] = name.Pos()
+						if mu != "" {
+							si.guarded[name.Name] = mu
+						}
+					}
+				}
+				structs[ts.Name.Name] = si
+			}
+		}
+	}
+	return structs
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line comment.
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// refOfExpr maps a field/param type expression to a typeRef. Only locally
+// named types (optionally behind *, [], or map values) resolve; everything
+// else is unknown.
+func refOfExpr(e ast.Expr) typeRef {
+	elem := false
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.ArrayType:
+			elem = true
+			e = t.Elt
+		case *ast.MapType:
+			elem = true
+			e = t.Value
+		case *ast.Ident:
+			return typeRef{name: t.Name, elem: elem, known: true}
+		default:
+			return typeRef{}
+		}
+	}
+}
+
+// checkFunc verifies every guarded-field access in one function.
+func (lg *LockGuard) checkFunc(pkg *Package, structs map[string]*structInfo, fn *ast.FuncDecl, r *Reporter) {
+	env := map[string]typeRef{}
+	if fn.Recv != nil {
+		for _, fld := range fn.Recv.List {
+			ref := refOfExpr(fld.Type)
+			for _, name := range fld.Names {
+				env[name.Name] = ref
+			}
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, fld := range fn.Type.Params.List {
+			ref := refOfExpr(fld.Type)
+			for _, name := range fld.Names {
+				env[name.Name] = ref
+			}
+		}
+	}
+
+	holds := map[string]bool{}
+	if fn.Doc != nil {
+		for _, m := range holdsRe.FindAllStringSubmatch(fn.Doc.Text(), -1) {
+			holds[m[1]] = true
+		}
+	}
+
+	// resolve returns the struct type of expr, following receiver/param
+	// chains through locally declared field types.
+	var resolve func(e ast.Expr) (typeRef, *structInfo)
+	resolve = func(e ast.Expr) (typeRef, *structInfo) {
+		switch t := e.(type) {
+		case *ast.Ident:
+			ref, ok := env[t.Name]
+			if !ok {
+				return typeRef{}, nil
+			}
+			return ref, structs[ref.name]
+		case *ast.ParenExpr:
+			return resolve(t.X)
+		case *ast.StarExpr:
+			return resolve(t.X)
+		case *ast.IndexExpr:
+			ref, si := resolve(t.X)
+			if si == nil || !ref.elem {
+				return typeRef{}, nil
+			}
+			return typeRef{name: ref.name, known: true}, si
+		case *ast.SelectorExpr:
+			ref, si := resolve(t.X)
+			if si == nil || ref.elem {
+				return typeRef{}, nil
+			}
+			fref, ok := si.fields[t.Sel.Name]
+			if !ok || !fref.known {
+				return typeRef{}, nil
+			}
+			return fref, structs[fref.name]
+		}
+		return typeRef{}, nil
+	}
+
+	// Pass 1: collect the set of mutexes this function locks, as rendered
+	// "owner.mu" strings from <owner>.<mu>.Lock() / .RLock() calls.
+	locked := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		locked[render(pkg.Fset, sel.X)] = true
+		return true
+	})
+
+	// Pass 2: flag guarded-field accesses with no matching lock in scope.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ref, si := resolve(sel.X)
+		if si == nil || ref.elem {
+			return true
+		}
+		mu, guarded := si.guarded[sel.Sel.Name]
+		if !guarded {
+			return true
+		}
+		if holds[mu] {
+			return true
+		}
+		guardExpr := render(pkg.Fset, sel.X) + "." + mu
+		if locked[guardExpr] {
+			return true
+		}
+		r.Reportf(sel.Sel.Pos(),
+			"%s.%s is guarded by %s, but %s neither locks it nor declares reptile-lint:holds %s",
+			ref.name, sel.Sel.Name, guardExpr, funcLabel(fn), mu)
+		return true
+	})
+}
+
+// render prints an expression back to source form for guard matching.
+func render(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// funcLabel names a function for diagnostics ("method mailbox.take" or
+// "function CloseGroup").
+func funcLabel(fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		ref := refOfExpr(fn.Recv.List[0].Type)
+		if ref.known {
+			return "method " + ref.name + "." + fn.Name.Name
+		}
+	}
+	return "function " + fn.Name.Name
+}
+
+// funcNameOf returns the called function's terminal name ("Send" for
+// e.Send(...), "encodeReq" for encodeReq(...)), or "" when unnameable.
+// Shared by the wireproto and goroutine-hygiene analyzers.
+func funcNameOf(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// hasPrefixFold reports whether s starts with prefix, ASCII case-insensitive
+// on the first rune (encodeReq and EncodeEntries both count as encoders).
+func hasPrefixFold(s, prefix string) bool {
+	return strings.HasPrefix(strings.ToLower(s), strings.ToLower(prefix))
+}

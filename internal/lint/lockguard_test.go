@@ -1,0 +1,22 @@
+package lint
+
+import "testing"
+
+func TestLockGuardGolden(t *testing.T) {
+	runGolden(t, NewLockGuard(), "lockguard", "reptile/internal/lint/testdata/lockguard")
+}
+
+// TestLockGuardCleanPass pins that a fully disciplined package yields zero
+// diagnostics: the transport package itself, whose mailbox is the original
+// annotated struct.
+func TestLockGuardCleanPass(t *testing.T) {
+	pkg, err := LoadDir("../transport", "reptile/internal/transport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []Analyzer{NewLockGuard()}); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("unexpected: %s", d)
+		}
+	}
+}

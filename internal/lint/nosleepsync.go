@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NoSleepSync forbids time.Sleep in the message-passing runtime. A sleep
+// that "waits for the other goroutine to get there" is the classic latent
+// race: it passes on the laptop and deadlocks (or flakes) under load, under
+// -race, or on slower hardware. Transport, collective, and core code must
+// synchronize with channels, sync.Cond, or WaitGroups; tests must wait on
+// observable state, not wall-clock time.
+//
+// Legitimate duration-based waits — dial-retry backoff polling an external
+// resource — are opted out per line with
+// "// reptile-lint:allow nosleepsync <reason>".
+type NoSleepSync struct {
+	// Paths restricts the analyzer to import paths containing any of these
+	// substrings; empty means every package.
+	Paths []string
+}
+
+// NewNoSleepSync returns the analyzer scoped to the runtime packages.
+func NewNoSleepSync() *NoSleepSync {
+	return &NoSleepSync{Paths: []string{
+		"internal/transport",
+		"internal/collective",
+		"internal/core",
+	}}
+}
+
+// Name implements Analyzer.
+func (*NoSleepSync) Name() string { return "nosleepsync" }
+
+// Doc implements Analyzer.
+func (*NoSleepSync) Doc() string {
+	return "forbids time.Sleep as a synchronization primitive in transport/collective/core code"
+}
+
+// Check implements Analyzer.
+func (ns *NoSleepSync) Check(pkg *Package, r *Reporter) {
+	if !pathMatches(pkg.ImportPath, ns.Paths) {
+		return
+	}
+	for _, f := range pkg.Files {
+		test := f.Test
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sleep" {
+				return true
+			}
+			if x, ok := sel.X.(*ast.Ident); !ok || x.Name != "time" {
+				return true
+			}
+			if test {
+				r.Reportf(call.Pos(), "time.Sleep in a test synchronizes on wall-clock time and will flake; wait on a channel or condition instead")
+			} else {
+				r.Reportf(call.Pos(), "time.Sleep used in runtime code; synchronize with channels, sync.Cond, or WaitGroups (reptile-lint:allow nosleepsync for genuine backoff)")
+			}
+			return true
+		})
+	}
+}

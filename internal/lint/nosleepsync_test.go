@@ -1,0 +1,24 @@
+package lint
+
+import "testing"
+
+func TestNoSleepSyncGolden(t *testing.T) {
+	// The fixture rides under a pretend transport import path so the
+	// default path scoping engages.
+	runGolden(t, NewNoSleepSync(), "nosleepsync", "reptile/internal/transport/fixture")
+}
+
+// TestNoSleepSyncPathScoping pins that the analyzer ignores packages
+// outside the runtime: the same sleepy fixture under a non-runtime import
+// path yields nothing.
+func TestNoSleepSyncPathScoping(t *testing.T) {
+	pkg, err := LoadDir("testdata/nosleepsync", "reptile/internal/genome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []Analyzer{NewNoSleepSync()}); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("unexpected: %s", d)
+		}
+	}
+}

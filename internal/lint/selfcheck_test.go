@@ -1,0 +1,32 @@
+package lint
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRepoIsLintClean runs the full analyzer suite over the whole module —
+// the same gate CI applies with `go run ./cmd/reptile-lint ./...` — and
+// requires zero findings. Any new unguarded access, protocol drift, sleepy
+// synchronization, or detached goroutine in the runtime fails this test
+// locally before CI ever sees it.
+func TestRepoIsLintClean(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := ModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from %s; pattern expansion is broken", len(pkgs), root)
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("%s", d)
+	}
+}

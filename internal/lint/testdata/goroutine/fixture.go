@@ -1,0 +1,61 @@
+// Package fixture exercises the goroutine-hygiene analyzer: flagged
+// detached launches, and the accepted WaitGroup / done-channel / result
+// channel / context lifecycles.
+package fixture
+
+import "sync"
+
+// leaky launches a named function whose lifecycle is invisible here.
+func leaky() {
+	go work() // want "named function work"
+}
+
+func work() {}
+
+// bare runs forever with nothing joining it.
+func bare(ch chan int) {
+	go func() { // want "no lifecycle discipline"
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// joined is the canonical WaitGroup launch: clean.
+func joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// doneChan signals completion by closing a channel: clean.
+func doneChan() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+
+// resultChan hands its result to the owner over a channel: clean.
+func resultChan() chan error {
+	errs := make(chan error, 1)
+	go func() {
+		errs <- nil
+	}()
+	return errs
+}
+
+// ctxBound loops until the context is cancelled: clean.
+func ctxBound(ctx interface{ Done() <-chan struct{} }) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// allowedDetached is deliberately fire-and-forget, with the reason on
+// record.
+func allowedDetached() {
+	go work() // reptile-lint:allow goroutine-hygiene fire-and-forget fixture
+}

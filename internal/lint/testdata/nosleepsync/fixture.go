@@ -1,0 +1,26 @@
+// Package fixture exercises the nosleepsync analyzer inside a runtime
+// import path: a flagged sleep, an allowed backoff, and a clean channel
+// wait.
+package fixture
+
+import "time"
+
+// badWait sleeps to "let the other goroutine get there" — the bug class the
+// analyzer exists for.
+func badWait(ready chan struct{}) {
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep used in runtime code"
+	<-ready
+}
+
+// allowedBackoff polls an external resource; the per-line directive opts
+// this legitimate duration wait out.
+func allowedBackoff(ping func() bool) {
+	for i := 0; i < 3 && !ping(); i++ {
+		time.Sleep(time.Millisecond) // reptile-lint:allow nosleepsync probe retry backoff
+	}
+}
+
+// goodWait synchronizes on a channel: clean.
+func goodWait(ready chan struct{}) {
+	<-ready
+}

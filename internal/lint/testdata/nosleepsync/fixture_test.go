@@ -1,0 +1,15 @@
+package fixture
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSleepyHelper shows the analyzer flags wall-clock synchronization in
+// test code with its test-specific message.
+func TestSleepyHelper(t *testing.T) {
+	go func() {
+		t.Log("racing goroutine")
+	}()
+	time.Sleep(5 * time.Millisecond) // want "will flake"
+}

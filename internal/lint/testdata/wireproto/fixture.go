@@ -1,0 +1,50 @@
+// Package fixture exercises the wireproto analyzer: a healthy registry, a
+// tag that is sent but never received, a tag that is decoded but never
+// sent, and a dead payload kind.
+package fixture
+
+import "errors"
+
+const (
+	tagGood       = 1
+	tagOrphanSend = 2 // want "no receive/decode path"
+	tagOrphanRecv = 3 // want "no send/encode path"
+	tagCtl        = 4
+
+	kindUsed byte = 0
+	kindDead byte = 1 // want "no send/encode path" want "no receive/decode path"
+)
+
+// endpointish stands in for the transport Endpoint surface.
+type endpointish interface {
+	Send(to, tag int, data []byte) error
+	Recv(tag int) ([]byte, error)
+}
+
+// encodeThing is the producer side of the fixture protocol.
+func encodeThing(kind byte) (int, []byte) {
+	if kind == kindUsed {
+		return tagGood, nil
+	}
+	return tagOrphanSend, nil
+}
+
+// decodeThing is the consumer side; note it never handles tagOrphanSend.
+func decodeThing(tag int) (byte, error) {
+	switch tag {
+	case tagGood:
+		return kindUsed, nil
+	case tagOrphanRecv:
+		return 0, nil
+	}
+	return 0, errors.New("fixture: bad tag")
+}
+
+// ship covers the direct Send/Recv evidence rules (no encoder needed).
+func ship(e endpointish) error {
+	if err := e.Send(0, tagCtl, nil); err != nil {
+		return err
+	}
+	_, err := e.Recv(tagCtl)
+	return err
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// WireProto cross-checks the wire-format registry against its users: every
+// message tag constant (tagXxx) and payload kind constant (kindXxx) declared
+// in a package must have both a producer and a consumer, so protocol drift —
+// a tag that is sent but never matched by any receive path, or decoded but
+// never sent — is a lint error instead of a distributed hang.
+//
+// Evidence is syntactic, gathered over the whole package:
+//
+//	producer: the constant appears inside an encode* function, or as an
+//	          argument to a call named Send or encode*. Payload kind
+//	          constants (kindXxx) additionally count any call argument as
+//	          producer evidence, because kinds legitimately flow to the
+//	          encoder through dispatch helpers (lookup → remote → encode).
+//	consumer: the constant appears inside a decode* function, in a
+//	          switch case clause, in an ==/!= comparison outside encoders,
+//	          or as an argument to a call named Recv or decode*.
+//
+// Packages that declare no tag constants are skipped, so the analyzer is a
+// no-op everywhere except the wire-protocol package(s).
+type WireProto struct{}
+
+// NewWireProto returns the analyzer with default configuration.
+func NewWireProto() *WireProto { return &WireProto{} }
+
+// Name implements Analyzer.
+func (*WireProto) Name() string { return "wireproto" }
+
+// Doc implements Analyzer.
+func (*WireProto) Doc() string {
+	return "checks every tag/kind wire constant has both a send/encode and a receive/decode path"
+}
+
+// wireConst tracks the evidence gathered for one constant.
+type wireConst struct {
+	pos      token.Pos
+	kind     bool // kindXxx payload enum (vs tagXxx message tag)
+	produced bool
+	consumed bool
+}
+
+// Check implements Analyzer.
+func (wp *WireProto) Check(pkg *Package, r *Reporter) {
+	consts := map[string]*wireConst{}
+	declGroups := map[*ast.GenDecl]bool{}
+
+	for _, f := range pkg.SourceFiles() {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if isWireConstName(name.Name) {
+						consts[name.Name] = &wireConst{
+							pos:  name.Pos(),
+							kind: hasPrefixFold(name.Name, "kind"),
+						}
+						declGroups[gd] = true
+					}
+				}
+			}
+		}
+	}
+	if len(consts) == 0 {
+		return
+	}
+
+	for _, f := range pkg.SourceFiles() {
+		for _, decl := range f.AST.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok && declGroups[gd] {
+				continue // the registry itself is neither producer nor consumer
+			}
+			fn, isFunc := decl.(*ast.FuncDecl)
+			inEncoder := isFunc && hasPrefixFold(fn.Name.Name, "encode")
+			inDecoder := isFunc && hasPrefixFold(fn.Name.Name, "decode")
+			classifyUses(decl, consts, inEncoder, inDecoder)
+		}
+	}
+
+	for name, c := range consts {
+		if !c.produced {
+			r.Reportf(c.pos, "wire constant %s has no send/encode path: nothing ever puts it on the wire", name)
+		}
+		if !c.consumed {
+			r.Reportf(c.pos, "wire constant %s has no receive/decode path: messages carrying it would hang undelivered", name)
+		}
+	}
+}
+
+// isWireConstName matches the registry naming convention: tagXxx / kindXxx
+// (or exported TagXxx / KindXxx).
+func isWireConstName(name string) bool {
+	for _, prefix := range []string{"tag", "kind", "Tag", "Kind"} {
+		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			c := name[len(prefix)]
+			if c >= 'A' && c <= 'Z' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// classifyUses walks one declaration recording producer/consumer evidence
+// for each wire constant mentioned in it.
+func classifyUses(decl ast.Decl, consts map[string]*wireConst, inEncoder, inDecoder bool) {
+	// markIdents records every wire-const identifier under n.
+	markIdents := func(n ast.Node, produce, consume bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if c, tracked := consts[id.Name]; tracked {
+				c.produced = c.produced || produce
+				c.consumed = c.consumed || consume
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(decl, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.CaseClause:
+			for _, e := range t.List {
+				markIdents(e, false, true)
+			}
+		case *ast.BinaryExpr:
+			if t.Op == token.EQL || t.Op == token.NEQ {
+				// Comparisons route messages on the receive side, except
+				// inside encoders, where they select the outgoing form.
+				markIdents(t, inEncoder, !inEncoder)
+			}
+		case *ast.CallExpr:
+			name := funcNameOf(t)
+			produce := name == "Send" || hasPrefixFold(name, "encode")
+			consume := name == "Recv" || name == "RecvMatch" || hasPrefixFold(name, "decode")
+			for _, arg := range t.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					id, ok := m.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if c, tracked := consts[id.Name]; tracked {
+						c.produced = c.produced || produce || c.kind
+						c.consumed = c.consumed || consume
+					}
+					return true
+				})
+			}
+		case *ast.Ident:
+			if _, tracked := consts[t.Name]; tracked {
+				if inEncoder {
+					consts[t.Name].produced = true
+				}
+				if inDecoder {
+					consts[t.Name].consumed = true
+				}
+			}
+		}
+		return true
+	})
+}

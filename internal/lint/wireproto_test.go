@@ -1,0 +1,35 @@
+package lint
+
+import "testing"
+
+func TestWireProtoGolden(t *testing.T) {
+	runGolden(t, NewWireProto(), "wireproto", "reptile/internal/lint/testdata/wireproto")
+}
+
+// TestWireProtoSkipsTaglessPackages pins the no-op path: a package with no
+// tag/kind constants (this one) produces no diagnostics.
+func TestWireProtoSkipsTaglessPackages(t *testing.T) {
+	pkg, err := LoadDir(".", "reptile/internal/lint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []Analyzer{NewWireProto()}); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("unexpected: %s", d)
+		}
+	}
+}
+
+// TestWireProtoCleanOnCore pins the registry contract on the real wire
+// protocol: internal/core must stay drift-free.
+func TestWireProtoCleanOnCore(t *testing.T) {
+	pkg, err := LoadDir("../core", "reptile/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []Analyzer{NewWireProto()}); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("unexpected: %s", d)
+		}
+	}
+}

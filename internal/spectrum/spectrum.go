@@ -35,8 +35,16 @@ type Lookuper interface {
 
 // HashStore is a mutable hash-table spectrum; the store the paper's
 // distributed implementation uses on every rank.
+//
+// Concurrency: not self-synchronized. A HashStore is confined to its owning
+// rank goroutine during construction; during the correction phase the
+// responder goroutine reads the owned stores concurrently with the worker,
+// which is safe only because both sides are read-only then — the engine
+// prunes and freezes the tables at the end of spectrum construction. Any
+// new writer after that point must add a mutex and a "guarded by"
+// annotation (see DESIGN.md, Concurrency invariants).
 type HashStore struct {
-	m map[kmer.ID]uint32
+	m map[kmer.ID]uint32 // confined: written only pre-freeze by the owning rank
 }
 
 // NewHash returns an empty HashStore with room for sizeHint entries.

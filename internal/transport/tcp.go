@@ -137,7 +137,9 @@ func NewTCP(cfg TCPConfig) (*Endpoint, error) {
 					errc <- fmt.Errorf("transport: rank %d dialing rank %d: %w", cfg.Rank, j, err)
 					return
 				}
-				time.Sleep(retry)
+				// Backoff while the peer process starts up: polling an
+				// external resource, not synchronizing goroutines.
+				time.Sleep(retry) // reptile-lint:allow nosleepsync dial retry backoff
 			}
 		}(j)
 	}
@@ -158,11 +160,18 @@ func NewTCP(cfg TCPConfig) (*Endpoint, error) {
 	}
 
 	// Reader goroutines: one per peer, delivering into the shared mailbox.
+	// They exit when their connection is torn down; Close joins them so no
+	// reader can touch the mailbox after Close returns.
+	var readers sync.WaitGroup
 	for from, p := range peers {
 		if p == nil {
 			continue
 		}
-		go readLoop(e, from, p.conn)
+		readers.Add(1)
+		go func(from int, conn net.Conn) {
+			defer readers.Done()
+			readLoop(e, from, conn)
+		}(from, p.conn)
 	}
 
 	e.sendFn = func(to int, m Message) error {
@@ -180,6 +189,7 @@ func NewTCP(cfg TCPConfig) (*Endpoint, error) {
 				p.conn.Close()
 			}
 		}
+		readers.Wait()
 		return nil
 	}
 	return e, nil

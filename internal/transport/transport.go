@@ -197,14 +197,27 @@ func (e *Endpoint) Close() error {
 // every ordering the algorithm may rely on.
 type mailbox struct {
 	mu     sync.Mutex
-	cond   *sync.Cond
-	byTag  map[int]*tagQueue
-	closed bool
+	cond   *sync.Cond        // signals on mu
+	byTag  map[int]*tagQueue // guarded by mu (tagQueues are owned by mu too)
+	closed bool              // guarded by mu
 	// Queue-depth accounting: depth is current pending messages, maxDepth
 	// the high-water mark. Unbounded queues make backlog invisible unless
 	// measured; the engine surfaces this per rank.
-	depth    int
-	maxDepth int
+	depth    int // guarded by mu
+	maxDepth int // guarded by mu
+	// waiting counts receivers blocked in cond.Wait, and watchers holds
+	// one channel per awaitWaiters caller, closed when enough receivers
+	// are blocked — tests wait for "n receivers are parked" instead of
+	// sleeping and hoping.
+	waiting  int        // guarded by mu
+	watchers []*watcher // guarded by mu
+}
+
+// watcher is one awaitWaiters subscription: ch is closed once the mailbox
+// has at least n receivers blocked.
+type watcher struct {
+	n  int
+	ch chan struct{}
 }
 
 // tagQueue is a FIFO with an amortized-O(1) pop (head index advances and
@@ -260,6 +273,8 @@ func (mb *mailbox) put(m Message) error {
 }
 
 // take removes and returns a pending message whose tag matches.
+//
+// reptile-lint:holds mu
 func (mb *mailbox) take(match func(int) bool) (Message, bool) {
 	for tag, q := range mb.byTag {
 		if q.empty() || !match(tag) {
@@ -284,8 +299,45 @@ func (mb *mailbox) recv(match func(int) bool) (Message, error) {
 		if mb.closed {
 			return Message{}, ErrClosed
 		}
+		mb.waiting++
+		mb.notifyWatchers()
 		mb.cond.Wait()
+		mb.waiting--
 	}
+}
+
+// notifyWatchers releases every awaitWaiters subscription whose threshold
+// the current waiting count satisfies.
+//
+// reptile-lint:holds mu
+func (mb *mailbox) notifyWatchers() {
+	if len(mb.watchers) == 0 {
+		return
+	}
+	kept := mb.watchers[:0]
+	for _, w := range mb.watchers {
+		if mb.waiting >= w.n {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	mb.watchers = kept
+}
+
+// awaitWaiters returns a channel that is closed once at least n receivers
+// are blocked in this mailbox. It is the deterministic replacement for
+// "sleep and assume the receiver got there" in tests.
+func (mb *mailbox) awaitWaiters(n int) <-chan struct{} {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	ch := make(chan struct{})
+	if mb.waiting >= n {
+		close(ch)
+		return ch
+	}
+	mb.watchers = append(mb.watchers, &watcher{n: n, ch: ch})
+	return ch
 }
 
 func (mb *mailbox) tryRecv(match func(int) bool) (Message, bool, error) {
@@ -303,6 +355,12 @@ func (mb *mailbox) tryRecv(match func(int) bool) (Message, bool, error) {
 func (mb *mailbox) close() {
 	mb.mu.Lock()
 	mb.closed = true
+	// Release awaitWaiters subscriptions too: blocked receivers are about
+	// to drain away, so the awaited state can never be reached.
+	for _, w := range mb.watchers {
+		close(w.ch)
+	}
+	mb.watchers = nil
 	mb.cond.Broadcast()
 	mb.mu.Unlock()
 }

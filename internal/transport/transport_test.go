@@ -113,10 +113,13 @@ func TestRecvBlocksUntilSend(t *testing.T) {
 		m, _ := b.Recv(8)
 		done <- m
 	}()
+	// Deterministic "the receiver is parked" wait: the mailbox reports
+	// when a receiver blocks, so no sleep-and-hope.
+	<-b.mbox.awaitWaiters(1)
 	select {
 	case <-done:
 		t.Fatal("Recv returned before any send")
-	case <-time.After(20 * time.Millisecond):
+	default:
 	}
 	a.Send(1, 8, []byte("late"))
 	select {
@@ -124,7 +127,7 @@ func TestRecvBlocksUntilSend(t *testing.T) {
 		if string(m.Data) != "late" {
 			t.Errorf("got %q", m.Data)
 		}
-	case <-time.After(time.Second):
+	case <-time.After(5 * time.Second):
 		t.Fatal("Recv never woke up")
 	}
 }
@@ -138,7 +141,9 @@ func TestCloseWakesReceivers(t *testing.T) {
 			errs <- err
 		}()
 	}
-	time.Sleep(10 * time.Millisecond)
+	// Wait until both receivers are provably blocked before closing, so
+	// the test always exercises the "Close wakes parked receivers" path.
+	<-b.mbox.awaitWaiters(2)
 	b.Close()
 	for i := 0; i < 2; i++ {
 		select {
