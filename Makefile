@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet ci
+.PHONY: build test race lint vet chaos ci
 
 build:
 	$(GO) build ./...
@@ -24,4 +24,16 @@ lint:
 vet:
 	$(GO) vet ./...
 
-ci: build vet lint test race
+## chaos: the fault-injection gate — the transport/core chaos suite under
+## the race detector, repeated across a small seed matrix (each extra seed
+## extends the benign-invariance sweep via REPTILE_CHAOS_SEED).
+CHAOS_SEEDS ?= 11 12
+chaos:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "chaos seed $$seed"; \
+		REPTILE_CHAOS_SEED=$$seed $(GO) test -race -short -count=1 \
+			-run 'Chaos|Abort|Peer|Corrupt|Heartbeat|Failure' \
+			./internal/transport/ ./internal/core/ || exit 1; \
+	done
+
+ci: build vet lint test race chaos

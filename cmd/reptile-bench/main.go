@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"reptile/internal/harness"
+	"reptile/internal/transport"
 )
 
 func main() {
@@ -30,6 +31,9 @@ func main() {
 		maxRanks = flag.Int("maxranks", 256, "cap on scaled rank counts")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		csvDir   = flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+
+		chaos     = flag.String("chaos", "", "fault schedule injected into every run (e.g. delay=50us,jitter=100us,slow=1x4); see reptile-correct -chaos")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault schedule's jitter stream")
 	)
 	flag.Parse()
 
@@ -41,6 +45,14 @@ func main() {
 	}
 
 	sc := harness.Scale{Dataset: *scale, RankDiv: *rankDiv, MaxRanks: *maxRanks}
+	if *chaos != "" {
+		plan, err := transport.ParsePlan(*chaos, *chaosSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reptile-bench: %v\n", err)
+			os.Exit(2)
+		}
+		sc.Chaos = &plan
+	}
 	exps := harness.All()
 	if *exp != "" {
 		e, ok := harness.ByID(*exp)

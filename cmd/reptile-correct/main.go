@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +61,9 @@ func main() {
 		transportName = flag.String("transport", "proc", "proc (goroutine ranks) or tcp (one process per rank)")
 		rank          = flag.Int("rank", 0, "this process's rank (tcp transport)")
 		addrs         = flag.String("addrs", "", "comma-separated rank addresses (tcp transport)")
+		deadline      = flag.Duration("deadline", 0, "peer-failure detection window (tcp transport): a silent peer surfaces as an error within this; 0 disables deadlines and heartbeats")
+		chaosSpec     = flag.String("chaos", "", "fault schedule to inject, e.g. delay=2ms,jitter=1ms,slow=1x4,crash=2@100,corrupt=1@50,drop=0-1@30")
+		chaosSeed     = flag.Int64("chaos-seed", 1, "seed for the fault schedule's jitter stream")
 		verbose       = flag.Bool("v", false, "print per-rank statistics")
 	)
 	flag.Parse()
@@ -110,6 +114,13 @@ func main() {
 		},
 		LoadBalance: !*noBalance,
 	}
+	if *chaosSpec != "" {
+		plan, err := transport.ParsePlan(*chaosSpec, *chaosSeed)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Chaos = &plan
+	}
 	src := &core.FileSource{FastaPath: *fasta, QualPath: *qual}
 
 	start := time.Now()
@@ -121,7 +132,7 @@ func main() {
 		}
 		runProcWithCorrections(src, *np, opts, *out, *corrections, *verbose)
 	case "tcp":
-		runTCP(src, opts, *rank, strings.Split(*addrs, ","), *out, *verbose)
+		runTCP(src, opts, *rank, strings.Split(*addrs, ","), *deadline, *out, *verbose)
 	default:
 		fmt.Fprintf(os.Stderr, "reptile-correct: unknown transport %q\n", *transportName)
 		os.Exit(2)
@@ -171,10 +182,10 @@ func runProcWithCorrections(src core.Source, np int, opts core.Options, out, cor
 		output.Run.Wall[stats.PhaseCorrect].Round(time.Millisecond))
 	if verbose {
 		for _, r := range output.Run.Ranks {
-			fmt.Printf("rank %3d: reads=%d kmers=%d tiles=%d remote=%d served=%d corrected=%d mem=%.1fMiB\n",
+			fmt.Printf("rank %3d: reads=%d kmers=%d tiles=%d remote=%d served=%d corrected=%d faults=%d mem=%.1fMiB\n",
 				r.Rank, r.ReadsAssigned, r.OwnedKmers, r.OwnedTiles,
 				r.TotalRemoteLookups(), r.RequestsServed, r.BasesCorrected,
-				float64(r.PeakMemBytes)/(1<<20))
+				r.FaultsInjected, float64(r.PeakMemBytes)/(1<<20))
 		}
 	}
 }
@@ -199,16 +210,23 @@ func runStreaming(src core.Source, np int, opts core.Options, out string, verbos
 	}
 }
 
-func runTCP(src core.Source, opts core.Options, rank int, addrs []string, out string, verbose bool) {
+func runTCP(src core.Source, opts core.Options, rank int, addrs []string, deadline time.Duration, out string, verbose bool) {
 	if len(addrs) < 2 {
 		fatal(fmt.Errorf("tcp transport needs -addrs with at least two entries"))
 	}
-	e, err := transport.NewTCP(transport.TCPConfig{Rank: rank, Addrs: addrs})
+	e, err := transport.NewTCP(transport.TCPConfig{Rank: rank, Addrs: addrs, PeerTimeout: deadline})
 	if err != nil {
 		fatal(err)
 	}
 	defer e.Close()
-	ro, err := core.RunRank(e, src, opts)
+	var conn transport.Conn = e
+	if opts.Chaos != nil {
+		if err := opts.Chaos.Validate(len(addrs)); err != nil {
+			fatal(err)
+		}
+		conn = transport.NewChaos(e, *opts.Chaos)
+	}
+	ro, err := core.RunRank(conn, src, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -265,6 +283,11 @@ func writeOutput(prefix string, batch []reads.Read) {
 }
 
 func fatal(err error) {
+	var ab *core.AbortError
+	if errors.As(err, &ab) {
+		fmt.Fprintf(os.Stderr, "reptile-correct: run aborted\n  origin rank: %d\n  phase:       %s\n  cause:       %s\n", ab.Rank, ab.Phase, ab.Cause)
+		os.Exit(1)
+	}
 	fmt.Fprintf(os.Stderr, "reptile-correct: %v\n", err)
 	os.Exit(1)
 }

@@ -36,7 +36,14 @@ func main() {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			e, err := transport.NewTCP(transport.TCPConfig{Rank: r, Addrs: addrs, DialTimeout: 10 * time.Second})
+			// PeerTimeout arms the failure detector: a dead or silent peer
+			// surfaces as ErrPeerDown within this window (heartbeats keep
+			// healthy idle links alive) instead of hanging the cluster.
+			e, err := transport.NewTCP(transport.TCPConfig{
+				Rank: r, Addrs: addrs,
+				DialTimeout: 10 * time.Second,
+				PeerTimeout: 10 * time.Second,
+			})
 			if err != nil {
 				log.Fatalf("rank %d: %v", r, err)
 			}

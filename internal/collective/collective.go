@@ -18,14 +18,16 @@ import (
 )
 
 // Comm wraps an endpoint with collective-generation bookkeeping. Create one
-// Comm per rank and use it for every collective in the run.
+// Comm per rank and use it for every collective in the run. The endpoint is
+// held as the transport.Conn interface, so collectives run unchanged over a
+// concrete endpoint or the fault-injecting Chaos wrapper.
 type Comm struct {
-	E   *transport.Endpoint
+	E   transport.Conn
 	gen int
 }
 
 // New wraps e.
-func New(e *transport.Endpoint) *Comm { return &Comm{E: e} }
+func New(e transport.Conn) *Comm { return &Comm{E: e} }
 
 // Rank returns the underlying rank.
 func (c *Comm) Rank() int { return c.E.Rank() }

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"reptile/internal/core"
+	"reptile/internal/transport"
 )
 
 // Settings is everything a run needs.
@@ -27,6 +28,10 @@ type Settings struct {
 	OutPrefix string
 	Ranks     int
 	Streaming bool
+	// ChaosSpec/ChaosSeed record the fault schedule in its file form; Parse
+	// compiles them into Options.Chaos.
+	ChaosSpec string
+	ChaosSeed int64
 	Options   core.Options
 }
 
@@ -35,6 +40,7 @@ func Default() Settings {
 	return Settings{
 		OutPrefix: "corrected",
 		Ranks:     8,
+		ChaosSeed: 1,
 		Options:   core.DefaultOptions(),
 	}
 }
@@ -66,6 +72,13 @@ func Parse(r io.Reader) (Settings, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return s, err
+	}
+	if s.ChaosSpec != "" {
+		plan, err := transport.ParsePlan(s.ChaosSpec, s.ChaosSeed)
+		if err != nil {
+			return s, err
+		}
+		s.Options.Chaos = &plan
 	}
 	return s, s.Options.Validate()
 }
@@ -125,6 +138,15 @@ func (s *Settings) apply(key, val string) error {
 		s.Ranks, err = asInt()
 	case "streaming", "stream":
 		s.Streaming, err = asBool()
+	case "chaos":
+		s.ChaosSpec = val
+	case "chaos_seed":
+		var v int64
+		v, err = strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("%s: %q is not an integer", key, val)
+		}
+		s.ChaosSeed = v
 	case "k":
 		cfg.Spec.K, err = asInt()
 	case "overlap", "tile_overlap":
@@ -196,6 +218,8 @@ func (s Settings) Render() string {
 	w("out", s.OutPrefix)
 	w("ranks", s.Ranks)
 	w("streaming", s.Streaming)
+	w("chaos", s.ChaosSpec)
+	w("chaos_seed", s.ChaosSeed)
 	c := s.Options.Config
 	w("k", c.Spec.K)
 	w("overlap", c.Spec.Overlap)

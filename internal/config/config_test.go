@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"reptile/internal/core"
 )
@@ -34,6 +35,9 @@ read_kmers = true
 cache_remote = true
 batch_reads = true
 partial_replication = 4
+
+chaos = delay=1ms,slow=2x8,crash=1@500
+chaos_seed = 99
 `
 	s, err := Parse(strings.NewReader(in))
 	if err != nil {
@@ -66,6 +70,14 @@ partial_replication = 4
 	if !h.Universal || !h.RetainReadKmers || !h.CacheRemote || !h.BatchReads || h.PartialReplicationGroup != 4 {
 		t.Errorf("heuristics: %+v", h)
 	}
+	p := s.Options.Chaos
+	if p == nil {
+		t.Fatal("chaos spec not compiled into Options.Chaos")
+	}
+	if p.Seed != 99 || p.Delay != time.Millisecond || p.SlowRank != 2 || p.SlowFactor != 8 ||
+		p.CrashRank != 1 || p.CrashAfter != 500 {
+		t.Errorf("chaos plan: %+v", p)
+	}
 }
 
 func TestParseDefaultsAndComments(t *testing.T) {
@@ -89,6 +101,8 @@ func TestParseErrors(t *testing.T) {
 		"bad int":         "ranks = many\n",
 		"bad bool":        "universal = yes-ish\n",
 		"bad layout":      "replicate_kmers = true\nreplicated_layout = btree\n",
+		"bad chaos":       "chaos = warp=1\n",
+		"bad chaos seed":  "chaos_seed = soon\n",
 		"invalid combo":   "k = 0\n",
 		"quality range":   "quality_threshold = 1000\n",
 		"cache sans read": "", // covered below separately
@@ -142,6 +156,24 @@ func TestRenderRoundTrip(t *testing.T) {
 	}
 	if back != orig {
 		t.Errorf("round trip drifted:\n%+v\n%+v", orig, back)
+	}
+}
+
+func TestRenderRoundTripChaos(t *testing.T) {
+	orig := Default()
+	orig.ChaosSpec = "delay=2ms,jitter=1ms,slow=1x4"
+	orig.ChaosSeed = 7
+	back, err := Parse(strings.NewReader(orig.Render()))
+	if err != nil {
+		t.Fatalf("rendered config does not parse: %v\n%s", err, orig.Render())
+	}
+	if back.ChaosSpec != orig.ChaosSpec || back.ChaosSeed != 7 {
+		t.Errorf("chaos keys drifted: %+v", back)
+	}
+	p := back.Options.Chaos
+	if p == nil || p.Seed != 7 || p.Delay != 2*time.Millisecond || p.Jitter != time.Millisecond ||
+		p.SlowRank != 1 || p.SlowFactor != 4 {
+		t.Errorf("chaos plan drifted: %+v", p)
 	}
 }
 

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"reptile/internal/dna"
+	"reptile/internal/reads"
+	"reptile/internal/transport"
+)
+
+// chaosDeadline bounds every fault-injection run: the invariant under fatal
+// faults is a clean error on every rank well within this window, never a
+// hang. Generous for -race CI; real propagation is milliseconds.
+const chaosDeadline = 60 * time.Second
+
+// awaitRun runs fn under the chaos deadline.
+func awaitRun(t *testing.T, name string, fn func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(chaosDeadline):
+		t.Fatalf("%s: run exceeded %v deadline", name, chaosDeadline)
+		return nil
+	}
+}
+
+// chaosSeeds returns the benign-invariance seed set: a fixed base matrix,
+// extended by REPTILE_CHAOS_SEED when set (the CI chaos job's seed matrix).
+func chaosSeeds(t *testing.T) []int64 {
+	seeds := []int64{1, 2, 3}
+	if s := os.Getenv("REPTILE_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("REPTILE_CHAOS_SEED: %v", err)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds
+}
+
+// runChaosRanks drives RunRank per rank over a proc group with every
+// endpoint wrapped in the plan's chaos layer, returning each rank's error.
+// It fails the test if any rank is still blocked at the deadline.
+func runChaosRanks(t *testing.T, rs []reads.Read, np int, opts Options, plan transport.Plan) []error {
+	t.Helper()
+	if err := plan.Validate(np); err != nil {
+		t.Fatal(err)
+	}
+	eps, err := transport.NewProcGroup(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer transport.CloseGroup(eps)
+	src := &MemorySource{Reads: rs}
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			_, errs[r] = RunRank(transport.NewChaos(eps[r], plan), src, opts)
+		}(r)
+	}
+	_ = awaitRun(t, "chaos group", func() error { wg.Wait(); return nil })
+	return errs
+}
+
+// sameOutput asserts two runs corrected identical bytes.
+func sameOutput(t *testing.T, name string, base, got *Output) {
+	t.Helper()
+	bc, gc := base.Corrected(), got.Corrected()
+	if len(bc) != len(gc) {
+		t.Fatalf("%s: %d reads, fault-free run %d", name, len(gc), len(bc))
+	}
+	for i := range bc {
+		if bc[i].Seq != gc[i].Seq || dna.DecodeString(bc[i].Base) != dna.DecodeString(gc[i].Base) {
+			t.Fatalf("%s: read %d differs from fault-free run", name, bc[i].Seq)
+		}
+	}
+	if base.Result != got.Result {
+		t.Errorf("%s: result %+v, fault-free %+v", name, got.Result, base.Result)
+	}
+}
+
+// TestChaosBenignFaultsPreserveOutput: latency, jitter, and a throttled
+// rank only stretch time — the corrected output must be byte-identical to a
+// fault-free run, for every seed.
+func TestChaosBenignFaultsPreserveOutput(t *testing.T) {
+	ds, opts := testDataset(t, 400, 7000)
+	const np = 3
+	base, err := Run(&MemorySource{Reads: ds.Reads}, np, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range chaosSeeds(t) {
+		plan := transport.NewPlan(seed)
+		plan.Delay = 20 * time.Microsecond
+		plan.Jitter = 50 * time.Microsecond
+		plan.SlowRank = 1
+		plan.SlowFactor = 3
+		if !plan.Benign() {
+			t.Fatal("timing-only plan classified as fatal")
+		}
+		o := opts
+		o.Chaos = &plan
+		var out *Output
+		err := awaitRun(t, "benign run", func() error {
+			var err error
+			out, err = Run(&MemorySource{Reads: ds.Reads}, np, o)
+			return err
+		})
+		if err != nil {
+			t.Fatalf("seed %d: benign faults failed the run: %v", seed, err)
+		}
+		sameOutput(t, "benign chaos", base, out)
+	}
+}
+
+// TestChaosBenignAcrossHeuristics: the invariance must hold in every major
+// execution mode, since each mode has its own traffic pattern to disturb.
+func TestChaosBenignAcrossHeuristics(t *testing.T) {
+	ds, opts := testDataset(t, 300, 7100)
+	opts.Config.ChunkReads = 100
+	plan := transport.NewPlan(11)
+	plan.Delay = 10 * time.Microsecond
+	plan.Jitter = 30 * time.Microsecond
+	for name, h := range map[string]Heuristics{
+		"universal": {Universal: true},
+		"cache":     {RetainReadKmers: true, CacheRemote: true},
+		"batch":     {BatchReads: true},
+		"repl-both": {ReplicateKmers: true, ReplicateTiles: true},
+	} {
+		o := opts
+		o.Heuristics = h
+		base, err := Run(&MemorySource{Reads: ds.Reads}, 3, o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		o.Chaos = &plan
+		var out *Output
+		if err := awaitRun(t, name, func() error {
+			var err error
+			out, err = Run(&MemorySource{Reads: ds.Reads}, 3, o)
+			return err
+		}); err != nil {
+			t.Fatalf("%s: benign faults failed the run: %v", name, err)
+		}
+		sameOutput(t, name, base, out)
+	}
+}
+
+// chaosTCPRanks mirrors runChaosRanks over loopback TCP: one endpoint per
+// rank, each wrapped in the chaos layer.
+func chaosTCPRanks(t *testing.T, rs []reads.Read, np int, opts Options, plan transport.Plan, peerTimeout time.Duration) ([]*RankOutput, []error) {
+	t.Helper()
+	addrs := make([]string, np)
+	lns := make([]net.Listener, np)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	src := &MemorySource{Reads: rs}
+	outs := make([]*RankOutput, np)
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			e, err := transport.NewTCP(transport.TCPConfig{
+				Rank: r, Addrs: addrs,
+				DialTimeout: 10 * time.Second,
+				PeerTimeout: peerTimeout,
+			})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer e.Close()
+			outs[r], errs[r] = RunRank(transport.NewChaos(e, plan), src, opts)
+		}(r)
+	}
+	_ = awaitRun(t, "tcp chaos group", func() error { wg.Wait(); return nil })
+	return outs, errs
+}
+
+// TestChaosBenignOverTCP: the timing-fault invariance holds over the real
+// network path, with heartbeats and read deadlines armed.
+func TestChaosBenignOverTCP(t *testing.T) {
+	ds, opts := testDataset(t, 300, 7200)
+	const np = 2
+	base, err := Run(&MemorySource{Reads: ds.Reads}, np, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := transport.NewPlan(5)
+	plan.Delay = 20 * time.Microsecond
+	plan.Jitter = 40 * time.Microsecond
+	outs, errs := chaosTCPRanks(t, ds.Reads, np, opts, plan, 5*time.Second)
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: benign faults failed the tcp run: %v", r, err)
+		}
+	}
+	got := &Output{ByRank: make([][]reads.Read, np)}
+	for r, o := range outs {
+		got.ByRank[r] = o.Corrected
+		got.Result.Add(o.Result)
+	}
+	sameOutput(t, "benign tcp chaos", base, got)
+}
+
+// TestChaosCrashAbortsAllRanksProc: a rank dying mid-run (endpoint closed
+// as if the process were killed) must yield a clean AbortError on every
+// rank — ErrInjected on the crashed rank, ErrPeerDown on its peers — never
+// a hang or silent completion.
+func TestChaosCrashAbortsAllRanksProc(t *testing.T) {
+	ds, opts := testDataset(t, 600, 7300)
+	const np = 4
+	plan := transport.NewPlan(42)
+	plan.CrashRank = 1
+	plan.CrashAfter = 25
+	errs := runChaosRanks(t, ds.Reads, np, opts, plan)
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d completed despite the crash", r)
+		}
+		var ab *AbortError
+		if !errors.As(err, &ab) {
+			t.Fatalf("rank %d: %T is not an AbortError: %v", r, err, err)
+		}
+	}
+	if !errors.Is(errs[1], transport.ErrInjected) {
+		t.Errorf("crashed rank's error does not wrap ErrInjected: %v", errs[1])
+	}
+	for _, r := range []int{0, 2, 3} {
+		if !errors.Is(errs[r], transport.ErrPeerDown) {
+			t.Errorf("rank %d error does not wrap ErrPeerDown: %v", r, errs[r])
+		}
+	}
+}
+
+// TestChaosDropAbortsRunProc: severing one link must abort the whole group,
+// with both endpoints of the dropped link reporting the peer down.
+func TestChaosDropAbortsRunProc(t *testing.T) {
+	ds, opts := testDataset(t, 600, 7400)
+	const np = 3
+	plan := transport.NewPlan(13)
+	plan.DropRank = 0
+	plan.DropPeer = 1
+	plan.DropAfter = 10
+	errs := runChaosRanks(t, ds.Reads, np, opts, plan)
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d completed despite the dropped link", r)
+		}
+		var ab *AbortError
+		if !errors.As(err, &ab) {
+			t.Fatalf("rank %d: %T is not an AbortError: %v", r, err, err)
+		}
+	}
+	for _, r := range []int{0, 1} {
+		if !errors.Is(errs[r], transport.ErrPeerDown) {
+			t.Errorf("link endpoint %d does not report ErrPeerDown: %v", r, errs[r])
+		}
+	}
+}
+
+// TestChaosCrashOverTCPPeersSeePeerDown kills one rank's endpoint mid-run
+// over real sockets: every surviving rank must return an ErrPeerDown-wrapped
+// AbortError within the deadline, and the crashed rank must report the
+// injected fault.
+func TestChaosCrashOverTCPPeersSeePeerDown(t *testing.T) {
+	ds, opts := testDataset(t, 600, 7500)
+	const np = 3
+	plan := transport.NewPlan(7)
+	plan.CrashRank = 1
+	plan.CrashAfter = 150
+	_, errs := chaosTCPRanks(t, ds.Reads, np, opts, plan, 5*time.Second)
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d completed despite the crash", r)
+		}
+		var ab *AbortError
+		if !errors.As(err, &ab) {
+			t.Fatalf("rank %d: %T is not an AbortError: %v", r, err, err)
+		}
+	}
+	if !errors.Is(errs[1], transport.ErrInjected) {
+		t.Errorf("crashed rank's error does not wrap ErrInjected: %v", errs[1])
+	}
+	for _, r := range []int{0, 2} {
+		if !errors.Is(errs[r], transport.ErrPeerDown) {
+			t.Errorf("surviving rank %d does not report ErrPeerDown: %v", r, errs[r])
+		}
+	}
+}
+
+// TestChaosCorruptionOverTCPAborts flips one frame byte on the wire: the
+// receiver's CRC check must reject it (ErrCorruptFrame), the run must abort
+// on every rank, and nothing may be silently mis-decoded.
+func TestChaosCorruptionOverTCPAborts(t *testing.T) {
+	ds, opts := testDataset(t, 300, 7600)
+	const np = 2
+	plan := transport.NewPlan(3)
+	plan.CorruptRank = 0
+	plan.CorruptAfter = 3
+	_, errs := chaosTCPRanks(t, ds.Reads, np, opts, plan, 0)
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d completed despite the corrupted frame", r)
+		}
+		var ab *AbortError
+		if !errors.As(err, &ab) {
+			t.Fatalf("rank %d: %T is not an AbortError: %v", r, err, err)
+		}
+	}
+	if !errors.Is(errs[1], transport.ErrCorruptFrame) {
+		t.Errorf("receiver does not report ErrCorruptFrame: %v", errs[1])
+	}
+}
+
+// TestChaosPlanValidation: an out-of-range plan must be rejected up front
+// by Run and RunStreaming, and a valid fatal plan must surface through the
+// Options plumbing.
+func TestChaosPlanValidation(t *testing.T) {
+	ds, opts := testDataset(t, 50, 7700)
+	bad := transport.NewPlan(1)
+	bad.CrashRank = 9
+	opts.Chaos = &bad
+	if _, err := Run(&MemorySource{Reads: ds.Reads}, 2, opts); err == nil {
+		t.Error("Run accepted a plan with an out-of-range rank")
+	}
+	if _, err := RunStreaming(&MemorySource{Reads: ds.Reads}, 2, opts, discardFactory()); err == nil {
+		t.Error("RunStreaming accepted a plan with an out-of-range rank")
+	}
+
+	good := transport.NewPlan(1)
+	good.CrashRank = 0
+	good.CrashAfter = 5
+	opts.Chaos = &good
+	err := awaitRun(t, "options-plumbed crash", func() error {
+		_, err := Run(&MemorySource{Reads: ds.Reads}, 2, opts)
+		return err
+	})
+	if err == nil {
+		t.Fatal("Run succeeded despite a crash schedule in Options")
+	}
+	var ab *AbortError
+	if !errors.As(err, &ab) || !errors.Is(err, transport.ErrInjected) {
+		t.Errorf("crash through Options did not surface as an injected AbortError: %v", err)
+	}
+}

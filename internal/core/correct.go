@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -16,15 +17,34 @@ import (
 func (ctx *rankCtx) correctPhase() (reptile.Result, error) {
 	msgs0, bytes0 := ctx.e.Counters().PerDestSnapshot()
 
+	// The responder routes its own failures through ctx.fail: the abort
+	// broadcast poisons this rank's mailbox too, so a worker parked in
+	// Recv(tagResp) unblocks instead of waiting on a responder that died.
 	var wg sync.WaitGroup
 	respErr := make(chan error, 1)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		if err := ctx.responderLoop(); err != nil {
-			respErr <- err
+			respErr <- ctx.fail("correct", err)
 		}
 	}()
+	// failBoth aborts the run from the worker side and joins the responder
+	// (which the broadcast just unblocked) before returning. When the worker
+	// only observed the teardown — its endpoint closed under it — the
+	// responder's error is the root cause and wins.
+	failBoth := func(err error) error {
+		aerr := ctx.fail("correct", err)
+		wg.Wait()
+		select {
+		case rerr := <-respErr:
+			if errors.Is(aerr, transport.ErrClosed) && !errors.Is(rerr, transport.ErrClosed) {
+				return rerr
+			}
+		default:
+		}
+		return aerr
+	}
 
 	oracle := &distOracle{
 		e:         ctx.e,
@@ -44,20 +64,20 @@ func (ctx *rankCtx) correctPhase() (reptile.Result, error) {
 	}
 	corrector, err := reptile.NewCorrector(ctx.opts.Config, oracle)
 	if err != nil {
-		return reptile.Result{}, err
+		return reptile.Result{}, failBoth(err)
 	}
 	var res reptile.Result
 	for i := range ctx.myReads {
 		res.Add(corrector.CorrectRead(&ctx.myReads[i]))
 		if oracle.err != nil {
-			return res, oracle.err
+			return res, failBoth(oracle.err)
 		}
 	}
 
 	// Worker finished: notify the coordinator and keep the responder
 	// serving until everyone is done.
 	if err := ctx.e.Send(0, tagDone, nil); err != nil {
-		return res, err
+		return res, failBoth(err)
 	}
 	wg.Wait()
 	select {

@@ -22,9 +22,11 @@ type RankOutput struct {
 	Result    reptile.Result
 }
 
-// rankCtx carries one rank's state through the pipeline phases.
+// rankCtx carries one rank's state through the pipeline phases. The
+// endpoint is held as transport.Conn so the whole pipeline — collectives,
+// responder, remote lookups — runs unchanged under the Chaos wrapper.
 type rankCtx struct {
-	e    *transport.Endpoint
+	e    transport.Conn
 	comm *collective.Comm
 	opts Options
 	rank int
@@ -43,7 +45,13 @@ type rankCtx struct {
 // must call it concurrently (collectives synchronize them); it works over
 // any transport, so one process per rank over TCP behaves identically to
 // goroutine ranks.
-func RunRank(e *transport.Endpoint, src Source, opts Options) (*RankOutput, error) {
+//
+// On failure — own phase error, a lost peer, a corrupt frame, or a peer's
+// abort broadcast — RunRank returns an AbortError naming the originating
+// rank, its phase, and the root cause; the failing rank broadcasts the
+// abort so every peer unblocks promptly instead of hanging in a collective
+// or the responder loop.
+func RunRank(e transport.Conn, src Source, opts Options) (*RankOutput, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,16 +76,16 @@ func RunRank(e *transport.Endpoint, src Source, opts Options) (*RankOutput, erro
 	}
 
 	if err := phase(stats.PhaseRead, func() error { return ctx.readPhase(src) }); err != nil {
-		return nil, fmt.Errorf("core: rank %d read: %w", ctx.rank, err)
+		return nil, ctx.fail("read", err)
 	}
 	if err := phase(stats.PhaseBalance, ctx.balancePhase); err != nil {
-		return nil, fmt.Errorf("core: rank %d balance: %w", ctx.rank, err)
+		return nil, ctx.fail("balance", err)
 	}
 	if err := phase(stats.PhaseSpectrum, ctx.spectrumPhase); err != nil {
-		return nil, fmt.Errorf("core: rank %d spectrum: %w", ctx.rank, err)
+		return nil, ctx.fail("spectrum", err)
 	}
 	if err := phase(stats.PhaseExchange, ctx.postExchangePhase); err != nil {
-		return nil, fmt.Errorf("core: rank %d exchange: %w", ctx.rank, err)
+		return nil, ctx.fail("exchange", err)
 	}
 	var res reptile.Result
 	if err := phase(stats.PhaseCorrect, func() error {
@@ -85,7 +93,7 @@ func RunRank(e *transport.Endpoint, src Source, opts Options) (*RankOutput, erro
 		res, err = ctx.correctPhase()
 		return err
 	}); err != nil {
-		return nil, fmt.Errorf("core: rank %d correct: %w", ctx.rank, err)
+		return nil, ctx.fail("correct", err)
 	}
 
 	ctx.st.BasesCorrected = res.BasesCorrected
@@ -93,7 +101,16 @@ func RunRank(e *transport.Endpoint, src Source, opts Options) (*RankOutput, erro
 	ctx.st.MsgsSent = e.Counters().MsgsSent()
 	ctx.st.BytesSent = e.Counters().BytesSent()
 	ctx.st.MaxInboxDepth = int64(e.MaxQueueDepth())
+	ctx.observeFaults()
 	return &RankOutput{Corrected: ctx.myReads, Stats: ctx.st, Result: res}, nil
+}
+
+// observeFaults records the chaos-schedule fault count when the endpoint is
+// a fault-injecting wrapper.
+func (ctx *rankCtx) observeFaults() {
+	if f, ok := ctx.e.(interface{ FaultsInjected() int64 }); ok {
+		ctx.st.FaultsInjected = f.FaultsInjected()
+	}
 }
 
 // readPhase is Step I: pull this rank's shard from the source. Reads are

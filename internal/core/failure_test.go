@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"testing"
-	"time"
 
 	"reptile/internal/reads"
 )
@@ -49,18 +48,21 @@ func TestRankFailurePropagatesWithoutHanging(t *testing.T) {
 	opts.Config.ChunkReads = 100
 	src := &failingSource{inner: &MemorySource{Reads: ds.Reads}, failRank: 2, after: 1}
 
-	done := make(chan error, 1)
-	go func() {
+	// The abort protocol makes failure propagation prompt: no per-test
+	// watchdog goroutine, just the shared chaos deadline.
+	err := awaitRun(t, "rank failure", func() error {
 		_, err := Run(src, 4, opts)
-		done <- err
-	}()
-	select {
-	case err := <-done:
-		if err == nil {
-			t.Fatal("run succeeded despite injected failure")
-		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("run hung after rank failure")
+		return err
+	})
+	if err == nil {
+		t.Fatal("run succeeded despite injected failure")
+	}
+	var ab *AbortError
+	if !errors.As(err, &ab) {
+		t.Fatalf("%T is not an AbortError: %v", err, err)
+	}
+	if ab.Rank != 2 || ab.Phase != "read" {
+		t.Errorf("abort attributed to rank %d phase %q, want rank 2 phase read", ab.Rank, ab.Phase)
 	}
 }
 
@@ -81,18 +83,42 @@ func (e *emptyReader) Close() error                     { return nil }
 
 func TestOpenFailurePropagatesWithoutHanging(t *testing.T) {
 	_, opts := testDataset(t, 10, 5100)
-	done := make(chan error, 1)
-	go func() {
+	err := awaitRun(t, "open failure", func() error {
 		_, err := Run(&openFailSource{failRank: 0}, 4, opts)
-		done <- err
-	}()
-	select {
-	case err := <-done:
-		if err == nil {
-			t.Fatal("run succeeded despite open failure")
-		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("run hung after open failure")
+		return err
+	})
+	if err == nil {
+		t.Fatal("run succeeded despite open failure")
+	}
+	var ab *AbortError
+	if !errors.As(err, &ab) {
+		t.Fatalf("%T is not an AbortError: %v", err, err)
+	}
+	if ab.Rank != 0 {
+		t.Errorf("abort attributed to rank %d, want rank 0", ab.Rank)
+	}
+}
+
+// TestStreamingFailurePropagates is the streaming-mode analogue: a source
+// that fails mid-stream on one rank must error out the whole run, not leave
+// peers blocked at the next chunk-boundary collective.
+func TestStreamingFailurePropagates(t *testing.T) {
+	ds, opts := testDataset(t, 2000, 5150)
+	opts.Config.ChunkReads = 100
+	src := &failingSource{inner: &MemorySource{Reads: ds.Reads}, failRank: 1, after: 2}
+	err := awaitRun(t, "streaming failure", func() error {
+		_, err := RunStreaming(src, 4, opts, discardFactory())
+		return err
+	})
+	if err == nil {
+		t.Fatal("streaming run succeeded despite injected failure")
+	}
+	var ab *AbortError
+	if !errors.As(err, &ab) {
+		t.Fatalf("%T is not an AbortError: %v", err, err)
+	}
+	if ab.Rank != 1 {
+		t.Errorf("abort attributed to rank %d, want rank 1", ab.Rank)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"reptile/internal/reptile"
+	"reptile/internal/transport"
 )
 
 // Heuristics selects the paper's optional execution modes (Section III-B).
@@ -126,6 +127,12 @@ type Options struct {
 	// allreduced, so every rank picks identical thresholds; Config's values
 	// remain the fallback when a histogram has no usable valley.
 	AutoThresholds bool
+	// Chaos, when non-nil, wraps every rank's endpoint in the transport's
+	// fault-injection layer executing this schedule. Benign schedules
+	// (delay/jitter/slow rank) must not change the corrected output; fatal
+	// schedules (crash/corrupt/drop) make every rank return an AbortError
+	// instead of hanging. Nil for production runs.
+	Chaos *transport.Plan
 }
 
 // Validate checks the whole option set.

@@ -14,7 +14,7 @@ import (
 // copy → retained reads table (with resolved global counts) → message to
 // the owning rank's communication thread.
 type distOracle struct {
-	e    *transport.Endpoint
+	e    transport.Conn
 	st   *stats.Rank
 	rank int
 	np   int

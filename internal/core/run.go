@@ -34,6 +34,48 @@ func (o *Output) Corrected() []reads.Read {
 	return all
 }
 
+// rankConn wraps one proc-group endpoint per the run options: the plain
+// endpoint normally, the chaos layer when a fault schedule is configured.
+func rankConn(eps []*transport.Endpoint, r int, opts Options) transport.Conn {
+	if opts.Chaos == nil {
+		return eps[r]
+	}
+	return transport.NewChaos(eps[r], *opts.Chaos)
+}
+
+// pickRunError selects which rank's error to surface for a whole run. The
+// abort protocol makes every rank fail, so the interesting error is the
+// origin's own AbortError (its Rank field names itself); errors derived
+// from teardown (ErrClosed) rank last.
+func pickRunError(errs []error) error {
+	betterThan := func(r int, err error, curRank int, cur error) bool {
+		if cur == nil {
+			return true
+		}
+		var abNew, abCur *AbortError
+		newOrigin := errors.As(err, &abNew) && abNew.Rank == r
+		curOrigin := errors.As(cur, &abCur) && abCur.Rank == curRank
+		if newOrigin != curOrigin {
+			return newOrigin
+		}
+		return errors.Is(cur, transport.ErrClosed) && !errors.Is(err, transport.ErrClosed)
+	}
+	var firstErr error
+	firstRank := -1
+	for r, err := range errs {
+		if err == nil {
+			continue
+		}
+		if betterThan(r, err, firstRank, firstErr) {
+			firstErr, firstRank = err, r
+		}
+	}
+	if firstErr == nil {
+		return nil
+	}
+	return fmt.Errorf("core: rank %d failed: %w", firstRank, firstErr)
+}
+
 // Run executes the distributed pipeline with np goroutine ranks over the
 // in-process transport — the standard way to run the engine inside one
 // process. For one-process-per-rank deployments, call RunRank directly
@@ -41,6 +83,11 @@ func (o *Output) Corrected() []reads.Read {
 func Run(src Source, np int, opts Options) (*Output, error) {
 	if np < 1 {
 		return nil, fmt.Errorf("core: np=%d", np)
+	}
+	if opts.Chaos != nil {
+		if err := opts.Chaos.Validate(np); err != nil {
+			return nil, err
+		}
 	}
 	eps, err := transport.NewProcGroup(np)
 	if err != nil {
@@ -56,31 +103,14 @@ func Run(src Source, np int, opts Options) (*Output, error) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			outs[r], errs[r] = RunRank(eps[r], src, opts)
-			if errs[r] != nil {
-				// A failed rank can never again participate in collectives
-				// or answer requests, so peers blocked on it would wait
-				// forever; tear the whole group down to unblock them.
-				transport.CloseGroup(eps)
-			}
+			outs[r], errs[r] = RunRank(rankConn(eps, r, opts), src, opts)
 		}(r)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	// Report the root cause, not the ErrClosed errors induced by teardown.
-	var firstErr error
-	firstRank := -1
-	for r, err := range errs {
-		if err == nil {
-			continue
-		}
-		if firstErr == nil || (errors.Is(firstErr, transport.ErrClosed) && !errors.Is(err, transport.ErrClosed)) {
-			firstErr, firstRank = err, r
-		}
-	}
-	if firstErr != nil {
-		return nil, fmt.Errorf("core: rank %d failed: %w", firstRank, firstErr)
+	if err := pickRunError(errs); err != nil {
+		return nil, err
 	}
 
 	out := &Output{

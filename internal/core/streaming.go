@@ -52,7 +52,7 @@ func (s *CollectSink) Close() error { return nil }
 // during correction, where each chunk is balanced, corrected, written to
 // the sink, and dropped ("the short reads are again processed from the
 // file... storing the reads is not a feasible option", paper Step IV).
-func RunRankStreaming(e *transport.Endpoint, src Source, opts Options, sink Sink) (*RankOutput, error) {
+func RunRankStreaming(e transport.Conn, src Source, opts Options, sink Sink) (*RankOutput, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -80,10 +80,10 @@ func RunRankStreaming(e *transport.Endpoint, src Source, opts Options, sink Sink
 	}
 
 	if err := phase(stats.PhaseSpectrum, func() error { return ctx.spectrumPassStreaming(src) }); err != nil {
-		return nil, fmt.Errorf("core: rank %d streaming spectrum: %w", ctx.rank, err)
+		return nil, ctx.fail("spectrum", err)
 	}
 	if err := phase(stats.PhaseExchange, ctx.postExchangePhase); err != nil {
-		return nil, fmt.Errorf("core: rank %d exchange: %w", ctx.rank, err)
+		return nil, ctx.fail("exchange", err)
 	}
 	var res reptile.Result
 	if err := phase(stats.PhaseCorrect, func() error {
@@ -91,7 +91,7 @@ func RunRankStreaming(e *transport.Endpoint, src Source, opts Options, sink Sink
 		res, err = ctx.correctPassStreaming(src, sink)
 		return err
 	}); err != nil {
-		return nil, fmt.Errorf("core: rank %d streaming correct: %w", ctx.rank, err)
+		return nil, ctx.fail("correct", err)
 	}
 
 	ctx.st.BasesCorrected = res.BasesCorrected
@@ -99,6 +99,7 @@ func RunRankStreaming(e *transport.Endpoint, src Source, opts Options, sink Sink
 	ctx.st.MsgsSent = e.Counters().MsgsSent()
 	ctx.st.BytesSent = e.Counters().BytesSent()
 	ctx.st.MaxInboxDepth = int64(e.MaxQueueDepth())
+	ctx.observeFaults()
 	return &RankOutput{Stats: ctx.st, Result: res}, nil
 }
 
@@ -187,15 +188,30 @@ func (ctx *rankCtx) spectrumPassStreaming(src Source) error {
 func (ctx *rankCtx) correctPassStreaming(src Source, sink Sink) (reptile.Result, error) {
 	msgs0, bytes0 := ctx.e.Counters().PerDestSnapshot()
 
+	// Same failure discipline as the batch correct phase: the responder
+	// aborts through ctx.fail so a parked worker unblocks, and the worker
+	// joins the responder before surfacing its own failure.
 	var wg sync.WaitGroup
 	respErr := make(chan error, 1)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		if err := ctx.responderLoop(); err != nil {
-			respErr <- err
+			respErr <- ctx.fail("correct", err)
 		}
 	}()
+	failBoth := func(err error) error {
+		aerr := ctx.fail("correct", err)
+		wg.Wait()
+		select {
+		case rerr := <-respErr:
+			if errors.Is(aerr, transport.ErrClosed) && !errors.Is(rerr, transport.ErrClosed) {
+				return rerr
+			}
+		default:
+		}
+		return aerr
+	}
 
 	oracle := &distOracle{
 		e: ctx.e, st: &ctx.st, rank: ctx.rank, np: ctx.np,
@@ -208,7 +224,7 @@ func (ctx *rankCtx) correctPassStreaming(src Source, sink Sink) (reptile.Result,
 	}
 	corrector, err := reptile.NewCorrector(ctx.opts.Config, oracle)
 	if err != nil {
-		return reptile.Result{}, err
+		return reptile.Result{}, failBoth(err)
 	}
 
 	var res reptile.Result
@@ -257,11 +273,11 @@ func (ctx *rankCtx) correctPassStreaming(src Source, sink Sink) (reptile.Result,
 		}
 	}()
 	if runErr != nil {
-		return res, runErr
+		return res, failBoth(runErr)
 	}
 
 	if err := ctx.e.Send(0, tagDone, nil); err != nil {
-		return res, err
+		return res, failBoth(err)
 	}
 	wg.Wait()
 	select {
@@ -337,6 +353,11 @@ func RunStreaming(src Source, np int, opts Options, sinks SinkFactory) (*Output,
 	if np < 1 {
 		return nil, fmt.Errorf("core: np=%d", np)
 	}
+	if opts.Chaos != nil {
+		if err := opts.Chaos.Validate(np); err != nil {
+			return nil, err
+		}
+	}
 	eps, err := transport.NewProcGroup(np)
 	if err != nil {
 		return nil, err
@@ -353,29 +374,19 @@ func RunStreaming(src Source, np int, opts Options, sinks SinkFactory) (*Output,
 			sink, err := sinks(r)
 			if err != nil {
 				errs[r] = err
-				transport.CloseGroup(eps)
+				// The sink failed before the rank ever joined the group;
+				// closing its endpoint surfaces the loss to peers as
+				// ErrPeerDown, the same as a rank dying pre-run.
+				eps[r].Close()
 				return
 			}
-			outs[r], errs[r] = RunRankStreaming(eps[r], src, opts, sink)
-			if errs[r] != nil {
-				transport.CloseGroup(eps)
-			}
+			outs[r], errs[r] = RunRankStreaming(rankConn(eps, r, opts), src, opts, sink)
 		}(r)
 	}
 	wg.Wait()
 
-	var firstErr error
-	firstRank := -1
-	for r, err := range errs {
-		if err == nil {
-			continue
-		}
-		if firstErr == nil || (errors.Is(firstErr, transport.ErrClosed) && !errors.Is(err, transport.ErrClosed)) {
-			firstErr, firstRank = err, r
-		}
-	}
-	if firstErr != nil {
-		return nil, fmt.Errorf("core: rank %d failed: %w", firstRank, firstErr)
+	if err := pickRunError(errs); err != nil {
+		return nil, err
 	}
 
 	out := &Output{

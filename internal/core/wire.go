@@ -2,9 +2,11 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"reptile/internal/kmer"
+	"reptile/internal/transport"
 )
 
 // Application tags (non-negative; collectives use negative tag space).
@@ -21,6 +23,16 @@ const (
 const (
 	kindKmer byte = 0
 	kindTile byte = 1
+)
+
+// Abort-cause kinds carried in the abort record (the payload of the
+// transport's abort broadcast). The kind preserves the sentinel identity of
+// the root cause across the wire, so a peer that decodes the record can
+// still answer errors.Is(err, transport.ErrPeerDown) and friends.
+const (
+	kindAbortApp      byte = 0 // application/source error on the origin rank
+	kindAbortPeerDown byte = 1 // the origin lost one of its peers
+	kindAbortCorrupt  byte = 2 // the origin received a corrupt frame
 )
 
 // Wire payload sizes, used by the machine-model projection.
@@ -86,4 +98,53 @@ func decodeResp(payload []byte) (count uint32, exists bool, err error) {
 		return 0, false, fmt.Errorf("core: response of %d bytes", len(payload))
 	}
 	return binary.LittleEndian.Uint32(payload[1:]), payload[0] == 1, nil
+}
+
+// encodeAbortInfo serializes an abort record:
+// cause kind | origin rank uint32 | phase len uint16 | phase | cause text.
+func encodeAbortInfo(a *AbortError) []byte {
+	kind := kindAbortApp
+	switch {
+	case errors.Is(a.err, transport.ErrPeerDown):
+		kind = kindAbortPeerDown
+	case errors.Is(a.err, transport.ErrCorruptFrame):
+		kind = kindAbortCorrupt
+	}
+	phase := []byte(a.Phase)
+	buf := make([]byte, 7, 7+len(phase)+len(a.Cause))
+	buf[0] = kind
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(a.Rank))
+	binary.LittleEndian.PutUint16(buf[5:7], uint16(len(phase)))
+	buf = append(buf, phase...)
+	buf = append(buf, a.Cause...)
+	return buf
+}
+
+// decodeAbortInfo parses an abort record back into the origin's AbortError,
+// restoring the transport sentinel the cause kind names.
+func decodeAbortInfo(payload []byte) (*AbortError, error) {
+	if len(payload) < 7 {
+		return nil, fmt.Errorf("core: abort record of %d bytes", len(payload))
+	}
+	var sentinel error
+	switch payload[0] {
+	case kindAbortApp:
+	case kindAbortPeerDown:
+		sentinel = transport.ErrPeerDown
+	case kindAbortCorrupt:
+		sentinel = transport.ErrCorruptFrame
+	default:
+		return nil, fmt.Errorf("core: abort cause kind %d", payload[0])
+	}
+	rank := int(int32(binary.LittleEndian.Uint32(payload[1:5])))
+	plen := int(binary.LittleEndian.Uint16(payload[5:7]))
+	if len(payload) < 7+plen {
+		return nil, fmt.Errorf("core: abort record phase overruns payload")
+	}
+	return &AbortError{
+		Rank:  rank,
+		Phase: string(payload[7 : 7+plen]),
+		Cause: string(payload[7+plen:]),
+		err:   sentinel,
+	}, nil
 }

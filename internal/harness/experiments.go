@@ -38,7 +38,7 @@ func TableI(sc Scale) (*Table, error) {
 func Fig2(sc Scale) (*Table, error) {
 	ds := buildDataset(genome.EColiSim, sc, false)
 	np := sc.Ranks(128)
-	opts := optionsFor(ds, core.Heuristics{}, true)
+	opts := optionsFor(sc, ds, core.Heuristics{}, true)
 	out, err := engineRun(ds, np, opts)
 	if err != nil {
 		return nil, err
@@ -70,7 +70,7 @@ func Fig2(sc Scale) (*Table, error) {
 func Fig3(sc Scale) (*Table, error) {
 	ds := buildDataset(genome.EColiSim, sc, false)
 	np := sc.Ranks(128)
-	opts := optionsFor(ds, core.Heuristics{}, true)
+	opts := optionsFor(sc, ds, core.Heuristics{}, true)
 	out, err := engineRun(ds, np, opts)
 	if err != nil {
 		return nil, err
@@ -103,7 +103,7 @@ func Fig4(sc Scale) (*Table, error) {
 		Header: []string{"mode", "rank time min", "rank time max", "comm min", "comm max", "errors min", "errors max", "tile lookups max"},
 	}
 	for _, balanced := range []bool{false, true} {
-		opts := optionsFor(ds, core.Heuristics{}, balanced)
+		opts := optionsFor(sc, ds, core.Heuristics{}, balanced)
 		out, err := engineRun(ds, np, opts)
 		if err != nil {
 			return nil, err
@@ -180,7 +180,7 @@ func Fig5(sc Scale) (*Table, error) {
 	}
 	for _, m := range modes {
 		n := m.ranks(np)
-		opts := optionsFor(ds, m.h, true)
+		opts := optionsFor(sc, ds, m.h, true)
 		out, err := engineRun(ds, n, opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", m.name, err)
@@ -221,7 +221,7 @@ func scaling(id, title, note string, preset genome.Preset, paperRanks []int, h c
 			continue // rank scaling saturated MaxRanks
 		}
 		seen[np] = true
-		opts := optionsFor(ds, h, true)
+		opts := optionsFor(sc, ds, h, true)
 		out, err := engineRun(ds, np, opts)
 		if err != nil {
 			return nil, err
@@ -232,7 +232,7 @@ func scaling(id, title, note string, preset genome.Preset, paperRanks []int, h c
 		}
 		imbCell := "-"
 		if imbalancedToo {
-			iopts := optionsFor(ds, h, false)
+			iopts := optionsFor(sc, ds, h, false)
 			iout, err := engineRun(ds, np, iopts)
 			if err != nil {
 				return nil, err
@@ -293,7 +293,7 @@ func BatchSweep(sc Scale) (*Table, error) {
 	}
 	perRank := (ds.NumReads() + np - 1) / np
 	for _, chunk := range []int{perRank + 1, 2000, 500, 125} {
-		opts := optionsFor(ds, core.Heuristics{BatchReads: true}, true)
+		opts := optionsFor(sc, ds, core.Heuristics{BatchReads: true}, true)
 		opts.Config.ChunkReads = chunk
 		out, err := engineRun(ds, np, opts)
 		if err != nil {

@@ -15,6 +15,7 @@ import (
 	"reptile/internal/genome"
 	"reptile/internal/machine"
 	"reptile/internal/reptile"
+	"reptile/internal/transport"
 )
 
 // Scale shrinks the paper's workloads to workstation size. Dataset scales
@@ -25,6 +26,10 @@ type Scale struct {
 	Dataset  float64
 	RankDiv  int
 	MaxRanks int
+	// Chaos, when non-nil, injects this fault schedule into every
+	// experiment run (reptile-bench -chaos), e.g. to measure the overhead
+	// of a benign latency schedule on the scaling curves.
+	Chaos *transport.Plan
 }
 
 // DefaultScale is sized for cmd/reptile-bench: full harness in minutes.
@@ -163,12 +168,14 @@ func buildDataset(p genome.Preset, sc Scale, localized bool) *genome.Dataset {
 	return sp.Build()
 }
 
-// optionsFor derives engine options from a dataset's coverage.
-func optionsFor(ds *genome.Dataset, h core.Heuristics, balance bool) core.Options {
+// optionsFor derives engine options from a dataset's coverage, carrying the
+// scale's fault schedule along.
+func optionsFor(sc Scale, ds *genome.Dataset, h core.Heuristics, balance bool) core.Options {
 	return core.Options{
 		Config:      reptile.ForCoverage(ds.Coverage()),
 		Heuristics:  h,
 		LoadBalance: balance,
+		Chaos:       sc.Chaos,
 	}
 }
 

@@ -24,7 +24,7 @@ func shapeDataset(t *testing.T, localized bool) *genome.Dataset {
 
 func mustRun(t *testing.T, ds *genome.Dataset, np int, h core.Heuristics, balance bool) *core.Output {
 	t.Helper()
-	out, err := engineRun(ds, np, optionsFor(ds, h, balance))
+	out, err := engineRun(ds, np, optionsFor(Scale{}, ds, h, balance))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 // Package fixture exercises the wireproto analyzer: a healthy registry, a
 // tag that is sent but never received, a tag that is decoded but never
-// sent, and a dead payload kind.
+// sent, a dead payload kind — and the transport's control-plane idiom
+// (abort/heartbeat tags built by encode* helpers, consumed by a deliver
+// switch; abort-record kinds passed as encode* arguments).
 package fixture
 
 import "errors"
@@ -11,8 +13,19 @@ const (
 	tagOrphanRecv = 3 // want "no send/encode path"
 	tagCtl        = 4
 
+	// Control tags mirroring transport.tagAbort/tagHeartbeat: far below the
+	// collective tag range, produced only inside encode* constructors,
+	// consumed by case clauses in the delivery switch.
+	tagAbortish     = -1 << 30
+	tagHeartbeatish = -1<<30 + 1
+
 	kindUsed byte = 0
 	kindDead byte = 1 // want "no send/encode path" want "no receive/decode path"
+
+	// Abort-record kinds mirroring core.kindAbort*: produced as encode*
+	// call arguments, consumed by comparison on the decode side.
+	kindAbortAppish  byte = 2
+	kindAbortPeerish byte = 3
 )
 
 // endpointish stands in for the transport Endpoint surface.
@@ -47,4 +60,49 @@ func ship(e endpointish) error {
 	}
 	_, err := e.Recv(tagCtl)
 	return err
+}
+
+// encodeAbortish is the producer side of the control plane: a tag named
+// inside an encode* function is send-path evidence on its own.
+func encodeAbortish(payload []byte) (int, []byte) { return tagAbortish, payload }
+
+// encodeHeartbeatish likewise.
+func encodeHeartbeatish() (int, []byte) { return tagHeartbeatish, nil }
+
+// deliverish mirrors Endpoint.deliver: control tags are consumed by case
+// clauses before ordinary messages are enqueued.
+func deliverish(tag int, data []byte) ([]byte, bool) {
+	switch tag {
+	case tagAbortish:
+		return data, false
+	case tagHeartbeatish:
+		return nil, false
+	}
+	return data, true
+}
+
+// encodeRecordish mirrors core.encodeAbortInfo: kinds arrive as call
+// arguments, which is producer evidence for kind constants.
+func encodeRecordish(kind byte, cause string) []byte {
+	return append([]byte{kind}, cause...)
+}
+
+// raiseish builds both record flavors.
+func raiseish(peerDown bool) []byte {
+	if peerDown {
+		return encodeRecordish(kindAbortPeerish, "peer down")
+	}
+	return encodeRecordish(kindAbortAppish, "app error")
+}
+
+// decodeRecordish is the consumer side: comparisons outside encoders count
+// as receive-path evidence.
+func decodeRecordish(b []byte) (fatal bool, err error) {
+	if len(b) == 0 {
+		return false, errors.New("fixture: empty record")
+	}
+	if b[0] == kindAbortPeerish {
+		return true, nil
+	}
+	return b[0] == kindAbortAppish, nil
 }

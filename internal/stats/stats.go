@@ -80,6 +80,9 @@ type Rank struct {
 	// MaxInboxDepth is the transport mailbox's high-water mark: how far
 	// behind this rank's receivers fell at the worst moment.
 	MaxInboxDepth int64
+	// FaultsInjected counts the chaos-schedule faults that fired on this
+	// rank's endpoint (zero outside fault-injection runs).
+	FaultsInjected int64
 
 	// Peak application memory this rank held (spectra + reads tables +
 	// caches), in bytes.

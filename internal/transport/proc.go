@@ -1,6 +1,9 @@
 package transport
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // NewProcGroup creates np in-process endpoints wired directly to each
 // other's mailboxes: the transport used when ranks are goroutines of one
@@ -9,6 +12,12 @@ import "fmt"
 // Delivery is a direct mailbox insert, so a Send happens-before the
 // matching Recv returns, and per-(sender,tag) FIFO order follows from each
 // sender being a single goroutine per tag stream.
+//
+// Failure semantics mirror the TCP transport: when a rank closes its
+// endpoint, every other rank's mailbox is poisoned with a PeerDownError —
+// the in-process analogue of the EOF a TCP reader would see. A rank's own
+// receivers still get ErrClosed from its own Close (self-close is shutdown,
+// not peer loss).
 func NewProcGroup(np int) ([]*Endpoint, error) {
 	if np < 1 {
 		return nil, fmt.Errorf("transport: group size %d < 1", np)
@@ -23,8 +32,38 @@ func NewProcGroup(np int) ([]*Endpoint, error) {
 		}
 	}
 	for r := 0; r < np; r++ {
+		r := r
 		eps[r].sendFn = func(to int, m Message) error {
-			return eps[to].deliver(m)
+			err := eps[to].deliver(m)
+			if errors.Is(err, ErrClosed) && to != r {
+				// The destination endpoint closed mid-run: report it the way
+				// the TCP transport reports a dead socket.
+				return &PeerDownError{Rank: to, Cause: err}
+			}
+			return err
+		}
+		eps[r].closeFn = func() error {
+			for to := 0; to < np; to++ {
+				if to != r {
+					eps[to].mbox.fail(&PeerDownError{Rank: r})
+				}
+			}
+			return nil
+		}
+		// Chaos hooks. In-process links have no frames to corrupt and no
+		// cables to pull, so both faults act directly on mailboxes: a
+		// corrupt frame poisons the destination (the receiver is the one
+		// that would have detected it), a dropped link downs each end in
+		// the other's eyes.
+		eps[r].corruptFn = func(to int) {
+			eps[to].mbox.fail(&CorruptFrameError{From: r})
+		}
+		eps[r].dropFn = func(to int) {
+			if to == r {
+				return
+			}
+			eps[to].mbox.fail(&PeerDownError{Rank: r})
+			eps[r].mbox.fail(&PeerDownError{Rank: to})
 		}
 	}
 	return eps, nil

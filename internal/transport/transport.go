@@ -23,6 +23,110 @@ import (
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("transport: endpoint closed")
 
+// ErrPeerDown is the sentinel matched (errors.Is) by every failure that
+// means "a remote rank is gone": a TCP connection reset or EOF, a read
+// deadline expiring with no frames (not even heartbeats), or a peer
+// process/goroutine that closed its endpoint mid-run.
+var ErrPeerDown = errors.New("transport: peer down")
+
+// ErrCorruptFrame is the sentinel matched (errors.Is) by frame-integrity
+// failures: a TCP frame whose CRC32 does not cover its bytes is dropped and
+// surfaces as this error instead of being decoded into garbage.
+var ErrCorruptFrame = errors.New("transport: corrupt frame")
+
+// ErrInjected marks errors manufactured by the Chaos wrapper (an injected
+// rank crash), so tests can tell a scheduled fault from an organic one.
+var ErrInjected = errors.New("transport: injected fault")
+
+// PeerDownError reports which rank was lost and why. It matches ErrPeerDown
+// under errors.Is.
+type PeerDownError struct {
+	Rank  int   // the rank that is unreachable
+	Cause error // underlying network error, if any
+}
+
+func (e *PeerDownError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("transport: peer rank %d down: %v", e.Rank, e.Cause)
+	}
+	return fmt.Sprintf("transport: peer rank %d down", e.Rank)
+}
+
+// Is reports sentinel identity so errors.Is(err, ErrPeerDown) matches.
+func (e *PeerDownError) Is(target error) bool { return target == ErrPeerDown }
+
+// Unwrap exposes the underlying cause.
+func (e *PeerDownError) Unwrap() error { return e.Cause }
+
+// CorruptFrameError reports a frame from a specific peer that failed its
+// CRC32 check. It matches ErrCorruptFrame under errors.Is.
+type CorruptFrameError struct {
+	From int // sender rank of the bad frame
+}
+
+func (e *CorruptFrameError) Error() string {
+	return fmt.Sprintf("transport: corrupt frame from rank %d (CRC mismatch)", e.From)
+}
+
+// Is reports sentinel identity so errors.Is(err, ErrCorruptFrame) matches.
+func (e *CorruptFrameError) Is(target error) bool { return target == ErrCorruptFrame }
+
+// Aborted is the error every pending and future receive returns after a
+// peer broadcast a run-wide abort (SendAbort). Payload carries the
+// application-level abort record opaque to the transport; package core
+// decodes it into an AbortError.
+type Aborted struct {
+	From    int    // rank that originated the abort
+	Payload []byte // application abort record
+}
+
+func (e *Aborted) Error() string {
+	return fmt.Sprintf("transport: run aborted by rank %d", e.From)
+}
+
+// Conn is the endpoint surface the engine and the collectives program
+// against. Both the concrete *Endpoint and the fault-injecting *Chaos
+// wrapper implement it, so any layer of the stack can run unchanged under
+// an injected fault schedule.
+type Conn interface {
+	Rank() int
+	Size() int
+	Counters() *Counters
+	Send(to, tag int, data []byte) error
+	SendAbort(to int, payload []byte) error
+	Recv(tag int) (Message, error)
+	RecvMatch(match func(tag int) bool) (Message, error)
+	TryRecvMatch(match func(tag int) bool) (Message, bool, error)
+	MaxQueueDepth() int
+	Close() error
+}
+
+var (
+	_ Conn = (*Endpoint)(nil)
+	_ Conn = (*Chaos)(nil)
+)
+
+// Control-plane tags, reserved far below the collective tag range (which
+// counts down from -1, one tag per collective operation): a run would need
+// ~2^30 collectives before colliding. They never reach application receive
+// paths — deliver intercepts both.
+const (
+	tagAbort     = -1 << 30   // run-wide abort broadcast; poisons the mailbox
+	tagHeartbeat = -1<<30 + 1 // keepalive on idle TCP links; dropped on arrival
+)
+
+// encodeAbort builds the abort control message carrying an opaque
+// application abort record.
+func encodeAbort(from int, payload []byte) Message {
+	return Message{From: from, Tag: tagAbort, Data: payload}
+}
+
+// encodeHeartbeat builds the empty keepalive message that holds a TCP
+// link's read deadline open while the application is idle.
+func encodeHeartbeat(from int) Message {
+	return Message{From: from, Tag: tagHeartbeat}
+}
+
 // Message is one delivered unit: the sender's rank, the application tag,
 // and an owned payload.
 type Message struct {
@@ -105,6 +209,14 @@ type Endpoint struct {
 	sendFn  func(to int, m Message) error
 	closeFn func() error
 
+	// Fault-injection hooks installed by each transport constructor and
+	// driven only by the Chaos wrapper: corruptFn flips bytes in the next
+	// frame to rank `to` (after its CRC is computed), dropFn severs the
+	// link to rank `to` as if the cable were pulled. Nil when the transport
+	// has no meaningful implementation.
+	corruptFn func(to int)
+	dropFn    func(to int)
+
 	closed atomic.Bool
 }
 
@@ -160,9 +272,33 @@ func (e *Endpoint) TryRecvMatch(match func(tag int) bool) (Message, bool, error)
 	return m, ok, err
 }
 
+// SendAbort broadcasts-one-peer-at-a-time the run-wide abort control
+// message to rank `to`. Abort traffic is control plane: it bypasses the
+// application counters so fault handling does not distort the traffic
+// model. Self-sends are legal and poison the local mailbox, unblocking
+// this rank's own responder/worker goroutines.
+func (e *Endpoint) SendAbort(to int, payload []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if to < 0 || to >= e.size {
+		return fmt.Errorf("transport: abort to rank %d of %d", to, e.size)
+	}
+	return e.sendFn(to, encodeAbort(e.rank, payload))
+}
+
 // deliver enqueues an inbound message; transports call it from their
-// delivery paths.
+// delivery paths. Control tags never reach the application: heartbeats are
+// dropped (their only job was resetting the peer's read deadline), and an
+// abort poisons the mailbox so every pending and future receive fails fast.
 func (e *Endpoint) deliver(m Message) error {
+	switch m.Tag {
+	case tagHeartbeat:
+		return nil
+	case tagAbort:
+		e.mbox.fail(&Aborted{From: m.From, Payload: m.Data})
+		return nil
+	}
 	return e.mbox.put(m)
 }
 
@@ -196,10 +332,11 @@ func (e *Endpoint) Close() error {
 // MPI guarantees ordering only per (sender, tag), so per-tag FIFOs preserve
 // every ordering the algorithm may rely on.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond        // signals on mu
-	byTag  map[int]*tagQueue // guarded by mu (tagQueues are owned by mu too)
-	closed bool              // guarded by mu
+	mu      sync.Mutex
+	cond    *sync.Cond        // signals on mu
+	byTag   map[int]*tagQueue // guarded by mu (tagQueues are owned by mu too)
+	closed  bool              // guarded by mu
+	failErr error             // guarded by mu; poison set by fail, checked before every receive
 	// Queue-depth accounting: depth is current pending messages, maxDepth
 	// the high-water mark. Unbounded queues make backlog invisible unless
 	// measured; the engine surfaces this per rank.
@@ -258,6 +395,12 @@ func (mb *mailbox) put(m Message) error {
 	if mb.closed {
 		return ErrClosed
 	}
+	if mb.failErr != nil {
+		// Poisoned: the owner is failing fast, so late arrivals are dropped
+		// silently — the sender must not see an error for the receiver's
+		// abort.
+		return nil
+	}
 	q := mb.byTag[m.Tag]
 	if q == nil {
 		q = &tagQueue{}
@@ -293,8 +436,16 @@ func (mb *mailbox) recv(match func(int) bool) (Message, error) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
+		// Matching queued messages drain even after a poison: a peer that
+		// finished and closed gracefully may race its final protocol
+		// message (e.g. the stop broadcast) against the EOF its departure
+		// causes, and that message must still be deliverable. Only
+		// receives that would block fail with the poison.
 		if m, ok := mb.take(match); ok {
 			return m, nil
+		}
+		if mb.failErr != nil {
+			return Message{}, mb.failErr
 		}
 		if mb.closed {
 			return Message{}, ErrClosed
@@ -304,6 +455,37 @@ func (mb *mailbox) recv(match func(int) bool) (Message, error) {
 		mb.cond.Wait()
 		mb.waiting--
 	}
+}
+
+// fail poisons the mailbox: every receiver currently blocked and every
+// future receive returns err immediately. The first poison wins; a close
+// that already happened takes precedence. Unlike close, fail leaves the
+// endpoint's send side alone — a poisoned rank can still broadcast its
+// abort record before tearing down.
+func (mb *mailbox) fail(err error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed || mb.failErr != nil {
+		return
+	}
+	mb.failErr = err
+	// Release awaitWaiters subscriptions: blocked receivers are about to
+	// drain away with the failure.
+	for _, w := range mb.watchers {
+		close(w.ch)
+	}
+	mb.watchers = nil
+	mb.cond.Broadcast()
+}
+
+// poison returns the failure the mailbox is poisoned with, or nil. Senders
+// consult it so a send that fails *because* the receive side already
+// declared the link dead (peer down, corrupt frame) reports that root cause
+// rather than the raw socket error the teardown provoked.
+func (mb *mailbox) poison() error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.failErr
 }
 
 // notifyWatchers releases every awaitWaiters subscription whose threshold
@@ -345,6 +527,9 @@ func (mb *mailbox) tryRecv(match func(int) bool) (Message, bool, error) {
 	defer mb.mu.Unlock()
 	if m, ok := mb.take(match); ok {
 		return m, true, nil
+	}
+	if mb.failErr != nil {
+		return Message{}, false, mb.failErr
 	}
 	if mb.closed {
 		return Message{}, false, ErrClosed
