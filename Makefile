@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet chaos ci
+.PHONY: build test race lint vet chaos bench-lookup ci
 
 build:
 	$(GO) build ./...
@@ -35,5 +35,11 @@ chaos:
 			-run 'Chaos|Abort|Peer|Corrupt|Heartbeat|Failure' \
 			./internal/transport/ ./internal/core/ || exit 1; \
 	done
+
+## bench-lookup: the remote-lookup batching benchmark — correction-phase
+## messages and bytes per read for the unbatched protocol vs batch frames of
+## 8 and 32 ids (with and without a worker pool), written machine-readable.
+bench-lookup:
+	$(GO) run ./cmd/reptile-bench -exp lookup -scale 0.05 -rankdiv 16 -maxranks 8 -json BENCH_lookup.json
 
 ci: build vet lint test race chaos

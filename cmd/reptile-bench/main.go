@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ func main() {
 		maxRanks = flag.Int("maxranks", 256, "cap on scaled rank counts")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		csvDir   = flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+		jsonPath = flag.String("json", "", "also write the selected tables as a JSON array to this file")
 
 		chaos     = flag.String("chaos", "", "fault schedule injected into every run (e.g. delay=50us,jitter=100us,slow=1x4); see reptile-correct -chaos")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault schedule's jitter stream")
@@ -64,6 +66,7 @@ func main() {
 	}
 
 	fmt.Printf("reptile-bench: scale=%.3g rankdiv=%d maxranks=%d\n\n", *scale, *rankDiv, *maxRanks)
+	var tables []*harness.Table
 	for _, e := range exps {
 		start := time.Now()
 		tab, err := e.Run(sc)
@@ -80,5 +83,18 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		tables = append(tables, tab)
+	}
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reptile-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "reptile-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("json: %s\n", *jsonPath)
 	}
 }

@@ -55,6 +55,10 @@ func main() {
 		batch     = flag.Bool("batch-reads", false, "exchange spectra after every chunk (bounded reads tables)")
 		partial   = flag.Int("partial-replication", 0, "partial replication group size (0 = off)")
 
+		lookupBatch  = flag.Int("lookup-batch", 0, "coalesce up to this many remote lookups per request frame (0 = classic one-per-message protocol; output is identical either way)")
+		lookupWindow = flag.Int("lookup-window", 0, "in-flight batch frames per peer (0 = default window when -lookup-batch is on)")
+		workers      = flag.Int("workers", 0, "correction worker goroutines per rank (0/1 = single worker; >1 requires -lookup-batch)")
+
 		stream      = flag.Bool("stream", false, "streaming mode: never hold reads whole; write per-rank outputs incrementally (proc transport)")
 		corrections = flag.String("corrections", "", "also write the list of applied substitutions (seq, pos, from, to) to this file (proc non-streaming mode)")
 
@@ -111,6 +115,9 @@ func main() {
 			ReplicateTiles:          *replTiles,
 			BatchReads:              *batch,
 			PartialReplicationGroup: *partial,
+			LookupBatch:             *lookupBatch,
+			LookupWindow:            *lookupWindow,
+			Workers:                 *workers,
 		},
 		LoadBalance: !*noBalance,
 	}
@@ -186,6 +193,10 @@ func runProcWithCorrections(src core.Source, np int, opts core.Options, out, cor
 				r.Rank, r.ReadsAssigned, r.OwnedKmers, r.OwnedTiles,
 				r.TotalRemoteLookups(), r.RequestsServed, r.BasesCorrected,
 				r.FaultsInjected, float64(r.PeakMemBytes)/(1<<20))
+			if r.BatchesSent > 0 {
+				fmt.Printf("          batches=%d ids/batch=%.1f workers=%d\n",
+					r.BatchesSent, r.LookupsPerBatch(), r.WorkerCount)
+			}
 		}
 	}
 }

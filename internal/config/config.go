@@ -191,6 +191,12 @@ func (s *Settings) apply(key, val string) error {
 		h.BatchReads, err = asBool()
 	case "partial_replication":
 		h.PartialReplicationGroup, err = asInt()
+	case "lookup_batch":
+		h.LookupBatch, err = asInt()
+	case "lookup_window":
+		h.LookupWindow, err = asInt()
+	case "workers":
+		h.Workers, err = asInt()
 	case "replicated_layout":
 		switch normalize(val) {
 		case "hash":
@@ -240,6 +246,9 @@ func (s Settings) Render() string {
 	w("replicate_tiles", h.ReplicateTiles)
 	w("batch_reads", h.BatchReads)
 	w("partial_replication", h.PartialReplicationGroup)
+	w("lookup_batch", h.LookupBatch)
+	w("lookup_window", h.LookupWindow)
+	w("workers", h.Workers)
 	w("replicated_layout", h.ReplicatedLayout)
 	return sb.String()
 }

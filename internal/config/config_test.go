@@ -35,6 +35,9 @@ read_kmers = true
 cache_remote = true
 batch_reads = true
 partial_replication = 4
+lookup_batch = 32
+lookup-window = 2
+workers = 3
 
 chaos = delay=1ms,slow=2x8,crash=1@500
 chaos_seed = 99
@@ -70,6 +73,9 @@ chaos_seed = 99
 	if !h.Universal || !h.RetainReadKmers || !h.CacheRemote || !h.BatchReads || h.PartialReplicationGroup != 4 {
 		t.Errorf("heuristics: %+v", h)
 	}
+	if h.LookupBatch != 32 || h.LookupWindow != 2 || h.Workers != 3 {
+		t.Errorf("lookup batching keys: %+v", h)
+	}
 	p := s.Options.Chaos
 	if p == nil {
 		t.Fatal("chaos spec not compiled into Options.Chaos")
@@ -96,16 +102,18 @@ func TestParseDefaultsAndComments(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	cases := map[string]string{
-		"unknown key":     "bogus = 1\n",
-		"no equals":       "fasta /x\n",
-		"bad int":         "ranks = many\n",
-		"bad bool":        "universal = yes-ish\n",
-		"bad layout":      "replicate_kmers = true\nreplicated_layout = btree\n",
-		"bad chaos":       "chaos = warp=1\n",
-		"bad chaos seed":  "chaos_seed = soon\n",
-		"invalid combo":   "k = 0\n",
-		"quality range":   "quality_threshold = 1000\n",
-		"cache sans read": "", // covered below separately
+		"unknown key":      "bogus = 1\n",
+		"no equals":        "fasta /x\n",
+		"bad int":          "ranks = many\n",
+		"bad bool":         "universal = yes-ish\n",
+		"bad layout":       "replicate_kmers = true\nreplicated_layout = btree\n",
+		"bad chaos":        "chaos = warp=1\n",
+		"bad chaos seed":   "chaos_seed = soon\n",
+		"invalid combo":    "k = 0\n",
+		"quality range":    "quality_threshold = 1000\n",
+		"workers no batch": "workers = 4\n",
+		"negative batch":   "lookup_batch = -2\n",
+		"cache sans read":  "", // covered below separately
 	}
 	delete(cases, "cache sans read")
 	for name, in := range cases {
@@ -150,6 +158,9 @@ func TestRenderRoundTrip(t *testing.T) {
 	orig.Options.Heuristics.Universal = true
 	orig.Options.Heuristics.ReplicateTiles = true
 	orig.Options.Heuristics.ReplicatedLayout = core.LayoutCacheAware
+	orig.Options.Heuristics.LookupBatch = 16
+	orig.Options.Heuristics.LookupWindow = 3
+	orig.Options.Heuristics.Workers = 2
 	back, err := Parse(strings.NewReader(orig.Render()))
 	if err != nil {
 		t.Fatalf("rendered config does not parse: %v\n%s", err, orig.Render())

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"reptile/internal/dna"
+	"reptile/internal/kmer"
+	"reptile/internal/reads"
+	"reptile/internal/transport"
+)
+
+func TestBatchWireRoundTrips(t *testing.T) {
+	ids := []kmer.ID{1, 0xDEADBEEF, 1 << 60}
+	payload := encodeBatchReq(7, kindTile, ids)
+	reqID, kinds, got, err := decodeBatchReq(payload)
+	if err != nil || reqID != 7 {
+		t.Fatalf("batch req round trip: id=%d err=%v", reqID, err)
+	}
+	for i := range ids {
+		if kinds[i] != kindTile || got[i] != ids[i] {
+			t.Fatalf("entry %d: kind=%d id=%d", i, kinds[i], got[i])
+		}
+	}
+
+	answers := []batchAnswer{{Count: 42, Exists: true}, {Count: 0, Exists: false}}
+	reqID, back, err := decodeBatchResp(encodeBatchResp(9, answers))
+	if err != nil || reqID != 9 || len(back) != 2 {
+		t.Fatalf("batch resp round trip: id=%d n=%d err=%v", reqID, len(back), err)
+	}
+	if back[0] != answers[0] || back[1] != answers[1] {
+		t.Fatalf("answers changed: %+v", back)
+	}
+
+	// Malformed frames must be rejected, never mis-decoded.
+	if _, _, _, err := decodeBatchReq([]byte{1, 2}); err == nil {
+		t.Error("short batch request accepted")
+	}
+	if _, _, _, err := decodeBatchReq(payload[:len(payload)-1]); err == nil {
+		t.Error("truncated batch request accepted")
+	}
+	if _, _, err := decodeBatchResp([]byte{1}); err == nil {
+		t.Error("short batch response accepted")
+	}
+	trunc := encodeBatchResp(9, answers)
+	if _, _, err := decodeBatchResp(trunc[:len(trunc)-1]); err == nil {
+		t.Error("truncated batch response accepted")
+	}
+}
+
+// batchedVariants are the batching configurations every heuristic mode is
+// checked under. Worker pools require batching, so they only appear with it.
+var batchedVariants = []struct {
+	label                  string
+	batch, window, workers int
+}{
+	{"batch32", 32, 0, 0},
+	{"batch4-win2", 4, 2, 0},
+	{"batch8-workers3", 8, 0, 3},
+}
+
+// lookupCounters sums the worker-side remote lookup tallies, which must not
+// change under batching: batching reorders messages, not lookups.
+func lookupCounters(out *Output) [4]int64 {
+	return [4]int64{
+		out.Run.Sum(func(r *statsRank) int64 { return r.KmerLookupsRemote }),
+		out.Run.Sum(func(r *statsRank) int64 { return r.TileLookupsRemote }),
+		out.Run.Sum(func(r *statsRank) int64 { return r.RemoteMisses }),
+		out.Run.Sum(func(r *statsRank) int64 { return r.TotalLocalLookups() }),
+	}
+}
+
+// TestBatchedLookupsMatchUnbatchedAcrossHeuristics is the tentpole's hard
+// invariant: for every heuristic mode, enabling the batch pipeline (with
+// and without a worker pool) leaves the corrected output byte-identical and
+// — in single-worker runs, where lookup order is unchanged — the lookup
+// counters exactly equal.
+func TestBatchedLookupsMatchUnbatchedAcrossHeuristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short: heavyweight end-to-end run (race CI budget)")
+	}
+	ds, opts := testDataset(t, 800, 8100)
+	opts.Config.ChunkReads = 200
+	modes := map[string]Heuristics{
+		"base":        {},
+		"universal":   {Universal: true},
+		"readkmers":   {RetainReadKmers: true},
+		"cache":       {RetainReadKmers: true, CacheRemote: true},
+		"replkmer":    {ReplicateKmers: true},
+		"repltile":    {ReplicateTiles: true},
+		"replboth":    {ReplicateKmers: true, ReplicateTiles: true},
+		"batchreads":  {BatchReads: true},
+		"partialrepl": {PartialReplicationGroup: 2},
+		"kitchensink": {Universal: true, RetainReadKmers: true, CacheRemote: true, BatchReads: true},
+	}
+	for name, h := range modes {
+		o := opts
+		o.Heuristics = h
+		base, err := Run(&MemorySource{Reads: ds.Reads}, 4, o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		baseCounters := lookupCounters(base)
+		for _, v := range batchedVariants {
+			ob := o
+			ob.Heuristics.LookupBatch = v.batch
+			ob.Heuristics.LookupWindow = v.window
+			ob.Heuristics.Workers = v.workers
+			out, err := Run(&MemorySource{Reads: ds.Reads}, 4, ob)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, v.label, err)
+			}
+			sameOutput(t, name+"/"+v.label, base, out)
+			if v.workers <= 1 {
+				if got := lookupCounters(out); got != baseCounters {
+					t.Errorf("%s/%s: lookup counters %v, unbatched %v", name, v.label, got, baseCounters)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedLookupsMatchUnbatchedOverTCP repeats the invariant over real
+// sockets for every heuristic mode: a TCP run with batching on must produce
+// the same bytes as the proc-transport run with batching off.
+func TestBatchedLookupsMatchUnbatchedOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp integration")
+	}
+	ds, opts := testDataset(t, 300, 8200)
+	const np = 2
+	modes := map[string]Heuristics{
+		"base":        {},
+		"universal":   {Universal: true},
+		"readkmers":   {RetainReadKmers: true},
+		"cache":       {RetainReadKmers: true, CacheRemote: true},
+		"replkmer":    {ReplicateKmers: true},
+		"repltile":    {ReplicateTiles: true},
+		"replboth":    {ReplicateKmers: true, ReplicateTiles: true},
+		"batchreads":  {BatchReads: true},
+		"partialrepl": {PartialReplicationGroup: 2},
+		"kitchensink": {Universal: true, RetainReadKmers: true, CacheRemote: true, BatchReads: true},
+	}
+	for name, h := range modes {
+		o := opts
+		o.Heuristics = h
+		base, err := Run(&MemorySource{Reads: ds.Reads}, np, o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ob := o
+		ob.Heuristics.LookupBatch = 16
+		ob.Heuristics.Workers = 2
+		outs, errs := chaosTCPRanks(t, ds.Reads, np, ob, transport.NewPlan(1), 0)
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("%s: tcp rank %d: %v", name, r, err)
+			}
+		}
+		got := &Output{ByRank: make([][]reads.Read, np)}
+		for r, o := range outs {
+			got.ByRank[r] = o.Corrected
+			got.Result.Add(o.Result)
+		}
+		sameOutput(t, name+"/tcp-batched", base, got)
+	}
+}
+
+// TestBatchingReducesCorrectionMessages is the acceptance bar: with all
+// replication heuristics off at np ≥ 4, batching must at least halve the
+// correction-phase transport messages per corrected read while leaving the
+// output byte-identical.
+func TestBatchingReducesCorrectionMessages(t *testing.T) {
+	ds, opts := testDataset(t, 1500, 8300)
+	const np = 4
+	base, err := Run(&MemorySource{Reads: ds.Reads}, np, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := opts
+	ob.Heuristics.LookupBatch = 32
+	batched, err := Run(&MemorySource{Reads: ds.Reads}, np, ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutput(t, "batched", base, batched)
+
+	correctMsgs := func(out *Output) int64 {
+		var total int64
+		for _, r := range out.Run.Ranks {
+			for _, m := range r.MsgsTo {
+				total += m
+			}
+		}
+		return total
+	}
+	bm, gm := correctMsgs(base), correctMsgs(batched)
+	if bm == 0 {
+		t.Fatal("unbatched run sent no correction-phase messages; test is vacuous")
+	}
+	// Both runs corrected the same reads, so comparing totals compares the
+	// per-corrected-read rate.
+	if gm*2 > bm {
+		t.Errorf("batching reduced correction messages only %d -> %d (< 2x)", bm, gm)
+	}
+	t.Logf("correction messages: unbatched=%d batched=%d (%.1fx)", bm, gm, float64(bm)/float64(gm))
+
+	frames := batched.Run.Sum(func(r *statsRank) int64 { return r.BatchesSent })
+	lookups := batched.Run.Sum(func(r *statsRank) int64 { return r.BatchedLookups })
+	if frames == 0 || lookups <= frames {
+		t.Errorf("batch counters implausible: frames=%d ids=%d", frames, lookups)
+	}
+	for _, r := range batched.Run.Ranks {
+		if r.WorkerCount != 1 {
+			t.Errorf("rank %d WorkerCount=%d, want 1", r.Rank, r.WorkerCount)
+		}
+		if r.BatchesSent > 0 && r.LookupsPerBatch() <= 1 {
+			t.Errorf("rank %d aggregated %.2f ids/frame", r.Rank, r.LookupsPerBatch())
+		}
+	}
+	for _, r := range base.Run.Ranks {
+		if r.BatchesSent != 0 || r.BatchedLookups != 0 {
+			t.Errorf("unbatched rank %d shows batch counters %d/%d", r.Rank, r.BatchesSent, r.BatchedLookups)
+		}
+	}
+}
+
+// TestWorkerPoolMatchesSingleWorker: the multi-worker pool must be a pure
+// wall-clock optimization — same bytes out, worker count surfaced in stats.
+func TestWorkerPoolMatchesSingleWorker(t *testing.T) {
+	ds, opts := testDataset(t, 1000, 8400)
+	const np = 4
+	base, err := Run(&MemorySource{Reads: ds.Reads}, np, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ow := opts
+	ow.Heuristics.LookupBatch = 16
+	ow.Heuristics.Workers = 4
+	pooled, err := Run(&MemorySource{Reads: ds.Reads}, np, ow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutput(t, "worker pool", base, pooled)
+	for _, r := range pooled.Run.Ranks {
+		if r.WorkerCount != 4 {
+			t.Errorf("rank %d WorkerCount=%d, want 4", r.Rank, r.WorkerCount)
+		}
+	}
+}
+
+// TestStreamingBatchedMatchesUnbatched: the same invariant through the
+// streaming engine, whose per-chunk pools share one dispatcher.
+func TestStreamingBatchedMatchesUnbatched(t *testing.T) {
+	ds, opts := testDataset(t, 900, 8500)
+	opts.Config.ChunkReads = 150
+	const np = 3
+	sinks, factory := collectSinks(np)
+	if _, err := RunStreaming(&MemorySource{Reads: ds.Reads}, np, opts, factory); err != nil {
+		t.Fatal(err)
+	}
+	ob := opts
+	ob.Heuristics.LookupBatch = 16
+	ob.Heuristics.Workers = 2
+	bsinks, bfactory := collectSinks(np)
+	if _, err := RunStreaming(&MemorySource{Reads: ds.Reads}, np, ob, bfactory); err != nil {
+		t.Fatal(err)
+	}
+	collect := func(ss []*CollectSink) map[int64]string {
+		m := make(map[int64]string)
+		for _, s := range ss {
+			for i := range s.Reads {
+				m[s.Reads[i].Seq] = dna.DecodeString(s.Reads[i].Base)
+			}
+		}
+		return m
+	}
+	want, got := collect(sinks), collect(bsinks)
+	if len(want) != len(got) {
+		t.Fatalf("batched streamed %d reads, unbatched %d", len(got), len(want))
+	}
+	for seq, b := range want {
+		if got[seq] != b {
+			t.Fatalf("read %d differs between batched and unbatched streaming", seq)
+		}
+	}
+}
+
+func TestBatchOptionValidation(t *testing.T) {
+	if (Heuristics{Workers: 2}).Validate() == nil {
+		t.Error("Workers>1 without LookupBatch accepted")
+	}
+	if (Heuristics{LookupBatch: -1}).Validate() == nil {
+		t.Error("negative batch accepted")
+	}
+	if (Heuristics{LookupBatch: maxBatchEntries + 1}).Validate() == nil {
+		t.Error("oversized batch accepted")
+	}
+	if (Heuristics{LookupWindow: -1}).Validate() == nil {
+		t.Error("negative window accepted")
+	}
+	if (Heuristics{Workers: -1}).Validate() == nil {
+		t.Error("negative workers accepted")
+	}
+	if err := (Heuristics{LookupBatch: 32, LookupWindow: 2, Workers: 4}).Validate(); err != nil {
+		t.Errorf("valid batching config rejected: %v", err)
+	}
+}
+
+// TestDispatcherProtocolViolations: a response whose request id is unknown,
+// or whose sender is not the rank the request went to, must surface as a
+// ProtocolError naming both ranks — and must not disturb other calls.
+func TestDispatcherProtocolViolations(t *testing.T) {
+	eps, err := transport.NewProcGroup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer transport.CloseGroup(eps)
+	d := newLookupDispatcher(eps[0], 3, 2)
+
+	// Unknown request id.
+	err = d.deliver(transport.Message{From: 1, Tag: tagBatchResp, Data: encodeBatchResp(99, []batchAnswer{{}})})
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Got != 1 || pe.Want != -1 || !pe.Batched {
+		t.Fatalf("unknown req id: %v", err)
+	}
+
+	// Wrong sender: the request went to rank 1, the answer claims rank 2.
+	call, err := d.start(1, kindKmer, []kmer.ID{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.deliver(transport.Message{From: 2, Tag: tagBatchResp, Data: encodeBatchResp(1, []batchAnswer{{Count: 1, Exists: true}})})
+	if !errors.As(err, &pe) || pe.Want != 1 || pe.Got != 2 {
+		t.Fatalf("stray sender: %v", err)
+	}
+
+	// The genuine response still resolves the call.
+	if err := d.deliver(transport.Message{From: 1, Tag: tagBatchResp, Data: encodeBatchResp(1, []batchAnswer{{Count: 7, Exists: true}})}); err != nil {
+		t.Fatal(err)
+	}
+	answers, err := call.wait()
+	if err != nil || len(answers) != 1 || answers[0].Count != 7 {
+		t.Fatalf("call resolution: %v %v", answers, err)
+	}
+}
+
+// TestDispatcherFailPoisonsWaiters: fail must resolve every outstanding
+// call with the poison and refuse new ones, so no worker can hang on a
+// responder that died.
+func TestDispatcherFailPoisonsWaiters(t *testing.T) {
+	eps, err := transport.NewProcGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer transport.CloseGroup(eps)
+	d := newLookupDispatcher(eps[0], 2, 4)
+	call, err := d.start(1, kindTile, []kmer.ID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	waited := make(chan error, 1)
+	go func() {
+		_, err := call.wait()
+		waited <- err
+	}()
+	d.fail(boom)
+	select {
+	case err := <-waited:
+		if !errors.Is(err, boom) {
+			t.Errorf("waiter got %v, want poison", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter hung after fail")
+	}
+	if _, err := d.start(1, kindTile, []kmer.ID{3}); !errors.Is(err, boom) {
+		t.Errorf("start after fail: %v", err)
+	}
+}
+
+// TestLegacyRemoteStrayResponseIsProtocolError: the unbatched protocol's
+// stray-response defect is now a typed error naming both ranks instead of a
+// bare fatal string.
+func TestLegacyRemoteStrayResponseIsProtocolError(t *testing.T) {
+	eps, err := transport.NewProcGroup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer transport.CloseGroup(eps)
+	var st statsRank
+	o := &distOracle{e: eps[0], st: &st, rank: 0, np: 3}
+	// Rank 2 answers even though the request went to rank 1.
+	if err := eps[2].Send(0, tagResp, encodeResp(1, true)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, rerr := o.remote(kindKmer, 42, 1)
+	var pe *ProtocolError
+	if !errors.As(rerr, &pe) || pe.Want != 1 || pe.Got != 2 || pe.Batched {
+		t.Fatalf("stray response: %v", rerr)
+	}
+}
+
+// TestRunRecordsLauncherElapsed: the launcher-observed total is recorded
+// and bounds every rank's own phase-timer sum.
+func TestRunRecordsLauncherElapsed(t *testing.T) {
+	ds, opts := testDataset(t, 300, 8600)
+	out, err := Run(&MemorySource{Reads: ds.Reads}, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Run.Elapsed <= 0 {
+		t.Fatal("Run.Elapsed not recorded")
+	}
+	for _, r := range out.Run.Ranks {
+		var total time.Duration
+		for _, w := range r.Wall {
+			total += w
+		}
+		if total > out.Run.Elapsed {
+			t.Errorf("rank %d phase sum %v exceeds launcher elapsed %v", r.Rank, total, out.Run.Elapsed)
+		}
+	}
+	sinks, factory := collectSinks(2)
+	_ = sinks
+	sout, err := RunStreaming(&MemorySource{Reads: ds.Reads}, 2, opts, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sout.Run.Elapsed <= 0 {
+		t.Error("RunStreaming Elapsed not recorded")
+	}
+}

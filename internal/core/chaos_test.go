@@ -134,10 +134,12 @@ func TestChaosBenignAcrossHeuristics(t *testing.T) {
 	plan.Delay = 10 * time.Microsecond
 	plan.Jitter = 30 * time.Microsecond
 	for name, h := range map[string]Heuristics{
-		"universal": {Universal: true},
-		"cache":     {RetainReadKmers: true, CacheRemote: true},
-		"batch":     {BatchReads: true},
-		"repl-both": {ReplicateKmers: true, ReplicateTiles: true},
+		"universal":     {Universal: true},
+		"cache":         {RetainReadKmers: true, CacheRemote: true},
+		"batch":         {BatchReads: true},
+		"repl-both":     {ReplicateKmers: true, ReplicateTiles: true},
+		"lookup-batch":  {LookupBatch: 16},
+		"batch-workers": {LookupBatch: 8, LookupWindow: 2, Workers: 2},
 	} {
 		o := opts
 		o.Heuristics = h
@@ -253,6 +255,33 @@ func TestChaosCrashAbortsAllRanksProc(t *testing.T) {
 		if !errors.Is(errs[r], transport.ErrPeerDown) {
 			t.Errorf("rank %d error does not wrap ErrPeerDown: %v", r, errs[r])
 		}
+	}
+}
+
+// TestChaosCrashWithBatchedLookups: the crash invariant must hold with the
+// batched pipeline and a worker pool on — a dead peer poisons the lookup
+// dispatcher, so no worker stays parked on a batch response that will never
+// arrive and every rank still aborts cleanly.
+func TestChaosCrashWithBatchedLookups(t *testing.T) {
+	ds, opts := testDataset(t, 600, 7800)
+	opts.Heuristics.LookupBatch = 16
+	opts.Heuristics.Workers = 2
+	const np = 4
+	plan := transport.NewPlan(42)
+	plan.CrashRank = 1
+	plan.CrashAfter = 25
+	errs := runChaosRanks(t, ds.Reads, np, opts, plan)
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d completed despite the crash", r)
+		}
+		var ab *AbortError
+		if !errors.As(err, &ab) {
+			t.Fatalf("rank %d: %T is not an AbortError: %v", r, err, err)
+		}
+	}
+	if !errors.Is(errs[1], transport.ErrInjected) {
+		t.Errorf("crashed rank's error does not wrap ErrInjected: %v", errs[1])
 	}
 }
 

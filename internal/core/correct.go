@@ -5,27 +5,35 @@ import (
 	"fmt"
 	"sync"
 
+	"reptile/internal/reads"
 	"reptile/internal/reptile"
 	"reptile/internal/spectrum"
+	"reptile/internal/stats"
 	"reptile/internal/transport"
 )
 
 // correctPhase is Step IV: fork a responder goroutine (the paper's
-// communication thread), run the corrector over this rank's reads on the
-// worker side, then drive the done/stop termination protocol — a rank keeps
-// answering remote lookups until *every* worker has finished.
+// communication thread), run the corrector pool over this rank's reads on
+// the worker side, then drive the done/stop termination protocol — a rank
+// keeps answering remote lookups until *every* worker has finished.
 func (ctx *rankCtx) correctPhase() (reptile.Result, error) {
 	msgs0, bytes0 := ctx.e.Counters().PerDestSnapshot()
+	disp := ctx.newDispatcher()
 
 	// The responder routes its own failures through ctx.fail: the abort
 	// broadcast poisons this rank's mailbox too, so a worker parked in
 	// Recv(tagResp) unblocks instead of waiting on a responder that died.
+	// With batching the dispatcher is poisoned first, which wakes workers
+	// parked on batch futures or window slots the same way.
 	var wg sync.WaitGroup
 	respErr := make(chan error, 1)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if err := ctx.responderLoop(); err != nil {
+		if err := ctx.responderLoop(disp); err != nil {
+			if disp != nil {
+				disp.fail(err)
+			}
 			respErr <- ctx.fail("correct", err)
 		}
 	}()
@@ -46,9 +54,48 @@ func (ctx *rankCtx) correctPhase() (reptile.Result, error) {
 		return aerr
 	}
 
-	oracle := &distOracle{
+	res, werr := ctx.correctPool(ctx.myReads, disp)
+	if werr != nil {
+		return res, failBoth(werr)
+	}
+
+	// Worker pool finished — every issued batch has been answered, so no
+	// in-flight frame can outlive the stop broadcast. Notify the coordinator
+	// and keep the responder serving until everyone is done.
+	if err := ctx.e.Send(0, tagDone, nil); err != nil {
+		return res, failBoth(err)
+	}
+	wg.Wait()
+	select {
+	case err := <-respErr:
+		return res, err
+	default:
+	}
+
+	ctx.finishCorrectStats(disp, msgs0, bytes0)
+	return res, nil
+}
+
+// newDispatcher builds the rank's batch dispatcher, or nil when lookup
+// batching is off (the legacy one-at-a-time protocol stays in force).
+func (ctx *rankCtx) newDispatcher() *lookupDispatcher {
+	if ctx.opts.Heuristics.LookupBatch <= 0 {
+		return nil
+	}
+	return newLookupDispatcher(ctx.e, ctx.np, ctx.opts.Heuristics.LookupWindow)
+}
+
+// newOracle builds a correction oracle over the given stats shard. Every
+// worker gets its own oracle (prefetch buffers are worker-confined); the
+// dispatcher and the spectra are shared.
+func (ctx *rankCtx) newOracle(st *stats.Rank, disp *lookupDispatcher, cacheMu *sync.RWMutex) *distOracle {
+	batch := 0
+	if disp != nil {
+		batch = ctx.opts.Heuristics.LookupBatch
+	}
+	return &distOracle{
 		e:         ctx.e,
-		st:        &ctx.st,
+		st:        st,
 		rank:      ctx.rank,
 		np:        ctx.np,
 		h:         ctx.opts.Heuristics,
@@ -61,36 +108,113 @@ func (ctx *rankCtx) correctPhase() (reptile.Result, error) {
 		readsKmer: ctx.readsKmer,
 		readsTile: ctx.readsTile,
 		groupSize: ctx.opts.Heuristics.PartialReplicationGroup,
+		disp:      disp,
+		batch:     batch,
+		cacheMu:   cacheMu,
 	}
-	corrector, err := reptile.NewCorrector(ctx.opts.Config, oracle)
-	if err != nil {
-		return reptile.Result{}, failBoth(err)
+}
+
+// correctPool corrects myReads with Heuristics.Workers worker goroutines
+// (the paper's plural "worker threads"; one when unset). Reads are
+// partitioned into contiguous blocks and each is corrected in place exactly
+// once against static spectra, so the corrected output is byte-identical
+// for every worker count. Lookup counters accumulate into per-worker shards
+// that are merged after the join, keeping the shared stats race-free.
+func (ctx *rankCtx) correctPool(myReads []reads.Read, disp *lookupDispatcher) (reptile.Result, error) {
+	nw := ctx.opts.Heuristics.Workers
+	if nw < 1 {
+		nw = 1
 	}
+	if nw == 1 {
+		oracle := ctx.newOracle(&ctx.st, disp, nil)
+		corrector, err := reptile.NewCorrector(ctx.opts.Config, oracle)
+		if err != nil {
+			return reptile.Result{}, err
+		}
+		var res reptile.Result
+		for i := range myReads {
+			res.Add(corrector.CorrectRead(&myReads[i]))
+			if oracle.err != nil {
+				return res, oracle.err
+			}
+		}
+		return res, nil
+	}
+
+	// The reads tables are shared across workers; only the CacheRemote
+	// heuristic writes to them during correction, so only then do lookups
+	// need the cache lock.
+	var cacheMu *sync.RWMutex
+	if ctx.opts.Heuristics.CacheRemote {
+		cacheMu = &sync.RWMutex{}
+	}
+	shards := make([]stats.Rank, nw)
+	results := make([]reptile.Result, nw)
+	errs := make([]error, nw)
+	var pool sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		lo, hi := len(myReads)*w/nw, len(myReads)*(w+1)/nw
+		pool.Add(1)
+		go func(w, lo, hi int) {
+			defer pool.Done()
+			oracle := ctx.newOracle(&shards[w], disp, cacheMu)
+			corrector, err := reptile.NewCorrector(ctx.opts.Config, oracle)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for i := lo; i < hi; i++ {
+				results[w].Add(corrector.CorrectRead(&myReads[i]))
+				if oracle.err != nil {
+					errs[w] = oracle.err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	// A worker that fails holds a transport error, which the responder sees
+	// on the same endpoint: its failure path poisons the dispatcher, so no
+	// sibling stays parked on a batch future and the join cannot hang.
+	pool.Wait()
+
 	var res reptile.Result
-	for i := range ctx.myReads {
-		res.Add(corrector.CorrectRead(&ctx.myReads[i]))
-		if oracle.err != nil {
-			return res, failBoth(oracle.err)
+	for w := 0; w < nw; w++ {
+		res.Add(results[w])
+		ctx.st.AddLookups(&shards[w])
+	}
+	// Workers fail together when a peer dies: the one whose send drew the
+	// fault holds the root cause, its siblings wake with the derived
+	// teardown error (ErrClosed) from the poisoned dispatcher. Surface the
+	// root cause regardless of worker index.
+	var werr error
+	for w := 0; w < nw; w++ {
+		if errs[w] == nil {
+			continue
+		}
+		if werr == nil || (errors.Is(werr, transport.ErrClosed) && !errors.Is(errs[w], transport.ErrClosed)) {
+			werr = errs[w]
 		}
 	}
+	return res, werr
+}
 
-	// Worker finished: notify the coordinator and keep the responder
-	// serving until everyone is done.
-	if err := ctx.e.Send(0, tagDone, nil); err != nil {
-		return res, failBoth(err)
+// finishCorrectStats records the correction phase's communication and
+// memory counters after a clean termination: per-destination request
+// traffic for the machine model (responses and control messages excluded:
+// we count the requester's per-dest sends minus the pre-phase snapshot, and
+// the model accounts responses on the requester's round trip already), plus
+// the batching totals.
+func (ctx *rankCtx) finishCorrectStats(disp *lookupDispatcher, msgs0, bytes0 []int64) {
+	if disp != nil {
+		b, n := disp.counters()
+		ctx.st.BatchesSent += b
+		ctx.st.BatchedLookups += n
 	}
-	wg.Wait()
-	select {
-	case err := <-respErr:
-		return res, err
-	default:
+	nw := ctx.opts.Heuristics.Workers
+	if nw < 1 {
+		nw = 1
 	}
-
-	// Attribute correction-phase request traffic per destination for the
-	// machine model (responses and control messages excluded: we count the
-	// requester's per-dest sends minus the pre-phase snapshot, then remove
-	// this rank's own responses by construction — responses go to sources,
-	// which the model accounts on the requester's round trip already).
+	ctx.st.WorkerCount = int64(nw)
 	msgs1, bytes1 := ctx.e.Counters().PerDestSnapshot()
 	ctx.st.MsgsTo = make([]int64, ctx.np)
 	ctx.st.BytesTo = make([]int64, ctx.np)
@@ -100,17 +224,21 @@ func (ctx *rankCtx) correctPhase() (reptile.Result, error) {
 	}
 	ctx.st.MemAfterCorrect = ctx.currentMem()
 	ctx.observeMem() // the remote-lookup cache may have grown
-	return res, nil
 }
 
-// responderLoop services k-mer/tile count requests until the stop message
-// arrives. Rank 0 doubles as the coordinator: it counts done messages and
-// broadcasts stop when all workers have finished.
-func (ctx *rankCtx) responderLoop() error {
+// responderLoop services k-mer/tile count requests — single-id and batched
+// — until the stop message arrives, and routes batch responses back to this
+// rank's own dispatcher. Rank 0 doubles as the coordinator: it counts done
+// messages and broadcasts stop when all workers have finished. Because a
+// worker only sends done after every future it issued has resolved, the
+// stop broadcast can never overtake an answer this rank still waits for.
+func (ctx *rankCtx) responderLoop(disp *lookupDispatcher) error {
 	service := func(tag int) bool {
 		switch tag {
-		case tagKmerReq, tagTileReq, tagUniReq, tagStop:
+		case tagKmerReq, tagTileReq, tagUniReq, tagBatchReq, tagStop:
 			return true
+		case tagBatchResp:
+			return disp != nil
 		case tagDone:
 			return ctx.rank == 0
 		}
@@ -134,6 +262,14 @@ func (ctx *rankCtx) responderLoop() error {
 					}
 				}
 			}
+		case tagBatchReq:
+			if err := ctx.serveBatch(m); err != nil {
+				return err
+			}
+		case tagBatchResp:
+			if err := disp.deliver(m); err != nil {
+				return err
+			}
 		default:
 			if err := ctx.serve(m); err != nil {
 				return err
@@ -151,18 +287,45 @@ func (ctx *rankCtx) serve(m transport.Message) error {
 	if err != nil {
 		return err
 	}
-	var store *spectrum.HashStore
-	switch kind {
-	case kindKmer:
-		store = ctx.hashKmer
-	case kindTile:
-		store = ctx.hashTile
-	default:
-		return fmt.Errorf("core: request kind %d", kind)
+	store, err := ctx.ownedStore(kind)
+	if err != nil {
+		return err
 	}
 	cnt, ok := store.Count(id)
 	ctx.st.RequestsServed++
 	return ctx.e.Send(m.From, tagResp, encodeResp(cnt, ok))
+}
+
+// serveBatch answers one batch request: every id is resolved against the
+// owned spectra and the answers travel back in one frame, positionally,
+// echoing the request id so the requester's dispatcher can match it.
+func (ctx *rankCtx) serveBatch(m transport.Message) error {
+	reqID, kinds, ids, err := decodeBatchReq(m.Data)
+	if err != nil {
+		return err
+	}
+	answers := make([]batchAnswer, len(ids))
+	for i := range ids {
+		store, err := ctx.ownedStore(kinds[i])
+		if err != nil {
+			return err
+		}
+		cnt, ok := store.Count(ids[i])
+		answers[i] = batchAnswer{Count: cnt, Exists: ok}
+	}
+	ctx.st.RequestsServed += int64(len(ids))
+	return ctx.e.Send(m.From, tagBatchResp, encodeBatchResp(reqID, answers))
+}
+
+// ownedStore maps a request kind to this rank's owned spectrum.
+func (ctx *rankCtx) ownedStore(kind byte) (*spectrum.HashStore, error) {
+	switch kind {
+	case kindKmer:
+		return ctx.hashKmer, nil
+	case kindTile:
+		return ctx.hashTile, nil
+	}
+	return nil, fmt.Errorf("core: request kind %d", kind)
 }
 
 // ProjectOptsFor returns the machine-model options matching this run's

@@ -157,7 +157,7 @@ func TestResponderRejectsMalformedRequests(t *testing.T) {
 		hashTile: spectrum.NewHash(0),
 	}
 	done := make(chan error, 1)
-	go func() { done <- ctx.responderLoop() }()
+	go func() { done <- ctx.responderLoop(nil) }()
 	// A tagged k-mer request must be exactly 8 bytes.
 	if err := eps[1].Send(0, tagKmerReq, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)

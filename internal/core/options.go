@@ -63,6 +63,25 @@ type Heuristics struct {
 	// messaging. 0 or 1 disables it.
 	PartialReplicationGroup int
 
+	// LookupBatch enables the batched remote-lookup pipeline: remote misses
+	// are coalesced per owner rank into tagBatchReq frames of up to this
+	// many ids (software message aggregation, as in diBELLA). 0 keeps the
+	// paper's one-request-per-id protocol. The corrected output is
+	// byte-identical either way; only the message pattern changes.
+	LookupBatch int
+
+	// LookupWindow bounds how many unanswered batch frames one rank may
+	// hold in flight at a single peer — the pipeline depth. 0 means the
+	// default window when batching is on; ignored otherwise.
+	LookupWindow int
+
+	// Workers sizes the correction worker pool per rank (the paper's
+	// "worker threads", plural). 0 or 1 runs the classic single worker.
+	// More than one requires LookupBatch: the workers share the responder
+	// through the batch dispatcher's request-id routing, which the legacy
+	// tagResp protocol cannot provide.
+	Workers int
+
 	// ReplicatedLayout selects the in-memory layout of replicated spectra.
 	// The prior parallelizations the paper contrasts against replicated the
 	// spectrum as sorted arrays (Shah et al., binary search) or a
@@ -108,6 +127,21 @@ func (h Heuristics) Validate() error {
 	}
 	if h.ReplicatedLayout != LayoutHash && !h.ReplicateKmers && !h.ReplicateTiles {
 		return fmt.Errorf("core: ReplicatedLayout=%s requires ReplicateKmers or ReplicateTiles", h.ReplicatedLayout)
+	}
+	if h.LookupBatch < 0 {
+		return fmt.Errorf("core: negative lookup batch")
+	}
+	if h.LookupBatch > maxBatchEntries {
+		return fmt.Errorf("core: lookup batch %d exceeds the wire maximum %d", h.LookupBatch, maxBatchEntries)
+	}
+	if h.LookupWindow < 0 {
+		return fmt.Errorf("core: negative lookup window")
+	}
+	if h.Workers < 0 {
+		return fmt.Errorf("core: negative worker count")
+	}
+	if h.Workers > 1 && h.LookupBatch == 0 {
+		return fmt.Errorf("core: Workers=%d requires LookupBatch: the legacy one-at-a-time response protocol cannot route responses to more than one worker", h.Workers)
 	}
 	return nil
 }

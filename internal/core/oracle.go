@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"reptile/internal/kmer"
 	"reptile/internal/spectrum"
@@ -9,10 +10,32 @@ import (
 	"reptile/internal/transport"
 )
 
+// maxPrefetchEntries bounds the prefetch buffer. Entries never go stale —
+// the global spectra are static during Step IV — so the cap only bounds
+// memory; on overflow the buffer is simply cleared and refilled.
+const maxPrefetchEntries = 1 << 16
+
+// preKey identifies one prefetched lookup.
+type preKey struct {
+	kind byte
+	id   kmer.ID
+}
+
+// preVal is one prefetched answer, exactly as the owner sent it.
+type preVal struct {
+	cnt    uint32
+	exists bool
+}
+
 // distOracle resolves spectrum lookups for the corrector during Step IV,
 // implementing the paper's lookup chain: owned table → replicated/group
 // copy → retained reads table (with resolved global counts) → message to
 // the owning rank's communication thread.
+//
+// Each worker goroutine owns one distOracle. The owned/replicated/group
+// stores are read-only during correction and safe to share; the reads
+// tables are shared too but mutated by the cache heuristic, so multi-worker
+// runs serialize that access through cacheMu.
 type distOracle struct {
 	e    transport.Conn
 	st   *stats.Rank
@@ -33,6 +56,20 @@ type distOracle struct {
 	// records a resolved "does not exist".
 	readsKmer, readsTile *spectrum.HashStore
 
+	// Batched-lookup state, nil/zero when Heuristics.LookupBatch == 0. The
+	// dispatcher is shared by every worker of the rank; the prefetch buffer
+	// and scratch are this worker's own.
+	disp      *lookupDispatcher
+	batch     int
+	pre       map[preKey]preVal
+	preOwners [][]kmer.ID          // scratch: per-owner id lists
+	preSeen   map[kmer.ID]struct{} // scratch: per-call dedup
+	preCalls  []*batchCall         // scratch: frames issued this call
+	preIDs    [][]kmer.ID          // scratch: ids of each issued frame
+	// cacheMu serializes reads-table access when several workers share the
+	// tables under the CacheRemote heuristic; nil in single-worker runs.
+	cacheMu *sync.RWMutex
+
 	err error // first transport error; checked by the worker after the run
 }
 
@@ -45,6 +82,12 @@ func (o *distOracle) KmerCount(id kmer.ID) (uint32, bool) {
 func (o *distOracle) TileCount(id kmer.ID) (uint32, bool) {
 	return o.lookup(kindTile, id)
 }
+
+// PrefetchKmers implements reptile.Prefetcher.
+func (o *distOracle) PrefetchKmers(ids []kmer.ID) { o.prefetch(kindKmer, ids) }
+
+// PrefetchTiles implements reptile.Prefetcher.
+func (o *distOracle) PrefetchTiles(ids []kmer.ID) { o.prefetch(kindTile, ids) }
 
 func (o *distOracle) lookup(kind byte, id kmer.ID) (uint32, bool) {
 	var repl spectrum.Lookuper = o.replKmer
@@ -72,7 +115,7 @@ func (o *distOracle) lookup(kind byte, id kmer.ID) (uint32, bool) {
 	}
 
 	if reads != nil {
-		if cnt, ok := reads.Count(id); ok {
+		if cnt, ok := o.cachedCount(reads, id); ok {
 			o.countLocal(kind)
 			if cnt == 0 {
 				return 0, false // resolved known-absent
@@ -84,14 +127,42 @@ func (o *distOracle) lookup(kind byte, id kmer.ID) (uint32, bool) {
 		}
 	}
 
+	// A prefetched answer resolves the lookup without a round trip. The
+	// stats and cache effects are applied at consume time, exactly as a live
+	// round trip would — this is what keeps a batched run's counters equal
+	// to the unbatched run's.
+	if o.pre != nil {
+		if v, ok := o.pre[preKey{kind: kind, id: id}]; ok {
+			o.finishRemote(kind, id, v.cnt, v.exists, reads)
+			return v.cnt, v.exists
+		}
+	}
+
 	// Remote round trip to the owner's communication thread.
-	cnt, exists, err := o.remote(kind, id, owner)
+	var (
+		cnt    uint32
+		exists bool
+		err    error
+	)
+	if o.disp != nil {
+		cnt, exists, err = o.remoteBatched(kind, id, owner)
+	} else {
+		cnt, exists, err = o.remote(kind, id, owner)
+	}
 	if err != nil {
 		if o.err == nil {
 			o.err = err
 		}
 		return 0, false
 	}
+	o.finishRemote(kind, id, cnt, exists, reads)
+	return cnt, exists
+}
+
+// finishRemote applies the statistics and cache effects of one resolved
+// remote lookup — identical whether the answer came over a legacy round
+// trip, a batch-of-one frame, or the prefetch buffer.
+func (o *distOracle) finishRemote(kind byte, id kmer.ID, cnt uint32, exists bool, reads *spectrum.HashStore) {
 	if kind == kindKmer {
 		o.st.KmerLookupsRemote++
 	} else {
@@ -101,13 +172,28 @@ func (o *distOracle) lookup(kind byte, id kmer.ID) (uint32, bool) {
 		o.st.RemoteMisses++
 	}
 	if o.h.CacheRemote && reads != nil {
+		v := uint32(0)
 		if exists {
-			reads.Set(id, cnt)
+			v = cnt
+		}
+		if o.cacheMu != nil {
+			o.cacheMu.Lock()
+			reads.Set(id, v)
+			o.cacheMu.Unlock()
 		} else {
-			reads.Set(id, 0)
+			reads.Set(id, v)
 		}
 	}
-	return cnt, exists
+}
+
+// cachedCount reads a reads-table entry, taking the shared-cache lock when
+// several workers mutate the table concurrently.
+func (o *distOracle) cachedCount(reads *spectrum.HashStore, id kmer.ID) (uint32, bool) {
+	if o.cacheMu != nil {
+		o.cacheMu.RLock()
+		defer o.cacheMu.RUnlock()
+	}
+	return reads.Count(id)
 }
 
 func (o *distOracle) countLocal(kind byte) {
@@ -118,9 +204,125 @@ func (o *distOracle) countLocal(kind byte) {
 	}
 }
 
-// remote performs one synchronous request/response with the owning rank.
-// The worker issues at most one request at a time, so the tagResp stream
-// cannot interleave.
+// prefetch batch-resolves the genuinely-remote subset of ids into the
+// prefetch buffer: walk the local chain silently (no counters — the real
+// lookups count when they consume), coalesce the misses per owner rank,
+// issue every frame before waiting on any (the in-flight window is the
+// pipeline depth), then collect the answers.
+func (o *distOracle) prefetch(kind byte, ids []kmer.ID) {
+	if o.disp == nil || o.batch <= 0 || o.err != nil || len(ids) == 0 {
+		return
+	}
+	var repl spectrum.Lookuper = o.replKmer
+	group, reads := o.groupKmer, o.readsKmer
+	if kind == kindTile {
+		repl, group, reads = o.replTile, o.groupTile, o.readsTile
+	}
+	if repl != nil {
+		return // every lookup of this kind is local
+	}
+
+	if o.pre == nil {
+		o.pre = make(map[preKey]preVal)
+		o.preSeen = make(map[kmer.ID]struct{})
+		o.preOwners = make([][]kmer.ID, o.np)
+	} else if len(o.pre) > maxPrefetchEntries {
+		clear(o.pre)
+	}
+	for r := range o.preOwners {
+		o.preOwners[r] = o.preOwners[r][:0]
+	}
+	clear(o.preSeen)
+
+	for _, id := range ids {
+		owner := kmer.Owner(id, o.np)
+		if owner == o.rank {
+			continue
+		}
+		if group != nil && owner/o.groupSize == o.rank/o.groupSize {
+			continue
+		}
+		if reads != nil {
+			if _, ok := o.cachedCount(reads, id); ok {
+				continue
+			}
+		}
+		if _, ok := o.pre[preKey{kind: kind, id: id}]; ok {
+			continue
+		}
+		if _, ok := o.preSeen[id]; ok {
+			continue
+		}
+		o.preSeen[id] = struct{}{}
+		o.preOwners[owner] = append(o.preOwners[owner], id)
+	}
+
+	o.preCalls = o.preCalls[:0]
+	o.preIDs = o.preIDs[:0]
+	var firstErr error
+	for owner := range o.preOwners {
+		list := o.preOwners[owner]
+		for len(list) > 0 && firstErr == nil {
+			n := len(list)
+			if n > o.batch {
+				n = o.batch
+			}
+			call, err := o.disp.start(owner, kind, list[:n])
+			if err != nil {
+				firstErr = err
+				break
+			}
+			o.preCalls = append(o.preCalls, call)
+			o.preIDs = append(o.preIDs, list[:n])
+			list = list[n:]
+		}
+	}
+	// Collect every issued frame even after an error — abandoning a call
+	// would leak its window slot until the dispatcher is poisoned.
+	for i, call := range o.preCalls {
+		answers, err := call.wait()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		frame := o.preIDs[i]
+		if len(answers) != len(frame) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: batch of %d ids answered with %d entries", len(frame), len(answers))
+			}
+			continue
+		}
+		for j, id := range frame {
+			o.pre[preKey{kind: kind, id: id}] = preVal{cnt: answers[j].Count, exists: answers[j].Exists}
+		}
+	}
+	if firstErr != nil && o.err == nil {
+		o.err = firstErr
+	}
+}
+
+// remoteBatched resolves one id through the dispatcher as a batch of one —
+// the slow path for ids the prefetcher could not anticipate (repairs
+// rewrite downstream tiles; k-mer confirmations only run for the rare
+// candidates whose tile is solid).
+func (o *distOracle) remoteBatched(kind byte, id kmer.ID, owner int) (uint32, bool, error) {
+	one := [1]kmer.ID{id}
+	answers, err := o.disp.roundTrip(owner, kind, one[:])
+	if err != nil {
+		return 0, false, err
+	}
+	if len(answers) != 1 {
+		return 0, false, fmt.Errorf("core: batch of 1 id answered with %d entries", len(answers))
+	}
+	return answers[0].Count, answers[0].Exists, nil
+}
+
+// remote performs one synchronous request/response with the owning rank —
+// the legacy unbatched protocol. The single worker issues at most one
+// request at a time, so the tagResp stream cannot interleave; a response
+// from any other rank is therefore a protocol violation.
 func (o *distOracle) remote(kind byte, id kmer.ID, owner int) (uint32, bool, error) {
 	tag, payload := encodeReq(o.h.Universal, kind, id)
 	if err := o.e.Send(owner, tag, payload); err != nil {
@@ -131,7 +333,7 @@ func (o *distOracle) remote(kind byte, id kmer.ID, owner int) (uint32, bool, err
 		return 0, false, err
 	}
 	if m.From != owner {
-		return 0, false, fmt.Errorf("core: response from rank %d, expected %d", m.From, owner)
+		return 0, false, &ProtocolError{Want: owner, Got: m.From}
 	}
 	cnt, exists, err := decodeResp(m.Data)
 	if err != nil {

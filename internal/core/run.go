@@ -45,17 +45,23 @@ func rankConn(eps []*transport.Endpoint, r int, opts Options) transport.Conn {
 
 // pickRunError selects which rank's error to surface for a whole run. The
 // abort protocol makes every rank fail, so the interesting error is the
-// origin's own AbortError (its Rank field names itself); errors derived
-// from teardown (ErrClosed) rank last.
+// origin's: its own AbortError (the Rank field names itself), or a raw
+// error that never entered the abort protocol at all (a sink factory
+// failing before the rank started). Errors derived from teardown
+// (ErrClosed) rank last.
 func pickRunError(errs []error) error {
+	origin := func(r int, err error) bool {
+		var ab *AbortError
+		if errors.As(err, &ab) {
+			return ab.Rank == r
+		}
+		return !errors.Is(err, transport.ErrClosed)
+	}
 	betterThan := func(r int, err error, curRank int, cur error) bool {
 		if cur == nil {
 			return true
 		}
-		var abNew, abCur *AbortError
-		newOrigin := errors.As(err, &abNew) && abNew.Rank == r
-		curOrigin := errors.As(cur, &abCur) && abCur.Rank == curRank
-		if newOrigin != curOrigin {
+		if newOrigin, curOrigin := origin(r, err), origin(curRank, cur); newOrigin != curOrigin {
 			return newOrigin
 		}
 		return errors.Is(cur, transport.ErrClosed) && !errors.Is(err, transport.ErrClosed)
@@ -127,6 +133,6 @@ func Run(src Source, np int, opts Options) (*Output, error) {
 			}
 		}
 	}
-	_ = elapsed // Wall maxima are per-rank; the launcher total is implicit.
+	out.Run.Elapsed = elapsed
 	return out, nil
 }

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"reptile/internal/fastaio"
+	"reptile/internal/reads"
+	"reptile/internal/transport"
+)
+
+// closeTrackingSink wraps a Sink and counts writes and closes, so tests can
+// prove the engine's lifecycle contract: closed exactly once on every exit
+// path, including aborts.
+type closeTrackingSink struct {
+	inner Sink
+
+	mu      sync.Mutex
+	written int // guarded by mu; reads handed to Write
+	closes  int // guarded by mu
+}
+
+func (s *closeTrackingSink) Write(batch []reads.Read) error {
+	s.mu.Lock()
+	s.written += len(batch)
+	s.mu.Unlock()
+	return s.inner.Write(batch)
+}
+
+func (s *closeTrackingSink) Close() error {
+	s.mu.Lock()
+	s.closes++
+	s.mu.Unlock()
+	return s.inner.Close()
+}
+
+func (s *closeTrackingSink) counts() (written, closes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.written, s.closes
+}
+
+// TestStreamingSinkClosedOnAbort is the regression test for the streaming
+// sink leak: a rank crashing mid-correction used to return through the
+// abort path without closing the sink, leaking file handles and dropping
+// whatever sat in the write buffers. Every sink must now be closed exactly
+// once even when the run aborts, and the bytes already written must be
+// flushed to disk (parseable FASTA covering exactly the reads the engine
+// handed the sink).
+func TestStreamingSinkClosedOnAbort(t *testing.T) {
+	ds, opts := testDataset(t, 600, 8700)
+	opts.Config.ChunkReads = 50 // several chunks, so writes land before the crash
+	const np = 3
+
+	// Calibrate: a clean streaming run tells us how many sends the crash
+	// rank makes in total; crashing at three quarters of that lands the
+	// fault mid-correction, after earlier chunks were already written.
+	clean, err := RunStreaming(&MemorySource{Reads: ds.Reads}, np, opts, discardFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const crashRank = 1
+	crashAfter := clean.Run.Ranks[crashRank].MsgsSent * 3 / 4
+	if crashAfter < 1 {
+		t.Fatalf("calibration run: rank %d sent only %d messages", crashRank, clean.Run.Ranks[crashRank].MsgsSent)
+	}
+
+	plan := transport.NewPlan(21)
+	plan.CrashRank = crashRank
+	plan.CrashAfter = crashAfter
+	o := opts
+	o.Chaos = &plan
+
+	dir := t.TempDir()
+	trackers := make([]*closeTrackingSink, np)
+	factory := func(rank int) (Sink, error) {
+		fs, err := NewFileSink(fmt.Sprintf("%s/out.rank%d", dir, rank))
+		if err != nil {
+			return nil, err
+		}
+		trackers[rank] = &closeTrackingSink{inner: fs}
+		return trackers[rank], nil
+	}
+
+	err = awaitRun(t, "aborting streaming run", func() error {
+		_, err := RunStreaming(&MemorySource{Reads: ds.Reads}, np, o, factory)
+		return err
+	})
+	if err == nil {
+		t.Fatal("run completed despite the crash schedule")
+	}
+	var ab *AbortError
+	if !errors.As(err, &ab) {
+		t.Fatalf("%T is not an AbortError: %v", err, err)
+	}
+
+	for rank, tr := range trackers {
+		if tr == nil {
+			t.Fatalf("rank %d sink never built", rank)
+		}
+		written, closes := tr.counts()
+		if closes != 1 {
+			t.Errorf("rank %d sink closed %d times, want exactly 1", rank, closes)
+		}
+		// Close flushed: the on-disk FASTA parses back to exactly the reads
+		// the engine handed the sink before the abort.
+		f, err := os.Open(fmt.Sprintf("%s/out.rank%d.fa", dir, rank))
+		if err != nil {
+			t.Fatalf("rank %d output: %v", rank, err)
+		}
+		n := 0
+		sc := fastaio.NewScanner(f)
+		for {
+			_, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("rank %d flushed output unreadable: %v", rank, err)
+			}
+			n++
+		}
+		f.Close()
+		if n != written {
+			t.Errorf("rank %d: %d reads on disk, sink was handed %d (buffer not flushed on abort)", rank, n, written)
+		}
+	}
+}
+
+// TestStreamingSinkFactoryFailureClosesSink: a factory may hand back a
+// partially-built sink alongside its error; the engine must close it rather
+// than leak it.
+func TestStreamingSinkFactoryFailureClosesSink(t *testing.T) {
+	ds, opts := testDataset(t, 60, 8800)
+	boom := errors.New("factory boom")
+	partial := &closeTrackingSink{inner: &CollectSink{}}
+	factory := func(rank int) (Sink, error) {
+		if rank == 1 {
+			return partial, boom
+		}
+		return &CollectSink{}, nil
+	}
+	err := awaitRun(t, "factory failure", func() error {
+		_, err := RunStreaming(&MemorySource{Reads: ds.Reads}, 2, opts, factory)
+		return err
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("factory error not surfaced: %v", err)
+	}
+	if _, closes := partial.counts(); closes != 1 {
+		t.Errorf("partially-built sink closed %d times, want exactly 1", closes)
+	}
+}
+
+// TestStreamingSinkClosedOnCleanRun: the ordinary path also closes exactly
+// once (the fix moved the close out of the correction phase; a double close
+// would corrupt the flush accounting).
+func TestStreamingSinkClosedOnCleanRun(t *testing.T) {
+	ds, opts := testDataset(t, 200, 8900)
+	const np = 2
+	trackers := make([]*closeTrackingSink, np)
+	factory := func(rank int) (Sink, error) {
+		trackers[rank] = &closeTrackingSink{inner: &CollectSink{}}
+		return trackers[rank], nil
+	}
+	if _, err := RunStreaming(&MemorySource{Reads: ds.Reads}, np, opts, factory); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for rank, tr := range trackers {
+		written, closes := tr.counts()
+		if closes != 1 {
+			t.Errorf("rank %d sink closed %d times, want exactly 1", rank, closes)
+		}
+		total += written
+	}
+	if total != len(ds.Reads) {
+		t.Errorf("sinks saw %d reads, want %d", total, len(ds.Reads))
+	}
+}

@@ -59,6 +59,26 @@ func RunRankStreaming(e transport.Conn, src Source, opts Options, sink Sink) (*R
 	if sink == nil {
 		return nil, fmt.Errorf("core: streaming run needs a sink")
 	}
+	out, err := runRankStreaming(e, src, opts, sink)
+	// The sink is closed here, exactly once, on every exit path: an aborted
+	// run must still flush buffered corrected reads and release the sink's
+	// file handles, and a close failure on an otherwise clean run is a run
+	// failure. The close error joins (rather than replaces) a run error so
+	// errors.As still finds the run's AbortError.
+	if cerr := sink.Close(); cerr != nil {
+		if err == nil {
+			err = cerr
+		} else {
+			err = errors.Join(err, cerr)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func runRankStreaming(e transport.Conn, src Source, opts Options, sink Sink) (*RankOutput, error) {
 	ctx := &rankCtx{
 		e:         e,
 		comm:      collective.New(e),
@@ -187,16 +207,21 @@ func (ctx *rankCtx) spectrumPassStreaming(src Source) error {
 // live responder because collective tags are disjoint from service tags.
 func (ctx *rankCtx) correctPassStreaming(src Source, sink Sink) (reptile.Result, error) {
 	msgs0, bytes0 := ctx.e.Counters().PerDestSnapshot()
+	disp := ctx.newDispatcher()
 
 	// Same failure discipline as the batch correct phase: the responder
-	// aborts through ctx.fail so a parked worker unblocks, and the worker
-	// joins the responder before surfacing its own failure.
+	// aborts through ctx.fail (poisoning the dispatcher first) so a parked
+	// worker unblocks, and the worker joins the responder before surfacing
+	// its own failure.
 	var wg sync.WaitGroup
 	respErr := make(chan error, 1)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if err := ctx.responderLoop(); err != nil {
+		if err := ctx.responderLoop(disp); err != nil {
+			if disp != nil {
+				disp.fail(err)
+			}
 			respErr <- ctx.fail("correct", err)
 		}
 	}()
@@ -211,20 +236,6 @@ func (ctx *rankCtx) correctPassStreaming(src Source, sink Sink) (reptile.Result,
 		default:
 		}
 		return aerr
-	}
-
-	oracle := &distOracle{
-		e: ctx.e, st: &ctx.st, rank: ctx.rank, np: ctx.np,
-		h:       ctx.opts.Heuristics,
-		ownKmer: ctx.hashKmer, ownTile: ctx.hashTile,
-		replKmer: ctx.replKmer, replTile: ctx.replTile,
-		groupKmer: ctx.groupKmer, groupTile: ctx.groupTile,
-		readsKmer: ctx.readsKmer, readsTile: ctx.readsTile, // empty; cache space when CacheRemote is on
-		groupSize: ctx.opts.Heuristics.PartialReplicationGroup,
-	}
-	corrector, err := reptile.NewCorrector(ctx.opts.Config, oracle)
-	if err != nil {
-		return reptile.Result{}, failBoth(err)
 	}
 
 	var res reptile.Result
@@ -251,11 +262,13 @@ func (ctx *rankCtx) correctPassStreaming(src Source, sink Sink) (reptile.Result,
 			if err != nil {
 				return err
 			}
-			for i := range mine {
-				res.Add(corrector.CorrectRead(&mine[i]))
-				if oracle.err != nil {
-					return oracle.err
-				}
+			// Chunks stream through the same worker pool as the in-memory
+			// engine; the reads tables double as cache space when
+			// CacheRemote is on.
+			chunkRes, err := ctx.correctPool(mine, disp)
+			res.Add(chunkRes)
+			if err != nil {
+				return err
 			}
 			ctx.st.ReadsAssigned += int64(len(mine))
 			if len(mine) > 0 {
@@ -286,16 +299,8 @@ func (ctx *rankCtx) correctPassStreaming(src Source, sink Sink) (reptile.Result,
 	default:
 	}
 
-	msgs1, bytes1 := ctx.e.Counters().PerDestSnapshot()
-	ctx.st.MsgsTo = make([]int64, ctx.np)
-	ctx.st.BytesTo = make([]int64, ctx.np)
-	for d := range msgs1 {
-		ctx.st.MsgsTo[d] = msgs1[d] - msgs0[d]
-		ctx.st.BytesTo[d] = bytes1[d] - bytes0[d]
-	}
-	ctx.st.MemAfterCorrect = ctx.currentMem()
-	ctx.observeMem()
-	return res, sink.Close()
+	ctx.finishCorrectStats(disp, msgs0, bytes0)
+	return res, nil
 }
 
 // balanceChunk redistributes one chunk of reads to owner ranks (or clones
@@ -366,6 +371,7 @@ func RunStreaming(src Source, np int, opts Options, sinks SinkFactory) (*Output,
 
 	outs := make([]*RankOutput, np)
 	errs := make([]error, np)
+	start := time.Now()
 	var wg sync.WaitGroup
 	for r := 0; r < np; r++ {
 		wg.Add(1)
@@ -373,6 +379,14 @@ func RunStreaming(src Source, np int, opts Options, sinks SinkFactory) (*Output,
 			defer wg.Done()
 			sink, err := sinks(r)
 			if err != nil {
+				// A factory may hand back a partially-built sink alongside
+				// its error (say, the .fa file opened but the .qual did
+				// not); close it so nothing leaks.
+				if sink != nil {
+					if cerr := sink.Close(); cerr != nil {
+						err = errors.Join(err, cerr)
+					}
+				}
 				errs[r] = err
 				// The sink failed before the rank ever joined the group;
 				// closing its endpoint surfaces the loss to peers as
@@ -384,6 +398,7 @@ func RunStreaming(src Source, np int, opts Options, sinks SinkFactory) (*Output,
 		}(r)
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
 
 	if err := pickRunError(errs); err != nil {
 		return nil, err
@@ -402,5 +417,6 @@ func RunStreaming(src Source, np int, opts Options, sinks SinkFactory) (*Output,
 			}
 		}
 	}
+	out.Run.Elapsed = elapsed
 	return out, nil
 }

@@ -17,6 +17,13 @@ const (
 	tagResp    = 4 // exists byte + count (5 bytes)
 	tagDone    = 5 // worker finished its shard (sent to rank 0)
 	tagStop    = 6 // rank 0: all workers done, responders shut down
+
+	// Batched-lookup frames (software message aggregation, the diBELLA-style
+	// alternative to the one-id-per-message protocol above). Requests carry a
+	// request id so responses from several in-flight batches — possibly from
+	// several worker threads — can interleave and still be matched.
+	tagBatchReq  = 7 // reqID u32 | n u16 | n × (kind byte | id u64)
+	tagBatchResp = 8 // reqID u32 | n u16 | n × (exists byte | count u32)
 )
 
 // Request kinds.
@@ -98,6 +105,97 @@ func decodeResp(payload []byte) (count uint32, exists bool, err error) {
 		return 0, false, fmt.Errorf("core: response of %d bytes", len(payload))
 	}
 	return binary.LittleEndian.Uint32(payload[1:]), payload[0] == 1, nil
+}
+
+// Batch frame geometry. A batch header is the request id plus the entry
+// count; entries are fixed-width so the machine-model projection can price
+// a batch exactly.
+const (
+	batchHdrBytes      = 6 // reqID u32 + n u16
+	BatchReqEntryBytes = 9 // kind byte + id u64
+	BatchRespEntry     = 5 // exists byte + count u32
+	maxBatchEntries    = 1<<16 - 1
+)
+
+// batchAnswer is one resolved lookup inside a batch response.
+type batchAnswer struct {
+	Count  uint32
+	Exists bool
+}
+
+// encodeBatchReq builds a tagBatchReq payload: every id in the frame shares
+// one kind (the prefetcher batches k-mers and tiles separately), but the
+// kind is carried per entry so mixed frames stay representable on the wire.
+func encodeBatchReq(reqID uint32, kind byte, ids []kmer.ID) []byte {
+	buf := make([]byte, batchHdrBytes, batchHdrBytes+len(ids)*BatchReqEntryBytes)
+	binary.LittleEndian.PutUint32(buf[0:4], reqID)
+	binary.LittleEndian.PutUint16(buf[4:6], uint16(len(ids)))
+	var entry [BatchReqEntryBytes]byte
+	for _, id := range ids {
+		entry[0] = kind
+		binary.LittleEndian.PutUint64(entry[1:], uint64(id))
+		buf = append(buf, entry[:]...)
+	}
+	return buf
+}
+
+// decodeBatchReq parses a tagBatchReq payload.
+func decodeBatchReq(payload []byte) (reqID uint32, kinds []byte, ids []kmer.ID, err error) {
+	if len(payload) < batchHdrBytes {
+		return 0, nil, nil, fmt.Errorf("core: batch request of %d bytes", len(payload))
+	}
+	reqID = binary.LittleEndian.Uint32(payload[0:4])
+	n := int(binary.LittleEndian.Uint16(payload[4:6]))
+	if len(payload) != batchHdrBytes+n*BatchReqEntryBytes {
+		return 0, nil, nil, fmt.Errorf("core: batch request of %d bytes for %d entries", len(payload), n)
+	}
+	kinds = make([]byte, n)
+	ids = make([]kmer.ID, n)
+	for i := 0; i < n; i++ {
+		e := payload[batchHdrBytes+i*BatchReqEntryBytes:]
+		kinds[i] = e[0]
+		ids[i] = kmer.ID(binary.LittleEndian.Uint64(e[1:BatchReqEntryBytes]))
+	}
+	return reqID, kinds, ids, nil
+}
+
+// encodeBatchResp builds a tagBatchResp payload answering a batch request;
+// answers are positional (answer i resolves id i of the request).
+func encodeBatchResp(reqID uint32, answers []batchAnswer) []byte {
+	buf := make([]byte, batchHdrBytes, batchHdrBytes+len(answers)*BatchRespEntry)
+	binary.LittleEndian.PutUint32(buf[0:4], reqID)
+	binary.LittleEndian.PutUint16(buf[4:6], uint16(len(answers)))
+	var entry [BatchRespEntry]byte
+	for _, a := range answers {
+		entry[0] = 0
+		if a.Exists {
+			entry[0] = 1
+		}
+		binary.LittleEndian.PutUint32(entry[1:], a.Count)
+		buf = append(buf, entry[:]...)
+	}
+	return buf
+}
+
+// decodeBatchResp parses a tagBatchResp payload.
+func decodeBatchResp(payload []byte) (reqID uint32, answers []batchAnswer, err error) {
+	if len(payload) < batchHdrBytes {
+		return 0, nil, fmt.Errorf("core: batch response of %d bytes", len(payload))
+	}
+	reqID = binary.LittleEndian.Uint32(payload[0:4])
+	n := int(binary.LittleEndian.Uint16(payload[4:6]))
+	if len(payload) != batchHdrBytes+n*BatchRespEntry {
+		return 0, nil, fmt.Errorf("core: batch response of %d bytes for %d entries", len(payload), n)
+	}
+	answers = make([]batchAnswer, n)
+	for i := 0; i < n; i++ {
+		e := payload[batchHdrBytes+i*BatchRespEntry:]
+		answers[i] = batchAnswer{
+			Exists: e[0] == 1,
+			Count:  binary.LittleEndian.Uint32(e[1:BatchRespEntry]),
+		}
+	}
+	return reqID, answers, nil
 }
 
 // encodeAbortInfo serializes an abort record:

@@ -278,6 +278,85 @@ func Fig8(sc Scale) (*Table, error) {
 		genome.HumanSim, []int{4096, 8192, 16384, 32768}, core.Heuristics{BatchReads: true}, sc, false)
 }
 
+// Lookup measures the batched remote-lookup pipeline (software message
+// aggregation over the paper's Step IV protocol). With the replication
+// heuristics off every spectrum miss is request traffic, so the
+// correction-phase message count per read is the direct cost of the
+// one-at-a-time protocol; batching must cut it while correcting exactly the
+// same bases. Reported per mode: correction-phase request messages and
+// bytes per read, batch frames and their mean aggregation factor, and the
+// message reduction against the unbatched baseline.
+func Lookup(sc Scale) (*Table, error) {
+	ds := buildDataset(genome.EColiSim, sc, false)
+	np := sc.Ranks(128)
+	if np < 4 {
+		np = 4 // below this most lookups are local and there is nothing to coalesce
+	}
+	modes := []struct {
+		name string
+		h    core.Heuristics
+	}{
+		{"unbatched", core.Heuristics{}},
+		{"batch=8", core.Heuristics{LookupBatch: 8}},
+		{"batch=32", core.Heuristics{LookupBatch: 32}},
+		{"batch=32 workers=4", core.Heuristics{LookupBatch: 32, Workers: 4}},
+	}
+	t := &Table{
+		ID:     "lookup",
+		Title:  fmt.Sprintf("Remote-lookup batching, %d ranks (E.Coli, no replication)", np),
+		Note:   "new to this implementation (cf. diBELLA's message aggregation); acceptance bar is >=2x fewer correction messages per read with byte-identical output",
+		Header: []string{"mode", "msgs/read", "bytes/read", "frames", "ids/frame", "msg reduction", "bases corrected"},
+	}
+	correctMsgs := func(out *core.Output) (msgs, bytes int64) {
+		for i := range out.Run.Ranks {
+			r := &out.Run.Ranks[i]
+			for _, m := range r.MsgsTo {
+				msgs += m
+			}
+			for _, b := range r.BytesTo {
+				bytes += b
+			}
+		}
+		return
+	}
+	var baseMsgs, baseCorrected int64
+	for i, m := range modes {
+		opts := optionsFor(sc, ds, m.h, true)
+		out, err := engineRun(ds, np, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.name, err)
+		}
+		msgs, bytes := correctMsgs(out)
+		if i == 0 {
+			baseMsgs, baseCorrected = msgs, out.Result.BasesCorrected
+		} else if out.Result.BasesCorrected != baseCorrected {
+			return nil, fmt.Errorf("%s: corrected %d bases, unbatched %d — batching changed the output",
+				m.name, out.Result.BasesCorrected, baseCorrected)
+		}
+		nr := float64(ds.NumReads())
+		frames := out.Run.Sum(func(r *stats.Rank) int64 { return r.BatchesSent })
+		ids := out.Run.Sum(func(r *stats.Rank) int64 { return r.BatchedLookups })
+		perFrame := 0.0
+		if frames > 0 {
+			perFrame = float64(ids) / float64(frames)
+		}
+		reduction := "1.00x"
+		if i > 0 && msgs > 0 {
+			reduction = fmt.Sprintf("%.2fx", float64(baseMsgs)/float64(msgs))
+		}
+		t.Rows = append(t.Rows, []string{
+			m.name,
+			fmt.Sprintf("%.2f", float64(msgs)/nr),
+			fmt.Sprintf("%.1f", float64(bytes)/nr),
+			count(frames),
+			fmt.Sprintf("%.1f", perFrame),
+			reduction,
+			count(out.Result.BasesCorrected),
+		})
+	}
+	return t, nil
+}
+
 // BatchSweep is the supplementary experiment behind Fig 8's discussion:
 // the batch-reads chunk size bounds the reads tables (smaller chunks →
 // smaller tables, more collective rounds). The paper used 5000 reads per

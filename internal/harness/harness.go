@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -52,11 +53,11 @@ func (s Scale) Ranks(paper int) int {
 
 // Table is a rendered experiment result.
 type Table struct {
-	ID     string
-	Title  string
-	Note   string // paper-reference note for EXPERIMENTS.md
-	Header []string
-	Rows   [][]string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Note   string     `json:"note"` // paper-reference note for EXPERIMENTS.md
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // CSV renders the table as comma-separated values (header + rows), for
@@ -80,6 +81,17 @@ func (t *Table) CSV() string {
 		writeRow(row)
 	}
 	return sb.String()
+}
+
+// JSON renders the table as an indented JSON object (id, title, note,
+// header, rows), for machine-readable benchmark artifacts such as
+// BENCH_lookup.json.
+func (t *Table) JSON() (string, error) {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
 }
 
 // Render formats the table as aligned text.
@@ -144,6 +156,7 @@ func All() []Experiment {
 		{"fig7", "Drosophila strong scaling", Fig7},
 		{"fig8", "Human strong scaling", Fig8},
 		{"batchsweep", "Batch-reads chunk-size sweep (supplementary)", BatchSweep},
+		{"lookup", "Remote-lookup batching: messages per read (supplementary)", Lookup},
 	}
 }
 

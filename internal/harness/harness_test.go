@@ -23,8 +23,8 @@ func TestScaleRanks(t *testing.T) {
 
 func TestAllAndByID(t *testing.T) {
 	all := All()
-	if len(all) != 9 {
-		t.Fatalf("expected 9 experiments, got %d", len(all))
+	if len(all) != 10 {
+		t.Fatalf("expected 10 experiments, got %d", len(all))
 	}
 	ids := map[string]bool{}
 	for _, e := range all {
@@ -54,6 +54,15 @@ func TestTableRender(t *testing.T) {
 	for _, want := range []string{"== x: demo ==", "paper: ref", "a", "bbbb", "333"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("Render missing %q in:\n%s", want, s)
+		}
+	}
+	j, err := tab.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id": "x"`, `"title": "demo"`, `"bbbb"`, `"333"`} {
+		if !strings.Contains(j, want) {
+			t.Errorf("JSON missing %q in:\n%s", want, j)
 		}
 	}
 }

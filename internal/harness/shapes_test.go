@@ -5,6 +5,8 @@ package harness
 // DESIGN.md §4 — who wins, and roughly by how much.
 
 import (
+	"strconv"
+	"strings"
 	"testing"
 
 	"reptile/internal/core"
@@ -189,5 +191,37 @@ func TestShapeMemoryFallsWithRanks(t *testing.T) {
 	m4, m16 := mem(4), mem(16)
 	if m16 >= m4 {
 		t.Errorf("per-rank memory did not fall with ranks: %d at np=4, %d at np=16", m4, m16)
+	}
+}
+
+// The lookup experiment's claim: coalescing remote lookups cuts the
+// correction-phase request messages at least 2x against the unbatched
+// protocol, with identical output (the experiment itself fails the run if
+// the corrected bases drift between modes).
+func TestShapeLookup_BatchingCutsMessages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four engine runs")
+	}
+	tab, err := Lookup(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("lookup table has %d rows", len(tab.Rows))
+	}
+	reduction := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[5], "x"), 64)
+		if err != nil {
+			t.Fatalf("reduction cell %q: %v", row[5], err)
+		}
+		return v
+	}
+	for _, row := range tab.Rows[1:] {
+		if row[3] == "0" {
+			t.Errorf("%s: no batch frames recorded", row[0])
+		}
+	}
+	if r := reduction(tab.Rows[2]); r < 2.0 {
+		t.Errorf("batch=32 reduced messages only %.2fx, want >= 2x", r)
 	}
 }

@@ -13,6 +13,13 @@ const (
 	tagOrphanRecv = 3 // want "no send/encode path"
 	tagCtl        = 4
 
+	// Batched request/response pair mirroring core.tagBatchReq/tagBatchResp:
+	// the request tag is produced by an encode* constructor and consumed by
+	// the delivery switch; the response tag flows the other way (produced in
+	// the serve path, consumed by the dispatcher's decode).
+	tagBatchish     = 7
+	tagBatchRespish = 8
+
 	// Control tags mirroring transport.tagAbort/tagHeartbeat: far below the
 	// collective tag range, produced only inside encode* constructors,
 	// consumed by case clauses in the delivery switch.
@@ -79,6 +86,29 @@ func deliverish(tag int, data []byte) ([]byte, bool) {
 		return nil, false
 	}
 	return data, true
+}
+
+// encodeBatchish mirrors core.encodeBatchReq: many ids, one frame.
+func encodeBatchish(reqID uint32, ids []uint64) (int, []byte) {
+	return tagBatchish, append([]byte{byte(reqID)}, byte(len(ids)))
+}
+
+// serveBatchish is the responder side: it consumes the request tag and
+// produces the response tag in one hop, as core's serveBatch does.
+func serveBatchish(e endpointish, tag int, data []byte) error {
+	switch tag {
+	case tagBatchish:
+		return e.Send(0, tagBatchRespish, data)
+	}
+	return nil
+}
+
+// deliverBatchish is the dispatcher side consuming interleaved responses.
+func deliverBatchish(tag int, data []byte) (uint32, bool) {
+	if tag == tagBatchRespish && len(data) > 0 {
+		return uint32(data[0]), true
+	}
+	return 0, false
 }
 
 // encodeRecordish mirrors core.encodeAbortInfo: kinds arrive as call

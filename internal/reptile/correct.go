@@ -34,8 +34,10 @@ func (r *Result) Add(o Result) {
 type Corrector struct {
 	cfg    Config
 	oracle Oracle
+	pf     Prefetcher // oracle's batching extension; nil when unsupported
 
-	posBuf []int
+	posBuf  []int
+	tileBuf []kmer.ID
 }
 
 // NewCorrector validates cfg and builds a corrector.
@@ -43,7 +45,8 @@ func NewCorrector(cfg Config, oracle Oracle) (*Corrector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Corrector{cfg: cfg, oracle: oracle}, nil
+	pf, _ := oracle.(Prefetcher)
+	return &Corrector{cfg: cfg, oracle: oracle, pf: pf}, nil
 }
 
 // Config returns the corrector's configuration.
@@ -58,6 +61,16 @@ func (c *Corrector) CorrectRead(r *reads.Read) Result {
 	tl := spec.TileLen()
 	if len(r.Base) < tl {
 		return res
+	}
+	if c.pf != nil {
+		// Hint the whole walk's tiles up front. Greedy propagation may
+		// rewrite downstream tiles after a repair; those few then fall back
+		// to individual lookups.
+		c.tileBuf = c.tileBuf[:0]
+		for p := 0; p+tl <= len(r.Base); p += spec.Step() {
+			c.tileBuf = append(c.tileBuf, kmer.Encode(r.Base[p:p+tl]))
+		}
+		c.pf.PrefetchTiles(c.tileBuf)
 	}
 	corrections := 0
 	for p := 0; p+tl <= len(r.Base); p += spec.Step() {
@@ -112,7 +125,19 @@ func (c *Corrector) repairTile(r *reads.Read, p int, tile kmer.ID) (bool, int) {
 		}
 	}
 
-	// Radius 1: single substitutions at the lowest-quality positions.
+	// Radius 1: single substitutions at the lowest-quality positions. The
+	// candidate set is known before any lookup, so hint it whole.
+	if c.pf != nil {
+		c.tileBuf = c.tileBuf[:0]
+		for _, tp := range positions {
+			orig := tile.BaseAt(tp, tl)
+			for delta := 1; delta < dna.NumBases; delta++ {
+				b := dna.Base((int(orig) + delta) % dna.NumBases)
+				c.tileBuf = append(c.tileBuf, tile.WithBase(tp, tl, b))
+			}
+		}
+		c.pf.PrefetchTiles(c.tileBuf)
+	}
 	for _, tp := range positions {
 		orig := tile.BaseAt(tp, tl)
 		for delta := 1; delta < dna.NumBases; delta++ {
@@ -129,6 +154,22 @@ func (c *Corrector) repairTile(r *reads.Read, p int, tile kmer.ID) (bool, int) {
 	// Radius 2 only when no single substitution worked: pairs of the
 	// lowest-quality positions (capped, since pairs are quadratic).
 	if best.n == 0 && c.cfg.MaxErrPerTile >= 2 {
+		if c.pf != nil {
+			c.tileBuf = c.tileBuf[:0]
+			for i := 0; i < lowN; i++ {
+				for j := i + 1; j < lowN; j++ {
+					tp1, tp2 := positions[i], positions[j]
+					o1, o2 := tile.BaseAt(tp1, tl), tile.BaseAt(tp2, tl)
+					for d1 := 1; d1 < dna.NumBases; d1++ {
+						t1 := tile.WithBase(tp1, tl, dna.Base((int(o1)+d1)%dna.NumBases))
+						for d2 := 1; d2 < dna.NumBases; d2++ {
+							c.tileBuf = append(c.tileBuf, t1.WithBase(tp2, tl, dna.Base((int(o2)+d2)%dna.NumBases)))
+						}
+					}
+				}
+			}
+			c.pf.PrefetchTiles(c.tileBuf)
+		}
 		for i := 0; i < lowN; i++ {
 			for j := i + 1; j < lowN; j++ {
 				tp1, tp2 := positions[i], positions[j]

@@ -17,6 +17,19 @@ type Oracle interface {
 	TileCount(id kmer.ID) (count uint32, ok bool)
 }
 
+// Prefetcher is an optional Oracle extension: an oracle that resolves
+// misses over a message-passing layer can batch-resolve a set of ids it is
+// about to be asked for, so the subsequent KmerCount/TileCount calls are
+// answered from a local buffer instead of one synchronous round trip each.
+// Prefetching is purely a latency/message-count hint — the corrector's
+// results must be identical whether or not the oracle implements it, and
+// the oracle may ignore any or all hinted ids. The id slices are scratch
+// buffers; implementations must not retain them.
+type Prefetcher interface {
+	PrefetchKmers(ids []kmer.ID)
+	PrefetchTiles(ids []kmer.ID)
+}
+
 // LocalOracle serves counts from in-memory stores; the replicated-spectrum
 // and sequential modes use it directly.
 type LocalOracle struct {

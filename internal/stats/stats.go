@@ -64,6 +64,13 @@ type Rank struct {
 	BasesCorrected    int64
 	ReadsChanged      int64
 
+	// Correction, batched-lookup pipeline (zero when LookupBatch is off).
+	BatchesSent    int64 // tagBatchReq frames this rank issued
+	BatchedLookups int64 // ids carried inside those frames
+	// WorkerCount is the size of the correction worker pool this rank ran
+	// (1 in the default single-worker mode).
+	WorkerCount int64
+
 	// Correction, responder side.
 	RequestsServed int64
 
@@ -97,6 +104,27 @@ type Rank struct {
 	Wall [NumPhases]time.Duration
 }
 
+// LookupsPerBatch returns the mean number of ids per batch frame — the
+// aggregation factor the batching heuristic achieved (0 when unbatched).
+func (r *Rank) LookupsPerBatch() float64 {
+	if r.BatchesSent == 0 {
+		return 0
+	}
+	return float64(r.BatchedLookups) / float64(r.BatchesSent)
+}
+
+// AddLookups folds another counter set's correction-worker tallies into r.
+// The engine's worker pool records each worker's lookups in a private shard
+// and merges them here after the pool joins.
+func (r *Rank) AddLookups(o *Rank) {
+	r.KmerLookupsLocal += o.KmerLookupsLocal
+	r.TileLookupsLocal += o.TileLookupsLocal
+	r.KmerLookupsRemote += o.KmerLookupsRemote
+	r.TileLookupsRemote += o.TileLookupsRemote
+	r.RemoteMisses += o.RemoteMisses
+	r.CacheHits += o.CacheHits
+}
+
 // TotalRemoteLookups returns all lookups that left the rank.
 func (r *Rank) TotalRemoteLookups() int64 {
 	return r.KmerLookupsRemote + r.TileLookupsRemote
@@ -117,9 +145,15 @@ func (r *Rank) ObserveMem(bytes int64) {
 // Run aggregates every rank's counters for one engine execution.
 type Run struct {
 	Ranks []Rank
-	// Wall is the launcher-observed wall time per phase (max across ranks,
-	// measured outside the rank goroutines).
+	// Wall is the per-phase wall time as the ranks themselves measured it:
+	// the maximum across ranks of each rank's own phase timer. Phases
+	// overlap across ranks, so these maxima need not sum to the run's
+	// duration.
 	Wall [NumPhases]time.Duration
+	// Elapsed is the launcher-observed total wall time of the run, measured
+	// outside the rank goroutines from just before the first rank starts to
+	// just after the last one joins.
+	Elapsed time.Duration
 }
 
 // NumRanks returns the rank count.
