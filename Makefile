@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet chaos bench-lookup ci
+.PHONY: build test race lint vet chaos bench-lookup bench-build property ci
 
 build:
 	$(GO) build ./...
@@ -42,4 +42,16 @@ chaos:
 bench-lookup:
 	$(GO) run ./cmd/reptile-bench -exp lookup -scale 0.05 -rankdiv 16 -maxranks 8 -json BENCH_lookup.json
 
-ci: build vet lint test race chaos
+## bench-build: the spectrum-construction benchmark — extraction-worker
+## sweep (wall time, memory, output identity) plus the frozen-store layout
+## comparison (packed vs hash vs sorted vs cache-aware) at equal entries.
+bench-build:
+	$(GO) run ./cmd/reptile-bench -exp build -scale 0.05 -rankdiv 16 -maxranks 8 -json BENCH_build.json
+
+## property: the randomized/fuzz-seeded equivalence suites in short mode —
+## packed-vs-hash store equivalence, freeze invariants, and the batched
+## lookup equivalence matrix.
+property:
+	$(GO) test -short -count=1 -run 'Packed|Freeze|Frozen|Batched' ./internal/spectrum/ ./internal/core/
+
+ci: build vet lint test race chaos property

@@ -90,6 +90,7 @@ func BenchmarkAblation_Stores(b *testing.B) {
 		s    spectrum.Lookuper
 	}{
 		{"hash", hash},
+		{"packed", spectrum.NewPacked(entries)},
 		{"sorted", spectrum.NewSorted(entries)},
 		{"cacheaware", spectrum.NewCacheAware(entries)},
 	}

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (table1, fig2..fig8); empty = all")
+		exp      = flag.String("exp", "", "experiment id (table1, fig2..fig8, batchsweep, lookup, build); empty = all")
 		scale    = flag.Float64("scale", 0.25, "dataset scale factor on the Table I presets")
 		rankDiv  = flag.Int("rankdiv", 32, "divide the paper's rank counts by this")
 		maxRanks = flag.Int("maxranks", 256, "cap on scaled rank counts")

@@ -57,7 +57,7 @@ func main() {
 
 		lookupBatch  = flag.Int("lookup-batch", 0, "coalesce up to this many remote lookups per request frame (0 = classic one-per-message protocol; output is identical either way)")
 		lookupWindow = flag.Int("lookup-window", 0, "in-flight batch frames per peer (0 = default window when -lookup-batch is on)")
-		workers      = flag.Int("workers", 0, "correction worker goroutines per rank (0/1 = single worker; >1 requires -lookup-batch)")
+		workers      = flag.Int("workers", 0, "worker goroutines per rank, for both spectrum-build sharding and the correction pool (0/1 = single worker; >1 requires -lookup-batch; output is identical for every count)")
 
 		stream      = flag.Bool("stream", false, "streaming mode: never hold reads whole; write per-rank outputs incrementally (proc transport)")
 		corrections = flag.String("corrections", "", "also write the list of applied substitutions (seq, pos, from, to) to this file (proc non-streaming mode)")

@@ -58,6 +58,10 @@ var batchedVariants = []struct {
 	{"batch32", 32, 0, 0},
 	{"batch4-win2", 4, 2, 0},
 	{"batch8-workers3", 8, 0, 3},
+	// Workers also shard the spectrum build, so this covers the sharded
+	// extract/fold path (and, with the batchreads mode, the pipelined
+	// multi-round exchange) at 4 shards vs the single-shard baseline.
+	{"batch8-workers4", 8, 0, 4},
 }
 
 // lookupCounters sums the worker-side remote lookup tallies, which must not
@@ -151,7 +155,7 @@ func TestBatchedLookupsMatchUnbatchedOverTCP(t *testing.T) {
 		}
 		ob := o
 		ob.Heuristics.LookupBatch = 16
-		ob.Heuristics.Workers = 2
+		ob.Heuristics.Workers = 4
 		outs, errs := chaosTCPRanks(t, ds.Reads, np, ob, transport.NewPlan(1), 0)
 		for r, err := range errs {
 			if err != nil {

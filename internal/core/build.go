@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"reptile/internal/kmer"
+	"reptile/internal/reads"
+	"reptile/internal/spectrum"
+)
+
+// specBuilder runs the spectrum construction (Steps II-III) for one rank
+// with Heuristics.Workers extraction goroutines and a pipelined count
+// exchange. All mutable tables are sharded by hash(id) % workers:
+//
+//   - extract: worker w scans a contiguous block of the round's reads into
+//     its private per-shard tables workK[w][s] / workT[w][s] — no shared
+//     writes at all.
+//   - fold: goroutine s merges every worker's shard s into the cumulative
+//     owned shard (ownK[s]/ownT[s]) and the round's non-owned table
+//     (roundK[s]/roundT[s]) — disjoint key ranges, so lock-free.
+//   - encode/exchange: the round's non-owned entries are serialized per
+//     destination (sorted, into double-buffered reuse slabs) and shipped
+//     with a background Alltoallv pair, which overlaps the *next* round's
+//     extract/fold/encode. Received entries merge into the owned shards on
+//     the main goroutine after the join, so shard writers never overlap.
+//
+// finish() prunes the owned shards and freezes them into the rankCtx's
+// immutable PackedStores; the builder is dead afterwards.
+type specBuilder struct {
+	ctx  *rankCtx
+	nw   int // extraction workers == shard count
+	spec kmer.Spec
+
+	// Cumulative owned tables, sharded by shardOf. Shard s is written only
+	// by fold goroutine s and the main-goroutine merge; never concurrently.
+	ownK, ownT []*spectrum.HashStore
+	// Cumulative retained non-owned tables (RetainReadKmers), same sharding;
+	// nil when retention is off.
+	retK, retT []*spectrum.HashStore
+	// Per-worker private extraction tables, indexed [worker][shard].
+	workK, workT [][]*spectrum.HashStore
+	// Per-shard per-round non-owned tables, deduped before the wire.
+	roundK, roundT []*spectrum.HashStore
+
+	// Wire buffers, triple-buffered per destination: round r encodes into
+	// set r%3 while set (r-1)%3 rides the in-flight exchange. The third set
+	// covers the zero-copy transports: a peer holds a reference to the slab
+	// we sent in round r until its own merge of that round finishes, and the
+	// earliest event proving every peer merged round r is our join of
+	// exchange r+1 — which lands after round r+2's encode. Set r%3 is not
+	// reused before round r+3, safely past that join.
+	encK, encT [3][][]byte
+	// Reused sort scratch for the round encode (HashStore.EntriesInto).
+	entryScratch []spectrum.Entry
+}
+
+// newSpecBuilder builds the sharded tables and registers the builder on the
+// context so currentMem accounts them.
+func (ctx *rankCtx) newSpecBuilder(retain bool) *specBuilder {
+	nw := ctx.opts.Heuristics.Workers
+	if nw < 1 {
+		nw = 1
+	}
+	b := &specBuilder{ctx: ctx, nw: nw, spec: ctx.opts.Config.Spec}
+	shards := func() []*spectrum.HashStore {
+		s := make([]*spectrum.HashStore, nw)
+		for i := range s {
+			s[i] = spectrum.NewHash(0)
+		}
+		return s
+	}
+	b.ownK, b.ownT = shards(), shards()
+	b.roundK, b.roundT = shards(), shards()
+	if retain {
+		b.retK, b.retT = shards(), shards()
+	}
+	b.workK = make([][]*spectrum.HashStore, nw)
+	b.workT = make([][]*spectrum.HashStore, nw)
+	for w := 0; w < nw; w++ {
+		b.workK[w], b.workT[w] = shards(), shards()
+	}
+	for set := range b.encK {
+		b.encK[set] = make([][]byte, ctx.np)
+		b.encT[set] = make([][]byte, ctx.np)
+	}
+	ctx.build = b
+	return b
+}
+
+// shardOf maps an ID to its rank-internal shard. Reusing the owner hash
+// keeps shard sizes as uniform as the cross-rank distribution (Fig 3).
+func (b *specBuilder) shardOf(id kmer.ID) int {
+	return int(kmer.HashID(id) % uint64(b.nw))
+}
+
+// extract scans one round's reads into the workers' private shard tables,
+// one contiguous block per worker (same partition shape as the correction
+// pool). Runs concurrently with an in-flight exchange: workers touch only
+// their own tables.
+func (b *specBuilder) extract(batch []reads.Read) {
+	type tally struct{ kmers, tiles int64 }
+	tallies := make([]tally, b.nw)
+	var wg sync.WaitGroup
+	for w := 0; w < b.nw; w++ {
+		lo, hi := len(batch)*w/b.nw, len(batch)*(w+1)/b.nw
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			kT, tT := b.workK[w], b.workT[w]
+			for i := lo; i < hi; i++ {
+				b.spec.EachKmer(batch[i].Base, func(_ int, id kmer.ID) {
+					tallies[w].kmers++
+					kT[b.shardOf(id)].Add(id, 1)
+				})
+				b.spec.EachTileStep(batch[i].Base, 1, func(_ int, id kmer.ID) {
+					tallies[w].tiles++
+					tT[b.shardOf(id)].Add(id, 1)
+				})
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := range tallies {
+		b.ctx.st.KmersExtracted += tallies[w].kmers
+		b.ctx.st.TilesExtracted += tallies[w].tiles
+	}
+}
+
+// fold merges the workers' private tables into the cumulative owned shards
+// and the round's non-owned tables, one goroutine per shard.
+func (b *specBuilder) fold() {
+	var wg sync.WaitGroup
+	for s := 0; s < b.nw; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			b.foldShard(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// foldShard routes shard s of every worker table by owner rank: owned
+// entries accumulate in the cumulative shard, the rest land in the round
+// table (and the retained shard when retention is on). The worker tables
+// are cleared, keeping their capacity for the next round.
+func (b *specBuilder) foldShard(s int) {
+	rank, np := b.ctx.rank, b.ctx.np
+	foldOne := func(own, round, ret *spectrum.HashStore, work func(w int) *spectrum.HashStore) {
+		for w := 0; w < b.nw; w++ {
+			t := work(w)
+			t.Each(func(e spectrum.Entry) bool {
+				if kmer.Owner(e.ID, np) == rank {
+					own.Add(e.ID, e.Count)
+				} else {
+					round.Add(e.ID, e.Count)
+				}
+				return true
+			})
+			t.Clear()
+		}
+		if ret != nil {
+			round.Each(func(e spectrum.Entry) bool { ret.Add(e.ID, e.Count); return true })
+		}
+	}
+	var retK, retT *spectrum.HashStore
+	if b.retK != nil {
+		retK, retT = b.retK[s], b.retT[s]
+	}
+	foldOne(b.ownK[s], b.roundK[s], retK, func(w int) *spectrum.HashStore { return b.workK[w][s] })
+	foldOne(b.ownT[s], b.roundT[s], retT, func(w int) *spectrum.HashStore { return b.workT[w][s] })
+}
+
+// observeRound records the reads-table peaks (round + retained entries, the
+// batch-reads memory bound of Section III-B) and the memory high-water mark.
+// Must run after fold and before encode, while the round tables are full.
+func (b *specBuilder) observeRound() {
+	sum := func(ss []*spectrum.HashStore) int64 {
+		var n int64
+		for _, s := range ss {
+			n += int64(s.Len())
+		}
+		return n
+	}
+	var retK, retT int64
+	if b.retK != nil {
+		retK, retT = sum(b.retK), sum(b.retT)
+	}
+	if v := sum(b.roundK) + retK; b.ctx.st.ReadsKmers < v {
+		b.ctx.st.ReadsKmers = v
+	}
+	if v := sum(b.roundT) + retT; b.ctx.st.ReadsTiles < v {
+		b.ctx.st.ReadsTiles = v
+	}
+	b.ctx.observeMem()
+}
+
+// encode serializes the round's non-owned entries per destination rank into
+// buffer set (one of three reused slab sets, see encK) and clears the round
+// tables. Entries travel in sorted ID order, so the wire bytes are
+// deterministic regardless of worker count.
+func (b *specBuilder) encode(set int) (bufsK, bufsT [][]byte) {
+	bufsK = b.encodeRound(b.roundK, b.encK[set])
+	bufsT = b.encodeRound(b.roundT, b.encT[set])
+	return bufsK, bufsT
+}
+
+func (b *specBuilder) encodeRound(round []*spectrum.HashStore, enc [][]byte) [][]byte {
+	for r := range enc {
+		enc[r] = enc[r][:0]
+	}
+	np := b.ctx.np
+	for s := range round {
+		b.entryScratch = round[s].EntriesInto(b.entryScratch[:0])
+		for i := range b.entryScratch {
+			o := kmer.Owner(b.entryScratch[i].ID, np)
+			enc[o] = spectrum.EncodeEntries(enc[o], b.entryScratch[i:i+1])
+		}
+		round[s].Clear()
+	}
+	for r := range enc {
+		if r != b.ctx.rank {
+			b.ctx.st.ExchangeBytes += int64(len(enc[r]))
+		}
+	}
+	return enc
+}
+
+// exchangeJob is one in-flight background Alltoallv pair. The goroutine
+// touches only the Comm and the job's own fields; closing done is the
+// happens-before edge publishing the results (and the Comm's tag state) back
+// to the main goroutine, preserving the one-collective-at-a-time discipline
+// (see collective.Comm).
+type exchangeJob struct {
+	done       chan struct{}
+	gotK, gotT [][]byte
+	err        error
+}
+
+// startExchange launches the round's k-mer and tile all-to-alls in the
+// background. Exactly one job may be in flight; the caller must join it
+// before starting another collective of any kind.
+func (b *specBuilder) startExchange(bufsK, bufsT [][]byte) *exchangeJob {
+	j := &exchangeJob{done: make(chan struct{})}
+	comm := b.ctx.comm
+	go func() {
+		defer close(j.done)
+		j.gotK, j.err = comm.Alltoallv(bufsK)
+		if j.err != nil {
+			return
+		}
+		j.gotT, j.err = comm.Alltoallv(bufsT)
+	}()
+	return j
+}
+
+// join waits for an exchange and merges the received entries into the owned
+// shards (Step III's count merge at the owners).
+func (b *specBuilder) join(j *exchangeJob) error {
+	<-j.done
+	if j.err != nil {
+		return j.err
+	}
+	if err := b.merge(j.gotK, b.ownK); err != nil {
+		return err
+	}
+	return b.merge(j.gotT, b.ownT)
+}
+
+func (b *specBuilder) merge(got [][]byte, own []*spectrum.HashStore) error {
+	rank, np := b.ctx.rank, b.ctx.np
+	for r, buf := range got {
+		if r == rank || len(buf) == 0 {
+			continue
+		}
+		entries, err := spectrum.DecodeEntries(buf)
+		if err != nil {
+			return fmt.Errorf("merging entries from rank %d: %w", r, err)
+		}
+		for _, e := range entries {
+			if kmer.Owner(e.ID, np) != rank {
+				return fmt.Errorf("rank %d received entry owned by rank %d", rank, kmer.Owner(e.ID, np))
+			}
+			own[b.shardOf(e.ID)].Add(e.ID, e.Count)
+		}
+	}
+	return nil
+}
+
+// histogram sums the shard histograms of one sharded spectrum, for the
+// auto-threshold allreduce.
+func (b *specBuilder) histogram(shards []*spectrum.HashStore) []int64 {
+	global := make([]int64, spectrum.HistogramBins)
+	for _, s := range shards {
+		spectrum.MergeHistograms(global, s.Histogram())
+	}
+	return global
+}
+
+// finish is the freeze point: prune the owned shards with the (possibly
+// auto-resolved) thresholds, pack them into the immutable owned stores, and
+// flatten the retained shards into one mutable table for the post-exchange
+// count resolution. The builder is unregistered from the context; every
+// shard map has been released.
+//
+// reptile-lint:build
+func (b *specBuilder) finish() {
+	ctx := b.ctx
+	for s := 0; s < b.nw; s++ {
+		b.ownK[s].Prune(ctx.opts.Config.KmerThreshold)
+		b.ownT[s].Prune(ctx.opts.Config.TileThreshold)
+	}
+	ctx.ownKmer = spectrum.Freeze(b.ownK...)
+	ctx.ownTile = spectrum.Freeze(b.ownT...)
+	ctx.st.OwnedKmers = int64(ctx.ownKmer.Len())
+	ctx.st.OwnedTiles = int64(ctx.ownTile.Len())
+	ctx.st.OwnedMemBytes = ctx.ownKmer.MemBytes() + ctx.ownTile.MemBytes()
+	if b.retK != nil {
+		ctx.cacheKmer = flattenShards(b.retK)
+		ctx.cacheTile = flattenShards(b.retT)
+	}
+	ctx.build = nil
+}
+
+// flattenShards folds disjoint shard tables into one mutable HashStore,
+// releasing each shard as it is consumed.
+func flattenShards(shards []*spectrum.HashStore) *spectrum.HashStore {
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	out := spectrum.NewHash(total)
+	for _, s := range shards {
+		s.Each(func(e spectrum.Entry) bool { out.Set(e.ID, e.Count); return true })
+		s.Release()
+	}
+	return out
+}
+
+// memBytes sums every live builder table, for the memory high-water mark.
+func (b *specBuilder) memBytes() int64 {
+	var total int64
+	add := func(ss []*spectrum.HashStore) {
+		for _, s := range ss {
+			total += s.MemBytes()
+		}
+	}
+	add(b.ownK)
+	add(b.ownT)
+	add(b.roundK)
+	add(b.roundT)
+	if b.retK != nil {
+		add(b.retK)
+		add(b.retT)
+	}
+	for w := 0; w < b.nw; w++ {
+		add(b.workK[w])
+		add(b.workT[w])
+	}
+	return total
+}

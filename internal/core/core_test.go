@@ -457,3 +457,35 @@ func TestMemorySourceSharding(t *testing.T) {
 		t.Error("out-of-range rank accepted")
 	}
 }
+
+// TestFrozenSpectraMemoryAccounting: after construction the owned spectra
+// are frozen into packed slabs, and OwnedMemBytes reports their exact
+// measured footprint, bounded by the packed layout's worst case instead of
+// the mutable tables' conservative map estimate.
+func TestFrozenSpectraMemoryAccounting(t *testing.T) {
+	ds, opts := testDataset(t, 2000, 9100)
+	out, err := Run(&MemorySource{Reads: ds.Reads}, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range out.Run.Ranks {
+		entries := r.OwnedKmers + r.OwnedTiles
+		if entries == 0 {
+			t.Fatalf("rank owns no spectrum entries")
+		}
+		if r.OwnedMemBytes <= 0 {
+			t.Errorf("OwnedMemBytes %d, want > 0", r.OwnedMemBytes)
+		}
+		// Packed worst case: load just above 0.5 of the max → 12/0.4 = 30
+		// bytes per entry, plus the two slab headers.
+		if worst := entries*30 + 2*64; r.OwnedMemBytes > worst {
+			t.Errorf("packed OwnedMemBytes %d above packed worst case %d for %d entries",
+				r.OwnedMemBytes, worst, entries)
+		}
+		// The packed stores are what MemAfterConstruct counts (plus any
+		// retained tables, none in base mode), so it must cover them.
+		if r.MemAfterConstruct < r.OwnedMemBytes {
+			t.Errorf("MemAfterConstruct %d below OwnedMemBytes %d", r.MemAfterConstruct, r.OwnedMemBytes)
+		}
+	}
+}

@@ -99,14 +99,16 @@ func (ctx *rankCtx) newOracle(st *stats.Rank, disp *lookupDispatcher, cacheMu *s
 		rank:      ctx.rank,
 		np:        ctx.np,
 		h:         ctx.opts.Heuristics,
-		ownKmer:   ctx.hashKmer,
-		ownTile:   ctx.hashTile,
+		ownKmer:   ctx.ownKmer,
+		ownTile:   ctx.ownTile,
 		replKmer:  ctx.replKmer,
 		replTile:  ctx.replTile,
 		groupKmer: ctx.groupKmer,
 		groupTile: ctx.groupTile,
 		readsKmer: ctx.readsKmer,
 		readsTile: ctx.readsTile,
+		cacheKmer: ctx.cacheKmer,
+		cacheTile: ctx.cacheTile,
 		groupSize: ctx.opts.Heuristics.PartialReplicationGroup,
 		disp:      disp,
 		batch:     batch,
@@ -317,13 +319,15 @@ func (ctx *rankCtx) serveBatch(m transport.Message) error {
 	return ctx.e.Send(m.From, tagBatchResp, encodeBatchResp(reqID, answers))
 }
 
-// ownedStore maps a request kind to this rank's owned spectrum.
-func (ctx *rankCtx) ownedStore(kind byte) (*spectrum.HashStore, error) {
+// ownedStore maps a request kind to this rank's frozen owned spectrum,
+// served through the Lookuper interface — the responder reads the same
+// immutable PackedStores the local lookup chain does.
+func (ctx *rankCtx) ownedStore(kind byte) (spectrum.Lookuper, error) {
 	switch kind {
 	case kindKmer:
-		return ctx.hashKmer, nil
+		return ctx.ownKmer, nil
 	case kindTile:
-		return ctx.hashTile, nil
+		return ctx.ownTile, nil
 	}
 	return nil, fmt.Errorf("core: request kind %d", kind)
 }

@@ -35,10 +35,28 @@ type rankCtx struct {
 
 	myReads []reads.Read
 
-	hashKmer, hashTile   *spectrum.HashStore // owned entries
-	readsKmer, readsTile *spectrum.HashStore // non-owned entries from own reads
-	replKmer, replTile   spectrum.Lookuper   // full replicas (heuristic)
-	groupKmer, groupTile *spectrum.HashStore // partial-replication copies
+	// build is the sharded spectrum builder, live only during the spectrum
+	// phase; specBuilder.finish replaces it with the frozen stores below.
+	build *specBuilder
+
+	// Owned spectra, immutable from the freeze point (end of the spectrum
+	// phase) onward.
+	// frozen: packed by specBuilder.finish
+	ownKmer, ownTile *spectrum.PackedStore
+	// The oracle's read-side view of the retained reads tables (global
+	// counts; nil unless RetainReadKmers): a PackedStore normally, the
+	// mutable cache tables under CacheRemote.
+	readsKmer, readsTile spectrum.Lookuper
+	// Mutable retained tables: built by the spectrum phase, resolved to
+	// global counts in the post-exchange phase, then frozen into
+	// readsKmer/readsTile — except under CacheRemote, which keeps them as
+	// the correction-time write side (serialized by the pool's cacheMu).
+	cacheKmer, cacheTile *spectrum.HashStore
+	replKmer, replTile   spectrum.Lookuper // full replicas (heuristic)
+	// Partial-replication copies, packed at the end of the post-exchange
+	// phase.
+	// frozen: packed by groupReplicate
+	groupKmer, groupTile *spectrum.PackedStore
 }
 
 // RunRank executes the full pipeline for one rank. Every rank of the group
@@ -56,15 +74,11 @@ func RunRank(e transport.Conn, src Source, opts Options) (*RankOutput, error) {
 		return nil, err
 	}
 	ctx := &rankCtx{
-		e:         e,
-		comm:      collective.New(e),
-		opts:      opts,
-		rank:      e.Rank(),
-		np:        e.Size(),
-		hashKmer:  spectrum.NewHash(0),
-		hashTile:  spectrum.NewHash(0),
-		readsKmer: spectrum.NewHash(0),
-		readsTile: spectrum.NewHash(0),
+		e:    e,
+		comm: collective.New(e),
+		opts: opts,
+		rank: e.Rank(),
+		np:   e.Size(),
 	}
 	ctx.st.Rank = ctx.rank
 
@@ -185,11 +199,16 @@ func (ctx *rankCtx) balancePhase() error {
 	return nil
 }
 
-// spectrumPhase is Steps II-III: build the owned/reads hash-table pairs and
-// merge counts at the owners with all-to-all exchanges. In batch-reads mode
-// the exchange runs after every chunk and the reads tables are cleared, so
-// their size stays bounded by the chunk (paper Section III-B); otherwise a
-// single exchange runs at the end.
+// spectrumPhase is Steps II-III: extract each round's reads with the
+// sharded worker pool, then ship non-owned counts to their owners. The
+// rounds are pipelined: round r's extraction, fold and encode overlap round
+// r-1's background all-to-all pair (double-buffered wire slabs keep them
+// independent), and the freeze point at the end packs the pruned owned
+// shards into immutable PackedStores. In batch-reads mode the round tables
+// are cleared after every chunk, so their size stays bounded by the chunk
+// (paper Section III-B); otherwise there is a single round.
+//
+// reptile-lint:build
 func (ctx *rankCtx) spectrumPhase() error {
 	chunk := len(ctx.myReads)
 	if ctx.opts.Heuristics.BatchReads {
@@ -205,14 +224,15 @@ func (ctx *rankCtx) spectrumPhase() error {
 	if err != nil {
 		return err
 	}
-	spec := ctx.opts.Config.Spec
-	// With RetainReadKmers the per-round exchange tables are folded into
-	// cumulative retained tables, so entries are shipped to their owners
-	// exactly once even across batch rounds.
-	var retainedK, retainedT *spectrum.HashStore
-	if ctx.opts.Heuristics.RetainReadKmers {
-		retainedK = spectrum.NewHash(0)
-		retainedT = spectrum.NewHash(0)
+	b := ctx.newSpecBuilder(ctx.opts.Heuristics.RetainReadKmers)
+	var inflight *exchangeJob
+	joinInflight := func() error {
+		if inflight == nil {
+			return nil
+		}
+		err := b.join(inflight)
+		inflight = nil
+		return err
 	}
 	for round := int64(0); round < maxRounds; round++ {
 		lo := int(round) * chunk
@@ -223,107 +243,23 @@ func (ctx *rankCtx) spectrumPhase() error {
 		if hi > len(ctx.myReads) {
 			hi = len(ctx.myReads)
 		}
-		for i := lo; i < hi; i++ {
-			ctx.accumulate(&ctx.myReads[i], spec)
-		}
-		retLen := 0
-		if retainedK != nil {
-			retLen = retainedK.Len()
-		}
-		if v := int64(ctx.readsKmer.Len() + retLen); ctx.st.ReadsKmers < v {
-			ctx.st.ReadsKmers = v
-		}
-		retLen = 0
-		if retainedT != nil {
-			retLen = retainedT.Len()
-		}
-		if v := int64(ctx.readsTile.Len() + retLen); ctx.st.ReadsTiles < v {
-			ctx.st.ReadsTiles = v
-		}
-		ctx.observeMem()
-		if err := ctx.mergeToOwners(ctx.readsKmer, ctx.hashKmer); err != nil {
+		b.extract(ctx.myReads[lo:hi])
+		b.fold()
+		b.observeRound()
+		bufsK, bufsT := b.encode(int(round) % 3)
+		if err := joinInflight(); err != nil {
 			return err
 		}
-		if err := ctx.mergeToOwners(ctx.readsTile, ctx.hashTile); err != nil {
-			return err
-		}
-		if retainedK != nil {
-			ctx.readsKmer.Each(func(e spectrum.Entry) bool { retainedK.Add(e.ID, e.Count); return true })
-			ctx.readsTile.Each(func(e spectrum.Entry) bool { retainedT.Add(e.ID, e.Count); return true })
-		}
-		ctx.readsKmer.Clear()
-		ctx.readsTile.Clear()
+		inflight = b.startExchange(bufsK, bufsT)
 	}
-	if retainedK != nil {
-		ctx.readsKmer, ctx.readsTile = retainedK, retainedT
+	if err := joinInflight(); err != nil {
+		return err
 	}
 	if err := ctx.resolveThresholds(); err != nil {
 		return err
 	}
-	ctx.hashKmer.Prune(ctx.opts.Config.KmerThreshold)
-	ctx.hashTile.Prune(ctx.opts.Config.TileThreshold)
-	ctx.st.OwnedKmers = int64(ctx.hashKmer.Len())
-	ctx.st.OwnedTiles = int64(ctx.hashTile.Len())
+	b.finish()
 	ctx.observeMem()
-	return nil
-}
-
-// accumulate routes one read's k-mers and tiles into the owned or reads
-// table by owner rank (Step II).
-func (ctx *rankCtx) accumulate(r *reads.Read, spec kmer.Spec) {
-	spec.EachKmer(r.Base, func(_ int, id kmer.ID) {
-		ctx.st.KmersExtracted++
-		if kmer.Owner(id, ctx.np) == ctx.rank {
-			ctx.hashKmer.Add(id, 1)
-		} else {
-			ctx.readsKmer.Add(id, 1)
-		}
-	})
-	spec.EachTileStep(r.Base, 1, func(_ int, id kmer.ID) {
-		ctx.st.TilesExtracted++
-		if kmer.Owner(id, ctx.np) == ctx.rank {
-			ctx.hashTile.Add(id, 1)
-		} else {
-			ctx.readsTile.Add(id, 1)
-		}
-	})
-}
-
-// mergeToOwners ships every entry of reads to its owner with one
-// all-to-all and merges what this rank receives into own (Step III).
-func (ctx *rankCtx) mergeToOwners(readsTable, own *spectrum.HashStore) error {
-	buckets := make([][]spectrum.Entry, ctx.np)
-	readsTable.Each(func(e spectrum.Entry) bool {
-		buckets[kmer.Owner(e.ID, ctx.np)] = append(buckets[kmer.Owner(e.ID, ctx.np)], e)
-		return true
-	})
-	bufs := make([][]byte, ctx.np)
-	for r, b := range buckets {
-		if r == ctx.rank || len(b) == 0 {
-			continue
-		}
-		bufs[r] = spectrum.EncodeEntries(nil, b)
-		ctx.st.ExchangeBytes += int64(len(bufs[r]))
-	}
-	got, err := ctx.comm.Alltoallv(bufs)
-	if err != nil {
-		return err
-	}
-	for r, buf := range got {
-		if r == ctx.rank || len(buf) == 0 {
-			continue
-		}
-		entries, err := spectrum.DecodeEntries(buf)
-		if err != nil {
-			return fmt.Errorf("merging entries from rank %d: %w", r, err)
-		}
-		for _, e := range entries {
-			if kmer.Owner(e.ID, ctx.np) != ctx.rank {
-				return fmt.Errorf("rank %d received entry owned by rank %d", ctx.rank, kmer.Owner(e.ID, ctx.np))
-			}
-			own.Add(e.ID, e.Count)
-		}
-	}
 	return nil
 }
 
@@ -331,39 +267,56 @@ func (ctx *rankCtx) mergeToOwners(readsTable, own *spectrum.HashStore) error {
 // count resolution of retained reads tables, full replication, and partial
 // group replication. Every rank participates in the same collectives in the
 // same order even when a mode is off (with empty buffers), keeping the
-// collective schedule aligned.
+// collective schedule aligned. It is also the second freeze point: resolved
+// reads tables and group copies are packed here, unless CacheRemote needs
+// the reads tables to stay writable through correction.
+//
+// reptile-lint:build
 func (ctx *rankCtx) postExchangePhase() error {
 	h := ctx.opts.Heuristics
 	if h.RetainReadKmers {
-		if err := ctx.resolveReadsTable(ctx.readsKmer, ctx.hashKmer); err != nil {
+		if ctx.cacheKmer == nil {
+			// The streaming pass retains nothing; CacheRemote still needs
+			// mutable cache space.
+			ctx.cacheKmer = spectrum.NewHash(0)
+			ctx.cacheTile = spectrum.NewHash(0)
+		}
+		if err := ctx.resolveReadsTable(ctx.cacheKmer, ctx.ownKmer); err != nil {
 			return err
 		}
-		if err := ctx.resolveReadsTable(ctx.readsTile, ctx.hashTile); err != nil {
+		if err := ctx.resolveReadsTable(ctx.cacheTile, ctx.ownTile); err != nil {
 			return err
 		}
-	} else {
-		ctx.readsKmer, ctx.readsTile = nil, nil
+		if h.CacheRemote {
+			// Correction writes resolved remote lookups back into the
+			// tables, so they stay in their mutable form.
+			ctx.readsKmer, ctx.readsTile = ctx.cacheKmer, ctx.cacheTile
+		} else {
+			ctx.readsKmer = spectrum.Freeze(ctx.cacheKmer)
+			ctx.readsTile = spectrum.Freeze(ctx.cacheTile)
+			ctx.cacheKmer, ctx.cacheTile = nil, nil
+		}
 	}
 	if h.ReplicateKmers {
-		repl, err := ctx.replicate(ctx.hashKmer)
+		repl, err := ctx.replicate(ctx.ownKmer)
 		if err != nil {
 			return err
 		}
 		ctx.replKmer = repl
 	}
 	if h.ReplicateTiles {
-		repl, err := ctx.replicate(ctx.hashTile)
+		repl, err := ctx.replicate(ctx.ownTile)
 		if err != nil {
 			return err
 		}
 		ctx.replTile = repl
 	}
 	if g := h.PartialReplicationGroup; g > 1 {
-		gk, err := ctx.groupReplicate(ctx.hashKmer, g)
+		gk, err := ctx.groupReplicate(ctx.ownKmer, g)
 		if err != nil {
 			return err
 		}
-		gt, err := ctx.groupReplicate(ctx.hashTile, g)
+		gt, err := ctx.groupReplicate(ctx.ownTile, g)
 		if err != nil {
 			return err
 		}
@@ -378,7 +331,9 @@ func (ctx *rankCtx) postExchangePhase() error {
 // global counts fetched from the owners in bulk ("Read K-mers/Tiles"):
 // one all-to-all carries the IDs, a second carries the counts back, and a
 // zero count records a definitive absence.
-func (ctx *rankCtx) resolveReadsTable(readsTable, own *spectrum.HashStore) error {
+//
+// reptile-lint:build
+func (ctx *rankCtx) resolveReadsTable(readsTable *spectrum.HashStore, own spectrum.Lookuper) error {
 	ids := make([][]kmer.ID, ctx.np)
 	readsTable.Each(func(e spectrum.Entry) bool {
 		o := kmer.Owner(e.ID, ctx.np)
@@ -439,9 +394,12 @@ func (ctx *rankCtx) resolveReadsTable(readsTable, own *spectrum.HashStore) error
 }
 
 // replicate allgathers the owned spectrum onto every rank and lays it out
-// per the configured replicated layout (hash by default; sorted or
-// cache-aware arrays reproduce the prior parallelizations' storage).
-func (ctx *rankCtx) replicate(own *spectrum.HashStore) (spectrum.Lookuper, error) {
+// per the configured replicated layout (packed by default; sorted or
+// cache-aware arrays reproduce the prior parallelizations' storage). Every
+// layout is immutable, matching the replicas' read-only role in Step IV.
+//
+// reptile-lint:build
+func (ctx *rankCtx) replicate(own *spectrum.PackedStore) (spectrum.Lookuper, error) {
 	buf := spectrum.EncodeEntries(nil, own.Entries())
 	ctx.st.ExchangeBytes += int64(len(buf)) * int64(ctx.np-1)
 	all, err := ctx.comm.Allgatherv(buf)
@@ -460,16 +418,23 @@ func (ctx *rankCtx) replicate(own *spectrum.HashStore) (spectrum.Lookuper, error
 	}
 	switch ctx.opts.Heuristics.ReplicatedLayout {
 	case LayoutSorted:
-		return spectrum.NewSorted(repl.Entries()), nil
+		s := spectrum.NewSorted(repl.Entries())
+		repl.Release()
+		return s, nil
 	case LayoutCacheAware:
-		return spectrum.NewCacheAware(repl.Entries()), nil
+		c := spectrum.NewCacheAware(repl.Entries())
+		repl.Release()
+		return c, nil
 	}
-	return repl, nil
+	return spectrum.Freeze(repl), nil
 }
 
 // groupReplicate exchanges owned spectra within replication groups of g
-// consecutive ranks (the paper's proposed partial-replication extension).
-func (ctx *rankCtx) groupReplicate(own *spectrum.HashStore, g int) (*spectrum.HashStore, error) {
+// consecutive ranks (the paper's proposed partial-replication extension)
+// and freezes the union.
+//
+// reptile-lint:build
+func (ctx *rankCtx) groupReplicate(own *spectrum.PackedStore, g int) (*spectrum.PackedStore, error) {
 	buf := spectrum.EncodeEntries(nil, own.Entries())
 	bufs := make([][]byte, ctx.np)
 	myGroup := ctx.rank / g
@@ -497,7 +462,7 @@ func (ctx *rankCtx) groupReplicate(own *spectrum.HashStore, g int) (*spectrum.Ha
 			group.Set(e.ID, e.Count)
 		}
 	}
-	return group, nil
+	return spectrum.Freeze(group), nil
 }
 
 // currentMem sums the live table footprint. Reads themselves are excluded:
@@ -506,12 +471,25 @@ func (ctx *rankCtx) groupReplicate(own *spectrum.HashStore, g int) (*spectrum.Ha
 // corrected reads to the caller.
 func (ctx *rankCtx) currentMem() int64 {
 	var total int64
-	for _, s := range []*spectrum.HashStore{
-		ctx.hashKmer, ctx.hashTile, ctx.readsKmer, ctx.readsTile,
-		ctx.groupKmer, ctx.groupTile,
+	if ctx.build != nil {
+		total += ctx.build.memBytes()
+	}
+	for _, s := range []*spectrum.PackedStore{
+		ctx.ownKmer, ctx.ownTile, ctx.groupKmer, ctx.groupTile,
 	} {
 		if s != nil {
 			total += s.MemBytes()
+		}
+	}
+	// Under CacheRemote readsKmer/readsTile alias the cache tables; count
+	// each store once.
+	if ctx.cacheKmer != nil {
+		total += ctx.cacheKmer.MemBytes() + ctx.cacheTile.MemBytes()
+	} else {
+		for _, s := range []spectrum.Lookuper{ctx.readsKmer, ctx.readsTile} {
+			if s != nil {
+				total += s.MemBytes()
+			}
 		}
 	}
 	for _, s := range []spectrum.Lookuper{ctx.replKmer, ctx.replTile} {

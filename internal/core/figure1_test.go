@@ -14,8 +14,8 @@ import (
 )
 
 // TestPaperFigure1Flow walks the exact scenario of the paper's Figure 1:
-// ranks extract k-mers from their reads, split them into hashKmer (owned)
-// and readsKmer (not owned), run the all-to-all, and end up with the true
+// ranks extract k-mers from their reads, split them into owned shards and
+// per-round non-owned tables, run the all-to-all, and end up with the true
 // global count of every k-mer at exactly its owning rank.
 func TestPaperFigure1Flow(t *testing.T) {
 	const np = 8
@@ -39,7 +39,7 @@ func TestPaperFigure1Flow(t *testing.T) {
 	}
 	defer transport.CloseGroup(eps)
 
-	owned := make([]*spectrum.HashStore, np)
+	owned := make([][]*spectrum.HashStore, np)
 	var wg sync.WaitGroup
 	errs := make(chan error, np)
 	for r := 0; r < np; r++ {
@@ -54,35 +54,39 @@ func TestPaperFigure1Flow(t *testing.T) {
 					c.Spec = spec
 					return c
 				}()},
-				rank:      r,
-				np:        np,
-				hashKmer:  spectrum.NewHash(0),
-				hashTile:  spectrum.NewHash(0),
-				readsKmer: spectrum.NewHash(0),
-				readsTile: spectrum.NewHash(0),
+				rank: r,
+				np:   np,
 			}
-			// Step II: rank r processes read r only.
+			// Step II: rank r processes read r only, through the builder.
+			b := ctx.newSpecBuilder(false)
 			rd := reads.Read{Seq: int64(r + 1), Base: dna.MustEncode(readSeqs[r]), Qual: make([]byte, len(readSeqs[r]))}
-			ctx.accumulate(&rd, spec)
-			// hashKmer must hold only owned IDs, readsKmer only foreign ones.
-			ctx.hashKmer.Each(func(e spectrum.Entry) bool {
-				if kmer.Owner(e.ID, np) != r {
-					t.Errorf("rank %d hashKmer holds foreign id %v", r, e.ID)
-				}
-				return true
-			})
-			ctx.readsKmer.Each(func(e spectrum.Entry) bool {
-				if kmer.Owner(e.ID, np) == r {
-					t.Errorf("rank %d readsKmer holds own id %v", r, e.ID)
-				}
-				return true
-			})
+			b.extract([]reads.Read{rd})
+			b.fold()
+			// The owned shards must hold only owned IDs, the round tables
+			// only foreign ones.
+			for _, s := range b.ownK {
+				s.Each(func(e spectrum.Entry) bool {
+					if kmer.Owner(e.ID, np) != r {
+						t.Errorf("rank %d owned shard holds foreign id %v", r, e.ID)
+					}
+					return true
+				})
+			}
+			for _, s := range b.roundK {
+				s.Each(func(e spectrum.Entry) bool {
+					if kmer.Owner(e.ID, np) == r {
+						t.Errorf("rank %d round table holds own id %v", r, e.ID)
+					}
+					return true
+				})
+			}
 			// Step III: the collective count merge.
-			if err := ctx.mergeToOwners(ctx.readsKmer, ctx.hashKmer); err != nil {
+			bufsK, bufsT := b.encode(0)
+			if err := b.join(b.startExchange(bufsK, bufsT)); err != nil {
 				errs <- err
 				return
 			}
-			owned[r] = ctx.hashKmer
+			owned[r] = b.ownK
 		}(r)
 	}
 	wg.Wait()
@@ -96,17 +100,19 @@ func TestPaperFigure1Flow(t *testing.T) {
 	// global count, and nowhere else.
 	total := 0
 	for r := 0; r < np; r++ {
-		owned[r].Each(func(e spectrum.Entry) bool {
-			total++
-			if kmer.Owner(e.ID, np) != r {
-				t.Errorf("id %v at rank %d, owner is %d", e.ID, r, kmer.Owner(e.ID, np))
-			}
-			want, ok := truth.Count(e.ID)
-			if !ok || want != e.Count {
-				t.Errorf("id %v count %d, true global count %d", e.ID, e.Count, want)
-			}
-			return true
-		})
+		for _, s := range owned[r] {
+			s.Each(func(e spectrum.Entry) bool {
+				total++
+				if kmer.Owner(e.ID, np) != r {
+					t.Errorf("id %v at rank %d, owner is %d", e.ID, r, kmer.Owner(e.ID, np))
+				}
+				want, ok := truth.Count(e.ID)
+				if !ok || want != e.Count {
+					t.Errorf("id %v count %d, true global count %d", e.ID, e.Count, want)
+				}
+				return true
+			})
+		}
 	}
 	if total != truth.Len() {
 		t.Errorf("%d distinct k-mers across ranks, want %d", total, truth.Len())

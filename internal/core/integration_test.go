@@ -149,12 +149,12 @@ func TestResponderRejectsMalformedRequests(t *testing.T) {
 	defer transport.CloseGroup(eps)
 	_, opts := testDataset(t, 10, 8000)
 	ctx := &rankCtx{
-		e:        eps[0],
-		opts:     opts,
-		rank:     0,
-		np:       2,
-		hashKmer: spectrum.NewHash(0),
-		hashTile: spectrum.NewHash(0),
+		e:       eps[0],
+		opts:    opts,
+		rank:    0,
+		np:      2,
+		ownKmer: spectrum.Freeze(),
+		ownTile: spectrum.Freeze(),
 	}
 	done := make(chan error, 1)
 	go func() { done <- ctx.responderLoop(nil) }()

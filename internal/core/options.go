@@ -10,11 +10,14 @@
 //	          partitioning via internal/fastaio, or a proportional slice of
 //	          an in-memory dataset), optionally redistributing reads to
 //	          their owner ranks for static load balance (Section III-A).
-//	Step II   per-rank spectrum construction into hashKmer/readsKmer and
-//	          hashTile/readsTile, split by owner rank.
+//	Step II   per-rank spectrum construction: Heuristics.Workers extraction
+//	          goroutines shard k-mer and tile tallies by hash(id), split by
+//	          owner rank (see specBuilder in build.go).
 //	Step III  all-to-all exchange of non-owned entries, count merge at the
-//	          owners, threshold pruning. The batch-reads heuristic repeats
-//	          this per chunk to bound the reads tables.
+//	          owners, threshold pruning, and a freeze into immutable packed
+//	          stores. The batch-reads heuristic repeats the exchange per
+//	          chunk to bound the reads tables, pipelining round r's build
+//	          with round r-1's exchange.
 //	Step IV   correction with two goroutines per rank — a worker running
 //	          the Reptile corrector and a responder servicing remote k-mer/
 //	          tile count requests — plus a done/stop termination protocol.
@@ -75,11 +78,14 @@ type Heuristics struct {
 	// default window when batching is on; ignored otherwise.
 	LookupWindow int
 
-	// Workers sizes the correction worker pool per rank (the paper's
-	// "worker threads", plural). 0 or 1 runs the classic single worker.
-	// More than one requires LookupBatch: the workers share the responder
-	// through the batch dispatcher's request-id routing, which the legacy
-	// tagResp protocol cannot provide.
+	// Workers sizes the per-rank thread pools (the paper's "worker
+	// threads", plural): the correction worker pool and, equally, the
+	// spectrum-build extraction goroutines and their hash(id)%Workers table
+	// shards. 0 or 1 runs the classic single worker. More than one requires
+	// LookupBatch: the correction workers share the responder through the
+	// batch dispatcher's request-id routing, which the legacy tagResp
+	// protocol cannot provide. The corrected output is byte-identical for
+	// every worker count.
 	Workers int
 
 	// ReplicatedLayout selects the in-memory layout of replicated spectra.

@@ -44,17 +44,24 @@ type distOracle struct {
 
 	h Heuristics
 
-	// Owned (pruned, global-count) spectra.
-	ownKmer, ownTile *spectrum.HashStore
+	// Owned (pruned, global-count) spectra, frozen into packed form.
+	// frozen: shared read-only with the responder goroutine
+	ownKmer, ownTile *spectrum.PackedStore
 	// Full replicas (nil unless the allgather heuristics are on); the
 	// layout depends on Heuristics.ReplicatedLayout.
 	replKmer, replTile spectrum.Lookuper
 	// Partial-replication group copies (nil unless enabled).
-	groupKmer, groupTile *spectrum.HashStore
+	// frozen: packed by groupReplicate
+	groupKmer, groupTile *spectrum.PackedStore
 	groupSize            int
 	// Retained reads tables with *global* counts; an entry with count 0
-	// records a resolved "does not exist".
-	readsKmer, readsTile *spectrum.HashStore
+	// records a resolved "does not exist". Frozen packed stores normally;
+	// under CacheRemote they are the mutable cache tables below.
+	readsKmer, readsTile spectrum.Lookuper
+	// Write side of the CacheRemote heuristic (nil otherwise): the same
+	// stores as readsKmer/readsTile, in their mutable form. Multi-worker
+	// access is serialized by cacheMu.
+	cacheKmer, cacheTile *spectrum.HashStore
 
 	// Batched-lookup state, nil/zero when Heuristics.LookupBatch == 0. The
 	// dispatcher is shared by every worker of the rank; the prefetch buffer
@@ -90,10 +97,10 @@ func (o *distOracle) PrefetchKmers(ids []kmer.ID) { o.prefetch(kindKmer, ids) }
 func (o *distOracle) PrefetchTiles(ids []kmer.ID) { o.prefetch(kindTile, ids) }
 
 func (o *distOracle) lookup(kind byte, id kmer.ID) (uint32, bool) {
-	var repl spectrum.Lookuper = o.replKmer
-	own, group, reads := o.ownKmer, o.groupKmer, o.readsKmer
+	repl := o.replKmer
+	own, group, reads, cache := o.ownKmer, o.groupKmer, o.readsKmer, o.cacheKmer
 	if kind == kindTile {
-		repl, own, group, reads = o.replTile, o.ownTile, o.groupTile, o.readsTile
+		repl, own, group, reads, cache = o.replTile, o.ownTile, o.groupTile, o.readsTile, o.cacheTile
 	}
 
 	if repl != nil {
@@ -133,7 +140,7 @@ func (o *distOracle) lookup(kind byte, id kmer.ID) (uint32, bool) {
 	// to the unbatched run's.
 	if o.pre != nil {
 		if v, ok := o.pre[preKey{kind: kind, id: id}]; ok {
-			o.finishRemote(kind, id, v.cnt, v.exists, reads)
+			o.finishRemote(kind, id, v.cnt, v.exists, cache)
 			return v.cnt, v.exists
 		}
 	}
@@ -155,14 +162,16 @@ func (o *distOracle) lookup(kind byte, id kmer.ID) (uint32, bool) {
 		}
 		return 0, false
 	}
-	o.finishRemote(kind, id, cnt, exists, reads)
+	o.finishRemote(kind, id, cnt, exists, cache)
 	return cnt, exists
 }
 
 // finishRemote applies the statistics and cache effects of one resolved
 // remote lookup — identical whether the answer came over a legacy round
-// trip, a batch-of-one frame, or the prefetch buffer.
-func (o *distOracle) finishRemote(kind byte, id kmer.ID, cnt uint32, exists bool, reads *spectrum.HashStore) {
+// trip, a batch-of-one frame, or the prefetch buffer. The cache write goes
+// through the mutable table handle; the frozen read-side view sees it
+// because they are the same store under CacheRemote.
+func (o *distOracle) finishRemote(kind byte, id kmer.ID, cnt uint32, exists bool, cache *spectrum.HashStore) {
 	if kind == kindKmer {
 		o.st.KmerLookupsRemote++
 	} else {
@@ -171,24 +180,24 @@ func (o *distOracle) finishRemote(kind byte, id kmer.ID, cnt uint32, exists bool
 	if !exists {
 		o.st.RemoteMisses++
 	}
-	if o.h.CacheRemote && reads != nil {
+	if o.h.CacheRemote && cache != nil {
 		v := uint32(0)
 		if exists {
 			v = cnt
 		}
 		if o.cacheMu != nil {
 			o.cacheMu.Lock()
-			reads.Set(id, v)
+			cache.Set(id, v)
 			o.cacheMu.Unlock()
 		} else {
-			reads.Set(id, v)
+			cache.Set(id, v)
 		}
 	}
 }
 
 // cachedCount reads a reads-table entry, taking the shared-cache lock when
 // several workers mutate the table concurrently.
-func (o *distOracle) cachedCount(reads *spectrum.HashStore, id kmer.ID) (uint32, bool) {
+func (o *distOracle) cachedCount(reads spectrum.Lookuper, id kmer.ID) (uint32, bool) {
 	if o.cacheMu != nil {
 		o.cacheMu.RLock()
 		defer o.cacheMu.RUnlock()

@@ -11,7 +11,6 @@ import (
 	"reptile/internal/collective"
 	"reptile/internal/reads"
 	"reptile/internal/reptile"
-	"reptile/internal/spectrum"
 	"reptile/internal/stats"
 	"reptile/internal/transport"
 )
@@ -80,15 +79,11 @@ func RunRankStreaming(e transport.Conn, src Source, opts Options, sink Sink) (*R
 
 func runRankStreaming(e transport.Conn, src Source, opts Options, sink Sink) (*RankOutput, error) {
 	ctx := &rankCtx{
-		e:         e,
-		comm:      collective.New(e),
-		opts:      opts,
-		rank:      e.Rank(),
-		np:        e.Size(),
-		hashKmer:  spectrum.NewHash(0),
-		hashTile:  spectrum.NewHash(0),
-		readsKmer: spectrum.NewHash(0),
-		readsTile: spectrum.NewHash(0),
+		e:    e,
+		comm: collective.New(e),
+		opts: opts,
+		rank: e.Rank(),
+		np:   e.Size(),
 	}
 	ctx.st.Rank = ctx.rank
 
@@ -138,16 +133,26 @@ func (ctx *rankCtx) moreRounds(localMore bool) (bool, error) {
 }
 
 // spectrumPassStreaming builds the distributed spectra chunk by chunk
-// without retaining reads: batch-reads semantics are inherent here.
+// without retaining reads: batch-reads semantics are inherent here. The
+// sharded extraction workers apply as in the in-memory engine, but the
+// exchange is NOT pipelined: each round ends with the open-ended moreRounds
+// allreduce, which must not overlap an in-flight background all-to-all on
+// the same Comm, so the exchange is joined inline.
+//
+// reptile-lint:build
 func (ctx *rankCtx) spectrumPassStreaming(src Source) error {
 	br, err := src.Open(ctx.rank, ctx.np, ctx.opts.Config.ChunkReads)
 	if err != nil {
 		return err
 	}
 	defer br.Close()
-	spec := ctx.opts.Config.Spec
+	// The streaming pass retains nothing (retained tables would grow with
+	// the dataset, defeating the point); RetainReadKmers then only matters
+	// as the CacheRemote prerequisite, with the cache budget left to the
+	// caller.
+	b := ctx.newSpecBuilder(false)
 	exhausted := false
-	for {
+	for round := 0; ; round++ {
 		var batch []reads.Read
 		if !exhausted {
 			batch, err = br.NextBatch()
@@ -161,23 +166,17 @@ func (ctx *rankCtx) spectrumPassStreaming(src Source) error {
 		}
 		for i := range batch {
 			ctx.st.ReadBases += int64(len(batch[i].Base))
-			ctx.accumulate(&batch[i], spec)
 		}
-		if v := int64(ctx.readsKmer.Len()); ctx.st.ReadsKmers < v {
-			ctx.st.ReadsKmers = v
-		}
-		if v := int64(ctx.readsTile.Len()); ctx.st.ReadsTiles < v {
-			ctx.st.ReadsTiles = v
-		}
-		ctx.observeMem()
-		if err := ctx.mergeToOwners(ctx.readsKmer, ctx.hashKmer); err != nil {
+		b.extract(batch)
+		b.fold()
+		b.observeRound()
+		// Rotating the buffer set keeps a zero-copy peer that is still
+		// decoding the previous round's slab safe from this round's encode
+		// (see specBuilder.encK).
+		bufsK, bufsT := b.encode(round % 3)
+		if err := b.join(b.startExchange(bufsK, bufsT)); err != nil {
 			return err
 		}
-		if err := ctx.mergeToOwners(ctx.readsTile, ctx.hashTile); err != nil {
-			return err
-		}
-		ctx.readsKmer.Clear()
-		ctx.readsTile.Clear()
 		more, err := ctx.moreRounds(!exhausted)
 		if err != nil {
 			return err
@@ -189,14 +188,7 @@ func (ctx *rankCtx) spectrumPassStreaming(src Source) error {
 	if err := ctx.resolveThresholds(); err != nil {
 		return err
 	}
-	ctx.hashKmer.Prune(ctx.opts.Config.KmerThreshold)
-	ctx.hashTile.Prune(ctx.opts.Config.TileThreshold)
-	ctx.st.OwnedKmers = int64(ctx.hashKmer.Len())
-	ctx.st.OwnedTiles = int64(ctx.hashTile.Len())
-	// The reads tables stay empty in streaming mode (retaining them would
-	// grow memory with the dataset, defeating the point); RetainReadKmers
-	// then only matters as the CacheRemote prerequisite, with the cache
-	// budget left to the caller.
+	b.finish()
 	ctx.st.MemAfterConstruct = ctx.currentMem()
 	ctx.observeMem()
 	return nil

@@ -20,11 +20,11 @@ func (ctx *rankCtx) resolveThresholds() error {
 	if !ctx.opts.AutoThresholds {
 		return nil
 	}
-	kThr, err := ctx.globalValley(ctx.hashKmer, ctx.opts.Config.KmerThreshold)
+	kThr, err := ctx.globalValley(ctx.build.histogram(ctx.build.ownK), ctx.opts.Config.KmerThreshold)
 	if err != nil {
 		return err
 	}
-	tThr, err := ctx.globalValley(ctx.hashTile, ctx.opts.Config.TileThreshold)
+	tThr, err := ctx.globalValley(ctx.build.histogram(ctx.build.ownT), ctx.opts.Config.TileThreshold)
 	if err != nil {
 		return err
 	}
@@ -33,10 +33,9 @@ func (ctx *rankCtx) resolveThresholds() error {
 	return nil
 }
 
-// globalValley computes the allreduced histogram of a store and returns its
-// valley threshold.
-func (ctx *rankCtx) globalValley(store *spectrum.HashStore, fallback uint32) (uint32, error) {
-	local := store.Histogram()
+// globalValley allreduces a local count histogram (already summed over the
+// builder's shards) and returns its valley threshold.
+func (ctx *rankCtx) globalValley(local []int64, fallback uint32) (uint32, error) {
 	buf := make([]byte, 8*len(local))
 	for i, v := range local {
 		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))

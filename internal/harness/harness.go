@@ -157,6 +157,7 @@ func All() []Experiment {
 		{"fig8", "Human strong scaling", Fig8},
 		{"batchsweep", "Batch-reads chunk-size sweep (supplementary)", BatchSweep},
 		{"lookup", "Remote-lookup batching: messages per read (supplementary)", Lookup},
+		{"build", "Spectrum build: worker sharding and packed stores (supplementary)", Build},
 	}
 }
 

@@ -1,0 +1,22 @@
+package lint
+
+import "testing"
+
+func TestFreezeGuardGolden(t *testing.T) {
+	runGolden(t, NewFreezeGuard(), "freezeguard", "reptile/internal/lint/testdata/freezeguard")
+}
+
+// TestFreezeGuardCleanPass pins that the core package — where the frozen
+// annotations live — yields zero diagnostics: every freeze-point write sits
+// in a reptile-lint:build function.
+func TestFreezeGuardCleanPass(t *testing.T) {
+	pkg, err := LoadDir("../core", "reptile/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []Analyzer{NewFreezeGuard()}); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("unexpected: %s", d)
+		}
+	}
+}

@@ -71,14 +71,14 @@ func runGolden(t *testing.T, a Analyzer, dir, importPath string) {
 	}
 }
 
-// TestAnalyzerInventory pins the suite: four analyzers, each documented.
+// TestAnalyzerInventory pins the suite: five analyzers, each documented.
 func TestAnalyzerInventory(t *testing.T) {
 	for _, a := range All() {
 		if a.Name() == "" || a.Doc() == "" {
 			t.Errorf("analyzer %T missing name or doc", a)
 		}
 	}
-	if got := len(All()); got != 4 {
-		t.Errorf("expected 4 analyzers, have %d", got)
+	if got := len(All()); got != 5 {
+		t.Errorf("expected 5 analyzers, have %d", got)
 	}
 }

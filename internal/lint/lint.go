@@ -2,9 +2,10 @@
 // for the message-passing runtime. The paper's contribution is a concurrency
 // design — distributed spectra served by a dedicated communication thread
 // per rank — and the analyzers here mechanically enforce the invariants that
-// design depends on: mutex discipline on shared state (lockguard), a closed
-// send/receive protocol over the wire tags (wireproto), no sleep-based
-// synchronization (nosleepsync), and joined goroutine lifetimes
+// design depends on: mutex discipline on shared state (lockguard), frozen
+// spectrum stores written only at their declared freeze points (freezeguard),
+// a closed send/receive protocol over the wire tags (wireproto), no
+// sleep-based synchronization (nosleepsync), and joined goroutine lifetimes
 // (goroutine-hygiene).
 //
 // The tool is standard-library only: packages are discovered by walking the
@@ -12,13 +13,16 @@
 // (go/ast) with lightweight intra-package type resolution — no go/packages,
 // no external analysis framework.
 //
-// Two comment directives tune the analyzers:
+// Three comment directives tune the analyzers:
 //
 //	// reptile-lint:allow <analyzer> <reason>
 //	    suppresses that analyzer's diagnostics on the same or next line.
 //	// reptile-lint:holds <mu>
 //	    on a function's doc comment, declares that callers hold <mu>, so
 //	    lockguard treats the body as running under that mutex.
+//	// reptile-lint:build
+//	    on a function's doc comment, declares the build/freeze phase that
+//	    may write '// frozen:' fields, so freezeguard skips the body.
 package lint
 
 import (
@@ -99,6 +103,7 @@ type Analyzer interface {
 func All() []Analyzer {
 	return []Analyzer{
 		NewLockGuard(),
+		NewFreezeGuard(),
 		NewWireProto(),
 		NewNoSleepSync(),
 		NewGoroutineHygiene(),

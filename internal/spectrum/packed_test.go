@@ -1,0 +1,232 @@
+package spectrum
+
+import (
+	"math/rand"
+	"testing"
+
+	"reptile/internal/kmer"
+)
+
+// randomWorkload drives the same random insert/prune workload into a
+// HashStore and returns it; the PackedStore frozen from it must agree on
+// every observable.
+func randomWorkload(rng *rand.Rand, ops int) *HashStore {
+	h := NewHash(0)
+	for i := 0; i < ops; i++ {
+		// Small ID space forces collisions and repeated IDs; include 0 (the
+		// out-of-band slot) and the all-ones sentinel explicitly.
+		var id kmer.ID
+		switch rng.Intn(10) {
+		case 0:
+			id = 0
+		case 1:
+			id = ^kmer.ID(0)
+		default:
+			id = kmer.ID(rng.Int63n(512))
+		}
+		switch rng.Intn(5) {
+		case 0:
+			h.Set(id, uint32(rng.Intn(300)))
+		case 1:
+			h.Delete(id)
+		default:
+			h.Add(id, uint32(1+rng.Intn(4)))
+		}
+	}
+	if rng.Intn(2) == 0 {
+		h.Prune(uint32(1 + rng.Intn(6)))
+	}
+	return h
+}
+
+// checkEquivalent asserts every Lookuper observable of p matches h: Len,
+// Count/presence for present and absent IDs, and the Each enumeration set.
+func checkEquivalent(t *testing.T, h *HashStore, p *PackedStore) {
+	t.Helper()
+	if p.Len() != h.Len() {
+		t.Fatalf("Len: packed %d, hash %d", p.Len(), h.Len())
+	}
+	want := make(map[kmer.ID]uint32, h.Len())
+	h.Each(func(e Entry) bool { want[e.ID] = e.Count; return true })
+	for id, cnt := range want {
+		got, ok := p.Count(id)
+		if !ok || got != cnt {
+			t.Fatalf("Count(%d) = %d,%v want %d,true", id, got, ok, cnt)
+		}
+	}
+	// Absent probes, including the empty-slot key and the sentinel.
+	for _, id := range []kmer.ID{0, 1, 2, 511, ^kmer.ID(0), 1 << 40} {
+		if _, there := want[id]; there {
+			continue
+		}
+		if got, ok := p.Count(id); ok {
+			t.Fatalf("Count(%d) = %d,true for absent id", id, got)
+		}
+	}
+	seen := make(map[kmer.ID]uint32, p.Len())
+	p.Each(func(e Entry) bool {
+		if _, dup := seen[e.ID]; dup {
+			t.Fatalf("Each enumerated id %d twice", e.ID)
+		}
+		seen[e.ID] = e.Count
+		return true
+	})
+	if len(seen) != len(want) {
+		t.Fatalf("Each enumerated %d entries, want %d", len(seen), len(want))
+	}
+	for id, cnt := range want {
+		if seen[id] != cnt {
+			t.Fatalf("Each entry %d count %d, want %d", id, seen[id], cnt)
+		}
+	}
+}
+
+func TestPackedEquivalentToHashStoreRandomWorkloads(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomWorkload(rng, 400)
+		p := NewPacked(h.Entries())
+		checkEquivalent(t, h, p)
+	}
+}
+
+func TestFreezeMergesDisjointShards(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		whole := randomWorkload(rng, 600)
+		// Split into disjoint shards the way the parallel build does.
+		const shards = 4
+		parts := make([]*HashStore, shards)
+		for i := range parts {
+			parts[i] = NewHash(0)
+		}
+		whole.Each(func(e Entry) bool {
+			parts[kmer.HashID(e.ID)%shards].Set(e.ID, e.Count)
+			return true
+		})
+		p := Freeze(parts...)
+		checkEquivalent(t, whole, p)
+		for i, part := range parts {
+			if part.Len() != 0 {
+				t.Fatalf("shard %d still holds %d entries after Freeze", i, part.Len())
+			}
+		}
+	}
+}
+
+func TestNewPackedSumsDuplicates(t *testing.T) {
+	p := NewPacked([]Entry{{ID: 7, Count: 2}, {ID: 7, Count: 3}, {ID: 0, Count: 1}, {ID: 0, Count: 4}})
+	if c, ok := p.Count(7); !ok || c != 5 {
+		t.Errorf("Count(7) = %d,%v want 5,true", c, ok)
+	}
+	if c, ok := p.Count(0); !ok || c != 5 {
+		t.Errorf("Count(0) = %d,%v want 5,true", c, ok)
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d want 2", p.Len())
+	}
+}
+
+func TestPackedEmpty(t *testing.T) {
+	p := NewPacked(nil)
+	if p.Len() != 0 {
+		t.Errorf("empty Len = %d", p.Len())
+	}
+	if _, ok := p.Count(42); ok {
+		t.Error("empty store found id 42")
+	}
+	if _, ok := p.Count(0); ok {
+		t.Error("empty store found id 0")
+	}
+	p.Each(func(Entry) bool { t.Error("empty store enumerated an entry"); return false })
+	if got := p.Entries(); len(got) != 0 {
+		t.Errorf("empty Entries = %v", got)
+	}
+}
+
+func TestPackedEntriesSortedAndReusable(t *testing.T) {
+	h := randomWorkload(rand.New(rand.NewSource(7)), 300)
+	p := NewPacked(h.Entries())
+	buf := make([]Entry, 0, 64)
+	got := p.EntriesInto(buf)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID >= got[i].ID {
+			t.Fatalf("EntriesInto not strictly sorted at %d", i)
+		}
+	}
+	if len(got) != p.Len() {
+		t.Fatalf("EntriesInto returned %d entries, Len %d", len(got), p.Len())
+	}
+}
+
+// TestFrozenWritesPanic is the freeze invariant: every mutator on a packed
+// store, and every mutator on a released HashStore, must panic loudly
+// instead of corrupting or silently dropping writes.
+func TestFrozenWritesPanic(t *testing.T) {
+	p := NewPacked([]Entry{{ID: 3, Count: 1}})
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("PackedStore.Add", func() { p.Add(1, 1) })
+	mustPanic("PackedStore.Set", func() { p.Set(1, 1) })
+	mustPanic("PackedStore.Delete", func() { p.Delete(3) })
+	mustPanic("PackedStore.Clear", func() { p.Clear() })
+	mustPanic("PackedStore.Prune", func() { p.Prune(1) })
+
+	h := NewHash(0)
+	h.Add(3, 2)
+	h.Release()
+	mustPanic("HashStore.Add", func() { h.Add(1, 1) })
+	mustPanic("HashStore.Set", func() { h.Set(1, 1) })
+	mustPanic("HashStore.Delete", func() { h.Delete(3) })
+	mustPanic("HashStore.Clear", func() { h.Clear() })
+	mustPanic("HashStore.Prune", func() { h.Prune(1) })
+	// Reads still work and see an empty store.
+	if h.Len() != 0 {
+		t.Errorf("released store Len = %d", h.Len())
+	}
+	if _, ok := h.Count(3); ok {
+		t.Error("released store still finds id 3")
+	}
+}
+
+// TestFreezeDropsMemBytes is the Clear+Prune retention regression: a pruned
+// map used to keep its bucket array (and the 2x estimate kept charging for
+// it); after Freeze the mutable side must account ~nothing and the packed
+// side must undercut the map estimate at the build's load factor.
+func TestFreezeDropsMemBytes(t *testing.T) {
+	h := NewHash(0)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Add(kmer.ID(i*2654435761+1), uint32(1+i%7))
+	}
+	before := h.MemBytes()
+	p := Freeze(h)
+	if after := h.MemBytes(); after >= before/10 {
+		t.Errorf("released HashStore still accounts %d bytes (was %d)", after, before)
+	}
+	if p.Len() != n {
+		t.Fatalf("packed Len = %d want %d", p.Len(), n)
+	}
+	ratio := float64(before) / float64(p.MemBytes())
+	if ratio < 1.5 {
+		t.Errorf("packed MemBytes %d not >=1.5x below map estimate %d (ratio %.2f)", p.MemBytes(), before, ratio)
+	}
+}
+
+func FuzzPackedMatchesHash(f *testing.F) {
+	f.Add(int64(1), uint16(50))
+	f.Add(int64(99), uint16(500))
+	f.Fuzz(func(t *testing.T, seed int64, ops uint16) {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomWorkload(rng, int(ops)%1000)
+		p := NewPacked(h.Entries())
+		checkEquivalent(t, h, p)
+	})
+}

@@ -44,7 +44,8 @@ type Lookuper interface {
 // new writer after that point must add a mutex and a "guarded by"
 // annotation (see DESIGN.md, Concurrency invariants).
 type HashStore struct {
-	m map[kmer.ID]uint32 // confined: written only pre-freeze by the owning rank
+	m      map[kmer.ID]uint32 // confined: written only pre-freeze by the owning rank
+	frozen bool               // set by Release; mutators panic afterwards
 }
 
 // NewHash returns an empty HashStore with room for sizeHint entries.
@@ -54,6 +55,9 @@ func NewHash(sizeHint int) *HashStore {
 
 // Add increments id's count by n, inserting it if absent.
 func (h *HashStore) Add(id kmer.ID, n uint32) {
+	if h.frozen {
+		panic("spectrum: Add on frozen HashStore")
+	}
 	h.m[id] += n
 }
 
@@ -61,6 +65,9 @@ func (h *HashStore) Add(id kmer.ID, n uint32) {
 // means "known absent from the global spectrum" — the read-kmers heuristic
 // stores resolved negatives this way so lookups skip the remote round trip.
 func (h *HashStore) Set(id kmer.ID, n uint32) {
+	if h.frozen {
+		panic("spectrum: Set on frozen HashStore")
+	}
 	h.m[id] = n
 }
 
@@ -74,12 +81,20 @@ func (h *HashStore) Count(id kmer.ID) (uint32, bool) {
 func (h *HashStore) Len() int { return len(h.m) }
 
 // Delete removes id if present.
-func (h *HashStore) Delete(id kmer.ID) { delete(h.m, id) }
+func (h *HashStore) Delete(id kmer.ID) {
+	if h.frozen {
+		panic("spectrum: Delete on frozen HashStore")
+	}
+	delete(h.m, id)
+}
 
 // Prune removes every entry with count < min and returns how many were
 // removed. This is the threshold step at the end of spectrum construction
 // (paper Step III).
 func (h *HashStore) Prune(min uint32) int {
+	if h.frozen {
+		panic("spectrum: Prune on frozen HashStore")
+	}
 	removed := 0
 	for id, c := range h.m {
 		if c < min {
@@ -103,20 +118,40 @@ func (h *HashStore) Each(fn func(Entry) bool) {
 // Entries returns all entries sorted by ID, for deterministic exchange and
 // for building the array-based stores.
 func (h *HashStore) Entries() []Entry {
-	out := make([]Entry, 0, len(h.m))
+	return h.EntriesInto(make([]Entry, 0, len(h.m)))
+}
+
+// EntriesInto appends all entries to buf sorted by ID and returns the
+// extended slice. The per-round spectrum exchange passes a buffer reused
+// across batch rounds, so the sort scratch stops churning the allocator.
+func (h *HashStore) EntriesInto(buf []Entry) []Entry {
+	start := len(buf)
 	for id, c := range h.m {
-		out = append(out, Entry{ID: id, Count: c})
+		buf = append(buf, Entry{ID: id, Count: c})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	tail := buf[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i].ID < tail[j].ID })
+	return buf
 }
 
 // Clear removes all entries but keeps the allocated table. The batch-reads
 // heuristic empties the reads tables after every chunk (paper Section III-B).
 func (h *HashStore) Clear() {
+	if h.frozen {
+		panic("spectrum: Clear on frozen HashStore")
+	}
 	for id := range h.m {
 		delete(h.m, id)
 	}
+}
+
+// Release drops the mutable map and marks the store frozen: the table's
+// memory returns to the allocator (Clear and Prune keep the bucket array
+// alive; Release does not) and any later mutation panics. Freeze calls this
+// after packing; reads keep working and see an empty store.
+func (h *HashStore) Release() {
+	h.m = nil
+	h.frozen = true
 }
 
 // MemBytes estimates the heap footprint. Go maps cost roughly 2x the raw

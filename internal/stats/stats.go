@@ -53,6 +53,9 @@ type Rank struct {
 	OwnedTiles     int64
 	ReadsKmers     int64 // peak size of the readsKmer table
 	ReadsTiles     int64
+	// OwnedMemBytes is the exact byte footprint of the frozen (packed)
+	// owned spectra — measured slab sizes, not the map estimate.
+	OwnedMemBytes int64
 
 	// Correction (Step IV), worker side.
 	KmerLookupsLocal  int64
