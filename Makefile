@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet chaos bench-lookup bench-build property ci
+.PHONY: build test race lint vet chaos bench-lookup bench-build property fuzz cover ci
 
 build:
 	$(GO) build ./...
@@ -54,4 +54,26 @@ bench-build:
 property:
 	$(GO) test -short -count=1 -run 'Packed|Freeze|Frozen|Batched' ./internal/spectrum/ ./internal/core/
 
-ci: build vet lint test race chaos property
+## fuzz: the wire-decoder fuzz targets — each runs briefly past its golden
+## seed corpus so CI catches decode panics and round-trip drift without
+## turning into an open-ended campaign.
+FUZZ_TIME ?= 10s
+fuzz:
+	@for target in FuzzDecodeBatchReq FuzzDecodeBatchResp FuzzDecodeAbortInfo; do \
+		echo "fuzz $$target ($(FUZZ_TIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZ_TIME) ./internal/core/ || exit 1; \
+	done
+
+## cover: the statement-coverage floor on the protocol-bearing packages —
+## the wire format plus message plane must not drift below COVER_MIN.
+COVER_MIN ?= 70
+cover:
+	@for pkg in ./internal/core/ ./internal/msgplane/; do \
+		line=$$($(GO) test -count=1 -cover $$pkg | tee /dev/stderr | grep -o 'coverage: [0-9.]*%') || exit 1; \
+		pct=$$(echo $$line | sed 's/coverage: //; s/%//; s/\..*//'); \
+		if [ "$$pct" -lt "$(COVER_MIN)" ]; then \
+			echo "coverage $$pct% for $$pkg is below the $(COVER_MIN)% floor"; exit 1; \
+		fi; \
+	done
+
+ci: build vet lint test race chaos property cover fuzz

@@ -14,6 +14,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"reptile/internal/harness"
+	"reptile/internal/msgplane"
 	"reptile/internal/transport"
 )
 
@@ -72,6 +74,13 @@ func main() {
 		tab, err := e.Run(sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "reptile-bench: %s: %v\n", e.ID, err)
+			// A protocol violation is an engine bug, not a workload failure;
+			// give it a distinct exit code so sweep scripts can tell the two
+			// apart (the message already names the offending tag).
+			var pe *msgplane.ProtocolError
+			if errors.As(err, &pe) {
+				os.Exit(3)
+			}
 			os.Exit(1)
 		}
 		fmt.Print(tab.Render())

@@ -197,8 +197,29 @@ func runProcWithCorrections(src core.Source, np int, opts core.Options, out, cor
 				fmt.Printf("          batches=%d ids/batch=%.1f workers=%d\n",
 					r.BatchesSent, r.LookupsPerBatch(), r.WorkerCount)
 			}
+			fmt.Printf("          phase-mem: %s\n", phaseMemLine(r))
 		}
 	}
+}
+
+// phaseMemLine formats the table footprint observed at each pipeline-step
+// exit; phases the engine did not run (read/balance under streaming) are
+// omitted rather than printed as zero.
+func phaseMemLine(r stats.Rank) string {
+	var b strings.Builder
+	for p := stats.Phase(0); p < stats.NumPhases; p++ {
+		if r.PhaseMem[p] == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.1fMiB", p, float64(r.PhaseMem[p])/(1<<20))
+	}
+	if b.Len() == 0 {
+		return "(none recorded)"
+	}
+	return b.String()
 }
 
 func runStreaming(src core.Source, np int, opts core.Options, out string, verbose bool) {
@@ -217,6 +238,7 @@ func runStreaming(src core.Source, np int, opts core.Options, out string, verbos
 			fmt.Printf("rank %3d: reads=%d remote=%d served=%d corrected=%d peak-mem=%.1fMiB\n",
 				r.Rank, r.ReadsAssigned, r.TotalRemoteLookups(), r.RequestsServed,
 				r.BasesCorrected, float64(r.PeakMemBytes)/(1<<20))
+			fmt.Printf("          phase-mem: %s\n", phaseMemLine(r))
 		}
 	}
 }
@@ -250,6 +272,7 @@ func runTCP(src core.Source, opts core.Options, rank int, addrs []string, deadli
 			rank, ro.Stats.Wall[stats.PhaseRead], ro.Stats.Wall[stats.PhaseBalance],
 			ro.Stats.Wall[stats.PhaseSpectrum], ro.Stats.Wall[stats.PhaseExchange],
 			ro.Stats.Wall[stats.PhaseCorrect])
+		fmt.Printf("rank %d phase-mem: %s\n", rank, phaseMemLine(ro.Stats))
 	}
 }
 

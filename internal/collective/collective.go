@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"reptile/internal/msgplane"
 	"reptile/internal/transport"
 )
 
@@ -70,7 +71,7 @@ func (c *Comm) Alltoallv(bufs [][]byte) ([][]byte, error) {
 			return nil, err
 		}
 		if out[m.From] != nil && m.From != me {
-			return nil, fmt.Errorf("collective: duplicate alltoallv message from rank %d", m.From)
+			return nil, &msgplane.ProtocolError{Tag: msgplane.Tag(tag), Kind: msgplane.ViolationDuplicateFrame, From: m.From, Want: -1}
 		}
 		out[m.From] = m.Data
 	}

@@ -2,138 +2,63 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"reptile/internal/kmer"
+	"reptile/internal/msgplane"
 	"reptile/internal/transport"
 )
 
-// defaultLookupWindow is the per-owner in-flight batch window used when
-// Heuristics.LookupWindow is left zero with batching enabled.
-const defaultLookupWindow = 4
-
-// ProtocolError reports a violation of the lookup request/response
-// protocol, naming both the rank a response was expected from and the rank
-// it actually arrived from. Batched denotes the request-id scheme (a
-// tagBatchResp whose id is unknown or whose sender does not match the
-// request's addressee); otherwise the violation was on the legacy
-// one-at-a-time tagResp path.
-type ProtocolError struct {
-	Want    int    // rank the request was addressed to; -1 when the id is unknown
-	Got     int    // rank the offending response arrived from
-	ReqID   uint32 // request id on the offending frame (batched only)
-	Batched bool
-}
-
-func (p *ProtocolError) Error() string {
-	if !p.Batched {
-		return fmt.Sprintf("core: protocol violation: response from rank %d, expected rank %d", p.Got, p.Want)
-	}
-	if p.Want < 0 {
-		return fmt.Sprintf("core: protocol violation: rank %d answered request id %d this rank never issued", p.Got, p.ReqID)
-	}
-	return fmt.Sprintf("core: protocol violation: response for request %d from rank %d, expected rank %d", p.ReqID, p.Got, p.Want)
-}
-
-// batchCall is one in-flight batch request. answers and err are written
-// exactly once (by deliver or fail) before done is closed; wait reads them
-// only after done, so the channel close is the happens-before edge.
-type batchCall struct {
-	owner   int
-	done    chan struct{}
-	answers []batchAnswer
-	err     error
-}
-
-// wait blocks until the rank's responder delivers the batch response (or
-// the dispatcher is poisoned) and returns the positional answers.
-func (c *batchCall) wait() ([]batchAnswer, error) {
-	<-c.done
-	return c.answers, c.err
-}
+// ProtocolError is the message plane's typed wire-violation error,
+// re-exported so engine callers keep matching it with errors.As without
+// importing msgplane. Every demux path — router, batch dispatcher, legacy
+// direct receive, and the exchange merge checks — returns this one type.
+type ProtocolError = msgplane.ProtocolError
 
 // lookupDispatcher coalesces remote spectrum lookups into tagBatchReq
 // frames and matches interleaved tagBatchResp frames back to their issuers
-// by request id — the software message aggregation layer. Workers call
-// start/wait (possibly from several goroutines); the rank's single
-// responder goroutine calls deliver; whoever observes a transport failure
-// calls fail, which poisons every outstanding and future call so no worker
-// stays parked on an answer that will never come.
+// by request id — the software message aggregation layer. It is a thin
+// codec shim over the message plane's Caller, which owns the request-id
+// space, the per-owner in-flight window, and the fail poison; this type
+// only knows the batch frame format and the batchAnswer payload.
 //
-// The per-owner in-flight window is the pipeline depth: a worker may issue
-// up to window unanswered batches at one peer before start blocks, which
-// overlaps request latency with candidate enumeration while bounding how
-// much queue the peer's responder must absorb.
+// Workers call start/wait (possibly from several goroutines); the rank's
+// router calls deliver; whoever observes a transport failure calls fail,
+// which poisons every outstanding and future call so no worker stays
+// parked on an answer that will never come.
 type lookupDispatcher struct {
-	e      transport.Conn
-	window int
-
-	mu       sync.Mutex
-	cond     *sync.Cond            // guarded by mu; signaled on slot release and on fail
-	nextID   uint32                // guarded by mu
-	pending  map[uint32]*batchCall // guarded by mu
-	inflight []int                 // guarded by mu; outstanding batches per owner
-	failed   error                 // guarded by mu; first poison, sticky
-
-	batchesSent int64 // guarded by mu
-	idsSent     int64 // guarded by mu
+	c *msgplane.Caller
 }
 
-// newLookupDispatcher builds a dispatcher for an np-rank group.
+// newLookupDispatcher builds a dispatcher for an np-rank group. A window
+// of zero means msgplane.DefaultWindow.
 func newLookupDispatcher(e transport.Conn, np, window int) *lookupDispatcher {
-	if window <= 0 {
-		window = defaultLookupWindow
-	}
-	d := &lookupDispatcher{
-		e:        e,
-		window:   window,
-		pending:  make(map[uint32]*batchCall),
-		inflight: make([]int, np),
-	}
-	d.cond = sync.NewCond(&d.mu)
-	return d
+	return &lookupDispatcher{c: msgplane.NewCaller(e, np, window)}
 }
 
 // start issues one batch of ids (all of one kind) to owner, blocking while
 // the owner's window is full. ids is not retained. The returned call
 // resolves through wait.
-func (d *lookupDispatcher) start(owner int, kind byte, ids []kmer.ID) (*batchCall, error) {
+func (d *lookupDispatcher) start(owner int, kind byte, ids []kmer.ID) (*msgplane.Call, error) {
 	if len(ids) == 0 || len(ids) > maxBatchEntries {
 		return nil, fmt.Errorf("core: batch of %d ids", len(ids))
 	}
-	d.mu.Lock()
-	for d.failed == nil && d.inflight[owner] >= d.window {
-		d.cond.Wait()
-	}
-	if d.failed != nil {
-		err := d.failed
-		d.mu.Unlock()
-		return nil, err
-	}
-	d.nextID++
-	reqID := d.nextID
-	call := &batchCall{owner: owner, done: make(chan struct{})}
-	d.pending[reqID] = call
-	d.inflight[owner]++
-	d.batchesSent++
-	d.idsSent += int64(len(ids))
-	payload := encodeBatchReq(reqID, kind, ids)
-	d.mu.Unlock()
+	return d.c.Start(owner, len(ids), func(reqID uint32) (msgplane.Tag, []byte) {
+		return encodeBatchFrame(reqID, kind, ids)
+	})
+}
 
-	// The send happens outside the lock (it may block on a TCP peer). The
-	// response cannot race it: the owner only answers after receiving the
-	// request, and the call is already registered.
-	if err := d.e.Send(owner, tagBatchReq, payload); err != nil {
-		d.mu.Lock()
-		if _, ok := d.pending[reqID]; ok { // fail() may have reaped it already
-			delete(d.pending, reqID)
-			d.inflight[owner]--
-			d.cond.Broadcast()
-		}
-		d.mu.Unlock()
+// wait blocks for one call's resolution and narrows the message plane's
+// untyped result back to the batch-answer slice deliver decoded.
+func (d *lookupDispatcher) wait(call *msgplane.Call) ([]batchAnswer, error) {
+	v, err := call.Wait()
+	if err != nil {
 		return nil, err
 	}
-	return call, nil
+	answers, ok := v.([]batchAnswer)
+	if !ok {
+		return nil, fmt.Errorf("core: batch call resolved with %T", v)
+	}
+	return answers, nil
 }
 
 // roundTrip is start+wait for a single frame — the slow path for ids the
@@ -143,59 +68,29 @@ func (d *lookupDispatcher) roundTrip(owner int, kind byte, ids []kmer.ID) ([]bat
 	if err != nil {
 		return nil, err
 	}
-	return call.wait()
+	return d.wait(call)
 }
 
-// deliver routes one tagBatchResp frame to its issuer. Called from the
-// rank's responder goroutine only. A frame whose request id is unknown, or
-// whose sender is not the rank the request was addressed to, is a protocol
-// violation naming both ranks; the caller turns it into a run abort.
+// deliver routes one tagBatchResp frame to its issuer: decode here, match
+// in the caller. Called from the rank's router only. A frame whose request
+// id is unknown, or whose sender is not the rank the request was addressed
+// to, comes back as a typed ProtocolError naming the tag and both ranks;
+// the router turns it into a run abort.
 func (d *lookupDispatcher) deliver(m transport.Message) error {
 	reqID, answers, err := decodeBatchResp(m.Data)
 	if err != nil {
 		return err
 	}
-	d.mu.Lock()
-	call, ok := d.pending[reqID]
-	if !ok {
-		d.mu.Unlock()
-		return &ProtocolError{Want: -1, Got: m.From, ReqID: reqID, Batched: true}
-	}
-	if call.owner != m.From {
-		d.mu.Unlock()
-		return &ProtocolError{Want: call.owner, Got: m.From, ReqID: reqID, Batched: true}
-	}
-	delete(d.pending, reqID)
-	d.inflight[m.From]--
-	d.cond.Broadcast()
-	d.mu.Unlock()
-	call.answers = answers
-	close(call.done)
-	return nil
+	return d.c.Deliver(m.From, msgplane.Tag(m.Tag), reqID, answers)
 }
 
-// fail poisons the dispatcher: every outstanding call resolves with the
-// first failure, window waiters wake, and future starts are refused. Safe
-// to call from any goroutine, more than once.
+// fail poisons the dispatcher. Safe to call from any goroutine, more than
+// once.
 func (d *lookupDispatcher) fail(err error) {
-	d.mu.Lock()
-	if d.failed == nil {
-		d.failed = err
-	}
-	reaped := d.pending
-	d.pending = make(map[uint32]*batchCall)
-	for _, c := range reaped {
-		d.inflight[c.owner]--
-		c.err = d.failed
-		close(c.done)
-	}
-	d.cond.Broadcast()
-	d.mu.Unlock()
+	d.c.Fail(err)
 }
 
 // counters returns the frame totals for the stats merge.
 func (d *lookupDispatcher) counters() (batches, ids int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.batchesSent, d.idsSent
+	return d.c.Counters()
 }

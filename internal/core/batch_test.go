@@ -2,11 +2,13 @@ package core
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
 	"reptile/internal/dna"
 	"reptile/internal/kmer"
+	"reptile/internal/msgplane"
 	"reptile/internal/reads"
 	"reptile/internal/transport"
 )
@@ -324,9 +326,9 @@ func TestDispatcherProtocolViolations(t *testing.T) {
 	d := newLookupDispatcher(eps[0], 3, 2)
 
 	// Unknown request id.
-	err = d.deliver(transport.Message{From: 1, Tag: tagBatchResp, Data: encodeBatchResp(99, []batchAnswer{{}})})
+	err = d.deliver(transport.Message{From: 1, Tag: int(tagBatchResp), Data: encodeBatchResp(99, []batchAnswer{{}})})
 	var pe *ProtocolError
-	if !errors.As(err, &pe) || pe.Got != 1 || pe.Want != -1 || !pe.Batched {
+	if !errors.As(err, &pe) || pe.From != 1 || pe.Kind != msgplane.ViolationUnknownRequest || pe.ReqID != 99 {
 		t.Fatalf("unknown req id: %v", err)
 	}
 
@@ -335,16 +337,16 @@ func TestDispatcherProtocolViolations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = d.deliver(transport.Message{From: 2, Tag: tagBatchResp, Data: encodeBatchResp(1, []batchAnswer{{Count: 1, Exists: true}})})
-	if !errors.As(err, &pe) || pe.Want != 1 || pe.Got != 2 {
+	err = d.deliver(transport.Message{From: 2, Tag: int(tagBatchResp), Data: encodeBatchResp(1, []batchAnswer{{Count: 1, Exists: true}})})
+	if !errors.As(err, &pe) || pe.Want != 1 || pe.From != 2 || pe.Kind != msgplane.ViolationStraySender {
 		t.Fatalf("stray sender: %v", err)
 	}
 
 	// The genuine response still resolves the call.
-	if err := d.deliver(transport.Message{From: 1, Tag: tagBatchResp, Data: encodeBatchResp(1, []batchAnswer{{Count: 7, Exists: true}})}); err != nil {
+	if err := d.deliver(transport.Message{From: 1, Tag: int(tagBatchResp), Data: encodeBatchResp(1, []batchAnswer{{Count: 7, Exists: true}})}); err != nil {
 		t.Fatal(err)
 	}
-	answers, err := call.wait()
+	answers, err := d.wait(call)
 	if err != nil || len(answers) != 1 || answers[0].Count != 7 {
 		t.Fatalf("call resolution: %v %v", answers, err)
 	}
@@ -367,7 +369,7 @@ func TestDispatcherFailPoisonsWaiters(t *testing.T) {
 	boom := errors.New("boom")
 	waited := make(chan error, 1)
 	go func() {
-		_, err := call.wait()
+		_, err := d.wait(call)
 		waited <- err
 	}()
 	d.fail(boom)
@@ -396,13 +398,16 @@ func TestLegacyRemoteStrayResponseIsProtocolError(t *testing.T) {
 	var st statsRank
 	o := &distOracle{e: eps[0], st: &st, rank: 0, np: 3}
 	// Rank 2 answers even though the request went to rank 1.
-	if err := eps[2].Send(0, tagResp, encodeResp(1, true)); err != nil {
+	if err := eps[2].Send(0, int(tagResp), encodeResp(1, true)); err != nil {
 		t.Fatal(err)
 	}
 	_, _, rerr := o.remote(kindKmer, 42, 1)
 	var pe *ProtocolError
-	if !errors.As(rerr, &pe) || pe.Want != 1 || pe.Got != 2 || pe.Batched {
+	if !errors.As(rerr, &pe) || pe.Want != 1 || pe.From != 2 || pe.Kind != msgplane.ViolationStraySender {
 		t.Fatalf("stray response: %v", rerr)
+	}
+	if !strings.Contains(rerr.Error(), "resp") {
+		t.Fatalf("stray response does not name the tag: %v", rerr)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"reptile/internal/kmer"
+	"reptile/internal/msgplane"
 	"reptile/internal/reads"
 	"reptile/internal/spectrum"
 )
@@ -280,7 +281,7 @@ func (b *specBuilder) merge(got [][]byte, own []*spectrum.HashStore) error {
 		}
 		for _, e := range entries {
 			if kmer.Owner(e.ID, np) != rank {
-				return fmt.Errorf("rank %d received entry owned by rank %d", rank, kmer.Owner(e.ID, np))
+				return &msgplane.ProtocolError{Kind: msgplane.ViolationMisroutedEntry, From: r, Want: kmer.Owner(e.ID, np)}
 			}
 			own[b.shardOf(e.ID)].Add(e.ID, e.Count)
 		}

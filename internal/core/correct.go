@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"reptile/internal/msgplane"
 	"reptile/internal/reads"
 	"reptile/internal/reptile"
 	"reptile/internal/spectrum"
@@ -12,35 +13,38 @@ import (
 	"reptile/internal/transport"
 )
 
-// correctPhase is Step IV: fork a responder goroutine (the paper's
-// communication thread), run the corrector pool over this rank's reads on
-// the worker side, then drive the done/stop termination protocol — a rank
-// keeps answering remote lookups until *every* worker has finished.
-func (ctx *rankCtx) correctPhase() (reptile.Result, error) {
+// correctDriver is Step IV's shared frame: fork the rank's router (the
+// paper's communication thread), run the driver-specific work function on
+// the worker side — the batch engine corrects its resident reads once, the
+// streaming engine loops chunks through it — then drive the done/stop
+// termination protocol: a rank keeps answering remote lookups until
+// *every* worker has finished.
+func (ctx *rankCtx) correctDriver(work func(disp *lookupDispatcher) (reptile.Result, error)) (reptile.Result, error) {
 	msgs0, bytes0 := ctx.e.Counters().PerDestSnapshot()
 	disp := ctx.newDispatcher()
+	rt := ctx.newResponder(disp)
 
-	// The responder routes its own failures through ctx.fail: the abort
-	// broadcast poisons this rank's mailbox too, so a worker parked in
-	// Recv(tagResp) unblocks instead of waiting on a responder that died.
-	// With batching the dispatcher is poisoned first, which wakes workers
-	// parked on batch futures or window slots the same way.
+	// The router routes its own failures through ctx.fail: the abort
+	// broadcast poisons this rank's mailbox too, so a worker parked in a
+	// direct Recv(tagResp) unblocks instead of waiting on a router that
+	// died. With batching the dispatcher is poisoned first, which wakes
+	// workers parked on batch futures or window slots the same way.
 	var wg sync.WaitGroup
 	respErr := make(chan error, 1)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if err := ctx.responderLoop(disp); err != nil {
+		if err := rt.Run(); err != nil {
 			if disp != nil {
 				disp.fail(err)
 			}
 			respErr <- ctx.fail("correct", err)
 		}
 	}()
-	// failBoth aborts the run from the worker side and joins the responder
+	// failBoth aborts the run from the worker side and joins the router
 	// (which the broadcast just unblocked) before returning. When the worker
 	// only observed the teardown — its endpoint closed under it — the
-	// responder's error is the root cause and wins.
+	// router's error is the root cause and wins.
 	failBoth := func(err error) error {
 		aerr := ctx.fail("correct", err)
 		wg.Wait()
@@ -54,15 +58,15 @@ func (ctx *rankCtx) correctPhase() (reptile.Result, error) {
 		return aerr
 	}
 
-	res, werr := ctx.correctPool(ctx.myReads, disp)
+	res, werr := work(disp)
 	if werr != nil {
 		return res, failBoth(werr)
 	}
 
-	// Worker pool finished — every issued batch has been answered, so no
+	// Workers finished — every issued batch has been answered, so no
 	// in-flight frame can outlive the stop broadcast. Notify the coordinator
-	// and keep the responder serving until everyone is done.
-	if err := ctx.e.Send(0, tagDone, nil); err != nil {
+	// and keep the router serving until everyone is done.
+	if err := rt.AnnounceDone(); err != nil {
 		return res, failBoth(err)
 	}
 	wg.Wait()
@@ -74,6 +78,24 @@ func (ctx *rankCtx) correctPhase() (reptile.Result, error) {
 
 	ctx.finishCorrectStats(disp, msgs0, bytes0)
 	return res, nil
+}
+
+// newResponder builds the rank's correct-phase router: the three request
+// tags and the batch request resolve against the owned spectra, and batch
+// responses route back to this rank's own dispatcher. The router owns the
+// control plane (done/stop counting, abort poison observation) and
+// validates tags and frame sizes against the registry, so these handlers
+// are plain callbacks.
+func (ctx *rankCtx) newResponder(disp *lookupDispatcher) *msgplane.Router {
+	rt := msgplane.NewRouter(ctx.e)
+	rt.Handle(tagKmerReq, ctx.serve)
+	rt.Handle(tagTileReq, ctx.serve)
+	rt.Handle(tagUniReq, ctx.serve)
+	rt.Handle(tagBatchReq, ctx.serveBatch)
+	if disp != nil {
+		rt.Handle(tagBatchResp, disp.deliver)
+	}
+	return rt
 }
 
 // newDispatcher builds the rank's batch dispatcher, or nil when lookup
@@ -174,7 +196,7 @@ func (ctx *rankCtx) correctPool(myReads []reads.Read, disp *lookupDispatcher) (r
 			}
 		}(w, lo, hi)
 	}
-	// A worker that fails holds a transport error, which the responder sees
+	// A worker that fails holds a transport error, which the router sees
 	// on the same endpoint: its failure path poisons the dispatcher, so no
 	// sibling stays parked on a batch future and the join cannot hang.
 	pool.Wait()
@@ -228,64 +250,13 @@ func (ctx *rankCtx) finishCorrectStats(disp *lookupDispatcher, msgs0, bytes0 []i
 	ctx.observeMem() // the remote-lookup cache may have grown
 }
 
-// responderLoop services k-mer/tile count requests — single-id and batched
-// — until the stop message arrives, and routes batch responses back to this
-// rank's own dispatcher. Rank 0 doubles as the coordinator: it counts done
-// messages and broadcasts stop when all workers have finished. Because a
-// worker only sends done after every future it issued has resolved, the
-// stop broadcast can never overtake an answer this rank still waits for.
-func (ctx *rankCtx) responderLoop(disp *lookupDispatcher) error {
-	service := func(tag int) bool {
-		switch tag {
-		case tagKmerReq, tagTileReq, tagUniReq, tagBatchReq, tagStop:
-			return true
-		case tagBatchResp:
-			return disp != nil
-		case tagDone:
-			return ctx.rank == 0
-		}
-		return false
-	}
-	done := 0
-	for {
-		m, err := ctx.e.RecvMatch(service)
-		if err != nil {
-			return err
-		}
-		switch m.Tag {
-		case tagStop:
-			return nil
-		case tagDone:
-			done++
-			if done == ctx.np {
-				for r := 0; r < ctx.np; r++ {
-					if err := ctx.e.Send(r, tagStop, nil); err != nil {
-						return err
-					}
-				}
-			}
-		case tagBatchReq:
-			if err := ctx.serveBatch(m); err != nil {
-				return err
-			}
-		case tagBatchResp:
-			if err := disp.deliver(m); err != nil {
-				return err
-			}
-		default:
-			if err := ctx.serve(m); err != nil {
-				return err
-			}
-		}
-	}
-}
-
 // serve answers one count request from the owned spectra. In the
 // non-universal ("probe") mode the kind is implied by the tag; in universal
 // mode it is read from the payload — the structural difference the paper's
-// universal heuristic describes.
+// universal heuristic describes. Frame sizes were already validated by the
+// router against the registry.
 func (ctx *rankCtx) serve(m transport.Message) error {
-	kind, id, err := decodeReq(m.Tag, m.Data)
+	kind, id, err := decodeReq(msgplane.Tag(m.Tag), m.Data)
 	if err != nil {
 		return err
 	}
@@ -295,7 +266,7 @@ func (ctx *rankCtx) serve(m transport.Message) error {
 	}
 	cnt, ok := store.Count(id)
 	ctx.st.RequestsServed++
-	return ctx.e.Send(m.From, tagResp, encodeResp(cnt, ok))
+	return msgplane.Send(ctx.e, m.From, tagResp, encodeResp(cnt, ok))
 }
 
 // serveBatch answers one batch request: every id is resolved against the
@@ -316,7 +287,7 @@ func (ctx *rankCtx) serveBatch(m transport.Message) error {
 		answers[i] = batchAnswer{Count: cnt, Exists: ok}
 	}
 	ctx.st.RequestsServed += int64(len(ids))
-	return ctx.e.Send(m.From, tagBatchResp, encodeBatchResp(reqID, answers))
+	return msgplane.Send(ctx.e, m.From, tagBatchResp, encodeBatchResp(reqID, answers))
 }
 
 // ownedStore maps a request kind to this rank's frozen owned spectrum,

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"time"
 
 	"reptile/internal/collective"
 	"reptile/internal/kmer"
@@ -57,6 +56,9 @@ type rankCtx struct {
 	// phase.
 	// frozen: packed by groupReplicate
 	groupKmer, groupTile *spectrum.PackedStore
+
+	// res accumulates the correct step's totals for the pipeline epilogue.
+	res reptile.Result
 }
 
 // RunRank executes the full pipeline for one rank. Every rank of the group
@@ -70,53 +72,7 @@ type rankCtx struct {
 // abort so every peer unblocks promptly instead of hanging in a collective
 // or the responder loop.
 func RunRank(e transport.Conn, src Source, opts Options) (*RankOutput, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	ctx := &rankCtx{
-		e:    e,
-		comm: collective.New(e),
-		opts: opts,
-		rank: e.Rank(),
-		np:   e.Size(),
-	}
-	ctx.st.Rank = ctx.rank
-
-	phase := func(p stats.Phase, f func() error) error {
-		start := time.Now()
-		err := f()
-		ctx.st.Wall[p] += time.Since(start)
-		return err
-	}
-
-	if err := phase(stats.PhaseRead, func() error { return ctx.readPhase(src) }); err != nil {
-		return nil, ctx.fail("read", err)
-	}
-	if err := phase(stats.PhaseBalance, ctx.balancePhase); err != nil {
-		return nil, ctx.fail("balance", err)
-	}
-	if err := phase(stats.PhaseSpectrum, ctx.spectrumPhase); err != nil {
-		return nil, ctx.fail("spectrum", err)
-	}
-	if err := phase(stats.PhaseExchange, ctx.postExchangePhase); err != nil {
-		return nil, ctx.fail("exchange", err)
-	}
-	var res reptile.Result
-	if err := phase(stats.PhaseCorrect, func() error {
-		var err error
-		res, err = ctx.correctPhase()
-		return err
-	}); err != nil {
-		return nil, ctx.fail("correct", err)
-	}
-
-	ctx.st.BasesCorrected = res.BasesCorrected
-	ctx.st.ReadsChanged = res.ReadsChanged
-	ctx.st.MsgsSent = e.Counters().MsgsSent()
-	ctx.st.BytesSent = e.Counters().BytesSent()
-	ctx.st.MaxInboxDepth = int64(e.MaxQueueDepth())
-	ctx.observeFaults()
-	return &RankOutput{Corrected: ctx.myReads, Stats: ctx.st, Result: res}, nil
+	return runRankPipeline(e, opts, batchSteps(src))
 }
 
 // observeFaults records the chaos-schedule fault count when the endpoint is
@@ -259,7 +215,6 @@ func (ctx *rankCtx) spectrumPhase() error {
 		return err
 	}
 	b.finish()
-	ctx.observeMem()
 	return nil
 }
 
@@ -322,8 +277,6 @@ func (ctx *rankCtx) postExchangePhase() error {
 		}
 		ctx.groupKmer, ctx.groupTile = gk, gt
 	}
-	ctx.st.MemAfterConstruct = ctx.currentMem()
-	ctx.observeMem()
 	return nil
 }
 

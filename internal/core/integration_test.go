@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"reptile/internal/dna"
 	"reptile/internal/fastaio"
+	"reptile/internal/msgplane"
 	"reptile/internal/spectrum"
 	"reptile/internal/transport"
 )
@@ -157,15 +159,19 @@ func TestResponderRejectsMalformedRequests(t *testing.T) {
 		ownTile: spectrum.Freeze(),
 	}
 	done := make(chan error, 1)
-	go func() { done <- ctx.responderLoop(nil) }()
+	go func() { done <- ctx.newResponder(nil).Run() }()
 	// A tagged k-mer request must be exactly 8 bytes.
-	if err := eps[1].Send(0, tagKmerReq, []byte{1, 2, 3}); err != nil {
+	if err := eps[1].Send(0, int(tagKmerReq), []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
 	select {
 	case err := <-done:
 		if err == nil {
 			t.Error("responder accepted a malformed request")
+		}
+		var pe *ProtocolError
+		if !errors.As(err, &pe) || pe.Kind != msgplane.ViolationBadFrame {
+			t.Errorf("malformed request surfaced as %v, want bad-frame ProtocolError", err)
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("responder hung on malformed request")

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"reptile/internal/kmer"
+	"reptile/internal/msgplane"
 	"reptile/internal/spectrum"
 	"reptile/internal/stats"
 	"reptile/internal/transport"
@@ -71,7 +72,7 @@ type distOracle struct {
 	pre       map[preKey]preVal
 	preOwners [][]kmer.ID          // scratch: per-owner id lists
 	preSeen   map[kmer.ID]struct{} // scratch: per-call dedup
-	preCalls  []*batchCall         // scratch: frames issued this call
+	preCalls  []*msgplane.Call     // scratch: frames issued this call
 	preIDs    [][]kmer.ID          // scratch: ids of each issued frame
 	// cacheMu serializes reads-table access when several workers share the
 	// tables under the CacheRemote heuristic; nil in single-worker runs.
@@ -289,7 +290,7 @@ func (o *distOracle) prefetch(kind byte, ids []kmer.ID) {
 	// Collect every issued frame even after an error — abandoning a call
 	// would leak its window slot until the dispatcher is poisoned.
 	for i, call := range o.preCalls {
-		answers, err := call.wait()
+		answers, err := o.disp.wait(call)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -334,15 +335,15 @@ func (o *distOracle) remoteBatched(kind byte, id kmer.ID, owner int) (uint32, bo
 // from any other rank is therefore a protocol violation.
 func (o *distOracle) remote(kind byte, id kmer.ID, owner int) (uint32, bool, error) {
 	tag, payload := encodeReq(o.h.Universal, kind, id)
-	if err := o.e.Send(owner, tag, payload); err != nil {
+	if err := msgplane.Send(o.e, owner, tag, payload); err != nil {
 		return 0, false, err
 	}
-	m, err := o.e.Recv(tagResp)
+	m, err := msgplane.Recv(o.e, tagResp)
 	if err != nil {
 		return 0, false, err
 	}
 	if m.From != owner {
-		return 0, false, &ProtocolError{Want: owner, Got: m.From}
+		return 0, false, &ProtocolError{Tag: tagResp, Kind: msgplane.ViolationStraySender, From: m.From, Want: owner}
 	}
 	cnt, exists, err := decodeResp(m.Data)
 	if err != nil {

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"time"
+
+	"reptile/internal/collective"
+	"reptile/internal/reptile"
+	"reptile/internal/stats"
+	"reptile/internal/transport"
+)
+
+// phaseStep is one declarative stage of the rank pipeline. run does the
+// phase's work; after, when set, is an observation hook that fires only on
+// success, inside the phase's wall-time window (freeze-point snapshots
+// belong to the phase that produced them).
+type phaseStep struct {
+	phase stats.Phase
+	run   func(ctx *rankCtx) error
+	after func(ctx *rankCtx)
+}
+
+// runRankPipeline executes one rank's pipeline over a declarative step
+// list — the single driver behind both RunRank and RunRankStreaming. It
+// owns everything the two engines used to duplicate: options validation,
+// context construction, per-phase wall timing, the abort-on-failure edge
+// (ctx.fail with the phase's canonical name), per-phase memory observation,
+// and the closing stats epilogue. The engines differ only in which steps
+// they pass.
+func runRankPipeline(e transport.Conn, opts Options, steps []phaseStep) (*RankOutput, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	ctx := &rankCtx{
+		e:    e,
+		comm: collective.New(e),
+		opts: opts,
+		rank: e.Rank(),
+		np:   e.Size(),
+	}
+	ctx.st.Rank = ctx.rank
+
+	for _, s := range steps {
+		start := time.Now()
+		err := s.run(ctx)
+		if err == nil && s.after != nil {
+			s.after(ctx)
+		}
+		ctx.st.Wall[s.phase] += time.Since(start)
+		if err != nil {
+			return nil, ctx.fail(s.phase.String(), err)
+		}
+		ctx.st.PhaseMem[s.phase] = ctx.currentMem()
+		ctx.observeMem()
+	}
+
+	ctx.st.BasesCorrected = ctx.res.BasesCorrected
+	ctx.st.ReadsChanged = ctx.res.ReadsChanged
+	ctx.st.MsgsSent = e.Counters().MsgsSent()
+	ctx.st.BytesSent = e.Counters().BytesSent()
+	ctx.st.MaxInboxDepth = int64(e.MaxQueueDepth())
+	ctx.observeFaults()
+	return &RankOutput{Corrected: ctx.myReads, Stats: ctx.st, Result: ctx.res}, nil
+}
+
+// afterConstruct snapshots the table footprint at the second freeze point —
+// the end of the post-construction exchanges — for the paper's
+// memory-scaling comparison.
+func afterConstruct(ctx *rankCtx) {
+	ctx.st.MemAfterConstruct = ctx.currentMem()
+}
+
+// batchSteps is the in-memory engine: the paper's five steps, each read
+// held resident from the read phase through correction.
+func batchSteps(src Source) []phaseStep {
+	return []phaseStep{
+		{phase: stats.PhaseRead, run: func(ctx *rankCtx) error { return ctx.readPhase(src) }},
+		{phase: stats.PhaseBalance, run: (*rankCtx).balancePhase},
+		{phase: stats.PhaseSpectrum, run: (*rankCtx).spectrumPhase},
+		{phase: stats.PhaseExchange, run: (*rankCtx).postExchangePhase, after: afterConstruct},
+		{phase: stats.PhaseCorrect, run: func(ctx *rankCtx) error {
+			res, err := ctx.correctDriver(func(disp *lookupDispatcher) (reptile.Result, error) {
+				return ctx.correctPool(ctx.myReads, disp)
+			})
+			ctx.res = res
+			return err
+		}},
+	}
+}
+
+// streamingSteps is the low-memory engine: no read or balance phase up
+// front (the source is traversed inside the spectrum and correct steps,
+// one chunk at a time), and the correct step loops balanced chunks through
+// the same worker pool, writing each to the sink.
+func streamingSteps(src Source, sink Sink) []phaseStep {
+	return []phaseStep{
+		{phase: stats.PhaseSpectrum, run: func(ctx *rankCtx) error { return ctx.spectrumPassStreaming(src) }},
+		{phase: stats.PhaseExchange, run: (*rankCtx).postExchangePhase, after: afterConstruct},
+		{phase: stats.PhaseCorrect, run: func(ctx *rankCtx) error {
+			res, err := ctx.correctDriver(func(disp *lookupDispatcher) (reptile.Result, error) {
+				return ctx.correctStreamLoop(src, sink, disp)
+			})
+			ctx.res = res
+			return err
+		}},
+	}
+}

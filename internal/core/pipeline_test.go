@@ -1,0 +1,153 @@
+package core
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"reptile/internal/dna"
+	"reptile/internal/stats"
+	"reptile/internal/transport"
+)
+
+// TestPipelinePhaseObservability pins the unified runner's observation
+// contract: the batch engine times all five phases and records a table
+// footprint at each freeze-bearing phase exit, while the streaming engine
+// leaves the phases it does not run untouched — the step list, not a
+// second driver, is what differs between them.
+func TestPipelinePhaseObservability(t *testing.T) {
+	ds, opts := testDataset(t, 600, 9100)
+	opts.Config.ChunkReads = 100
+
+	out, err := Run(&MemorySource{Reads: ds.Reads}, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range out.Run.Ranks {
+		for p := stats.Phase(0); p < stats.NumPhases; p++ {
+			if r.Wall[p] <= 0 {
+				t.Errorf("batch rank %d: phase %v not timed", r.Rank, p)
+			}
+		}
+		for _, p := range []stats.Phase{stats.PhaseSpectrum, stats.PhaseExchange, stats.PhaseCorrect} {
+			if r.PhaseMem[p] <= 0 {
+				t.Errorf("batch rank %d: no footprint recorded at %v exit", r.Rank, p)
+			}
+		}
+		if r.PhaseMem[stats.PhaseCorrect] != r.MemAfterCorrect {
+			t.Errorf("batch rank %d: correct-exit footprint %d, MemAfterCorrect %d",
+				r.Rank, r.PhaseMem[stats.PhaseCorrect], r.MemAfterCorrect)
+		}
+	}
+
+	_, factory := collectSinks(2)
+	sout, err := RunStreaming(&MemorySource{Reads: ds.Reads}, 2, opts, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sout.Run.Ranks {
+		for _, p := range []stats.Phase{stats.PhaseRead, stats.PhaseBalance} {
+			if r.Wall[p] != 0 || r.PhaseMem[p] != 0 {
+				t.Errorf("streaming rank %d: phase %v ran (wall=%v mem=%d), but streaming has no such step",
+					r.Rank, p, r.Wall[p], r.PhaseMem[p])
+			}
+		}
+		for _, p := range []stats.Phase{stats.PhaseSpectrum, stats.PhaseExchange, stats.PhaseCorrect} {
+			if r.Wall[p] <= 0 {
+				t.Errorf("streaming rank %d: phase %v not timed", r.Rank, p)
+			}
+		}
+	}
+}
+
+// TestPipelineEquivalenceProcAndTCP is the unification regression suite:
+// the same step list driven over the in-process transport and over TCP
+// must produce byte-identical corrected reads for every heuristic shape
+// that changes the correct step's communication pattern.
+func TestPipelineEquivalenceProcAndTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short: tcp + multi-mode end-to-end runs")
+	}
+	ds, opts := testDataset(t, 800, 9200)
+	const np = 2
+
+	modes := map[string]Heuristics{
+		"base":      {},
+		"universal": {Universal: true},
+		"batched":   {LookupBatch: 16, LookupWindow: 2, Workers: 2},
+	}
+	for name, h := range modes {
+		o := opts
+		o.Heuristics = h
+
+		proc, err := Run(&MemorySource{Reads: ds.Reads}, np, o)
+		if err != nil {
+			t.Fatalf("%s proc: %v", name, err)
+		}
+		want := proc.Corrected()
+
+		got := runOverTCP(t, &MemorySource{Reads: ds.Reads}, np, o)
+		if len(got) != len(want) {
+			t.Fatalf("%s: tcp returned %d reads, proc %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].seq != want[i].Seq || got[i].bases != dna.DecodeString(want[i].Base) {
+				t.Fatalf("%s: read %d differs between proc and tcp pipelines", name, want[i].Seq)
+			}
+		}
+	}
+}
+
+// runOverTCP runs the unified pipeline one-goroutine-per-rank over
+// loopback TCP endpoints and returns the corrected reads in input-file
+// order.
+func runOverTCP(t *testing.T, src Source, np int, opts Options) []readKey {
+	t.Helper()
+	addrs := make([]string, np)
+	lns := make([]net.Listener, np)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+
+	outs := make([]*RankOutput, np)
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			e, err := transport.NewTCP(transport.TCPConfig{Rank: r, Addrs: addrs, DialTimeout: 10 * time.Second})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer e.Close()
+			outs[r], errs[r] = RunRank(e, src, opts)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("tcp rank %d: %v", r, err)
+		}
+	}
+
+	var got []readKey
+	for _, o := range outs {
+		for i := range o.Corrected {
+			got = append(got, readKey{o.Corrected[i].Seq, dna.DecodeString(o.Corrected[i].Base)})
+		}
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].seq < got[j].seq })
+	return got
+}

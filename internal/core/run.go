@@ -82,11 +82,12 @@ func pickRunError(errs []error) error {
 	return fmt.Errorf("core: rank %d failed: %w", firstRank, firstErr)
 }
 
-// Run executes the distributed pipeline with np goroutine ranks over the
-// in-process transport — the standard way to run the engine inside one
-// process. For one-process-per-rank deployments, call RunRank directly
-// with TCP endpoints (see cmd/reptile-correct).
-func Run(src Source, np int, opts Options) (*Output, error) {
+// runGroup is the shared launcher behind Run and RunStreaming: build the
+// in-process group, wrap each endpoint per the run options, run one rank
+// per goroutine, pick the run's representative error, and aggregate the
+// per-rank outputs (corrected reads in rank order, every rank's counters,
+// per-phase wall maxima).
+func runGroup(np int, opts Options, runOne func(conn transport.Conn, r int) (*RankOutput, error)) (*Output, error) {
 	if np < 1 {
 		return nil, fmt.Errorf("core: np=%d", np)
 	}
@@ -109,7 +110,7 @@ func Run(src Source, np int, opts Options) (*Output, error) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			outs[r], errs[r] = RunRank(rankConn(eps, r, opts), src, opts)
+			outs[r], errs[r] = runOne(rankConn(eps, r, opts), r)
 		}(r)
 	}
 	wg.Wait()
@@ -135,4 +136,14 @@ func Run(src Source, np int, opts Options) (*Output, error) {
 	}
 	out.Run.Elapsed = elapsed
 	return out, nil
+}
+
+// Run executes the distributed pipeline with np goroutine ranks over the
+// in-process transport — the standard way to run the engine inside one
+// process. For one-process-per-rank deployments, call RunRank directly
+// with TCP endpoints (see cmd/reptile-correct).
+func Run(src Source, np int, opts Options) (*Output, error) {
+	return runGroup(np, opts, func(conn transport.Conn, r int) (*RankOutput, error) {
+		return RunRank(conn, src, opts)
+	})
 }

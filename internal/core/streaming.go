@@ -6,12 +6,9 @@ import (
 	"io"
 	"sort"
 	"sync"
-	"time"
 
-	"reptile/internal/collective"
 	"reptile/internal/reads"
 	"reptile/internal/reptile"
-	"reptile/internal/stats"
 	"reptile/internal/transport"
 )
 
@@ -58,7 +55,7 @@ func RunRankStreaming(e transport.Conn, src Source, opts Options, sink Sink) (*R
 	if sink == nil {
 		return nil, fmt.Errorf("core: streaming run needs a sink")
 	}
-	out, err := runRankStreaming(e, src, opts, sink)
+	out, err := runRankPipeline(e, opts, streamingSteps(src, sink))
 	// The sink is closed here, exactly once, on every exit path: an aborted
 	// run must still flush buffered corrected reads and release the sink's
 	// file handles, and a close failure on an otherwise clean run is a run
@@ -75,47 +72,6 @@ func RunRankStreaming(e transport.Conn, src Source, opts Options, sink Sink) (*R
 		return nil, err
 	}
 	return out, nil
-}
-
-func runRankStreaming(e transport.Conn, src Source, opts Options, sink Sink) (*RankOutput, error) {
-	ctx := &rankCtx{
-		e:    e,
-		comm: collective.New(e),
-		opts: opts,
-		rank: e.Rank(),
-		np:   e.Size(),
-	}
-	ctx.st.Rank = ctx.rank
-
-	phase := func(p stats.Phase, f func() error) error {
-		start := time.Now()
-		err := f()
-		ctx.st.Wall[p] += time.Since(start)
-		return err
-	}
-
-	if err := phase(stats.PhaseSpectrum, func() error { return ctx.spectrumPassStreaming(src) }); err != nil {
-		return nil, ctx.fail("spectrum", err)
-	}
-	if err := phase(stats.PhaseExchange, ctx.postExchangePhase); err != nil {
-		return nil, ctx.fail("exchange", err)
-	}
-	var res reptile.Result
-	if err := phase(stats.PhaseCorrect, func() error {
-		var err error
-		res, err = ctx.correctPassStreaming(src, sink)
-		return err
-	}); err != nil {
-		return nil, ctx.fail("correct", err)
-	}
-
-	ctx.st.BasesCorrected = res.BasesCorrected
-	ctx.st.ReadsChanged = res.ReadsChanged
-	ctx.st.MsgsSent = e.Counters().MsgsSent()
-	ctx.st.BytesSent = e.Counters().BytesSent()
-	ctx.st.MaxInboxDepth = int64(e.MaxQueueDepth())
-	ctx.observeFaults()
-	return &RankOutput{Stats: ctx.st, Result: res}, nil
 }
 
 // moreRounds aligns open-ended chunk loops across ranks: every rank reports
@@ -189,110 +145,61 @@ func (ctx *rankCtx) spectrumPassStreaming(src Source) error {
 		return err
 	}
 	b.finish()
-	ctx.st.MemAfterConstruct = ctx.currentMem()
-	ctx.observeMem()
 	return nil
 }
 
-// correctPassStreaming re-reads the source, balancing and correcting one
-// chunk at a time. The worker's chunk-boundary collectives coexist with the
-// live responder because collective tags are disjoint from service tags.
-func (ctx *rankCtx) correctPassStreaming(src Source, sink Sink) (reptile.Result, error) {
-	msgs0, bytes0 := ctx.e.Counters().PerDestSnapshot()
-	disp := ctx.newDispatcher()
-
-	// Same failure discipline as the batch correct phase: the responder
-	// aborts through ctx.fail (poisoning the dispatcher first) so a parked
-	// worker unblocks, and the worker joins the responder before surfacing
-	// its own failure.
-	var wg sync.WaitGroup
-	respErr := make(chan error, 1)
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		if err := ctx.responderLoop(disp); err != nil {
-			if disp != nil {
-				disp.fail(err)
-			}
-			respErr <- ctx.fail("correct", err)
-		}
-	}()
-	failBoth := func(err error) error {
-		aerr := ctx.fail("correct", err)
-		wg.Wait()
-		select {
-		case rerr := <-respErr:
-			if errors.Is(aerr, transport.ErrClosed) && !errors.Is(rerr, transport.ErrClosed) {
-				return rerr
-			}
-		default:
-		}
-		return aerr
-	}
-
+// correctStreamLoop is the streaming engine's correct-step work function,
+// run by correctDriver with the rank's router live on the same endpoint:
+// re-read the source, balancing and correcting one chunk at a time, and
+// write each corrected chunk to the sink. The worker's chunk-boundary
+// collectives coexist with the responder because collective tags are
+// disjoint from service tags.
+func (ctx *rankCtx) correctStreamLoop(src Source, sink Sink, disp *lookupDispatcher) (reptile.Result, error) {
 	var res reptile.Result
-	runErr := func() error {
-		br, err := src.Open(ctx.rank, ctx.np, ctx.opts.Config.ChunkReads)
-		if err != nil {
-			return err
-		}
-		defer br.Close()
-		exhausted := false
-		for {
-			var batch []reads.Read
-			if !exhausted {
-				batch, err = br.NextBatch()
-				if err == io.EOF {
-					exhausted = true
-					err = nil
-				}
-				if err != nil {
-					return err
-				}
-			}
-			mine, err := ctx.balanceChunk(batch)
-			if err != nil {
-				return err
-			}
-			// Chunks stream through the same worker pool as the in-memory
-			// engine; the reads tables double as cache space when
-			// CacheRemote is on.
-			chunkRes, err := ctx.correctPool(mine, disp)
-			res.Add(chunkRes)
-			if err != nil {
-				return err
-			}
-			ctx.st.ReadsAssigned += int64(len(mine))
-			if len(mine) > 0 {
-				if err := sink.Write(mine); err != nil {
-					return err
-				}
-			}
-			more, err := ctx.moreRounds(!exhausted)
-			if err != nil {
-				return err
-			}
-			if !more {
-				return nil
-			}
-		}
-	}()
-	if runErr != nil {
-		return res, failBoth(runErr)
-	}
-
-	if err := ctx.e.Send(0, tagDone, nil); err != nil {
-		return res, failBoth(err)
-	}
-	wg.Wait()
-	select {
-	case err := <-respErr:
+	br, err := src.Open(ctx.rank, ctx.np, ctx.opts.Config.ChunkReads)
+	if err != nil {
 		return res, err
-	default:
 	}
-
-	ctx.finishCorrectStats(disp, msgs0, bytes0)
-	return res, nil
+	defer br.Close()
+	exhausted := false
+	for {
+		var batch []reads.Read
+		if !exhausted {
+			batch, err = br.NextBatch()
+			if err == io.EOF {
+				exhausted = true
+				err = nil
+			}
+			if err != nil {
+				return res, err
+			}
+		}
+		mine, err := ctx.balanceChunk(batch)
+		if err != nil {
+			return res, err
+		}
+		// Chunks stream through the same worker pool as the in-memory
+		// engine; the reads tables double as cache space when CacheRemote
+		// is on.
+		chunkRes, err := ctx.correctPool(mine, disp)
+		res.Add(chunkRes)
+		if err != nil {
+			return res, err
+		}
+		ctx.st.ReadsAssigned += int64(len(mine))
+		if len(mine) > 0 {
+			if err := sink.Write(mine); err != nil {
+				return res, err
+			}
+		}
+		more, err := ctx.moreRounds(!exhausted)
+		if err != nil {
+			return res, err
+		}
+		if !more {
+			return res, nil
+		}
+	}
 }
 
 // balanceChunk redistributes one chunk of reads to owner ranks (or clones
@@ -347,68 +254,23 @@ func (ctx *rankCtx) balanceChunk(batch []reads.Read) ([]reads.Read, error) {
 
 // RunStreaming executes the streaming pipeline with np goroutine ranks.
 func RunStreaming(src Source, np int, opts Options, sinks SinkFactory) (*Output, error) {
-	if np < 1 {
-		return nil, fmt.Errorf("core: np=%d", np)
-	}
-	if opts.Chaos != nil {
-		if err := opts.Chaos.Validate(np); err != nil {
+	return runGroup(np, opts, func(conn transport.Conn, r int) (*RankOutput, error) {
+		sink, err := sinks(r)
+		if err != nil {
+			// A factory may hand back a partially-built sink alongside its
+			// error (say, the .fa file opened but the .qual did not); close
+			// it so nothing leaks.
+			if sink != nil {
+				if cerr := sink.Close(); cerr != nil {
+					err = errors.Join(err, cerr)
+				}
+			}
+			// The sink failed before the rank ever joined the group; closing
+			// its endpoint surfaces the loss to peers as ErrPeerDown, the
+			// same as a rank dying pre-run.
+			conn.Close()
 			return nil, err
 		}
-	}
-	eps, err := transport.NewProcGroup(np)
-	if err != nil {
-		return nil, err
-	}
-	defer transport.CloseGroup(eps)
-
-	outs := make([]*RankOutput, np)
-	errs := make([]error, np)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for r := 0; r < np; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			sink, err := sinks(r)
-			if err != nil {
-				// A factory may hand back a partially-built sink alongside
-				// its error (say, the .fa file opened but the .qual did
-				// not); close it so nothing leaks.
-				if sink != nil {
-					if cerr := sink.Close(); cerr != nil {
-						err = errors.Join(err, cerr)
-					}
-				}
-				errs[r] = err
-				// The sink failed before the rank ever joined the group;
-				// closing its endpoint surfaces the loss to peers as
-				// ErrPeerDown, the same as a rank dying pre-run.
-				eps[r].Close()
-				return
-			}
-			outs[r], errs[r] = RunRankStreaming(rankConn(eps, r, opts), src, opts, sink)
-		}(r)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	if err := pickRunError(errs); err != nil {
-		return nil, err
-	}
-
-	out := &Output{
-		ByRank: make([][]reads.Read, np),
-		Run:    stats.Run{Ranks: make([]stats.Rank, np)},
-	}
-	for r, ro := range outs {
-		out.Run.Ranks[r] = ro.Stats
-		out.Result.Add(ro.Result)
-		for p := stats.Phase(0); p < stats.NumPhases; p++ {
-			if ro.Stats.Wall[p] > out.Run.Wall[p] {
-				out.Run.Wall[p] = ro.Stats.Wall[p]
-			}
-		}
-	}
-	out.Run.Elapsed = elapsed
-	return out, nil
+		return RunRankStreaming(conn, src, opts, sink)
+	})
 }

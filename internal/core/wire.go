@@ -6,25 +6,49 @@ import (
 	"fmt"
 
 	"reptile/internal/kmer"
+	"reptile/internal/msgplane"
 	"reptile/internal/transport"
 )
 
 // Application tags (non-negative; collectives use negative tag space).
+// Tags 5 and 6 are the message plane's done/stop control tags
+// (msgplane.TagDone/TagStop), owned by the router.
 const (
-	tagKmerReq = 1 // request payload: id (8 bytes); kind implied by tag
-	tagTileReq = 2
-	tagUniReq  = 3 // universal mode: kind byte + id (9 bytes)
-	tagResp    = 4 // exists byte + count (5 bytes)
-	tagDone    = 5 // worker finished its shard (sent to rank 0)
-	tagStop    = 6 // rank 0: all workers done, responders shut down
+	tagKmerReq msgplane.Tag = 1 // request payload: id (8 bytes); kind implied by tag
+	tagTileReq msgplane.Tag = 2
+	tagUniReq  msgplane.Tag = 3 // universal mode: kind byte + id (9 bytes)
+	tagResp    msgplane.Tag = 4 // exists byte + count (5 bytes)
 
 	// Batched-lookup frames (software message aggregation, the diBELLA-style
 	// alternative to the one-id-per-message protocol above). Requests carry a
 	// request id so responses from several in-flight batches — possibly from
 	// several worker threads — can interleave and still be matched.
-	tagBatchReq  = 7 // reqID u32 | n u16 | n × (kind byte | id u64)
-	tagBatchResp = 8 // reqID u32 | n u16 | n × (exists byte | count u32)
+	tagBatchReq  msgplane.Tag = 7 // reqID u32 | n u16 | n × (kind byte | id u64)
+	tagBatchResp msgplane.Tag = 8 // reqID u32 | n u16 | n × (exists byte | count u32)
 )
+
+// init registers the correction protocol with the message-plane registry:
+// name, direction, and payload-size bounds per tag. The router validates
+// inbound frames against these bounds before any handler runs, and every
+// ProtocolError/abort message prints the registered names.
+func init() {
+	msgplane.Register(
+		msgplane.Spec{Tag: tagKmerReq, Name: "kmerReq", Dir: msgplane.DirRequest,
+			MinSize: ReqBytesTagged, MaxSize: ReqBytesTagged},
+		msgplane.Spec{Tag: tagTileReq, Name: "tileReq", Dir: msgplane.DirRequest,
+			MinSize: ReqBytesTagged, MaxSize: ReqBytesTagged},
+		msgplane.Spec{Tag: tagUniReq, Name: "uniReq", Dir: msgplane.DirRequest,
+			MinSize: ReqBytesUniversal, MaxSize: ReqBytesUniversal},
+		// The legacy response is Direct: the requesting worker blocks in
+		// msgplane.Recv for it, so the router must leave it in the mailbox.
+		msgplane.Spec{Tag: tagResp, Name: "resp", Dir: msgplane.DirResponse,
+			MinSize: RespBytes, MaxSize: RespBytes, Direct: true},
+		msgplane.Spec{Tag: tagBatchReq, Name: "batchReq", Dir: msgplane.DirRequest,
+			MinSize: batchHdrBytes, MaxSize: batchHdrBytes + maxBatchEntries*BatchReqEntryBytes},
+		msgplane.Spec{Tag: tagBatchResp, Name: "batchResp", Dir: msgplane.DirResponse,
+			MinSize: batchHdrBytes, MaxSize: batchHdrBytes + maxBatchEntries*BatchRespEntry},
+	)
+}
 
 // Request kinds.
 const (
@@ -51,7 +75,7 @@ const (
 
 // encodeReq builds a request payload. In universal mode the kind rides in
 // the payload; otherwise it is implied by the tag and only the ID is sent.
-func encodeReq(universal bool, kind byte, id kmer.ID) (tag int, payload []byte) {
+func encodeReq(universal bool, kind byte, id kmer.ID) (tag msgplane.Tag, payload []byte) {
 	if universal {
 		buf := make([]byte, 9)
 		buf[0] = kind
@@ -67,7 +91,7 @@ func encodeReq(universal bool, kind byte, id kmer.ID) (tag int, payload []byte) 
 }
 
 // decodeReq parses a request received with the given tag.
-func decodeReq(tag int, payload []byte) (kind byte, id kmer.ID, err error) {
+func decodeReq(tag msgplane.Tag, payload []byte) (kind byte, id kmer.ID, err error) {
 	switch tag {
 	case tagUniReq:
 		if len(payload) != 9 {
@@ -84,7 +108,7 @@ func decodeReq(tag int, payload []byte) (kind byte, id kmer.ID, err error) {
 		}
 		return kind, kmer.ID(binary.LittleEndian.Uint64(payload)), nil
 	default:
-		return 0, 0, fmt.Errorf("core: unexpected request tag %d", tag)
+		return 0, 0, &msgplane.ProtocolError{Tag: tag, Kind: msgplane.ViolationUnknownTag, From: -1, Want: -1}
 	}
 }
 
@@ -121,6 +145,13 @@ const (
 type batchAnswer struct {
 	Count  uint32
 	Exists bool
+}
+
+// encodeBatchFrame builds one complete batch-request frame — the tag plus
+// the payload for the assigned request id — in the shape the message
+// plane's caller asks its encoder for.
+func encodeBatchFrame(reqID uint32, kind byte, ids []kmer.ID) (msgplane.Tag, []byte) {
+	return tagBatchReq, encodeBatchReq(reqID, kind, ids)
 }
 
 // encodeBatchReq builds a tagBatchReq payload: every id in the frame shares

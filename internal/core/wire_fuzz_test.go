@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"reptile/internal/kmer"
+	"reptile/internal/transport"
+)
+
+// The decode fuzz targets pin the wire layer's only safety contract: an
+// arbitrary byte string either decodes into a self-consistent value or
+// returns an error — never a panic, never an out-of-bounds read, and never
+// a value that re-encodes to a different frame.
+
+func FuzzDecodeBatchReq(f *testing.F) {
+	// Golden frames: an empty batch, a single k-mer id, a mixed-width pair
+	// of tile ids, and a deliberately truncated frame.
+	f.Add(encodeBatchReq(0, kindKmer, nil))
+	f.Add(encodeBatchReq(1, kindKmer, []kmer.ID{42}))
+	f.Add(encodeBatchReq(7, kindTile, []kmer.ID{1, 1 << 60}))
+	f.Add(encodeBatchReq(9, kindTile, []kmer.ID{5, 6, 7})[:10])
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		reqID, kinds, ids, err := decodeBatchReq(payload)
+		if err != nil {
+			return
+		}
+		if len(kinds) != len(ids) {
+			t.Fatalf("decoded %d kinds for %d ids", len(kinds), len(ids))
+		}
+		// A frame of all-one-kind entries must survive a round trip; mixed
+		// kinds cannot be rebuilt through encodeBatchReq's single-kind
+		// signature, so only check those structurally.
+		uniform := true
+		for _, k := range kinds {
+			if k != kinds[0] {
+				uniform = false
+				break
+			}
+		}
+		if uniform && len(ids) > 0 {
+			back := encodeBatchReq(reqID, kinds[0], ids)
+			if string(back) != string(payload) {
+				t.Fatalf("re-encode mismatch: %x vs %x", back, payload)
+			}
+		}
+	})
+}
+
+func FuzzDecodeBatchResp(f *testing.F) {
+	f.Add(encodeBatchResp(0, nil))
+	f.Add(encodeBatchResp(3, []batchAnswer{{Count: 9, Exists: true}}))
+	f.Add(encodeBatchResp(8, []batchAnswer{{Count: 0, Exists: false}, {Count: 1 << 30, Exists: true}}))
+	f.Add(encodeBatchResp(5, []batchAnswer{{Count: 2, Exists: true}})[:7])
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		reqID, answers, err := decodeBatchResp(payload)
+		if err != nil {
+			return
+		}
+		back := encodeBatchResp(reqID, answers)
+		// The exists byte is canonical 0/1 on encode but any non-1 byte
+		// decodes as false, so only canonical frames round-trip exactly.
+		if len(back) != len(payload) {
+			t.Fatalf("re-encode length %d for a %d-byte frame", len(back), len(payload))
+		}
+		reqID2, answers2, err := decodeBatchResp(back)
+		if err != nil || reqID2 != reqID || len(answers2) != len(answers) {
+			t.Fatalf("canonical re-encode does not decode: %v", err)
+		}
+		for i := range answers {
+			if answers2[i] != answers[i] {
+				t.Fatalf("answer %d changed across round trip", i)
+			}
+		}
+	})
+}
+
+func FuzzDecodeAbortInfo(f *testing.F) {
+	for _, a := range []*AbortError{
+		{Rank: 0, Phase: "read", Cause: "boom"},
+		{Rank: 3, Phase: "correct", Cause: "peer 1 went away", err: transport.ErrPeerDown},
+		{Rank: 1, Phase: "exchange", Cause: "", err: transport.ErrCorruptFrame},
+		{Rank: -1, Phase: "spectrum", Cause: "x"},
+	} {
+		f.Add(encodeAbortInfo(a))
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		a, err := decodeAbortInfo(payload)
+		if err != nil {
+			return
+		}
+		back := encodeAbortInfo(a)
+		a2, err := decodeAbortInfo(back)
+		if err != nil {
+			t.Fatalf("re-encode does not decode: %v", err)
+		}
+		if a2.Rank != a.Rank || a2.Phase != a.Phase || a2.Cause != a.Cause {
+			t.Fatalf("abort record changed across round trip: %+v vs %+v", a2, a)
+		}
+	})
+}

@@ -1,0 +1,83 @@
+// Package fixture exercises the wireproto analyzer's registry mode: once
+// any tag shows registration evidence — a *Spec composite literal or a
+// Register* call — every tag constant in the package must be registered.
+// It also covers Handle-call consumer evidence: registering a router
+// handler for a tag is that tag's receive path.
+package fixture
+
+const (
+	tagServed   = 1 // handled by the router
+	tagDirectly = 2 // received directly by a worker
+	tagLate     = 3 // registered through a Register* call, not a Spec literal
+	tagForgot   = 4 // want "missing from the tag registry"
+
+	kindPlain byte = 0 // kinds are payload enums; never registered
+)
+
+// wireSpec stands in for msgplane.Spec: a tag named in one of these
+// literals counts as registered wherever the literal is built.
+type wireSpec struct {
+	Tag      int
+	Min, Max int
+}
+
+// routerish stands in for the msgplane router surface.
+type routerish interface {
+	Handle(tag int, h func([]byte) error)
+}
+
+// endpointish stands in for the transport endpoint surface.
+type endpointish interface {
+	Send(to, tag int, data []byte) error
+	Recv(tag int) ([]byte, error)
+}
+
+// protocolSpecs mirrors a registration init: Spec literals carry the tags.
+func protocolSpecs() []wireSpec {
+	return []wireSpec{
+		{Tag: tagServed, Min: 5, Max: 5},
+		{Tag: tagDirectly, Min: 0, Max: -1},
+	}
+}
+
+// registerLate mirrors a bare Register*(tag) call form.
+func registerLate(tag int) {}
+
+func setup() {
+	_ = protocolSpecs()
+	registerLate(tagLate)
+}
+
+// wireUp produces every tag and consumes them three different ways:
+// tagServed through Handle (the router demuxes its frames), the others
+// through direct Recv. tagForgot has healthy produce/consume evidence and
+// trips only the registry check.
+func wireUp(rt routerish, e endpointish) error {
+	rt.Handle(tagServed, func([]byte) error { return nil })
+	if err := e.Send(0, tagServed, encodePlain(kindPlain)); err != nil {
+		return err
+	}
+	if err := e.Send(0, tagDirectly, nil); err != nil {
+		return err
+	}
+	if err := e.Send(0, tagLate, nil); err != nil {
+		return err
+	}
+	if err := e.Send(0, tagForgot, nil); err != nil {
+		return err
+	}
+	if _, err := e.Recv(tagDirectly); err != nil {
+		return err
+	}
+	if _, err := e.Recv(tagLate); err != nil {
+		return err
+	}
+	_, err := e.Recv(tagForgot)
+	return err
+}
+
+// encodePlain gives kindPlain its encode-side evidence.
+func encodePlain(kind byte) []byte { return []byte{kind} }
+
+// decodePlain gives kindPlain its decode-side evidence.
+func decodePlain(b []byte) bool { return len(b) > 0 && b[0] == kindPlain }

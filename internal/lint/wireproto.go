@@ -20,7 +20,17 @@ import (
 //	          encoder through dispatch helpers (lookup → remote → encode).
 //	consumer: the constant appears inside a decode* function, in a
 //	          switch case clause, in an ==/!= comparison outside encoders,
-//	          or as an argument to a call named Recv or decode*.
+//	          or as an argument to a call named Recv, RecvMatch, Handle,
+//	          or decode*. Handle counts because registering a router
+//	          handler for a tag IS its receive path.
+//
+// Packages that adopt the message-plane registry get a third check: once
+// any tag constant shows registration evidence — it appears inside a call
+// named Register* or a composite literal of a type named *Spec — every tag
+// constant in the package must be registered, since the router rejects
+// frames carrying unregistered tags as unknown-tag violations. Packages
+// with no registration evidence (e.g. the transport's private control
+// tags) skip this check.
 //
 // Packages that declare no tag constants are skipped, so the analyzer is a
 // no-op everywhere except the wire-protocol package(s).
@@ -34,15 +44,16 @@ func (*WireProto) Name() string { return "wireproto" }
 
 // Doc implements Analyzer.
 func (*WireProto) Doc() string {
-	return "checks every tag/kind wire constant has both a send/encode and a receive/decode path"
+	return "checks every tag/kind wire constant has send/encode and receive/decode paths, and is registered where a tag registry is in use"
 }
 
 // wireConst tracks the evidence gathered for one constant.
 type wireConst struct {
-	pos      token.Pos
-	kind     bool // kindXxx payload enum (vs tagXxx message tag)
-	produced bool
-	consumed bool
+	pos        token.Pos
+	kind       bool // kindXxx payload enum (vs tagXxx message tag)
+	produced   bool
+	consumed   bool
+	registered bool // appears in a Register* call or a *Spec literal
 }
 
 // Check implements Analyzer.
@@ -89,12 +100,25 @@ func (wp *WireProto) Check(pkg *Package, r *Reporter) {
 		}
 	}
 
+	// Registry mode turns on as soon as any tag constant shows
+	// registration evidence; kinds live inside payloads and are never
+	// registered.
+	hasRegistry := false
+	for _, c := range consts {
+		if c.registered && !c.kind {
+			hasRegistry = true
+		}
+	}
+
 	for name, c := range consts {
 		if !c.produced {
 			r.Reportf(c.pos, "wire constant %s has no send/encode path: nothing ever puts it on the wire", name)
 		}
 		if !c.consumed {
 			r.Reportf(c.pos, "wire constant %s has no receive/decode path: messages carrying it would hang undelivered", name)
+		}
+		if hasRegistry && !c.kind && !c.registered {
+			r.Reportf(c.pos, "wire constant %s is missing from the tag registry: the router would reject its frames as unknown-tag", name)
 		}
 	}
 }
@@ -131,6 +155,18 @@ func classifyUses(decl ast.Decl, consts map[string]*wireConst, inEncoder, inDeco
 		})
 	}
 
+	// markRegistered records registry evidence for every wire const under n.
+	markRegistered := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if c, tracked := consts[id.Name]; tracked {
+					c.registered = true
+				}
+			}
+			return true
+		})
+	}
+
 	ast.Inspect(decl, func(n ast.Node) bool {
 		switch t := n.(type) {
 		case *ast.CaseClause:
@@ -143,10 +179,20 @@ func classifyUses(decl ast.Decl, consts map[string]*wireConst, inEncoder, inDeco
 				// inside encoders, where they select the outgoing form.
 				markIdents(t, inEncoder, !inEncoder)
 			}
+		case *ast.CompositeLit:
+			// A tag inside a registry Spec literal is registration
+			// evidence even when the Spec is built away from the
+			// Register call itself.
+			if typeNameEndsWith(t.Type, "Spec") {
+				markRegistered(t)
+			}
 		case *ast.CallExpr:
 			name := funcNameOf(t)
 			produce := name == "Send" || hasPrefixFold(name, "encode")
-			consume := name == "Recv" || name == "RecvMatch" || hasPrefixFold(name, "decode")
+			// A tag handed to Handle gets its frames demuxed by the
+			// router — that registration IS the tag's receive path.
+			consume := name == "Recv" || name == "RecvMatch" || name == "Handle" || hasPrefixFold(name, "decode")
+			register := hasPrefixFold(name, "register")
 			for _, arg := range t.Args {
 				ast.Inspect(arg, func(m ast.Node) bool {
 					id, ok := m.(*ast.Ident)
@@ -156,6 +202,7 @@ func classifyUses(decl ast.Decl, consts map[string]*wireConst, inEncoder, inDeco
 					if c, tracked := consts[id.Name]; tracked {
 						c.produced = c.produced || produce || c.kind
 						c.consumed = c.consumed || consume
+						c.registered = c.registered || register
 					}
 					return true
 				})
@@ -172,4 +219,18 @@ func classifyUses(decl ast.Decl, consts map[string]*wireConst, inEncoder, inDeco
 		}
 		return true
 	})
+}
+
+// typeNameEndsWith reports whether a composite literal's type expression
+// names a type with the given suffix (Spec, msgplane.Spec, []Spec...).
+func typeNameEndsWith(expr ast.Expr, suffix string) bool {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return len(t.Name) >= len(suffix) && t.Name[len(t.Name)-len(suffix):] == suffix
+	case *ast.SelectorExpr:
+		return typeNameEndsWith(t.Sel, suffix)
+	case *ast.ArrayType:
+		return typeNameEndsWith(t.Elt, suffix)
+	}
+	return false
 }

@@ -6,6 +6,13 @@ func TestWireProtoGolden(t *testing.T) {
 	runGolden(t, NewWireProto(), "wireproto", "reptile/internal/lint/testdata/wireproto")
 }
 
+// TestWireProtoRegistryGolden exercises registry mode: Spec-literal and
+// Register*-call evidence, Handle as a receive path, and the unregistered-
+// tag diagnostic.
+func TestWireProtoRegistryGolden(t *testing.T) {
+	runGolden(t, NewWireProto(), "wireproto_registry", "reptile/internal/lint/testdata/wireproto_registry")
+}
+
 // TestWireProtoSkipsTaglessPackages pins the no-op path: a package with no
 // tag/kind constants (this one) produces no diagnostics.
 func TestWireProtoSkipsTaglessPackages(t *testing.T) {
@@ -24,6 +31,20 @@ func TestWireProtoSkipsTaglessPackages(t *testing.T) {
 // protocol: internal/core must stay drift-free.
 func TestWireProtoCleanOnCore(t *testing.T) {
 	pkg, err := LoadDir("../core", "reptile/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, []Analyzer{NewWireProto()}); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("unexpected: %s", d)
+		}
+	}
+}
+
+// TestWireProtoCleanOnMsgplane pins the message plane itself: its control
+// tags must stay registered, produced, and consumed.
+func TestWireProtoCleanOnMsgplane(t *testing.T) {
+	pkg, err := LoadDir("../msgplane", "reptile/internal/msgplane")
 	if err != nil {
 		t.Fatal(err)
 	}

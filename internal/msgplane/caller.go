@@ -1,0 +1,163 @@
+package msgplane
+
+import (
+	"fmt"
+	"sync"
+
+	"reptile/internal/transport"
+)
+
+// DefaultWindow is the per-peer in-flight request window used when a
+// caller is built with window <= 0.
+const DefaultWindow = 4
+
+// Call is one in-flight request. result and err are written exactly once
+// (by Deliver or Fail) before done is closed; Wait reads them only after
+// done, so the channel close is the happens-before edge.
+type Call struct {
+	owner  int
+	done   chan struct{}
+	result any
+	err    error
+}
+
+// Wait blocks until the rank's router delivers the response (or the
+// caller is poisoned) and returns the decoded result.
+func (c *Call) Wait() (any, error) {
+	<-c.done
+	return c.result, c.err
+}
+
+// Caller matches request/response pairs by id — the requester half of the
+// message plane. Issuers call Start/Wait (possibly from several worker
+// goroutines); the rank's router delivers responses through Deliver;
+// whoever observes a transport failure calls Fail, which poisons every
+// outstanding and future call so no worker stays parked on an answer that
+// will never come.
+//
+// The per-peer in-flight window is the pipeline depth: an issuer may have
+// up to window unanswered requests at one peer before Start blocks, which
+// overlaps request latency with local work while bounding how much queue
+// the peer's router must absorb.
+type Caller struct {
+	e      transport.Conn
+	window int
+
+	mu       sync.Mutex
+	cond     *sync.Cond       // guarded by mu; signaled on slot release and on fail
+	nextID   uint32           // guarded by mu
+	pending  map[uint32]*Call // guarded by mu
+	inflight []int            // guarded by mu; outstanding requests per peer
+	failed   error            // guarded by mu; first poison, sticky
+
+	framesSent int64 // guarded by mu
+	itemsSent  int64 // guarded by mu
+}
+
+// NewCaller builds a caller for an np-rank group.
+func NewCaller(e transport.Conn, np, window int) *Caller {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	c := &Caller{
+		e:        e,
+		window:   window,
+		pending:  make(map[uint32]*Call),
+		inflight: make([]int, np),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Start issues one request of items lookups to owner, blocking while the
+// owner's window is full. enc builds the frame for the assigned request
+// id; it runs under the caller's lock and must not block. The returned
+// call resolves through Wait.
+func (c *Caller) Start(owner, items int, enc func(reqID uint32) (Tag, []byte)) (*Call, error) {
+	c.mu.Lock()
+	for c.failed == nil && c.inflight[owner] >= c.window {
+		c.cond.Wait()
+	}
+	if c.failed != nil {
+		err := c.failed
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	reqID := c.nextID
+	call := &Call{owner: owner, done: make(chan struct{})}
+	c.pending[reqID] = call
+	c.inflight[owner]++
+	c.framesSent++
+	c.itemsSent += int64(items)
+	tag, payload := enc(reqID)
+	c.mu.Unlock()
+
+	// The send happens outside the lock (it may block on a TCP peer). The
+	// response cannot race it: the owner only answers after receiving the
+	// request, and the call is already registered.
+	if err := Send(c.e, owner, tag, payload); err != nil {
+		c.mu.Lock()
+		if _, ok := c.pending[reqID]; ok { // Fail may have reaped it already
+			delete(c.pending, reqID)
+			c.inflight[owner]--
+			c.cond.Broadcast()
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	return call, nil
+}
+
+// Deliver resolves the call registered under reqID with an already-decoded
+// result. Called from the rank's router only. A response whose request id
+// is unknown, or whose sender is not the rank the request was addressed
+// to, is a typed protocol violation; the router turns it into a run abort.
+func (c *Caller) Deliver(from int, t Tag, reqID uint32, result any) error {
+	c.mu.Lock()
+	call, ok := c.pending[reqID]
+	if !ok {
+		c.mu.Unlock()
+		return &ProtocolError{Tag: t, Kind: ViolationUnknownRequest, From: from, Want: -1, ReqID: reqID}
+	}
+	if call.owner != from {
+		c.mu.Unlock()
+		return &ProtocolError{Tag: t, Kind: ViolationStraySender, From: from, Want: call.owner, ReqID: reqID}
+	}
+	delete(c.pending, reqID)
+	c.inflight[from]--
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	call.result = result
+	close(call.done)
+	return nil
+}
+
+// Fail poisons the caller: every outstanding call resolves with the first
+// failure, window waiters wake, and future Starts are refused. Safe to
+// call from any goroutine, more than once.
+func (c *Caller) Fail(err error) {
+	if err == nil {
+		err = fmt.Errorf("msgplane: caller failed with nil error")
+	}
+	c.mu.Lock()
+	if c.failed == nil {
+		c.failed = err
+	}
+	reaped := c.pending
+	c.pending = make(map[uint32]*Call)
+	for _, call := range reaped {
+		c.inflight[call.owner]--
+		call.err = c.failed
+		close(call.done)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Counters returns the frame and item totals for the stats merge.
+func (c *Caller) Counters() (frames, items int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.framesSent, c.itemsSent
+}

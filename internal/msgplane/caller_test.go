@@ -1,0 +1,179 @@
+package msgplane
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func startOne(t *testing.T, c *Caller, owner int) *Call {
+	t.Helper()
+	call, err := c.Start(owner, 1, func(reqID uint32) (Tag, []byte) {
+		return testTagReq, []byte{byte(reqID), 0, 0, 0, 0}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return call
+}
+
+func TestCallerDeliverMatchesRequest(t *testing.T) {
+	eps := procGroup(t, 3)
+	c := NewCaller(eps[0], 3, 0)
+	call := startOne(t, c, 1)
+	if err := c.Deliver(1, testTagResp, 1, "answer"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := call.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "answer" {
+		t.Fatalf("result %v", got)
+	}
+	if frames, items := c.Counters(); frames != 1 || items != 1 {
+		t.Fatalf("counters %d/%d", frames, items)
+	}
+}
+
+func TestCallerUnknownRequestID(t *testing.T) {
+	eps := procGroup(t, 3)
+	c := NewCaller(eps[0], 3, 0)
+	err := c.Deliver(1, testTagResp, 99, nil)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want ProtocolError", err)
+	}
+	if pe.Kind != ViolationUnknownRequest || pe.ReqID != 99 || pe.From != 1 {
+		t.Fatalf("unexpected violation: %+v", pe)
+	}
+}
+
+func TestCallerStraySender(t *testing.T) {
+	eps := procGroup(t, 3)
+	c := NewCaller(eps[0], 3, 0)
+	startOne(t, c, 1)
+	err := c.Deliver(2, testTagResp, 1, nil)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want ProtocolError", err)
+	}
+	if pe.Kind != ViolationStraySender || pe.Want != 1 || pe.From != 2 || pe.ReqID != 1 {
+		t.Fatalf("unexpected violation: %+v", pe)
+	}
+}
+
+// TestCallerDuplicateRequestID delivers the same response twice: the
+// first resolves the call, the second must surface as a violation (the
+// id is no longer pending) instead of resolving a stranger's call.
+func TestCallerDuplicateRequestID(t *testing.T) {
+	eps := procGroup(t, 3)
+	c := NewCaller(eps[0], 3, 0)
+	call := startOne(t, c, 1)
+	if err := c.Deliver(1, testTagResp, 1, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := call.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Deliver(1, testTagResp, 1, "second")
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("duplicate delivery returned %v, want ProtocolError", err)
+	}
+	if pe.Kind != ViolationUnknownRequest || pe.ReqID != 1 {
+		t.Fatalf("unexpected violation: %+v", pe)
+	}
+}
+
+func TestCallerFailPoisonsWaiters(t *testing.T) {
+	eps := procGroup(t, 3)
+	c := NewCaller(eps[0], 3, 0)
+	call := startOne(t, c, 1)
+	boom := errors.New("boom")
+	c.Fail(boom)
+	if _, err := call.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("outstanding call resolved with %v, want poison", err)
+	}
+	if _, err := c.Start(1, 1, func(uint32) (Tag, []byte) { return testTagReq, nil }); !errors.Is(err, boom) {
+		t.Fatalf("post-poison start returned %v, want poison", err)
+	}
+}
+
+// TestCallerWindowBackpressure checks Start blocks at the per-peer window
+// and unblocks when a response frees the slot.
+func TestCallerWindowBackpressure(t *testing.T) {
+	eps := procGroup(t, 2)
+	c := NewCaller(eps[0], 2, 1)
+	startOne(t, c, 1)
+
+	unblocked := make(chan *Call, 1)
+	go func() {
+		call, err := c.Start(1, 1, func(reqID uint32) (Tag, []byte) {
+			return testTagReq, []byte{byte(reqID), 0, 0, 0, 0}
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		unblocked <- call
+	}()
+	select {
+	case <-unblocked:
+		t.Fatal("second start did not block on the window")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := c.Deliver(1, testTagResp, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-unblocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("start stayed blocked after the window slot freed")
+	}
+	// Both frames really left the endpoint.
+	for i := 0; i < 2; i++ {
+		if _, err := Recv(eps[1], testTagReq); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTagString(t *testing.T) {
+	if got := TagDone.String(); got != "done" {
+		t.Errorf("TagDone.String() = %q", got)
+	}
+	if got := Tag(12345).String(); got != "tag(12345)" {
+		t.Errorf("unregistered String() = %q", got)
+	}
+	if got := DirControl.String(); got != "control" {
+		t.Errorf("DirControl.String() = %q", got)
+	}
+}
+
+func TestRegisterRejectsConflicts(t *testing.T) {
+	wantPanic := func(name string, s Spec) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		Register(s)
+	}
+	wantPanic("duplicate", Spec{Tag: TagDone, Name: "again", MinSize: 0, MaxSize: 0})
+	wantPanic("negative", Spec{Tag: -3, Name: "neg", MinSize: 0, MaxSize: 0})
+	wantPanic("unnamed", Spec{Tag: 0x7f0, MinSize: 0, MaxSize: 0})
+	wantPanic("bounds", Spec{Tag: 0x7f1, Name: "bounds", MinSize: 4, MaxSize: 2})
+}
+
+func TestSpecsSortedByTag(t *testing.T) {
+	specs := Specs()
+	for i := 1; i < len(specs); i++ {
+		if specs[i-1].Tag >= specs[i].Tag {
+			t.Fatalf("specs not strictly sorted at %d: %v then %v", i, specs[i-1].Tag, specs[i].Tag)
+		}
+	}
+	if _, ok := LookupSpec(TagStop); !ok {
+		t.Fatal("control tags missing from the registry")
+	}
+}

@@ -1,0 +1,92 @@
+package msgplane
+
+import "fmt"
+
+// Violation classifies a protocol breach.
+type Violation int
+
+// Protocol violations.
+const (
+	// ViolationUnknownTag is a frame whose tag is not in the registry.
+	ViolationUnknownTag Violation = iota
+	// ViolationUnhandledTag is a registered tag no handler claims on the
+	// receiving rank.
+	ViolationUnhandledTag
+	// ViolationBadFrame is a payload outside the tag's registered size
+	// bounds (a short or oversized frame).
+	ViolationBadFrame
+	// ViolationStraySender is a frame from a rank the protocol does not
+	// allow — a response from a rank the request was not addressed to, or
+	// a done message at a non-coordinator rank.
+	ViolationStraySender
+	// ViolationUnknownRequest is a response carrying a request id this
+	// rank never issued.
+	ViolationUnknownRequest
+	// ViolationMisroutedEntry is a spectrum-exchange entry delivered to a
+	// rank that does not own it.
+	ViolationMisroutedEntry
+	// ViolationDuplicateFrame is a second frame where the protocol allows
+	// exactly one (a collective round hearing a rank twice).
+	ViolationDuplicateFrame
+)
+
+// String returns the violation name.
+func (v Violation) String() string {
+	switch v {
+	case ViolationUnknownTag:
+		return "unknown-tag"
+	case ViolationUnhandledTag:
+		return "unhandled-tag"
+	case ViolationBadFrame:
+		return "bad-frame"
+	case ViolationStraySender:
+		return "stray-sender"
+	case ViolationUnknownRequest:
+		return "unknown-request"
+	case ViolationMisroutedEntry:
+		return "misrouted-entry"
+	case ViolationDuplicateFrame:
+		return "duplicate-frame"
+	}
+	return fmt.Sprintf("violation(%d)", int(v))
+}
+
+// ProtocolError reports one wire-protocol violation. It is the single
+// typed error every demux path returns — router, caller, legacy direct
+// receive, and the collective exchange checks — so a chaos failure or an
+// abort broadcast always names the offending tag and ranks the same way.
+type ProtocolError struct {
+	Tag  Tag       // tag of the offending frame
+	Kind Violation // what rule the frame broke
+	From int       // rank the frame arrived from; -1 when not applicable
+	Want int       // rank the protocol expected instead; -1 when not applicable
+	// ReqID is the request id on the offending frame, for violations of
+	// the request/response matching scheme (ids start at 1; 0 means the
+	// violation carried no id).
+	ReqID uint32
+	// Size is the offending payload size, for ViolationBadFrame.
+	Size int
+}
+
+func (p *ProtocolError) Error() string {
+	switch p.Kind {
+	case ViolationUnknownTag:
+		return fmt.Sprintf("msgplane: protocol violation: %v frame from rank %d is not in the tag registry", p.Tag, p.From)
+	case ViolationUnhandledTag:
+		return fmt.Sprintf("msgplane: protocol violation: no handler for %v frame from rank %d", p.Tag, p.From)
+	case ViolationBadFrame:
+		return fmt.Sprintf("msgplane: protocol violation: %v frame from rank %d carries %d bytes, outside its registered bounds", p.Tag, p.From, p.Size)
+	case ViolationStraySender:
+		if p.ReqID != 0 {
+			return fmt.Sprintf("msgplane: protocol violation: %v response for request %d from rank %d, expected rank %d", p.Tag, p.ReqID, p.From, p.Want)
+		}
+		return fmt.Sprintf("msgplane: protocol violation: %v frame from rank %d, expected rank %d", p.Tag, p.From, p.Want)
+	case ViolationUnknownRequest:
+		return fmt.Sprintf("msgplane: protocol violation: rank %d answered %v request id %d this rank never issued", p.From, p.Tag, p.ReqID)
+	case ViolationMisroutedEntry:
+		return fmt.Sprintf("msgplane: protocol violation: exchange entry from rank %d belongs to rank %d, not this rank", p.From, p.Want)
+	case ViolationDuplicateFrame:
+		return fmt.Sprintf("msgplane: protocol violation: duplicate %v frame from rank %d", p.Tag, p.From)
+	}
+	return fmt.Sprintf("msgplane: protocol violation: %v frame from rank %d (%v)", p.Tag, p.From, p.Kind)
+}

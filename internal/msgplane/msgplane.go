@@ -1,0 +1,145 @@
+// Package msgplane is the typed message plane beneath the correction
+// engine: a central registry of wire tags with per-tag metadata, a
+// per-rank router that demultiplexes inbound frames to registered
+// handlers, and a caller that matches request/response pairs by id.
+//
+// The package exists so protocol knowledge lives in one place. A tag is
+// not a bare int scattered across switch statements: it is registered once
+// with its name, direction, and payload-size bounds, and every violation —
+// an unregistered tag, a frame outside its size bounds, a response from
+// the wrong rank, an answer to a request never issued — surfaces through
+// one typed ProtocolError path with the tag's name in the message.
+//
+// Tag space is shared with the transport and the collectives: application
+// tags are non-negative, collectives generate tags in the negative space,
+// and the transport's own control tags (abort, heartbeat) sit at the
+// bottom of the negative space and never reach a mailbox. The router
+// therefore claims only non-negative tags.
+package msgplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"reptile/internal/transport"
+)
+
+// Tag identifies one application message type on the wire. Non-negative;
+// the negative space belongs to collectives and transport control frames.
+type Tag int
+
+// String returns the registered name of the tag, or "tag(n)" for a tag
+// that was never registered — every ProtocolError and abort message goes
+// through here, so chaos-test failures name frames instead of printing
+// raw ints.
+func (t Tag) String() string {
+	if s, ok := LookupSpec(t); ok {
+		return s.Name
+	}
+	return fmt.Sprintf("tag(%d)", int(t))
+}
+
+// Direction classifies how a tag flows, for documentation and tooling.
+type Direction int
+
+// Tag directions.
+const (
+	DirRequest  Direction = iota // carries work to a serving rank
+	DirResponse                  // answers a request
+	DirControl                   // run-lifecycle coordination
+)
+
+// String returns the direction name.
+func (d Direction) String() string {
+	switch d {
+	case DirRequest:
+		return "request"
+	case DirResponse:
+		return "response"
+	case DirControl:
+		return "control"
+	}
+	return fmt.Sprintf("direction(%d)", int(d))
+}
+
+// Unbounded marks a Spec with no upper payload-size limit.
+const Unbounded = -1
+
+// Spec is one registered tag's metadata. MinSize/MaxSize bound the payload
+// in bytes (MaxSize may be Unbounded); the router rejects frames outside
+// the bounds before any handler runs, so codecs never see a short frame.
+type Spec struct {
+	Tag  Tag
+	Name string
+	Dir  Direction
+	// Payload size bounds in bytes, inclusive.
+	MinSize int
+	MaxSize int
+	// Direct tags are received by a blocking Recv at the requester (the
+	// legacy one-at-a-time lookup response) instead of the router; the
+	// router leaves them in the mailbox unless a handler is registered.
+	Direct bool
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[Tag]Spec{} // guarded by regMu
+)
+
+// Register adds tag specs to the process-wide registry, panicking on an
+// invalid or duplicate spec — registration happens from package init
+// functions, where a conflict is a programming error, not a runtime
+// condition.
+func Register(specs ...Spec) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, s := range specs {
+		switch {
+		case s.Tag < 0:
+			panic(fmt.Sprintf("msgplane: tag %d is negative (collective/control space)", int(s.Tag)))
+		case s.Name == "":
+			panic(fmt.Sprintf("msgplane: tag %d registered without a name", int(s.Tag)))
+		case s.MinSize < 0 || (s.MaxSize != Unbounded && s.MaxSize < s.MinSize):
+			panic(fmt.Sprintf("msgplane: tag %q has invalid size bounds [%d,%d]", s.Name, s.MinSize, s.MaxSize))
+		}
+		if prev, ok := registry[s.Tag]; ok {
+			panic(fmt.Sprintf("msgplane: tag %d registered twice (%q and %q)", int(s.Tag), prev.Name, s.Name))
+		}
+		registry[s.Tag] = s
+	}
+}
+
+// LookupSpec returns the spec registered for t.
+func LookupSpec(t Tag) (Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[t]
+	return s, ok
+}
+
+// Specs returns every registered spec in tag order — the registry table
+// DESIGN.md documents, and what registry-driven tooling iterates.
+func Specs() []Spec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out
+}
+
+// Send transmits one typed frame. It is the message plane's only send
+// path for application tags, which keeps every producer site visible to
+// the wireproto analyzer.
+func Send(e transport.Conn, to int, t Tag, payload []byte) error {
+	return e.Send(to, int(t), payload)
+}
+
+// Recv blocks for one frame of the given tag — the receive path for
+// Direct tags, which bypass the router by design.
+func Recv(e transport.Conn, t Tag) (transport.Message, error) {
+	return e.Recv(int(t))
+}

@@ -1,0 +1,175 @@
+package msgplane
+
+import (
+	"fmt"
+
+	"reptile/internal/transport"
+)
+
+// Control-plane tags, owned by the router. The values predate the message
+// plane (they were core's done/stop ints), so the wire format of a mixed
+// deployment is unchanged.
+const (
+	// TagDone tells the coordinator (rank 0) that one rank's workers have
+	// finished their shard.
+	TagDone Tag = 5
+	// TagStop is the coordinator's broadcast: every rank is done, routers
+	// shut down.
+	TagStop Tag = 6
+)
+
+func init() {
+	Register(
+		Spec{Tag: TagDone, Name: "done", Dir: DirControl, MinSize: 0, MaxSize: 0},
+		Spec{Tag: TagStop, Name: "stop", Dir: DirControl, MinSize: 0, MaxSize: 0},
+	)
+}
+
+// Handler services one inbound frame. Handlers run on the router
+// goroutine, one at a time — the router's single receive loop is the
+// backpressure: a slow handler stalls this rank's demux while peers queue
+// in the transport mailbox, exactly like the paper's one communication
+// thread per rank. A handler error shuts the router down and becomes the
+// rank's failure.
+type Handler func(m transport.Message) error
+
+// Router is one rank's receive loop: it demultiplexes every inbound
+// application frame to the handler registered for its tag and owns the
+// control plane — the done/stop termination protocol here, while the
+// abort/heartbeat control frames are intercepted one layer down by the
+// transport and surface through Run's receive error as mailbox poison.
+//
+// Validation is registry-driven and happens before any handler runs: an
+// unregistered tag, a payload outside the tag's size bounds, or a frame no
+// handler claims each end the run with a typed ProtocolError, so data-
+// plane handlers are plain callbacks that can trust their input framing.
+type Router struct {
+	e    transport.Conn
+	rank int
+	np   int
+	// handlers is written by Handle before Run starts and read-only after;
+	// the goroutine launch is the happens-before edge.
+	handlers map[Tag]Handler
+	// done counts TagDone arrivals; touched only by the Run goroutine.
+	done int
+}
+
+// NewRouter builds a router over one rank's endpoint.
+func NewRouter(e transport.Conn) *Router {
+	return &Router{
+		e:        e,
+		rank:     e.Rank(),
+		np:       e.Size(),
+		handlers: make(map[Tag]Handler),
+	}
+}
+
+// Handle registers the handler for one tag. It must be called before Run
+// starts; registration conflicts are programming errors and panic.
+func (r *Router) Handle(t Tag, h Handler) {
+	spec, ok := LookupSpec(t)
+	switch {
+	case h == nil:
+		panic(fmt.Sprintf("msgplane: nil handler for %v", t))
+	case !ok:
+		panic(fmt.Sprintf("msgplane: handler for unregistered tag %d", int(t)))
+	case spec.Dir == DirControl:
+		panic(fmt.Sprintf("msgplane: %v is a control tag owned by the router", t))
+	}
+	if _, dup := r.handlers[t]; dup {
+		panic(fmt.Sprintf("msgplane: duplicate handler for %v", t))
+	}
+	r.handlers[t] = h
+}
+
+// claims reports whether the router receive loop should take a frame with
+// this tag out of the mailbox. Negative tags belong to collectives (and
+// the transport's own control frames never reach the mailbox); Direct
+// tags without a handler are left for the requester's blocking Recv.
+// Everything else is claimed — including unregistered and unhandled tags,
+// which Run turns into ProtocolErrors instead of letting them sit
+// undelivered forever.
+func (r *Router) claims(tag int) bool {
+	if tag < 0 {
+		return false
+	}
+	t := Tag(tag)
+	if t == TagDone || t == TagStop {
+		return true
+	}
+	if spec, ok := LookupSpec(t); ok && spec.Direct && r.handlers[t] == nil {
+		return false
+	}
+	return true
+}
+
+// Run is the receive loop: it demuxes frames until the stop broadcast
+// arrives (clean shutdown, returns nil) or a failure surfaces — a
+// transport error, a protocol violation, or a handler error/panic.
+//
+// Rank 0 doubles as the coordinator: it counts done messages and
+// broadcasts stop (itself included) when all np ranks have reported.
+// Because a rank announces done only after every request it issued has
+// been answered, the stop broadcast can never overtake an answer some
+// rank still waits for — the shutdown-ordering invariant the batch
+// dispatcher's window accounting relies on.
+func (r *Router) Run() error {
+	for {
+		m, err := r.e.RecvMatch(r.claims)
+		if err != nil {
+			return err
+		}
+		t := Tag(m.Tag)
+		switch t {
+		case TagStop:
+			return nil
+		case TagDone:
+			if r.rank != 0 {
+				return &ProtocolError{Tag: t, Kind: ViolationStraySender, From: m.From, Want: 0}
+			}
+			r.done++
+			if r.done == r.np {
+				for peer := 0; peer < r.np; peer++ {
+					if err := Send(r.e, peer, TagStop, nil); err != nil {
+						return err
+					}
+				}
+			}
+			continue
+		}
+		spec, ok := LookupSpec(t)
+		if !ok {
+			return &ProtocolError{Tag: t, Kind: ViolationUnknownTag, From: m.From, Want: -1}
+		}
+		if n := len(m.Data); n < spec.MinSize || (spec.MaxSize != Unbounded && n > spec.MaxSize) {
+			return &ProtocolError{Tag: t, Kind: ViolationBadFrame, From: m.From, Want: -1, Size: n}
+		}
+		h := r.handlers[t]
+		if h == nil {
+			return &ProtocolError{Tag: t, Kind: ViolationUnhandledTag, From: m.From, Want: -1}
+		}
+		if err := r.dispatch(h, m); err != nil {
+			return err
+		}
+	}
+}
+
+// dispatch runs one handler with panic containment: a panicking handler
+// fails this rank's run (and, through the caller's abort path, the whole
+// group) instead of crashing the process with the transport in an
+// undefined state.
+func (r *Router) dispatch(h Handler, m transport.Message) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("msgplane: handler for %v frame from rank %d panicked: %v", Tag(m.Tag), m.From, p)
+		}
+	}()
+	return h(m)
+}
+
+// AnnounceDone reports this rank's workers finished to the coordinator.
+// The caller must have collected every response it was owed first; the
+// router keeps serving peers until the coordinator's stop arrives.
+func (r *Router) AnnounceDone() error {
+	return Send(r.e, 0, TagDone, nil)
+}

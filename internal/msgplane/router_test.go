@@ -1,0 +1,270 @@
+package msgplane
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"reptile/internal/transport"
+)
+
+// Test-local tags, far from the engine's range so the process-wide
+// registry never conflicts when packages are linked together.
+const (
+	testTagReq   Tag = 0x701 // fixed 5-byte request
+	testTagResp  Tag = 0x702 // direct response: received by the worker, not the router
+	testTagSpare Tag = 0x703 // registered but never handled
+)
+
+func init() {
+	Register(
+		Spec{Tag: testTagReq, Name: "testReq", Dir: DirRequest, MinSize: 5, MaxSize: 5},
+		Spec{Tag: testTagResp, Name: "testResp", Dir: DirResponse, MinSize: 0, MaxSize: Unbounded, Direct: true},
+		Spec{Tag: testTagSpare, Name: "testSpare", Dir: DirRequest, MinSize: 0, MaxSize: Unbounded},
+	)
+}
+
+func procGroup(t *testing.T, np int) []*transport.Endpoint {
+	t.Helper()
+	eps, err := transport.NewProcGroup(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { transport.CloseGroup(eps) })
+	return eps
+}
+
+// TestRouterShutdownOrdering drives the full done/stop protocol: every
+// rank serves echo requests while its worker issues one request per peer,
+// and announces done only after collecting every response. All routers
+// must shut down cleanly, and — because stop is broadcast only after the
+// last done, and done follows the announcer's last response — every
+// request must have been served before any router stopped.
+func TestRouterShutdownOrdering(t *testing.T) {
+	const np = 3
+	eps := procGroup(t, np)
+	served := make([]atomic.Int64, np)
+	runErrs := make([]error, np)
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			e := eps[r]
+			rt := NewRouter(e)
+			rt.Handle(testTagReq, func(m transport.Message) error {
+				served[r].Add(1)
+				return Send(e, m.From, testTagResp, m.Data)
+			})
+			routerDone := make(chan error, 1)
+			go func() { routerDone <- rt.Run() }()
+
+			payload := []byte{byte(r), 1, 2, 3, 4}
+			for peer := 0; peer < np; peer++ {
+				if peer == r {
+					continue
+				}
+				if err := Send(e, peer, testTagReq, payload); err != nil {
+					runErrs[r] = err
+					return
+				}
+			}
+			for i := 0; i < np-1; i++ {
+				m, err := Recv(e, testTagResp)
+				if err != nil {
+					runErrs[r] = err
+					return
+				}
+				if !bytes.Equal(m.Data, payload) {
+					t.Errorf("rank %d: echo payload %v, want %v", r, m.Data, payload)
+				}
+			}
+			if err := rt.AnnounceDone(); err != nil {
+				runErrs[r] = err
+				return
+			}
+			runErrs[r] = <-routerDone
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range runErrs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < np; r++ {
+		if got := served[r].Load(); got != np-1 {
+			t.Errorf("rank %d served %d requests before stop, want %d", r, got, np-1)
+		}
+	}
+}
+
+// routerErr runs a router on eps[rank] after running stimulus and returns
+// Run's error.
+func routerErr(t *testing.T, eps []*transport.Endpoint, rank int, setup func(rt *Router), stimulus func()) error {
+	t.Helper()
+	rt := NewRouter(eps[rank])
+	if setup != nil {
+		setup(rt)
+	}
+	done := make(chan error, 1)
+	go func() { done <- rt.Run() }()
+	stimulus()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(5 * time.Second):
+		t.Fatal("router did not observe the stimulus")
+		return nil
+	}
+}
+
+func TestRouterStraySenderDone(t *testing.T) {
+	eps := procGroup(t, 2)
+	err := routerErr(t, eps, 1, nil, func() {
+		// A done frame addressed to a non-coordinator rank.
+		if err := Send(eps[0], 1, TagDone, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("router returned %v, want ProtocolError", err)
+	}
+	if pe.Kind != ViolationStraySender || pe.From != 0 || pe.Want != 0 || pe.Tag != TagDone {
+		t.Fatalf("unexpected violation: %+v", pe)
+	}
+	if !strings.Contains(err.Error(), "done") {
+		t.Fatalf("violation does not name the tag: %v", err)
+	}
+}
+
+func TestRouterUnknownTag(t *testing.T) {
+	eps := procGroup(t, 2)
+	err := routerErr(t, eps, 1, nil, func() {
+		if err := eps[0].Send(1, 0x7ff, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("router returned %v, want ProtocolError", err)
+	}
+	if pe.Kind != ViolationUnknownTag || pe.From != 0 || pe.Tag != Tag(0x7ff) {
+		t.Fatalf("unexpected violation: %+v", pe)
+	}
+	if !strings.Contains(err.Error(), "tag(2047)") {
+		t.Fatalf("violation does not name the unregistered tag: %v", err)
+	}
+}
+
+func TestRouterShortFrame(t *testing.T) {
+	eps := procGroup(t, 2)
+	handled := false
+	err := routerErr(t, eps, 1,
+		func(rt *Router) {
+			rt.Handle(testTagReq, func(transport.Message) error { handled = true; return nil })
+		},
+		func() {
+			if err := Send(eps[0], 1, testTagReq, []byte{1, 2, 3}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("router returned %v, want ProtocolError", err)
+	}
+	if pe.Kind != ViolationBadFrame || pe.Size != 3 || pe.Tag != testTagReq {
+		t.Fatalf("unexpected violation: %+v", pe)
+	}
+	if handled {
+		t.Fatal("short frame reached the handler")
+	}
+	if !strings.Contains(err.Error(), "testReq") {
+		t.Fatalf("violation does not name the tag: %v", err)
+	}
+}
+
+func TestRouterUnhandledTag(t *testing.T) {
+	eps := procGroup(t, 2)
+	err := routerErr(t, eps, 1, nil, func() {
+		if err := Send(eps[0], 1, testTagSpare, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("router returned %v, want ProtocolError", err)
+	}
+	if pe.Kind != ViolationUnhandledTag || pe.Tag != testTagSpare {
+		t.Fatalf("unexpected violation: %+v", pe)
+	}
+}
+
+func TestRouterHandlerPanicContained(t *testing.T) {
+	eps := procGroup(t, 2)
+	err := routerErr(t, eps, 1,
+		func(rt *Router) {
+			rt.Handle(testTagReq, func(transport.Message) error { panic("handler bug") })
+		},
+		func() {
+			if err := Send(eps[0], 1, testTagReq, []byte{1, 2, 3, 4, 5}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	if err == nil || !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "handler bug") {
+		t.Fatalf("panic not contained as an error: %v", err)
+	}
+}
+
+// TestRouterLeavesDirectTags checks the router never claims a Direct tag
+// it has no handler for: the worker's blocking Recv must win even with
+// the router loop live on the same endpoint.
+func TestRouterLeavesDirectTags(t *testing.T) {
+	eps := procGroup(t, 2)
+	rt := NewRouter(eps[1])
+	routerDone := make(chan error, 1)
+	go func() { routerDone <- rt.Run() }()
+
+	if err := Send(eps[0], 1, testTagResp, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Recv(eps[1], testTagResp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Data) != 1 || m.Data[0] != 42 {
+		t.Fatalf("direct frame payload %v", m.Data)
+	}
+
+	// Shut the router down through the control plane.
+	if err := Send(eps[0], 1, TagStop, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-routerDone; err != nil {
+		t.Fatalf("router: %v", err)
+	}
+}
+
+func TestRouterHandleMisuse(t *testing.T) {
+	eps := procGroup(t, 1)
+	rt := NewRouter(eps[0])
+	wantPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	wantPanic("nil handler", func() { rt.Handle(testTagReq, nil) })
+	wantPanic("unregistered", func() { rt.Handle(Tag(0x7fe), func(transport.Message) error { return nil }) })
+	wantPanic("control tag", func() { rt.Handle(TagStop, func(transport.Message) error { return nil }) })
+	rt.Handle(testTagReq, func(transport.Message) error { return nil })
+	wantPanic("duplicate", func() { rt.Handle(testTagReq, func(transport.Message) error { return nil }) })
+}

@@ -102,6 +102,10 @@ type Rank struct {
 	// snapshots.
 	MemAfterConstruct int64
 	MemAfterCorrect   int64
+	// PhaseMem is the table footprint observed as each pipeline step
+	// exited — the per-phase trajectory behind the two snapshots above.
+	// Phases an engine does not run (read/balance in streaming) stay zero.
+	PhaseMem [NumPhases]int64
 
 	// Measured wall time per phase.
 	Wall [NumPhases]time.Duration
