@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet chaos bench-lookup bench-build property fuzz cover ci
+.PHONY: build test race lint lint-fixtures vet chaos bench-lookup bench-build property fuzz cover ci
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,16 @@ race:
 	$(GO) test -race -short -count=1 ./...
 
 ## lint: the project-specific static analyzers (see internal/lint and the
-## "Concurrency invariants" section of DESIGN.md).
+## "Concurrency invariants" and "Type-aware analyzers" sections of
+## DESIGN.md).
 lint:
 	$(GO) run ./cmd/reptile-lint ./...
+
+## lint-fixtures: only the analyzer suite's own golden-fixture tests — each
+## analyzer against its seeded-violation fixtures, the directive audit, and
+## the inventory pin. Fast enough to run on every analyzer edit.
+lint-fixtures:
+	$(GO) test -count=1 -run 'Golden|Inventory|Allow|FollowsCalls|PathScoping' ./internal/lint/
 
 vet:
 	$(GO) vet ./...

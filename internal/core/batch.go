@@ -38,6 +38,8 @@ func newLookupDispatcher(e transport.Conn, np, window int) *lookupDispatcher {
 // start issues one batch of ids (all of one kind) to owner, blocking while
 // the owner's window is full. ids is not retained. The returned call
 // resolves through wait.
+//
+// reptile-lint:hotpath
 func (d *lookupDispatcher) start(owner int, kind byte, ids []kmer.ID) (*msgplane.Call, error) {
 	if len(ids) == 0 || len(ids) > maxBatchEntries {
 		return nil, fmt.Errorf("core: batch of %d ids", len(ids))

@@ -91,6 +91,8 @@ func (ctx *rankCtx) newSpecBuilder(retain bool) *specBuilder {
 
 // shardOf maps an ID to its rank-internal shard. Reusing the owner hash
 // keeps shard sizes as uniform as the cross-rank distribution (Fig 3).
+//
+// reptile-lint:hotpath
 func (b *specBuilder) shardOf(id kmer.ID) int {
 	return int(kmer.HashID(id) % uint64(b.nw))
 }
@@ -98,7 +100,11 @@ func (b *specBuilder) shardOf(id kmer.ID) int {
 // extract scans one round's reads into the workers' private shard tables,
 // one contiguous block per worker (same partition shape as the correction
 // pool). Runs concurrently with an in-flight exchange: workers touch only
-// their own tables.
+// their own tables. The extraction callbacks are built once per worker, not
+// once per read: a closure in the per-read loop escapes to the callee and
+// costs an allocation for every read in the round.
+//
+// reptile-lint:hotpath
 func (b *specBuilder) extract(batch []reads.Read) {
 	type tally struct{ kmers, tiles int64 }
 	tallies := make([]tally, b.nw)
@@ -109,15 +115,18 @@ func (b *specBuilder) extract(batch []reads.Read) {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			kT, tT := b.workK[w], b.workT[w]
+			tl := &tallies[w]
+			addKmer := func(_ int, id kmer.ID) {
+				tl.kmers++
+				kT[b.shardOf(id)].Add(id, 1)
+			}
+			addTile := func(_ int, id kmer.ID) {
+				tl.tiles++
+				tT[b.shardOf(id)].Add(id, 1)
+			}
 			for i := lo; i < hi; i++ {
-				b.spec.EachKmer(batch[i].Base, func(_ int, id kmer.ID) {
-					tallies[w].kmers++
-					kT[b.shardOf(id)].Add(id, 1)
-				})
-				b.spec.EachTileStep(batch[i].Base, 1, func(_ int, id kmer.ID) {
-					tallies[w].tiles++
-					tT[b.shardOf(id)].Add(id, 1)
-				})
+				b.spec.EachKmer(batch[i].Base, addKmer)
+				b.spec.EachTileStep(batch[i].Base, 1, addTile)
 			}
 		}(w, lo, hi)
 	}
@@ -145,20 +154,25 @@ func (b *specBuilder) fold() {
 // foldShard routes shard s of every worker table by owner rank: owned
 // entries accumulate in the cumulative shard, the rest land in the round
 // table (and the retained shard when retention is on). The worker tables
-// are cleared, keeping their capacity for the next round.
+// are cleared, keeping their capacity for the next round. The routing
+// callback is hoisted above the per-worker loop so it is allocated once per
+// fold, not once per worker table.
+//
+// reptile-lint:hotpath
 func (b *specBuilder) foldShard(s int) {
 	rank, np := b.ctx.rank, b.ctx.np
 	foldOne := func(own, round, ret *spectrum.HashStore, work func(w int) *spectrum.HashStore) {
+		route := func(e spectrum.Entry) bool {
+			if kmer.Owner(e.ID, np) == rank {
+				own.Add(e.ID, e.Count)
+			} else {
+				round.Add(e.ID, e.Count)
+			}
+			return true
+		}
 		for w := 0; w < b.nw; w++ {
 			t := work(w)
-			t.Each(func(e spectrum.Entry) bool {
-				if kmer.Owner(e.ID, np) == rank {
-					own.Add(e.ID, e.Count)
-				} else {
-					round.Add(e.ID, e.Count)
-				}
-				return true
-			})
+			t.Each(route)
 			t.Clear()
 		}
 		if ret != nil {
@@ -207,6 +221,10 @@ func (b *specBuilder) encode(set int) (bufsK, bufsT [][]byte) {
 	return bufsK, bufsT
 }
 
+// encodeRound serializes every shard's entries into the per-destination
+// wire slabs, reusing the sort scratch and the slab capacity across rounds.
+//
+// reptile-lint:hotpath
 func (b *specBuilder) encodeRound(round []*spectrum.HashStore, enc [][]byte) [][]byte {
 	for r := range enc {
 		enc[r] = enc[r][:0]

@@ -63,21 +63,31 @@ func FromByte(c byte) (Base, bool) {
 
 // Encode converts an ASCII sequence into base codes. It returns an error on
 // the first invalid character, reporting its position.
+//
+// reptile-lint:hotpath
 func Encode(seq []byte) ([]Base, error) {
 	out := make([]Base, len(seq))
 	for i, c := range seq {
 		b, ok := FromByte(c)
 		if !ok {
-			return nil, fmt.Errorf("dna: invalid base %q at position %d", c, i)
+			return nil, invalidBaseError(c, i)
 		}
 		out[i] = b
 	}
 	return out, nil
 }
 
+// invalidBaseError formats the per-character failure off the hot loop, so
+// the all-valid common path never touches fmt's boxing machinery.
+func invalidBaseError(c byte, i int) error {
+	return fmt.Errorf("dna: invalid base %q at position %d", c, i)
+}
+
 // EncodeLossy converts an ASCII sequence into base codes, substituting sub
 // for every invalid character (sequencers emit N for no-calls; Reptile maps
 // them to a fixed base before spectrum construction).
+//
+// reptile-lint:hotpath
 func EncodeLossy(seq []byte, sub Base) []Base {
 	out := make([]Base, len(seq))
 	for i, c := range seq {
@@ -91,6 +101,8 @@ func EncodeLossy(seq []byte, sub Base) []Base {
 }
 
 // Decode converts base codes back to upper-case ASCII.
+//
+// reptile-lint:hotpath
 func Decode(seq []Base) []byte {
 	out := make([]byte, len(seq))
 	for i, b := range seq {
@@ -112,6 +124,8 @@ func MustEncode(seq string) []Base {
 }
 
 // ReverseComplement returns the reverse complement of seq as a new slice.
+//
+// reptile-lint:hotpath
 func ReverseComplement(seq []Base) []Base {
 	out := make([]Base, len(seq))
 	for i, b := range seq {
@@ -123,6 +137,8 @@ func ReverseComplement(seq []Base) []Base {
 // Hamming returns the Hamming distance between two equal-length sequences.
 // It panics if the lengths differ, as that is always a programming error in
 // this codebase (tiles and k-mers have fixed lengths).
+//
+// reptile-lint:hotpath
 func Hamming(a, b []Base) int {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("dna: Hamming on unequal lengths %d and %d", len(a), len(b)))

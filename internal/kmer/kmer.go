@@ -59,6 +59,8 @@ func Mask(n int) uint64 {
 
 // Encode packs seq (length <= 32) into an ID. It panics on oversize input;
 // callers always work with fixed k/tile lengths.
+//
+// reptile-lint:hotpath
 func Encode(seq []dna.Base) ID {
 	if len(seq) > MaxLen {
 		panic(fmt.Sprintf("kmer: Encode of %d bases exceeds %d", len(seq), MaxLen))
@@ -109,6 +111,8 @@ func (id ID) Prefix(n, m int) ID { return id >> uint(2*(m-n)) }
 func (id ID) Suffix(n int) ID { return id & ID(Mask(n)) }
 
 // ReverseComplement returns the reverse complement of an n-base ID.
+//
+// reptile-lint:hotpath
 func (id ID) ReverseComplement(n int) ID {
 	var rc ID
 	for i := 0; i < n; i++ {
@@ -120,6 +124,8 @@ func (id ID) ReverseComplement(n int) ID {
 
 // Canonical returns the smaller of the ID and its reverse complement, which
 // merges the two strands of the same genomic locus into one spectrum key.
+//
+// reptile-lint:hotpath
 func (id ID) Canonical(n int) ID {
 	rc := id.ReverseComplement(n)
 	if rc < id {
@@ -129,6 +135,8 @@ func (id ID) Canonical(n int) ID {
 }
 
 // Hamming returns the Hamming distance between two n-base IDs.
+//
+// reptile-lint:hotpath
 func Hamming(a, b ID, n int) int {
 	x := uint64(a ^ b)
 	d := 0
@@ -159,6 +167,8 @@ func (s Spec) Kmers(tile ID) (first, second ID) {
 
 // EachKmer calls fn with the start position and ID of every k-mer in read,
 // in order. Reads shorter than K produce no calls.
+//
+// reptile-lint:hotpath
 func (s Spec) EachKmer(read []dna.Base, fn func(pos int, id ID)) {
 	if len(read) < s.K {
 		return
@@ -182,6 +192,8 @@ func (s Spec) EachTile(read []dna.Base, fn func(pos int, id ID)) {
 // uses stride 1 so every tile window occurring in any read is counted —
 // otherwise a correction walk whose phase differs from the extraction phase
 // would find no support for perfectly genomic tiles.
+//
+// reptile-lint:hotpath
 func (s Spec) EachTileStep(read []dna.Base, step int, fn func(pos int, id ID)) {
 	if step < 1 {
 		panic(fmt.Sprintf("kmer: non-positive tile step %d", step))

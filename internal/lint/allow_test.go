@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllowAudit pins the directive audit: a used, reasoned allow is
+// silent; an empty reason and a stale directive are each one "allow"
+// diagnostic, and the empty-reason directive still suppresses its finding.
+func TestAllowAudit(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "allowcheck"), "reptile/internal/core/allowfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatal("no Go files in testdata/allowcheck")
+	}
+	diags := Run([]*Package{pkg}, []Analyzer{NewNoSleepSync()})
+	var noReason, stale, other int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "allow" && strings.Contains(d.Message, "has no reason"):
+			noReason++
+		case d.Analyzer == "allow" && strings.Contains(d.Message, "suppresses nothing"):
+			stale++
+		default:
+			other++
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if noReason != 1 || stale != 1 {
+		t.Errorf("want exactly one missing-reason and one stale finding, got %d and %d", noReason, stale)
+	}
+}
+
+// TestAllowAuditScopedToActiveAnalyzers checks that running a subset of the
+// suite does not flag directives belonging to analyzers that did not run.
+func TestAllowAuditScopedToActiveAnalyzers(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "allowcheck"), "reptile/internal/core/allowfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []Analyzer{NewLockGuard()})
+	for _, d := range diags {
+		t.Errorf("nosleepsync did not run, so its directives must not be audited: %s", d)
+	}
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Def-use over one function body, keyed by the parser's resolved
+// *ast.Object. The parser (invoked without SkipObjectResolution) links
+// every identifier use back to its declaration within the file, which is
+// exactly the scope discipline needed to tell a shadowing inner `err` from
+// a reuse of the outer one — no go/types required.
+
+// varUse aggregates the def-use facts for one function-local variable.
+type varUse struct {
+	name      string
+	pos       token.Pos // declaring identifier's position
+	param     bool      // receiver, parameter, or named result
+	writes    int       // assignments, including the declaration
+	reads     int       // every other mention, at any nesting depth
+	errValued bool      // some write stores the error result of a call
+}
+
+// defUses walks one function and groups every identifier by declaration.
+// Mentions inside nested func literals count: a variable read only by a
+// closure is still read.
+func (m *Module) defUses(pkg *Package, f *File, fn *ast.FuncDecl, env *funcEnv) map[*ast.Object]*varUse {
+	if fn.Body == nil {
+		return nil
+	}
+	uses := map[*ast.Object]*varUse{}
+	params := map[*ast.Object]bool{}
+	markParams := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			for _, n := range fld.Names {
+				if n.Obj != nil {
+					params[n.Obj] = true
+				}
+			}
+		}
+	}
+	markParams(fn.Recv)
+	markParams(fn.Type.Params)
+	markParams(fn.Type.Results)
+
+	// Pass 1: classify which identifier nodes are writes, and which writes
+	// carry an error value.
+	writes := map[*ast.Ident]bool{}
+	errWrites := map[*ast.Ident]bool{}
+	markWrite := func(e ast.Expr, errValued bool) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			writes[id] = true
+			if errValued {
+				errWrites[id] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			if len(t.Rhs) == 1 && len(t.Lhs) > 1 {
+				// a, b := f(): only the position matching an error result is
+				// error-valued; without a resolved callee, assume the last.
+				call, isCall := t.Rhs[0].(*ast.CallExpr)
+				errValued := isCall && m.callReturnsError(pkg, f, env, call)
+				for i, lhs := range t.Lhs {
+					markWrite(lhs, errValued && i == len(t.Lhs)-1)
+				}
+				return true
+			}
+			for i, lhs := range t.Lhs {
+				errValued := false
+				if i < len(t.Rhs) {
+					if call, ok := t.Rhs[i].(*ast.CallExpr); ok {
+						errValued = m.callReturnsError(pkg, f, env, call)
+					}
+				}
+				markWrite(lhs, errValued)
+			}
+		case *ast.ValueSpec:
+			for i, id := range t.Names {
+				errValued := false
+				if i < len(t.Values) {
+					if call, ok := t.Values[i].(*ast.CallExpr); ok {
+						errValued = m.callReturnsError(pkg, f, env, call)
+					}
+				}
+				markWrite(id, errValued)
+			}
+		case *ast.RangeStmt:
+			markWrite(t.Key, false)
+			markWrite(t.Value, false)
+		case *ast.IncDecStmt:
+			// x++ both reads and writes; leave the mention a read so the
+			// variable never looks write-only.
+		}
+		return true
+	})
+
+	// Pass 2: tally every mention against its declaring object, restricted
+	// to objects declared inside this function (parameters included).
+	lo, hi := fn.Pos(), fn.End()
+	declaredHere := func(obj *ast.Object) bool {
+		d, ok := obj.Decl.(ast.Node)
+		if !ok {
+			return false
+		}
+		return d.Pos() >= lo && d.End() <= hi
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Obj == nil || id.Obj.Kind != ast.Var || id.Name == "_" {
+			return true
+		}
+		if !declaredHere(id.Obj) {
+			return true
+		}
+		u := uses[id.Obj]
+		if u == nil {
+			u = &varUse{name: id.Name, pos: id.Obj.Pos(), param: params[id.Obj]}
+			uses[id.Obj] = u
+		}
+		if writes[id] {
+			u.writes++
+			if errWrites[id] {
+				u.errValued = true
+			}
+		} else {
+			u.reads++
+		}
+		return true
+	})
+	return uses
+}

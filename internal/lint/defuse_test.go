@@ -1,0 +1,85 @@
+package lint
+
+import "testing"
+
+const defuseSrc = `package a
+
+func fail() error { return nil }
+
+func twoVals() (int, error) { return 0, nil }
+
+func target(a int, b error) (n int, err error) {
+	x := 1
+	y := x + a
+	_ = y
+	werr := fail()
+	if werr != nil {
+		n = 2
+	}
+	z := 3
+	z = 4
+	unused := fail()
+	v, verr := twoVals()
+	use(v)
+	captured := 0
+	go func() { captured++ }()
+	for i := 0; i < a; i++ {
+		n += i
+	}
+	return n, err
+}
+
+func use(int) {}
+`
+
+func TestDefUses(t *testing.T) {
+	pkg := parseTestPkg(t, "example.com/m/a", map[string]string{"a.go": defuseSrc})
+	m := NewModule([]*Package{pkg})
+	fi := m.funcs[funcKey{"example.com/m/a", "", "target"}]
+	if fi == nil {
+		t.Fatal("target not indexed")
+	}
+	env := m.envOf(fi)
+	uses := m.defUses(pkg, fi.File, fi.Decl, env)
+
+	byName := map[string]*varUse{}
+	for _, u := range uses {
+		byName[u.name] = u
+	}
+
+	tests := []struct {
+		name      string
+		param     bool
+		writes    int
+		reads     int
+		errValued bool
+	}{
+		{"x", false, 1, 1, false},
+		{"y", false, 1, 1, false},
+		{"werr", false, 1, 1, true},
+		{"z", false, 2, 0, false},
+		{"unused", false, 1, 0, true},
+		{"v", false, 1, 1, false},
+		{"verr", false, 1, 0, true},
+		{"captured", false, 1, 1, false},
+		{"i", false, 1, 3, false},
+		{"a", true, 0, 2, false},
+		{"n", true, 2, 1, false},
+		{"err", true, 0, 1, false},
+	}
+	for _, tc := range tests {
+		u := byName[tc.name]
+		if u == nil {
+			t.Errorf("%s: no use record", tc.name)
+			continue
+		}
+		if u.param != tc.param || u.writes != tc.writes || u.reads != tc.reads || u.errValued != tc.errValued {
+			t.Errorf("%s: got (param=%v writes=%d reads=%d err=%v), want (param=%v writes=%d reads=%d err=%v)",
+				tc.name, u.param, u.writes, u.reads, u.errValued,
+				tc.param, tc.writes, tc.reads, tc.errValued)
+		}
+	}
+	if u := byName["b"]; u != nil {
+		t.Errorf("b is never mentioned in the body; unexpected record %+v", u)
+	}
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestErrorFlowGolden(t *testing.T) {
+	runGolden(t, NewErrorFlow(), "errorflow", "reptile/internal/lint/testdata/errorflow")
+}

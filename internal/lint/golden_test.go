@@ -71,14 +71,22 @@ func runGolden(t *testing.T, a Analyzer, dir, importPath string) {
 	}
 }
 
-// TestAnalyzerInventory pins the suite: five analyzers, each documented.
+// TestAnalyzerInventory pins the suite: eight analyzers, each documented,
+// three of them module-wide.
 func TestAnalyzerInventory(t *testing.T) {
+	modules := 0
 	for _, a := range All() {
 		if a.Name() == "" || a.Doc() == "" {
 			t.Errorf("analyzer %T missing name or doc", a)
 		}
+		if _, ok := a.(ModuleAnalyzer); ok {
+			modules++
+		}
 	}
-	if got := len(All()); got != 5 {
-		t.Errorf("expected 5 analyzers, have %d", got)
+	if got := len(All()); got != 8 {
+		t.Errorf("expected 8 analyzers, have %d", got)
+	}
+	if modules != 3 {
+		t.Errorf("expected 3 module-wide analyzers, have %d", modules)
 	}
 }

@@ -41,9 +41,14 @@ func (*GoroutineHygiene) Doc() string {
 	return "flags goroutine launches with no WaitGroup, done-channel, or context lifecycle"
 }
 
+// appliesTo implements pathScoped for the allow-directive audit.
+func (gh *GoroutineHygiene) appliesTo(pkg *Package) bool {
+	return pathMatches(pkg.ImportPath, gh.Paths)
+}
+
 // Check implements Analyzer.
 func (gh *GoroutineHygiene) Check(pkg *Package, r *Reporter) {
-	if !pathMatches(pkg.ImportPath, gh.Paths) {
+	if !gh.appliesTo(pkg) {
 		return
 	}
 	for _, f := range pkg.SourceFiles() {

@@ -1,0 +1,335 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// HotPath flags per-iteration heap allocations inside declared hot paths.
+// A function opts in with `// reptile-lint:hotpath` on its doc comment; the
+// analyzer then checks it and everything it provably calls within the
+// module (transitively, via the Module call graph) for work a tight loop
+// should not repeat: composite literals behind & or of slice/map shape,
+// make/new, string<->[]byte conversions, closures built per iteration,
+// append growth from zero capacity, fmt calls, and interface boxing at
+// module-local call sites.
+//
+// The check is loop-relative: the same allocation outside a loop passes,
+// because a once-per-call allocation is a different (and usually fine)
+// cost class than a once-per-base one. Escape analysis is approximated,
+// not computed — see DESIGN.md §13 for the soundness limits.
+type HotPath struct{}
+
+// NewHotPath returns the analyzer with default configuration.
+func NewHotPath() *HotPath { return &HotPath{} }
+
+// Name implements Analyzer.
+func (hp *HotPath) Name() string { return "hotpath" }
+
+// Doc implements Analyzer.
+func (hp *HotPath) Doc() string {
+	return "per-iteration heap allocations in reptile-lint:hotpath functions and their module-local callees"
+}
+
+// Check implements Analyzer; all work happens module-wide in CheckModule.
+func (hp *HotPath) Check(pkg *Package, r *Reporter) {}
+
+var hotpathRe = regexp.MustCompile(`reptile-lint:hotpath\b`)
+
+// CheckModule implements ModuleAnalyzer: seed the worklist with every
+// annotated function, then breadth-first over resolvable module-local
+// callees, analyzing each function exactly once under its first root.
+func (hp *HotPath) CheckModule(m *Module, report func(*Package) *Reporter) {
+	type item struct {
+		fi   *FuncInfo
+		root string // "" when the function itself carries the annotation
+	}
+	var queue []item
+	seen := map[*FuncInfo]bool{}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.SourceFiles() {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || !hotpathRe.MatchString(fd.Doc.Text()) {
+					continue
+				}
+				if fi := m.FuncOf(pkg, fd); fi != nil && !seen[fi] {
+					seen[fi] = true
+					queue = append(queue, item{fi: fi})
+				}
+			}
+		}
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.fi.Decl.Body == nil {
+			continue
+		}
+		root := it.root
+		if root == "" {
+			root = it.fi.String()
+		}
+		for _, callee := range hp.analyze(m, it.fi, it.root, report(it.fi.Pkg)) {
+			if !seen[callee] {
+				seen[callee] = true
+				queue = append(queue, item{fi: callee, root: root})
+			}
+		}
+	}
+}
+
+// analyze scans one function for per-iteration allocations and returns its
+// resolvable module-local callees for the worklist.
+func (hp *HotPath) analyze(m *Module, fi *FuncInfo, root string, r *Reporter) []*FuncInfo {
+	pkg, file, fn := fi.Pkg, fi.File, fi.Decl
+	env := m.envOf(fi)
+	suffix := ""
+	if root != "" {
+		suffix = fmt.Sprintf(" (on the hot path of %s)", root)
+	}
+
+	// Closures handed straight to go/defer are launch bodies, not
+	// per-iteration garbage: a loop spawning one goroutine per worker is the
+	// fan-out idiom, so only the literal's body is held to the loop rules.
+	launched := map[*ast.FuncLit]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch t := n.(type) {
+		case *ast.GoStmt:
+			call = t.Call
+		case *ast.DeferStmt:
+			call = t.Call
+		default:
+			return true
+		}
+		if lit, ok := call.Fun.(*ast.FuncLit); ok {
+			launched[lit] = true
+		}
+		return true
+	})
+
+	var callees []*FuncInfo
+	addCallee := func(call *ast.CallExpr) {
+		if fi2 := m.resolveCall(pkg, file, env, call); fi2 != nil {
+			callees = append(callees, fi2)
+		}
+	}
+
+	var scan func(n ast.Node, inLoop bool)
+	scan = func(n ast.Node, inLoop bool) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil {
+				return true
+			}
+			if c == n {
+				switch c.(type) {
+				case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+					return true // dispatched below only when met as children
+				}
+			}
+			switch t := c.(type) {
+			case *ast.ForStmt:
+				scan(t.Init, inLoop)
+				scan(t.Cond, true)
+				scan(t.Post, true)
+				scan(t.Body, true)
+				return false
+			case *ast.RangeStmt:
+				scan(t.X, inLoop)
+				scan(t.Body, true)
+				return false
+			case *ast.FuncLit:
+				if inLoop && !launched[t] {
+					r.Reportf(t.Pos(), "func literal in a loop allocates a closure every iteration; hoist it out of the loop%s", suffix)
+				}
+				scan(t.Body, false)
+				return false
+			case *ast.UnaryExpr:
+				if t.Op == token.AND && inLoop {
+					if lit, ok := t.X.(*ast.CompositeLit); ok {
+						r.Reportf(t.Pos(), "&%s literal allocates every loop iteration; hoist or reuse it%s", typeLabel(pkg, lit.Type), suffix)
+					}
+				}
+			case *ast.CompositeLit:
+				if !inLoop {
+					break
+				}
+				switch tt := t.Type.(type) {
+				case *ast.ArrayType:
+					if tt.Len == nil {
+						r.Reportf(t.Pos(), "%s literal allocates a slice every loop iteration; hoist or reuse it%s", typeLabel(pkg, t.Type), suffix)
+					}
+				case *ast.MapType:
+					r.Reportf(t.Pos(), "%s literal allocates a map every loop iteration; hoist or reuse it%s", typeLabel(pkg, t.Type), suffix)
+				}
+			case *ast.AssignStmt:
+				if inLoop {
+					hp.checkAppend(t, r, suffix)
+				}
+			case *ast.CallExpr:
+				addCallee(t)
+				if inLoop {
+					hp.checkCall(m, fi, env, t, r, suffix)
+				}
+			}
+			return true
+		})
+	}
+	scan(fn.Body, false)
+	return callees
+}
+
+// checkCall flags allocation-carrying calls inside a loop.
+func (hp *HotPath) checkCall(m *Module, fi *FuncInfo, env *funcEnv, call *ast.CallExpr, r *Reporter, suffix string) {
+	pkg, file := fi.Pkg, fi.File
+	switch fun := unwrapParens(call.Fun).(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "make":
+			r.Reportf(call.Pos(), "make in a loop allocates every iteration; hoist the buffer out of the loop%s", suffix)
+			return
+		case "new":
+			r.Reportf(call.Pos(), "new in a loop allocates every iteration; hoist the allocation out of the loop%s", suffix)
+			return
+		case "string":
+			if len(call.Args) == 1 && !isBasicLit(call.Args[0]) {
+				r.Reportf(call.Pos(), "string conversion in a loop copies and allocates every iteration%s", suffix)
+				return
+			}
+		}
+	case *ast.ArrayType:
+		if elt, ok := fun.Elt.(*ast.Ident); ok && fun.Len == nil && elt.Name == "byte" && len(call.Args) == 1 {
+			r.Reportf(call.Pos(), "[]byte conversion in a loop copies and allocates every iteration%s", suffix)
+			return
+		}
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			if _, isLocal := env.vars[x.Name]; !isLocal && m.imports[file][x.Name] == "fmt" {
+				r.Reportf(call.Pos(), "fmt.%s in a loop boxes its arguments and allocates; move it off the hot path%s", fun.Sel.Name, suffix)
+				return
+			}
+		}
+	}
+	fi2 := m.resolveCall(pkg, file, env, call)
+	if fi2 == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		p, ok := paramAt(fi2, i)
+		if !ok || !p.iface {
+			continue
+		}
+		if id, isIdent := arg.(*ast.Ident); isIdent && id.Name == "nil" {
+			continue
+		}
+		r.Reportf(arg.Pos(), "call to %s boxes this argument into an interface parameter every iteration; keep hot-loop calls monomorphic%s", fi2.String(), suffix)
+		return
+	}
+}
+
+// checkAppend flags `x = append(x, ...)` in a loop when x was provably
+// declared without capacity, so every iteration risks a growth copy.
+func (hp *HotPath) checkAppend(as *ast.AssignStmt, r *Reporter, suffix string) {
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	for i := 0; i < len(as.Lhs) && i < len(as.Rhs); i++ {
+		call, ok := as.Rhs[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fun, ok := unwrapParens(call.Fun).(*ast.Ident)
+		if !ok || fun.Name != "append" || len(call.Args) == 0 {
+			continue
+		}
+		lhs, ok := as.Lhs[i].(*ast.Ident)
+		if !ok || lhs.Obj == nil {
+			continue
+		}
+		arg, ok := call.Args[0].(*ast.Ident)
+		if !ok || arg.Obj != lhs.Obj {
+			continue
+		}
+		if declaredWithoutCap(arg.Obj) {
+			r.Reportf(as.Pos(), "append to %s grows from zero capacity every iteration; preallocate with make before the loop%s", lhs.Name, suffix)
+		}
+	}
+}
+
+// declaredWithoutCap reports whether obj's declaration is a slice with no
+// storage behind it: `var x []T` or `x := []T{}`. Anything else — a
+// parameter, a make with capacity, an unresolved expression — passes, so
+// the check only fires on provable zero-capacity growth.
+func declaredWithoutCap(obj *ast.Object) bool {
+	switch d := obj.Decl.(type) {
+	case *ast.ValueSpec:
+		if len(d.Values) == 0 {
+			at, ok := d.Type.(*ast.ArrayType)
+			return ok && at.Len == nil
+		}
+		for i, n := range d.Names {
+			if n.Obj == obj && i < len(d.Values) {
+				return isEmptySliceLit(d.Values[i])
+			}
+		}
+	case *ast.AssignStmt:
+		for i, lhs := range d.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Obj != obj {
+				continue
+			}
+			if len(d.Rhs) == len(d.Lhs) {
+				return isEmptySliceLit(d.Rhs[i])
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// isEmptySliceLit matches `[]T{}`.
+func isEmptySliceLit(e ast.Expr) bool {
+	lit, ok := unwrapParens(e).(*ast.CompositeLit)
+	if !ok || len(lit.Elts) != 0 {
+		return false
+	}
+	at, ok := lit.Type.(*ast.ArrayType)
+	return ok && at.Len == nil
+}
+
+// isBasicLit reports whether e is a literal constant (string("x") and
+// friends allocate nothing new per iteration worth flagging).
+func isBasicLit(e ast.Expr) bool {
+	_, ok := unwrapParens(e).(*ast.BasicLit)
+	return ok
+}
+
+// paramAt maps an argument index to its declared parameter, folding the
+// variadic tail.
+func paramAt(fi *FuncInfo, i int) (paramInfo, bool) {
+	if len(fi.params) == 0 {
+		return paramInfo{}, false
+	}
+	if i < len(fi.params) {
+		return fi.params[i], true
+	}
+	if fi.variadic {
+		return fi.params[len(fi.params)-1], true
+	}
+	return paramInfo{}, false
+}
+
+// typeLabel renders a composite literal's type for a diagnostic; untyped
+// nested literals render as "composite".
+func typeLabel(pkg *Package, t ast.Expr) string {
+	if t == nil {
+		return "composite"
+	}
+	return render(pkg.Fset, t)
+}

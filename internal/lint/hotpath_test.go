@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHotPathGolden(t *testing.T) {
+	runGolden(t, NewHotPath(), "hotpath", "reptile/internal/lint/testdata/hotpath")
+}
+
+// TestHotPathFollowsCallsAcrossPackages proves the worklist crosses package
+// boundaries: the only annotation lives in caller, the only allocation in
+// leaf, and the diagnostic lands in leaf naming caller's root.
+func TestHotPathFollowsCallsAcrossPackages(t *testing.T) {
+	load := func(dir, imp string) *Package {
+		t.Helper()
+		pkg, err := LoadDir(filepath.Join("testdata", "hotpath_xpkg", dir), imp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pkg == nil {
+			t.Fatalf("no Go files in testdata/hotpath_xpkg/%s", dir)
+		}
+		return pkg
+	}
+	caller := load("caller", "reptile/internal/lint/testdata/hotpath_xpkg/caller")
+	leaf := load("leaf", "reptile/internal/lint/testdata/hotpath_xpkg/leaf")
+
+	diags := Run([]*Package{caller, leaf}, []Analyzer{NewHotPath()})
+	if len(diags) != 1 {
+		t.Fatalf("expected exactly 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if base := filepath.Base(filepath.Dir(d.Pos.Filename)); base != "leaf" {
+		t.Errorf("diagnostic landed in %q, want package leaf: %s", base, d)
+	}
+	if !strings.Contains(d.Message, "make in a loop") {
+		t.Errorf("diagnostic does not name the allocation: %s", d)
+	}
+	if !strings.Contains(d.Message, "hot path of caller.Drive") {
+		t.Errorf("diagnostic does not name the annotated root: %s", d)
+	}
+}

@@ -5,24 +5,33 @@
 // design depends on: mutex discipline on shared state (lockguard), frozen
 // spectrum stores written only at their declared freeze points (freezeguard),
 // a closed send/receive protocol over the wire tags (wireproto), no
-// sleep-based synchronization (nosleepsync), and joined goroutine lifetimes
-// (goroutine-hygiene).
+// sleep-based synchronization (nosleepsync), joined goroutine lifetimes
+// (goroutine-hygiene), allocation-free declared hot loops (hotpath), errors
+// that always reach a return or abort on typed-error paths (errorflow), and
+// registry-before-use ordering of message-plane tags (msgorder).
 //
 // The tool is standard-library only: packages are discovered by walking the
 // module tree go-list style via go/build, and every analysis is syntactic
-// (go/ast) with lightweight intra-package type resolution — no go/packages,
-// no external analysis framework.
+// (go/ast) with lightweight type resolution over declarations — intra-package
+// inference plus a module-local call graph (see typeinfo.go) — no
+// go/packages, no external analysis framework.
 //
-// Three comment directives tune the analyzers:
+// Four comment directives tune the analyzers:
 //
 //	// reptile-lint:allow <analyzer> <reason>
 //	    suppresses that analyzer's diagnostics on the same or next line.
+//	    The reason is required, and a directive that suppresses nothing is
+//	    itself reported (analyzer name "allow").
 //	// reptile-lint:holds <mu>
 //	    on a function's doc comment, declares that callers hold <mu>, so
 //	    lockguard treats the body as running under that mutex.
 //	// reptile-lint:build
 //	    on a function's doc comment, declares the build/freeze phase that
 //	    may write '// frozen:' fields, so freezeguard skips the body.
+//	// reptile-lint:hotpath
+//	    on a function's doc comment, declares a hot loop: hotpath checks
+//	    the body and every resolvable module-local callee for
+//	    per-iteration allocations.
 package lint
 
 import (
@@ -47,6 +56,27 @@ type Diagnostic struct {
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// JSONDiagnostic is the machine-readable form one -json line carries. The
+// field set is flat and stable so CI annotation tooling can rely on it.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// JSON returns the diagnostic in its machine-readable form.
+func (d Diagnostic) JSON() JSONDiagnostic {
+	return JSONDiagnostic{
+		File:     d.Pos.Filename,
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
 }
 
 // File is one parsed source file.
@@ -99,6 +129,16 @@ type Analyzer interface {
 	Check(pkg *Package, r *Reporter)
 }
 
+// ModuleAnalyzer is an Analyzer that needs the whole loaded package set at
+// once — cross-package call graphs, registry ordering. CheckModule runs
+// exactly once per Run; diagnostics go through a per-package Reporter
+// obtained from report, because every Package owns its own FileSet. Check
+// is typically a no-op for these analyzers.
+type ModuleAnalyzer interface {
+	Analyzer
+	CheckModule(m *Module, report func(*Package) *Reporter)
+}
+
 // All returns the full analyzer suite with default configuration.
 func All() []Analyzer {
 	return []Analyzer{
@@ -107,6 +147,9 @@ func All() []Analyzer {
 		NewWireProto(),
 		NewNoSleepSync(),
 		NewGoroutineHygiene(),
+		NewHotPath(),
+		NewErrorFlow(),
+		NewMsgOrder(),
 	}
 }
 
@@ -246,23 +289,97 @@ func LoadDir(dir, importPath string) (*Package, error) {
 	return pkg, nil
 }
 
-// Run applies every analyzer to every package, drops diagnostics silenced by
-// reptile-lint:allow directives, and returns the rest in file/line order.
+// Run applies every analyzer to every package — per-package Analyzers
+// package by package, ModuleAnalyzers once over a Module index of the whole
+// set — drops diagnostics silenced by reptile-lint:allow directives, audits
+// the directives themselves (missing reasons, directives that suppressed
+// nothing, under the analyzer name "allow"), and returns the rest in
+// file/line order.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	mod := NewModule(pkgs)
+	allows := make(map[*Package]*pkgAllows, len(pkgs))
 	for _, pkg := range pkgs {
-		allowed := allowDirectives(pkg)
+		allows[pkg] = allowDirectives(pkg)
+	}
+
+	var diags []Diagnostic
+	filter := func(pkg *Package, name string, found []Diagnostic) {
+		pa := allows[pkg]
+		for _, d := range found {
+			if dir := pa.byLine[allowKey{d.Pos.Filename, d.Pos.Line, name}]; dir != nil {
+				dir.used = true
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if _, isModule := a.(ModuleAnalyzer); isModule {
+				continue
+			}
 			var found []Diagnostic
 			a.Check(pkg, &Reporter{pkg: pkg, analyzer: a.Name(), diags: &found})
-			for _, d := range found {
-				if allowed[allowKey{d.Pos.Filename, d.Pos.Line, a.Name()}] {
-					continue
-				}
-				diags = append(diags, d)
+			filter(pkg, a.Name(), found)
+		}
+	}
+	for _, a := range analyzers {
+		ma, isModule := a.(ModuleAnalyzer)
+		if !isModule {
+			continue
+		}
+		found := map[*Package]*[]Diagnostic{}
+		ma.CheckModule(mod, func(pkg *Package) *Reporter {
+			lst := found[pkg]
+			if lst == nil {
+				lst = new([]Diagnostic)
+				found[pkg] = lst
+			}
+			return &Reporter{pkg: pkg, analyzer: a.Name(), diags: lst}
+		})
+		for _, pkg := range pkgs {
+			if lst := found[pkg]; lst != nil {
+				filter(pkg, a.Name(), *lst)
 			}
 		}
 	}
+
+	// Audit the directives for the analyzers that actually ran: an allow
+	// with no reason is undocumented debt, and one that suppressed nothing
+	// is stale. Audit findings cannot themselves be allowed away. A
+	// directive for a path-scoped analyzer is left alone in packages that
+	// analyzer never looked at — it is dormant there, not stale.
+	active := map[string]Analyzer{}
+	for _, a := range analyzers {
+		active[a.Name()] = a
+	}
+	for _, pkg := range pkgs {
+		for _, dir := range allows[pkg].list {
+			a, ok := active[dir.analyzer]
+			if !ok {
+				continue
+			}
+			if ps, scoped := a.(pathScoped); scoped && !ps.appliesTo(pkg) {
+				continue
+			}
+			if dir.reason == "" {
+				diags = append(diags, Diagnostic{
+					Pos:      dir.pos,
+					Analyzer: "allow",
+					Message:  fmt.Sprintf("reptile-lint:allow %s has no reason; say why the finding is acceptable", dir.analyzer),
+				})
+			}
+			if !dir.used {
+				diags = append(diags, Diagnostic{
+					Pos:      dir.pos,
+					Analyzer: "allow",
+					Message:  fmt.Sprintf("reptile-lint:allow %s suppresses nothing; remove the stale directive", dir.analyzer),
+				})
+			}
+		}
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -282,27 +399,72 @@ type allowKey struct {
 	analyzer string
 }
 
-var allowRe = regexp.MustCompile(`reptile-lint:allow\s+([\w-]+)`)
+// allowDirective is one parsed reptile-lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool // suppressed at least one diagnostic this Run
+}
 
-// allowDirectives indexes every reptile-lint:allow comment: a directive
+// pkgAllows indexes one package's allow directives: byLine for suppression
+// lookup (a directive covers its own line and the next), list in source
+// order for the audit.
+type pkgAllows struct {
+	byLine map[allowKey]*allowDirective
+	list   []*allowDirective
+}
+
+var allowRe = regexp.MustCompile(`^reptile-lint:allow\s+([\w-]+)[ \t]*([^\n]*)`)
+
+// commentText strips the comment markers so directives can be matched
+// anchored: a directive must open the comment, which keeps prose that merely
+// mentions "reptile-lint:allow foo" (analyzer docs, diagnostics text) from
+// parsing as a live suppression.
+func commentText(c *ast.Comment) string {
+	t := c.Text
+	switch {
+	case strings.HasPrefix(t, "//"):
+		t = t[2:]
+	case strings.HasPrefix(t, "/*"):
+		t = strings.TrimSuffix(t[2:], "*/")
+	}
+	return strings.TrimSpace(t)
+}
+
+// allowDirectives parses every reptile-lint:allow comment: a directive
 // silences its analyzer on the comment's own line and on the next line, so
 // it can ride at the end of the offending statement or just above it.
-func allowDirectives(pkg *Package) map[allowKey]bool {
-	out := map[allowKey]bool{}
+func allowDirectives(pkg *Package) *pkgAllows {
+	out := &pkgAllows{byLine: map[allowKey]*allowDirective{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.AST.Comments {
 			for _, c := range cg.List {
-				m := allowRe.FindStringSubmatch(c.Text)
+				m := allowRe.FindStringSubmatch(commentText(c))
 				if m == nil {
 					continue
 				}
+				reason := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(m[2]), "*/"))
+				dir := &allowDirective{
+					analyzer: m[1],
+					reason:   reason,
+					pos:      pkg.Fset.Position(c.Pos()),
+				}
+				out.list = append(out.list, dir)
 				pos := pkg.Fset.Position(c.Pos())
-				out[allowKey{f.Name, pos.Line, m[1]}] = true
-				out[allowKey{f.Name, pos.Line + 1, m[1]}] = true
+				out.byLine[allowKey{f.Name, pos.Line, m[1]}] = dir
+				out.byLine[allowKey{f.Name, pos.Line + 1, m[1]}] = dir
 			}
 		}
 	}
 	return out
+}
+
+// pathScoped is implemented by analyzers that restrict themselves to a
+// subset of import paths; the allow audit consults it so a directive in a
+// package the analyzer skipped is not reported as stale.
+type pathScoped interface {
+	appliesTo(pkg *Package) bool
 }
 
 // pathMatches reports whether imp matches any substring filter; an empty

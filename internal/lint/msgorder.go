@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// MsgOrder checks the message plane's registration discipline module-wide:
+// every tag constant referenced by a Send/Recv/Handle call must be covered
+// by a Spec registered during init (directly or one call deep), Direct tags
+// must never be claimed by a Router handler while router-owned tags must
+// never be taken with a blocking direct Recv, and a package registering
+// request specs must register the matching response specs (the Caller's
+// window has nothing to match otherwise).
+//
+// The model is name-based, same horizon as the rest of the suite: a "tag"
+// is a constant whose declared type is a module type named Tag, and a
+// "spec" is a composite literal of a module type named Spec declared next
+// to a Tag type. Tags passed through variables or computed expressions are
+// outside the horizon and pass silently.
+type MsgOrder struct{}
+
+// NewMsgOrder returns the analyzer with default configuration.
+func NewMsgOrder() *MsgOrder { return &MsgOrder{} }
+
+// Name implements Analyzer.
+func (mo *MsgOrder) Name() string { return "msgorder" }
+
+// Doc implements Analyzer.
+func (mo *MsgOrder) Doc() string {
+	return "msgplane tags registered before use, Direct vs Router ownership, request/response spec pairing"
+}
+
+// Check implements Analyzer; all work happens module-wide in CheckModule.
+func (mo *MsgOrder) Check(pkg *Package, r *Reporter) {}
+
+// tagKey names one tag constant module-wide.
+type tagKey struct {
+	pkg  string // import path of the declaring package
+	name string
+}
+
+// msgSpec is one Spec composite literal found in the module.
+type msgSpec struct {
+	tag    tagKey
+	dir    string // terminal name of the Dir field value; "" when absent
+	direct bool
+	atInit bool // registered from init, directly or one call deep
+	pkg    *Package
+	pos    token.Pos
+}
+
+// msgUse is one Send/Recv/Handle call referencing a tag constant.
+type msgUse struct {
+	kind string // "Send" | "Recv" | "Handle"
+	tag  tagKey
+	pkg  *Package
+	pos  token.Pos
+}
+
+// CheckModule implements ModuleAnalyzer.
+func (mo *MsgOrder) CheckModule(m *Module, report func(*Package) *Reporter) {
+	tags := mo.collectTagConsts(m)
+	specs := mo.collectSpecs(m, tags)
+	uses := mo.collectUses(m, tags)
+
+	registered := map[tagKey]*msgSpec{}
+	anySpec := map[tagKey]*msgSpec{}
+	for _, s := range specs {
+		if s.atInit && registered[s.tag] == nil {
+			registered[s.tag] = s
+		}
+		if anySpec[s.tag] == nil {
+			anySpec[s.tag] = s
+		}
+	}
+
+	for _, u := range uses {
+		r := report(u.pkg)
+		spec := registered[u.tag]
+		if spec == nil {
+			if late := anySpec[u.tag]; late != nil {
+				r.Reportf(u.pos, "tag %s is registered only outside init; %s may run before the registry knows it", u.tag.name, u.kind)
+			} else {
+				r.Reportf(u.pos, "tag %s is used by %s but never registered with the tag registry", u.tag.name, u.kind)
+			}
+			continue
+		}
+		switch u.kind {
+		case "Handle":
+			if spec.direct {
+				r.Reportf(u.pos, "Direct tag %s must not get a Router handler; Direct frames bypass the router demux", u.tag.name)
+			}
+		case "Recv":
+			if !spec.direct {
+				r.Reportf(u.pos, "tag %s is router-owned (not Direct) but taken with a blocking Recv; only the router may demux it", u.tag.name)
+			}
+		}
+	}
+
+	// Request/response pairing, per tag-declaring package: a Caller window
+	// matches responses to requests, so registering one side without the
+	// other leaves the window unmatchable.
+	byPkg := map[string][]*msgSpec{}
+	for _, s := range specs {
+		if s.atInit {
+			byPkg[s.tag.pkg] = append(byPkg[s.tag.pkg], s)
+		}
+	}
+	for _, group := range byPkg {
+		var nReq, nResp int
+		for _, s := range group {
+			switch s.dir {
+			case "DirRequest":
+				nReq++
+			case "DirResponse":
+				nResp++
+			}
+		}
+		for _, s := range group {
+			if s.dir == "DirRequest" && nResp == 0 {
+				report(s.pkg).Reportf(s.pos, "registers request tag %s with no response tag in %s; the caller window has nothing to match", s.tag.name, s.tag.pkg)
+			}
+			if s.dir == "DirResponse" && nReq == 0 {
+				report(s.pkg).Reportf(s.pos, "registers response tag %s with no request tag in %s; nothing can await it", s.tag.name, s.tag.pkg)
+			}
+		}
+	}
+}
+
+// collectTagConsts indexes every constant whose declared type is a module
+// type named Tag, tracking the implicit type inheritance of iota groups.
+func (mo *MsgOrder) collectTagConsts(m *Module) map[tagKey]bool {
+	tags := map[tagKey]bool{}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.SourceFiles() {
+			for _, decl := range f.AST.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				var cur ast.Expr
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					switch {
+					case vs.Type != nil:
+						cur = vs.Type
+					case len(vs.Values) > 0:
+						cur = nil // explicit untyped value resets the group type
+					}
+					if cur == nil {
+						continue
+					}
+					ref := m.qualRefOf(pkg, f, cur)
+					if !ref.known || ref.elem || ref.t.Name != "Tag" {
+						continue
+					}
+					for _, n := range vs.Names {
+						tags[tagKey{pkg.ImportPath, n.Name}] = true
+					}
+				}
+			}
+		}
+	}
+	return tags
+}
+
+// specType reports whether a composite literal's type is a module type
+// named Spec whose declaring package also declares Tag — the signature of
+// a message-plane spec table, as opposed to unrelated Spec types.
+func (mo *MsgOrder) specType(m *Module, pkg *Package, f *File, e ast.Expr) bool {
+	ref := m.qualRefOf(pkg, f, e)
+	return ref.known && ref.t.Name == "Spec" && m.typeNames[ref.t.Pkg]["Tag"]
+}
+
+// collectSpecs finds every Spec composite literal and whether it is
+// registered during init: inside a Register* call in an init function or
+// in a function an init calls directly.
+func (mo *MsgOrder) collectSpecs(m *Module, tags map[tagKey]bool) []*msgSpec {
+	var specs []*msgSpec
+	for _, pkg := range m.Pkgs {
+		// Functions reachable from init in one step.
+		initCalled := map[string]bool{"init": true}
+		for _, f := range pkg.SourceFiles() {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv != nil || fd.Name.Name != "init" || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := unwrapParens(call.Fun).(*ast.Ident); ok {
+							initCalled[id.Name] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		for _, f := range pkg.SourceFiles() {
+			for _, decl := range f.AST.Decls {
+				fd, isFunc := decl.(*ast.FuncDecl)
+				atInit := isFunc && fd.Recv == nil && initCalled[fd.Name.Name]
+				ast.Inspect(decl, func(n ast.Node) bool {
+					lit, ok := n.(*ast.CompositeLit)
+					if !ok || lit.Type == nil || !mo.specType(m, pkg, f, lit.Type) {
+						return true
+					}
+					if s := mo.parseSpec(m, pkg, f, lit, tags); s != nil {
+						s.atInit = atInit
+						specs = append(specs, s)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// parseSpec extracts the Tag, Dir, and Direct fields from a keyed Spec
+// literal; nil when the Tag field is not a known tag constant.
+func (mo *MsgOrder) parseSpec(m *Module, pkg *Package, f *File, lit *ast.CompositeLit, tags map[tagKey]bool) *msgSpec {
+	s := &msgSpec{pkg: pkg, pos: lit.Pos()}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return nil // positional spec literal: outside the horizon
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Tag":
+			tk, ok := mo.tagOf(m, pkg, f, kv.Value, tags)
+			if !ok {
+				return nil
+			}
+			s.tag = tk
+		case "Dir":
+			switch v := unwrapParens(kv.Value).(type) {
+			case *ast.Ident:
+				s.dir = v.Name
+			case *ast.SelectorExpr:
+				s.dir = v.Sel.Name
+			}
+		case "Direct":
+			if id, ok := unwrapParens(kv.Value).(*ast.Ident); ok && id.Name == "true" {
+				s.direct = true
+			}
+		}
+	}
+	if s.tag.name == "" {
+		return nil
+	}
+	return s
+}
+
+// tagOf resolves an expression to a known tag constant.
+func (mo *MsgOrder) tagOf(m *Module, pkg *Package, f *File, e ast.Expr, tags map[tagKey]bool) (tagKey, bool) {
+	switch v := unwrapParens(e).(type) {
+	case *ast.Ident:
+		tk := tagKey{pkg.ImportPath, v.Name}
+		return tk, tags[tk]
+	case *ast.SelectorExpr:
+		x, ok := v.X.(*ast.Ident)
+		if !ok {
+			return tagKey{}, false
+		}
+		p, ok := m.imports[f][x.Name]
+		if !ok {
+			return tagKey{}, false
+		}
+		tk := tagKey{p, v.Sel.Name}
+		return tk, tags[tk]
+	}
+	return tagKey{}, false
+}
+
+// collectUses finds every Send/Recv/Handle call whose direct arguments
+// include a known tag constant.
+func (mo *MsgOrder) collectUses(m *Module, tags map[tagKey]bool) []*msgUse {
+	var uses []*msgUse
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.SourceFiles() {
+			for _, decl := range f.AST.Decls {
+				ast.Inspect(decl, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					name := funcNameOf(call)
+					if name != "Send" && name != "Recv" && name != "Handle" {
+						return true
+					}
+					for _, arg := range call.Args {
+						if tk, ok := mo.tagOf(m, pkg, f, arg, tags); ok {
+							uses = append(uses, &msgUse{kind: name, tag: tk, pkg: pkg, pos: arg.Pos()})
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return uses
+}

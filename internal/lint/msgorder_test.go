@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestMsgOrderGolden(t *testing.T) {
+	runGolden(t, NewMsgOrder(), "msgorder", "reptile/internal/lint/testdata/msgorder")
+}
+
+func TestMsgOrderPairingGolden(t *testing.T) {
+	runGolden(t, NewMsgOrder(), "msgorder_pair", "reptile/internal/lint/testdata/msgorder_pair")
+}

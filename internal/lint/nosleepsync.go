@@ -37,9 +37,14 @@ func (*NoSleepSync) Doc() string {
 	return "forbids time.Sleep as a synchronization primitive in transport/collective/core code"
 }
 
+// appliesTo implements pathScoped for the allow-directive audit.
+func (ns *NoSleepSync) appliesTo(pkg *Package) bool {
+	return pathMatches(pkg.ImportPath, ns.Paths)
+}
+
 // Check implements Analyzer.
 func (ns *NoSleepSync) Check(pkg *Package, r *Reporter) {
-	if !pathMatches(pkg.ImportPath, ns.Paths) {
+	if !ns.appliesTo(pkg) {
 		return
 	}
 	for _, f := range pkg.Files {

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -25,6 +26,33 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages from %s; pattern expansion is broken", len(pkgs), root)
+	}
+	// The walk must reach beyond internal/: the commands and the runnable
+	// examples carry protocol and goroutine code of their own, and a lint
+	// gate that silently skips them is a hole, not a gate.
+	seen := map[string]bool{}
+	var cmds, examples int
+	for _, p := range pkgs {
+		seen[p.ImportPath] = true
+		if strings.HasPrefix(p.ImportPath, "reptile/cmd/") {
+			cmds++
+		}
+		if strings.HasPrefix(p.ImportPath, "reptile/examples/") {
+			examples++
+		}
+	}
+	for _, want := range []string{
+		"reptile/cmd/reptile-lint",
+		"reptile/cmd/reptile-correct",
+		"reptile/examples/quickstart",
+		"reptile/examples/tcpcluster",
+	} {
+		if !seen[want] {
+			t.Errorf("package %s missing from the ./... walk", want)
+		}
+	}
+	if cmds < 5 || examples < 3 {
+		t.Errorf("walk found %d cmd/ and %d examples/ packages; expected at least 5 and 3", cmds, examples)
 	}
 	for _, d := range Run(pkgs, All()) {
 		t.Errorf("%s", d)

@@ -1,0 +1,23 @@
+// Package fixture exercises the reptile-lint:allow audit: a used directive
+// with a reason passes, an empty reason is reported, and a directive that
+// suppresses nothing is stale.
+package fixture
+
+import "time"
+
+// documented sleeps behind a reasoned allow: silent.
+func documented() {
+	time.Sleep(time.Millisecond) // reptile-lint:allow nosleepsync fixture exercises a documented sleep
+}
+
+// missingReason still suppresses the finding, but the bare directive is
+// itself reported.
+func missingReason() {
+	time.Sleep(time.Millisecond) // reptile-lint:allow nosleepsync
+}
+
+// stale carries a directive with nothing left to suppress.
+func stale() {
+	// reptile-lint:allow nosleepsync nothing sleeps here anymore
+	_ = time.Now()
+}

@@ -1,0 +1,17 @@
+// Package caller drives package leaf's loops from an annotated root; the
+// allocation hotpath must flag lives one module-local call away.
+package caller
+
+import "reptile/internal/lint/testdata/hotpath_xpkg/leaf"
+
+// Drive is the annotated entry point.
+//
+// reptile-lint:hotpath
+func Drive(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += leaf.Sum(x)
+	}
+	leaf.Scale(xs)
+	return total
+}

@@ -1,0 +1,16 @@
+// Package leaf is reached from an annotated hot path in package caller;
+// it carries no annotation of its own.
+package leaf
+
+// Sum is allocation-free.
+func Sum(x int) int { return x + 1 }
+
+// Scale allocates per iteration; flagged only because the annotated
+// caller.Drive reaches it through the module call graph.
+func Scale(xs []int) {
+	for i := range xs {
+		buf := make([]int, 1)
+		buf[0] = xs[i] * 2
+		xs[i] = buf[0]
+	}
+}

@@ -1,0 +1,87 @@
+// Package fixture exercises the msgorder analyzer against a self-contained
+// stand-in for the msgplane registry: a Tag type, Spec literals registered
+// from init, and Send/Recv/Handle call sites.
+package fixture
+
+// Tag mirrors msgplane.Tag.
+type Tag int
+
+// Direction mirrors msgplane.Direction.
+type Direction int
+
+// Directions.
+const (
+	DirRequest Direction = iota
+	DirResponse
+	DirControl
+)
+
+// Spec mirrors msgplane.Spec.
+type Spec struct {
+	Tag    Tag
+	Name   string
+	Dir    Direction
+	Direct bool
+}
+
+// Conn is a minimal endpoint.
+type Conn interface{ Rank() int }
+
+// Router demuxes router-owned tags.
+type Router struct{}
+
+// Register records specs in the registry.
+func Register(specs ...Spec) {}
+
+// Send ships one frame.
+func Send(e Conn, to int, t Tag, payload []byte) error { return nil }
+
+// Recv blocks for one Direct frame.
+func Recv(e Conn, t Tag) error { return nil }
+
+// Handle claims a router-owned tag.
+func (r *Router) Handle(t Tag, h func() error) {}
+
+// The protocol's tags.
+const (
+	tagGoodReq  Tag = 1
+	tagGoodResp Tag = 2
+	tagDirect   Tag = 3
+	tagStray    Tag = 4
+	tagLate     Tag = 5
+)
+
+func init() {
+	Register(
+		Spec{Tag: tagGoodReq, Name: "goodReq", Dir: DirRequest},
+		Spec{Tag: tagGoodResp, Name: "goodResp", Dir: DirResponse},
+		Spec{Tag: tagDirect, Name: "direct", Dir: DirResponse, Direct: true},
+	)
+}
+
+// lateRegister is never reached from init, so tagLate is registered too
+// late for the registry ordering guarantee.
+func lateRegister() {
+	Register(Spec{Tag: tagLate, Name: "late", Dir: DirControl})
+}
+
+func handler() error { return nil }
+
+// drive exercises every use rule.
+func drive(e Conn, r *Router) error {
+	r.Handle(tagGoodReq, handler)
+	if err := Send(e, 1, tagGoodResp, nil); err != nil {
+		return err
+	}
+	if err := Send(e, 1, tagStray, nil); err != nil { // want "never registered"
+		return err
+	}
+	if err := Send(e, 0, tagLate, nil); err != nil { // want "registered only outside init"
+		return err
+	}
+	r.Handle(tagDirect, handler)  // want "Direct tag tagDirect must not get a Router handler"
+	if err := Recv(e, tagGoodResp); err != nil { // want "but taken with a blocking Recv"
+		return err
+	}
+	return Recv(e, tagDirect)
+}

@@ -1,0 +1,39 @@
+// Package fixture seeds the msgorder pairing violation: a package that
+// registers request specs with no response spec leaves the caller window
+// unmatchable.
+package fixture
+
+// Tag mirrors msgplane.Tag.
+type Tag int
+
+// Direction mirrors msgplane.Direction.
+type Direction int
+
+// Directions.
+const (
+	DirRequest Direction = iota
+	DirResponse
+)
+
+// Spec mirrors msgplane.Spec.
+type Spec struct {
+	Tag  Tag
+	Name string
+	Dir  Direction
+}
+
+// Register records specs in the registry.
+func Register(specs ...Spec) {}
+
+// The one-sided protocol.
+const (
+	tagAskA Tag = 1
+	tagAskB Tag = 2
+)
+
+func init() {
+	Register(
+		Spec{Tag: tagAskA, Name: "askA", Dir: DirRequest}, // want "no response tag"
+		Spec{Tag: tagAskB, Name: "askB", Dir: DirRequest}, // want "no response tag"
+	)
+}

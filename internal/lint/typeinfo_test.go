@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"testing"
+)
+
+// parseTestPkg builds a Package from in-memory sources, same parser setup
+// as LoadDir (object resolution on, comments kept).
+func parseTestPkg(t *testing.T, importPath string, files map[string]string) *Package {
+	t.Helper()
+	pkg := &Package{Dir: "test", ImportPath: importPath, Fset: token.NewFileSet()}
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(pkg.Fset, name, files[name], parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		pkg.Files = append(pkg.Files, &File{Name: name, AST: f})
+	}
+	return pkg
+}
+
+const typeinfoSrcA = `package a
+
+import "example.com/m/b"
+
+type Inner struct{ N int }
+
+type Outer struct {
+	In    Inner
+	Ptr   *Inner
+	Items []Inner
+	Rem   b.Remote
+}
+
+func NewOuter() *Outer { return &Outer{} }
+
+func (o *Outer) Get() Inner { return o.In }
+
+func helper() {}
+
+func mayFail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func (o *Outer) Use(seed Inner) {
+	in := o.In
+	p := o.Ptr
+	first := o.Items[0]
+	rem := o.Rem
+	made := b.Make()
+	built := Inner{N: 1}
+	addr := &Outer{}
+	var typed b.Remote
+	conv := Inner(built)
+	copied := seed
+	_ = in
+	_ = p
+	_ = first
+	_ = rem
+	_ = made
+	_ = addr
+	_ = typed
+	_ = conv
+	_ = copied
+}
+
+func (o *Outer) Calls() {
+	o.Get()
+	b.Make()
+	o.Rem.Ping()
+	helper()
+	println("not ours")
+}
+`
+
+const typeinfoSrcB = `package b
+
+type Remote struct{ X int }
+
+func (r Remote) Ping() error { return nil }
+
+func Make() Remote { return Remote{} }
+`
+
+func buildTestModule(t *testing.T) (*Module, *Package, *Package) {
+	t.Helper()
+	pa := parseTestPkg(t, "example.com/m/a", map[string]string{"a.go": typeinfoSrcA})
+	pb := parseTestPkg(t, "example.com/m/b", map[string]string{"b.go": typeinfoSrcB})
+	return NewModule([]*Package{pa, pb}), pa, pb
+}
+
+func TestEnvOfInfersLocalTypes(t *testing.T) {
+	m, _, _ := buildTestModule(t)
+	fi := m.funcs[funcKey{"example.com/m/a", "Outer", "Use"}]
+	if fi == nil {
+		t.Fatal("Outer.Use not indexed")
+	}
+	env := m.envOf(fi)
+
+	tests := []struct {
+		name string
+		want QualType
+	}{
+		{"o", QualType{"example.com/m/a", "Outer"}},
+		{"seed", QualType{"example.com/m/a", "Inner"}},
+		{"in", QualType{"example.com/m/a", "Inner"}},
+		{"p", QualType{"example.com/m/a", "Inner"}},
+		{"first", QualType{"example.com/m/a", "Inner"}},
+		{"rem", QualType{"example.com/m/b", "Remote"}},
+		{"made", QualType{"example.com/m/b", "Remote"}},
+		{"built", QualType{"example.com/m/a", "Inner"}},
+		{"addr", QualType{"example.com/m/a", "Outer"}},
+		{"typed", QualType{"example.com/m/b", "Remote"}},
+		{"conv", QualType{"example.com/m/a", "Inner"}},
+		{"copied", QualType{"example.com/m/a", "Inner"}},
+	}
+	for _, tc := range tests {
+		ref, ok := env.vars[tc.name]
+		if !ok {
+			t.Errorf("%s: not in env", tc.name)
+			continue
+		}
+		if ref.t != tc.want {
+			t.Errorf("%s: resolved to %v, want %v", tc.name, ref.t, tc.want)
+		}
+	}
+}
+
+func TestResolveCall(t *testing.T) {
+	m, _, _ := buildTestModule(t)
+	fi := m.funcs[funcKey{"example.com/m/a", "Outer", "Calls"}]
+	if fi == nil {
+		t.Fatal("Outer.Calls not indexed")
+	}
+	env := m.envOf(fi)
+
+	var calls []*ast.CallExpr
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	want := []string{"a.Outer.Get", "b.Make", "b.Remote.Ping", "a.helper", ""}
+	if len(calls) != len(want) {
+		t.Fatalf("found %d calls, want %d", len(calls), len(want))
+	}
+	for i, c := range calls {
+		got := ""
+		if fi2 := m.resolveCall(fi.Pkg, fi.File, env, c); fi2 != nil {
+			got = fi2.String()
+		}
+		if got != want[i] {
+			t.Errorf("call %d resolved to %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+func TestFuncSignatureIndex(t *testing.T) {
+	m, _, _ := buildTestModule(t)
+	tests := []struct {
+		key          funcKey
+		returnsError bool
+		results      int
+	}{
+		{funcKey{"example.com/m/a", "", "mayFail"}, true, 1},
+		{funcKey{"example.com/m/a", "", "pair"}, true, 2},
+		{funcKey{"example.com/m/a", "", "helper"}, false, 0},
+		{funcKey{"example.com/m/b", "Remote", "Ping"}, true, 1},
+		{funcKey{"example.com/m/b", "", "Make"}, false, 1},
+	}
+	for _, tc := range tests {
+		fi := m.funcs[tc.key]
+		if fi == nil {
+			t.Errorf("%v: not indexed", tc.key)
+			continue
+		}
+		if fi.returnsError != tc.returnsError {
+			t.Errorf("%v: returnsError = %v, want %v", tc.key, fi.returnsError, tc.returnsError)
+		}
+		if len(fi.results) != tc.results {
+			t.Errorf("%v: %d results, want %d", tc.key, len(fi.results), tc.results)
+		}
+	}
+}
+
+func TestQualRefOfStructFields(t *testing.T) {
+	m, _, _ := buildTestModule(t)
+	fields := m.fields["example.com/m/a"]["Outer"]
+	tests := []struct {
+		field string
+		want  QualType
+		elem  bool
+	}{
+		{"In", QualType{"example.com/m/a", "Inner"}, false},
+		{"Ptr", QualType{"example.com/m/a", "Inner"}, false},
+		{"Items", QualType{"example.com/m/a", "Inner"}, true},
+		{"Rem", QualType{"example.com/m/b", "Remote"}, false},
+	}
+	for _, tc := range tests {
+		ref, ok := fields[tc.field]
+		if !ok || !ref.known {
+			t.Errorf("field %s: not resolved", tc.field)
+			continue
+		}
+		if ref.t != tc.want || ref.elem != tc.elem {
+			t.Errorf("field %s: got (%v, elem=%v), want (%v, elem=%v)", tc.field, ref.t, ref.elem, tc.want, tc.elem)
+		}
+	}
+}

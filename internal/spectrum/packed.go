@@ -67,6 +67,8 @@ func NewPacked(entries []Entry) *PackedStore {
 
 // insert is the build-time probe loop; it is unexported so the store is
 // immutable once NewPacked returns.
+//
+// reptile-lint:hotpath
 func (p *PackedStore) insert(id kmer.ID, cnt uint32) {
 	if id == 0 {
 		if !p.hasZero {
@@ -94,6 +96,8 @@ func (p *PackedStore) insert(id kmer.ID, cnt uint32) {
 
 // Count implements Lookuper: probe linearly from the hash slot until the key
 // or an empty slot.
+//
+// reptile-lint:hotpath
 func (p *PackedStore) Count(id kmer.ID) (uint32, bool) {
 	if id == 0 {
 		return p.zeroCount, p.hasZero
@@ -126,6 +130,8 @@ func (p *PackedStore) MemBytes() int64 {
 
 // Each calls fn for every entry until fn returns false. Iteration order is
 // unspecified (slab order).
+//
+// reptile-lint:hotpath
 func (p *PackedStore) Each(fn func(Entry) bool) {
 	if p.hasZero && !fn(Entry{ID: 0, Count: p.zeroCount}) {
 		return
@@ -149,6 +155,8 @@ func (p *PackedStore) Entries() []Entry {
 // EntriesInto appends all entries to buf sorted by ID and returns the
 // extended slice; the appended region is sorted, so passing an empty reused
 // buffer gives Entries without the allocation.
+//
+// reptile-lint:hotpath
 func (p *PackedStore) EntriesInto(buf []Entry) []Entry {
 	start := len(buf)
 	p.Each(func(e Entry) bool { buf = append(buf, e); return true })

@@ -54,6 +54,8 @@ func NewHash(sizeHint int) *HashStore {
 }
 
 // Add increments id's count by n, inserting it if absent.
+//
+// reptile-lint:hotpath
 func (h *HashStore) Add(id kmer.ID, n uint32) {
 	if h.frozen {
 		panic("spectrum: Add on frozen HashStore")
@@ -72,6 +74,8 @@ func (h *HashStore) Set(id kmer.ID, n uint32) {
 }
 
 // Count returns id's count and presence.
+//
+// reptile-lint:hotpath
 func (h *HashStore) Count(id kmer.ID) (uint32, bool) {
 	c, ok := h.m[id]
 	return c, ok
@@ -309,6 +313,8 @@ func (c *CacheAwareStore) MemBytes() int64 {
 
 // EncodeEntries serializes entries for the wire (little-endian, 12 bytes
 // each), appending to dst and returning the extended slice.
+//
+// reptile-lint:hotpath
 func EncodeEntries(dst []byte, entries []Entry) []byte {
 	for _, e := range entries {
 		var buf [EntrySize]byte
@@ -320,6 +326,8 @@ func EncodeEntries(dst []byte, entries []Entry) []byte {
 }
 
 // DecodeEntries parses a wire buffer produced by EncodeEntries.
+//
+// reptile-lint:hotpath
 func DecodeEntries(b []byte) ([]Entry, error) {
 	if len(b)%EntrySize != 0 {
 		return nil, fmt.Errorf("spectrum: buffer length %d not a multiple of %d", len(b), EntrySize)
