@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-fixtures vet chaos bench-lookup bench-build property fuzz cover ci
+.PHONY: build test race lint lint-fixtures vet chaos chaos-recover bench-lookup bench-build bench-recover property fuzz cover ci
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,18 @@ chaos:
 			./internal/transport/ ./internal/core/ || exit 1; \
 	done
 
+## chaos-recover: the rank-failure recovery gate — replica failover,
+## re-replication, estate redistribution, work stealing, and idle-death
+## attribution under the race detector, across the same seed matrix as the
+## chaos gate (each seed shifts the injected timing around the crash).
+chaos-recover:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "chaos-recover seed $$seed"; \
+		REPTILE_CHAOS_SEED=$$seed $(GO) test -race -count=1 \
+			-run 'Recover|Steal|IdleDeath|FailPeer|ExportImport|CrashPhase' \
+			./internal/transport/ ./internal/msgplane/ ./internal/spectrum/ ./internal/core/ || exit 1; \
+	done
+
 ## bench-lookup: the remote-lookup batching benchmark — correction-phase
 ## messages and bytes per read for the unbatched protocol vs batch frames of
 ## 8 and 32 ids (with and without a worker pool), written machine-readable.
@@ -54,6 +66,13 @@ bench-lookup:
 ## comparison (packed vs hash vs sorted vs cache-aware) at equal entries.
 bench-build:
 	$(GO) run ./cmd/reptile-bench -exp build -scale 0.05 -rankdiv 16 -maxranks 8 -json BENCH_build.json
+
+## bench-recover: the fault-tolerance benchmark — R=2 replica overhead on a
+## fault-free run (memory, exchange bytes, wall time) and a seeded mid-
+## correction crash recovered to byte-identical output, vs the no-replica
+## baseline.
+bench-recover:
+	$(GO) run ./cmd/reptile-bench -exp recover -scale 0.05 -rankdiv 16 -maxranks 8 -json BENCH_recover.json
 
 ## property: the randomized/fuzz-seeded equivalence suites in short mode —
 ## packed-vs-hash store equivalence, freeze invariants, and the batched
@@ -83,4 +102,4 @@ cover:
 		fi; \
 	done
 
-ci: build vet lint test race chaos property cover fuzz
+ci: build vet lint test race chaos chaos-recover property cover fuzz

@@ -58,6 +58,8 @@ func main() {
 		lookupBatch  = flag.Int("lookup-batch", 0, "coalesce up to this many remote lookups per request frame (0 = classic one-per-message protocol; output is identical either way)")
 		lookupWindow = flag.Int("lookup-window", 0, "in-flight batch frames per peer (0 = default window when -lookup-batch is on)")
 		workers      = flag.Int("workers", 0, "worker goroutines per rank, for both spectrum-build sharding and the correction pool (0/1 = single worker; >1 requires -lookup-batch; output is identical for every count)")
+		replicas     = flag.Int("replicas", 0, "frozen-spectrum replication degree: 2 places each rank's shard on its ring successor too, so a single rank crash during correction is survived instead of aborting (implies -lookup-batch 16 unless set)")
+		steal        = flag.Bool("steal", false, "correct-phase work stealing: idle ranks take whole chunks from loaded peers, output stays byte-identical (implies -lookup-batch 16 unless set)")
 
 		stream      = flag.Bool("stream", false, "streaming mode: never hold reads whole; write per-rank outputs incrementally (proc transport)")
 		corrections = flag.String("corrections", "", "also write the list of applied substitutions (seq, pos, from, to) to this file (proc non-streaming mode)")
@@ -120,6 +122,13 @@ func main() {
 			Workers:                 *workers,
 		},
 		LoadBalance: !*noBalance,
+		Replicas:    *replicas,
+		WorkSteal:   *steal,
+	}
+	// Both recovery features ride the batched-lookup pipeline; turn it on at
+	// a sane default rather than making every invocation spell it out.
+	if (*replicas >= 2 || *steal) && opts.Heuristics.LookupBatch == 0 {
+		opts.Heuristics.LookupBatch = 16
 	}
 	if *chaosSpec != "" {
 		plan, err := transport.ParsePlan(*chaosSpec, *chaosSeed)
@@ -188,14 +197,29 @@ func runProcWithCorrections(src core.Source, np int, opts core.Options, out, cor
 			output.Run.Wall[stats.PhaseSpectrum] + output.Run.Wall[stats.PhaseExchange]).Round(time.Millisecond),
 		output.Run.Wall[stats.PhaseCorrect].Round(time.Millisecond))
 	if verbose {
+		recovered := make(map[int]bool)
 		for _, r := range output.Run.Ranks {
+			for _, d := range r.RecoveredRanks {
+				recovered[d] = true
+			}
+		}
+		for i, r := range output.Run.Ranks {
+			// A crashed-and-recovered rank returned nothing; its counter slot
+			// is the zero value, not a real measurement.
+			if recovered[i] && r.ReadBases == 0 {
+				fmt.Printf("rank %3d: (crashed; shard and reads recovered by peers)\n", i)
+				continue
+			}
 			fmt.Printf("rank %3d: reads=%d kmers=%d tiles=%d remote=%d served=%d corrected=%d faults=%d mem=%.1fMiB\n",
-				r.Rank, r.ReadsAssigned, r.OwnedKmers, r.OwnedTiles,
+				i, r.ReadsAssigned, r.OwnedKmers, r.OwnedTiles,
 				r.TotalRemoteLookups(), r.RequestsServed, r.BasesCorrected,
 				r.FaultsInjected, float64(r.PeakMemBytes)/(1<<20))
 			if r.BatchesSent > 0 {
 				fmt.Printf("          batches=%d ids/batch=%.1f workers=%d\n",
 					r.BatchesSent, r.LookupsPerBatch(), r.WorkerCount)
+			}
+			if line := recoveryLine(r); line != "" {
+				fmt.Printf("          recovery: %s\n", line)
 			}
 			fmt.Printf("          phase-mem: %s\n", phaseMemLine(r))
 		}
@@ -218,6 +242,23 @@ func phaseMemLine(r stats.Rank) string {
 	}
 	if b.Len() == 0 {
 		return "(none recorded)"
+	}
+	return b.String()
+}
+
+// recoveryLine formats a rank's recovered-fault counters, empty when the
+// run saw no failover, re-replication, stealing, or estate work — the
+// common case, which should not widen the -v output.
+func recoveryLine(r stats.Rank) string {
+	if r.FailoversTaken == 0 && r.ShardsRereplicated == 0 && r.ChunksStolen == 0 &&
+		r.ChunksLent == 0 && r.ReadsRecovered == 0 && len(r.RecoveredRanks) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "failovers=%d reshards=%d stolen=%d lent=%d estate-reads=%d",
+		r.FailoversTaken, r.ShardsRereplicated, r.ChunksStolen, r.ChunksLent, r.ReadsRecovered)
+	if len(r.RecoveredRanks) > 0 {
+		fmt.Fprintf(&b, " recovered-ranks=%v", r.RecoveredRanks)
 	}
 	return b.String()
 }
@@ -273,6 +314,9 @@ func runTCP(src core.Source, opts core.Options, rank int, addrs []string, deadli
 			ro.Stats.Wall[stats.PhaseSpectrum], ro.Stats.Wall[stats.PhaseExchange],
 			ro.Stats.Wall[stats.PhaseCorrect])
 		fmt.Printf("rank %d phase-mem: %s\n", rank, phaseMemLine(ro.Stats))
+		if line := recoveryLine(ro.Stats); line != "" {
+			fmt.Printf("rank %d recovery: %s\n", rank, line)
+		}
 	}
 }
 

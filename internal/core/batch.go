@@ -92,6 +92,14 @@ func (d *lookupDispatcher) fail(err error) {
 	d.c.Fail(err)
 }
 
+// failPeer resolves every call outstanding at one dead peer with err while
+// the dispatcher stays healthy — the recovery layer's failover hook: the
+// reaped issuers observe the peer-down error, ask for the new shard route,
+// and reissue.
+func (d *lookupDispatcher) failPeer(peer int, err error) {
+	d.c.FailPeer(peer, err)
+}
+
 // counters returns the frame totals for the stats merge.
 func (d *lookupDispatcher) counters() (batches, ids int64) {
 	return d.c.Counters()

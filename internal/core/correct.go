@@ -22,7 +22,22 @@ import (
 func (ctx *rankCtx) correctDriver(work func(disp *lookupDispatcher) (reptile.Result, error)) (reptile.Result, error) {
 	msgs0, bytes0 := ctx.e.Counters().PerDestSnapshot()
 	disp := ctx.newDispatcher()
+	if ctx.opts.WorkSteal {
+		ctx.steal = newStealSched(ctx.myReads, ctx.opts.Config.ChunkReads)
+	}
+	if ctx.rec != nil || ctx.opts.WorkSteal {
+		// The recovery/steal side channel: replica pushes and steal requests
+		// ride their own caller so they never contend with the lookup
+		// dispatcher's window accounting.
+		ctx.recCaller = msgplane.NewCaller(ctx.e, ctx.np, 0)
+	}
 	rt := ctx.newResponder(disp)
+	if ctx.rec != nil {
+		// From here the peer-down handler can fail the dead rank's calls
+		// directly; deaths absorbed before this point are replayed now.
+		ctx.rec.arm(disp, ctx.recCaller, rt, ctx.steal)
+		defer ctx.disarmRecovery()
+	}
 
 	// The router routes its own failures through ctx.fail: the abort
 	// broadcast poisons this rank's mailbox too, so a worker parked in a
@@ -31,12 +46,20 @@ func (ctx *rankCtx) correctDriver(work func(disp *lookupDispatcher) (reptile.Res
 	// workers parked on batch futures or window slots the same way.
 	var wg sync.WaitGroup
 	respErr := make(chan error, 1)
+	routerExit := make(chan struct{})
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		defer close(routerExit)
 		if err := rt.Run(); err != nil {
 			if disp != nil {
 				disp.fail(err)
+			}
+			if ctx.recCaller != nil {
+				ctx.recCaller.Fail(err)
+			}
+			if ctx.steal != nil {
+				ctx.steal.fail(err)
 			}
 			respErr <- ctx.fail("correct", err)
 		}
@@ -69,6 +92,14 @@ func (ctx *rankCtx) correctDriver(work func(disp *lookupDispatcher) (reptile.Res
 	if err := rt.AnnounceDone(); err != nil {
 		return res, failBoth(err)
 	}
+	if ctx.rec != nil {
+		// Keep executing recovery duties (replica pushes, a dead rank's
+		// estate) until the stop broadcast shuts the router down; the dead
+		// rank's proxy done is what lets the coordinator converge.
+		if err := ctx.drainRecovery(&res, disp, rt, routerExit); err != nil {
+			return res, failBoth(err)
+		}
+	}
 	wg.Wait()
 	select {
 	case err := <-respErr:
@@ -95,7 +126,74 @@ func (ctx *rankCtx) newResponder(disp *lookupDispatcher) *msgplane.Router {
 	if disp != nil {
 		rt.Handle(tagBatchResp, disp.deliver)
 	}
+	if ctx.recCaller != nil {
+		rt.Handle(tagStealGrant, func(m transport.Message) error {
+			reqID, chunk, rs, granted, err := decodeStealGrant(m.Data)
+			if err != nil {
+				return err
+			}
+			return ctx.recCaller.Deliver(m.From, msgplane.Tag(m.Tag), reqID, &stealGrantMsg{chunk: chunk, rs: rs, granted: granted})
+		})
+		rt.Handle(tagReplAck, func(m transport.Message) error {
+			reqID, err := decodeReplAck(m.Data)
+			if err != nil {
+				return err
+			}
+			return ctx.recCaller.Deliver(m.From, msgplane.Tag(m.Tag), reqID, nil)
+		})
+	}
+	if ctx.steal != nil {
+		rt.Handle(tagStealReq, ctx.serveSteal)
+		rt.Handle(tagStealReturn, ctx.serveStealReturn)
+	}
+	if ctx.rec != nil {
+		rt.Handle(tagReplPush, ctx.serveReplPush)
+	}
 	return rt
+}
+
+// serveSteal answers a peer's steal request: grant the back chunk of the
+// local queue if any remains, an empty refusal otherwise.
+func (ctx *rankCtx) serveSteal(m transport.Message) error {
+	reqID, err := decodeStealReq(m.Data)
+	if err != nil {
+		return err
+	}
+	var payload []byte
+	if sp, ok := ctx.steal.grant(m.From); ok {
+		payload = encodeStealGrant(reqID, uint32(sp.lo), ctx.steal.reads[sp.lo:sp.hi], true)
+	} else {
+		payload = encodeStealGrant(reqID, 0, nil, false)
+	}
+	return ctx.tolerateDeadPeer(msgplane.Send(ctx.e, m.From, tagStealGrant, payload))
+}
+
+// serveStealReturn writes a thief's corrected chunk back in place.
+func (ctx *rankCtx) serveStealReturn(m transport.Message) error {
+	chunk, rs, err := decodeStealReturn(m.Data)
+	if err != nil {
+		return err
+	}
+	return ctx.steal.accept(chunk, rs)
+}
+
+// serveReplPush imports a re-replicated shard (an exact slab image of a
+// dead rank's frozen spectrum) pushed by the shard's surviving holder, and
+// acknowledges it so the pusher can report R=2 restored.
+func (ctx *rankCtx) serveReplPush(m transport.Message) error {
+	reqID, owner, kind, slab, err := decodeReplPush(m.Data)
+	if err != nil {
+		return err
+	}
+	store, rest, err := spectrum.ImportPackedSlabs(slab)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("core: %d trailing bytes after rank %d's pushed replica", len(rest), owner)
+	}
+	ctx.rec.addReplica(owner, kind, store)
+	return ctx.tolerateDeadPeer(msgplane.Send(ctx.e, m.From, tagReplAck, encodeReplAck(reqID)))
 }
 
 // newDispatcher builds the rank's batch dispatcher, or nil when lookup
@@ -135,6 +233,7 @@ func (ctx *rankCtx) newOracle(st *stats.Rank, disp *lookupDispatcher, cacheMu *s
 		disp:      disp,
 		batch:     batch,
 		cacheMu:   cacheMu,
+		rec:       ctx.rec,
 	}
 }
 
@@ -145,6 +244,9 @@ func (ctx *rankCtx) newOracle(st *stats.Rank, disp *lookupDispatcher, cacheMu *s
 // for every worker count. Lookup counters accumulate into per-worker shards
 // that are merged after the join, keeping the shared stats race-free.
 func (ctx *rankCtx) correctPool(myReads []reads.Read, disp *lookupDispatcher) (reptile.Result, error) {
+	if ctx.steal != nil {
+		return ctx.correctPoolSteal(disp)
+	}
 	nw := ctx.opts.Heuristics.Workers
 	if nw < 1 {
 		nw = 1
@@ -234,6 +336,9 @@ func (ctx *rankCtx) finishCorrectStats(disp *lookupDispatcher, msgs0, bytes0 []i
 		ctx.st.BatchesSent += b
 		ctx.st.BatchedLookups += n
 	}
+	if ctx.steal != nil {
+		ctx.st.ChunksLent = ctx.steal.chunksLent()
+	}
 	nw := ctx.opts.Heuristics.Workers
 	if nw < 1 {
 		nw = 1
@@ -260,13 +365,13 @@ func (ctx *rankCtx) serve(m transport.Message) error {
 	if err != nil {
 		return err
 	}
-	store, err := ctx.ownedStore(kind)
+	store, err := ctx.lookupStore(kind, id)
 	if err != nil {
 		return err
 	}
 	cnt, ok := store.Count(id)
 	ctx.st.RequestsServed++
-	return msgplane.Send(ctx.e, m.From, tagResp, encodeResp(cnt, ok))
+	return ctx.tolerateDeadPeer(msgplane.Send(ctx.e, m.From, tagResp, encodeResp(cnt, ok)))
 }
 
 // serveBatch answers one batch request: every id is resolved against the
@@ -279,7 +384,7 @@ func (ctx *rankCtx) serveBatch(m transport.Message) error {
 	}
 	answers := make([]batchAnswer, len(ids))
 	for i := range ids {
-		store, err := ctx.ownedStore(kinds[i])
+		store, err := ctx.lookupStore(kinds[i], ids[i])
 		if err != nil {
 			return err
 		}
@@ -287,7 +392,7 @@ func (ctx *rankCtx) serveBatch(m transport.Message) error {
 		answers[i] = batchAnswer{Count: cnt, Exists: ok}
 	}
 	ctx.st.RequestsServed += int64(len(ids))
-	return msgplane.Send(ctx.e, m.From, tagBatchResp, encodeBatchResp(reqID, answers))
+	return ctx.tolerateDeadPeer(msgplane.Send(ctx.e, m.From, tagBatchResp, encodeBatchResp(reqID, answers)))
 }
 
 // ownedStore maps a request kind to this rank's frozen owned spectrum,

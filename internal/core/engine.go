@@ -7,6 +7,7 @@ import (
 
 	"reptile/internal/collective"
 	"reptile/internal/kmer"
+	"reptile/internal/msgplane"
 	"reptile/internal/reads"
 	"reptile/internal/reptile"
 	"reptile/internal/spectrum"
@@ -59,6 +60,18 @@ type rankCtx struct {
 
 	// res accumulates the correct step's totals for the pipeline epilogue.
 	res reptile.Result
+
+	// src is the batch engine's input source, retained past the read phase
+	// so a recovery executor can re-derive a dead rank's read assignment.
+	src Source
+	// Recovery state (nil unless Options.Replicas >= 2): replica shards,
+	// the shard holder map, and the peer-down verdict machinery.
+	rec *recoveryState
+	// Work-stealing chunk queue (nil unless Options.WorkSteal).
+	steal *stealSched
+	// recCaller carries the recovery/steal request-response traffic
+	// (steal requests, replica pushes); nil when neither mode is on.
+	recCaller *msgplane.Caller
 }
 
 // RunRank executes the full pipeline for one rank. Every rank of the group
@@ -86,6 +99,7 @@ func (ctx *rankCtx) observeFaults() {
 // readPhase is Step I: pull this rank's shard from the source. Reads are
 // cloned so correction never aliases caller-owned storage.
 func (ctx *rankCtx) readPhase(src Source) error {
+	ctx.src = src
 	br, err := src.Open(ctx.rank, ctx.np, ctx.opts.Config.ChunkReads)
 	if err != nil {
 		return err
@@ -277,6 +291,11 @@ func (ctx *rankCtx) postExchangePhase() error {
 		}
 		ctx.groupKmer, ctx.groupTile = gk, gt
 	}
+	if ctx.opts.Replicas >= 2 && ctx.np >= 2 {
+		// The R=2 ring placement is the last act of the freeze point: from
+		// here a single rank loss during correction is survivable.
+		return ctx.ringReplicate()
+	}
 	return nil
 }
 
@@ -449,6 +468,9 @@ func (ctx *rankCtx) currentMem() int64 {
 		if s != nil {
 			total += s.MemBytes()
 		}
+	}
+	if ctx.rec != nil {
+		total += ctx.rec.replicaMemBytes()
 	}
 	return total
 }

@@ -171,14 +171,41 @@ type Options struct {
 	// fault-injection layer executing this schedule. Benign schedules
 	// (delay/jitter/slow rank) must not change the corrected output; fatal
 	// schedules (crash/corrupt/drop) make every rank return an AbortError
-	// instead of hanging. Nil for production runs.
+	// instead of hanging. Nil for production runs. With Replicas >= 2 a
+	// single-rank crash during the correct phase is survived instead.
 	Chaos *transport.Plan
+	// Replicas selects the spectrum redundancy degree. 0 or 1 keeps the
+	// paper's single-copy owner placement. 2 adds the ring placement: at
+	// the freeze point every rank ships its frozen owned spectra (exact
+	// slab images) to its ring successor, and from then on a single rank
+	// loss during correction is survived — lookups fail over to the
+	// surviving copy, the lost shard is re-replicated to a new successor,
+	// and the dead rank's reads are corrected by the shard's holder, so the
+	// run completes with byte-identical output. Requires LookupBatch (the
+	// failover retry rides the request-id protocol) and the batch engine.
+	Replicas int
+	// WorkSteal lets a rank that drains its own read queue early steal
+	// correction chunks from still-busy peers over the steal-request/grant
+	// protocol. Stolen chunks are corrected against the same static spectra
+	// and written back in place by chunk id, so the corrected output is
+	// byte-identical to a run without stealing. Requires LookupBatch for
+	// the same reason as Workers > 1, and the batch engine.
+	WorkSteal bool
 }
 
 // Validate checks the whole option set.
 func (o Options) Validate() error {
 	if err := o.Config.Validate(); err != nil {
 		return err
+	}
+	if o.Replicas < 0 || o.Replicas > 2 {
+		return fmt.Errorf("core: Replicas=%d (want 0, 1, or 2)", o.Replicas)
+	}
+	if o.Replicas >= 2 && o.Heuristics.LookupBatch == 0 {
+		return fmt.Errorf("core: Replicas=2 requires LookupBatch: the failover retry rides the batched request-id protocol")
+	}
+	if o.WorkSteal && o.Heuristics.LookupBatch == 0 {
+		return fmt.Errorf("core: WorkSteal requires LookupBatch: thieves share the responder through the request-id protocol")
 	}
 	return o.Heuristics.Validate()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -74,9 +75,15 @@ type distOracle struct {
 	preSeen   map[kmer.ID]struct{} // scratch: per-call dedup
 	preCalls  []*msgplane.Call     // scratch: frames issued this call
 	preIDs    [][]kmer.ID          // scratch: ids of each issued frame
+	preShard  []int                // scratch: owner rank of each issued frame
 	// cacheMu serializes reads-table access when several workers share the
 	// tables under the CacheRemote heuristic; nil in single-worker runs.
 	cacheMu *sync.RWMutex
+
+	// rec is the R=2 recovery state (nil unless Options.Replicas >= 2):
+	// held replica shards answer their owners' lookups locally, and remote
+	// frames route to each shard's current holder with peer-down failover.
+	rec *recoveryState
 
 	err error // first transport error; checked by the worker after the run
 }
@@ -113,6 +120,15 @@ func (o *distOracle) lookup(kind byte, id kmer.ID) (uint32, bool) {
 	if owner == o.rank {
 		o.countLocal(kind)
 		return own.Count(id) // a miss here is definitive
+	}
+
+	if o.rec != nil {
+		if s := o.rec.replicaStore(kind, owner); s != nil {
+			// The held R=2 copy is an exact slab image of the owner's frozen
+			// store, so a miss is as definitive as the owner's own answer.
+			o.countLocal(kind)
+			return s.Count(id)
+		}
 	}
 
 	if group != nil && owner/o.groupSize == o.rank/o.groupSize {
@@ -252,6 +268,9 @@ func (o *distOracle) prefetch(kind byte, ids []kmer.ID) {
 		if group != nil && owner/o.groupSize == o.rank/o.groupSize {
 			continue
 		}
+		if o.rec != nil && o.rec.replicaStore(kind, owner) != nil {
+			continue // the held replica answers these locally at lookup time
+		}
 		if reads != nil {
 			if _, ok := o.cachedCount(reads, id); ok {
 				continue
@@ -269,21 +288,37 @@ func (o *distOracle) prefetch(kind byte, ids []kmer.ID) {
 
 	o.preCalls = o.preCalls[:0]
 	o.preIDs = o.preIDs[:0]
+	o.preShard = o.preShard[:0]
 	var firstErr error
+	var retry [][]kmer.ID // frames to reissue through the failover path
+	var retryOwner []int
 	for owner := range o.preOwners {
 		list := o.preOwners[owner]
+		dest := owner
+		if o.rec != nil {
+			dest = o.rec.holderOf(owner)
+		}
 		for len(list) > 0 && firstErr == nil {
 			n := len(list)
 			if n > o.batch {
 				n = o.batch
 			}
-			call, err := o.disp.start(owner, kind, list[:n])
+			call, err := o.disp.start(dest, kind, list[:n])
 			if err != nil {
+				if o.rec != nil && errors.Is(err, transport.ErrPeerDown) {
+					// The holder died under the frame; reissue synchronously
+					// after the collect, through the failover route.
+					retry = append(retry, list[:n])
+					retryOwner = append(retryOwner, owner)
+					list = list[n:]
+					continue
+				}
 				firstErr = err
 				break
 			}
 			o.preCalls = append(o.preCalls, call)
 			o.preIDs = append(o.preIDs, list[:n])
+			o.preShard = append(o.preShard, owner)
 			list = list[n:]
 		}
 	}
@@ -292,6 +327,11 @@ func (o *distOracle) prefetch(kind byte, ids []kmer.ID) {
 	for i, call := range o.preCalls {
 		answers, err := o.disp.wait(call)
 		if err != nil {
+			if o.rec != nil && errors.Is(err, transport.ErrPeerDown) {
+				retry = append(retry, o.preIDs[i])
+				retryOwner = append(retryOwner, o.preShard[i])
+				continue
+			}
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -308,6 +348,23 @@ func (o *distOracle) prefetch(kind byte, ids []kmer.ID) {
 			o.pre[preKey{kind: kind, id: id}] = preVal{cnt: answers[j].Count, exists: answers[j].Exists}
 		}
 	}
+	for i, frame := range retry {
+		if firstErr != nil {
+			break
+		}
+		answers, err := o.batchLookup(kind, frame, retryOwner[i])
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if len(answers) != len(frame) {
+			firstErr = fmt.Errorf("core: batch of %d ids answered with %d entries", len(frame), len(answers))
+			break
+		}
+		for j, id := range frame {
+			o.pre[preKey{kind: kind, id: id}] = preVal{cnt: answers[j].Count, exists: answers[j].Exists}
+		}
+	}
 	if firstErr != nil && o.err == nil {
 		o.err = firstErr
 	}
@@ -319,7 +376,7 @@ func (o *distOracle) prefetch(kind byte, ids []kmer.ID) {
 // candidates whose tile is solid).
 func (o *distOracle) remoteBatched(kind byte, id kmer.ID, owner int) (uint32, bool, error) {
 	one := [1]kmer.ID{id}
-	answers, err := o.disp.roundTrip(owner, kind, one[:])
+	answers, err := o.batchLookup(kind, one[:], owner)
 	if err != nil {
 		return 0, false, err
 	}
@@ -327,6 +384,40 @@ func (o *distOracle) remoteBatched(kind byte, id kmer.ID, owner int) (uint32, bo
 		return 0, false, fmt.Errorf("core: batch of 1 id answered with %d entries", len(answers))
 	}
 	return answers[0].Count, answers[0].Exists, nil
+}
+
+// batchLookup issues one batch frame to the rank currently serving owner's
+// shard. Without recovery that is the owner itself and any error is final.
+// With recovery armed, a peer-down error triggers the failover dance: block
+// until the recovery layer classifies the loss (by which time the holder
+// map is final), re-read the route, and reissue to the survivor — whose
+// replica is an exact slab image, so the answers are byte-identical.
+func (o *distOracle) batchLookup(kind byte, ids []kmer.ID, owner int) ([]batchAnswer, error) {
+	dest := owner
+	if o.rec != nil {
+		if dest = o.rec.holderOf(owner); dest != owner {
+			o.st.FailoversTaken++
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		answers, err := o.disp.roundTrip(dest, kind, ids)
+		if err == nil || o.rec == nil || attempt >= o.np {
+			return answers, err
+		}
+		var pd *transport.PeerDownError
+		if !errors.As(err, &pd) {
+			return nil, err
+		}
+		if !o.rec.awaitFailover(pd.Rank) {
+			return nil, err // unrecoverable loss: surface the original error
+		}
+		next := o.rec.holderOf(owner)
+		if next == dest {
+			return nil, err // no surviving route for this shard
+		}
+		dest = next
+		o.st.FailoversTaken++
+	}
 }
 
 // remote performs one synchronous request/response with the owning rank —

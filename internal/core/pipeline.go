@@ -40,6 +40,11 @@ func runRankPipeline(e transport.Conn, opts Options, steps []phaseStep) (*RankOu
 	ctx.st.Rank = ctx.rank
 
 	for _, s := range steps {
+		// Tell phase-aware wrappers (the chaos layer's crash-at-phase
+		// trigger) which phase is entering; plain endpoints don't care.
+		if ep, ok := e.(interface{ EnterPhase(string) }); ok {
+			ep.EnterPhase(s.phase.String())
+		}
 		start := time.Now()
 		err := s.run(ctx)
 		if err == nil && s.after != nil {

@@ -117,7 +117,12 @@ func runGroup(np int, opts Options, runOne func(conn transport.Conn, r int) (*Ra
 	elapsed := time.Since(start)
 
 	if err := pickRunError(errs); err != nil {
-		return nil, err
+		// A failed rank does not fail the run when the survivors' recovery
+		// layer absorbed exactly that loss: the dead rank's shard and reads
+		// were re-covered, so the aggregated output is complete.
+		if !recoveredGroup(outs, errs) {
+			return nil, err
+		}
 	}
 
 	out := &Output{
@@ -125,6 +130,9 @@ func runGroup(np int, opts Options, runOne func(conn transport.Conn, r int) (*Ra
 		Run:    stats.Run{Ranks: make([]stats.Rank, np)},
 	}
 	for r, ro := range outs {
+		if ro == nil {
+			continue // a recovered rank produced no output of its own
+		}
 		out.ByRank[r] = ro.Corrected
 		out.Run.Ranks[r] = ro.Stats
 		out.Result.Add(ro.Result)
@@ -136,6 +144,32 @@ func runGroup(np int, opts Options, runOne func(conn transport.Conn, r int) (*Ra
 	}
 	out.Run.Elapsed = elapsed
 	return out, nil
+}
+
+// recoveredGroup reports whether every failed rank's loss was absorbed by
+// the survivors' recovery layer: at least one rank finished cleanly, and the
+// union of the survivors' RecoveredRanks covers every rank that failed.
+func recoveredGroup(outs []*RankOutput, errs []error) bool {
+	recovered := make(map[int]bool)
+	survivors := 0
+	for r, err := range errs {
+		if err != nil || outs[r] == nil {
+			continue
+		}
+		survivors++
+		for _, d := range outs[r].Stats.RecoveredRanks {
+			recovered[d] = true
+		}
+	}
+	if survivors == 0 {
+		return false
+	}
+	for r, err := range errs {
+		if err != nil && !recovered[r] {
+			return false
+		}
+	}
+	return true
 }
 
 // Run executes the distributed pipeline with np goroutine ranks over the

@@ -55,6 +55,12 @@ func RunRankStreaming(e transport.Conn, src Source, opts Options, sink Sink) (*R
 	if sink == nil {
 		return nil, fmt.Errorf("core: streaming run needs a sink")
 	}
+	if opts.Replicas >= 2 {
+		return nil, fmt.Errorf("core: Replicas=2 requires the batch engine: a recovery executor re-derives a dead rank's resident reads, which streaming never holds")
+	}
+	if opts.WorkSteal {
+		return nil, fmt.Errorf("core: WorkSteal requires the batch engine: the chunk queue is cut from resident reads")
+	}
 	out, err := runRankPipeline(e, opts, streamingSteps(src, sink))
 	// The sink is closed here, exactly once, on every exit path: an aborted
 	// run must still flush buffered corrected reads and release the sink's

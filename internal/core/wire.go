@@ -7,6 +7,7 @@ import (
 
 	"reptile/internal/kmer"
 	"reptile/internal/msgplane"
+	"reptile/internal/reads"
 	"reptile/internal/transport"
 )
 
@@ -25,6 +26,17 @@ const (
 	// several worker threads — can interleave and still be matched.
 	tagBatchReq  msgplane.Tag = 7 // reqID u32 | n u16 | n × (kind byte | id u64)
 	tagBatchResp msgplane.Tag = 8 // reqID u32 | n u16 | n × (exists byte | count u32)
+
+	// Recovery and work-stealing frames. Steal requests/grants implement
+	// correct-phase work stealing (an idle rank pulls read chunks from a
+	// straggler); the return frame carries the corrected chunk home. The
+	// replica push restores R=2 redundancy after a rank loss: the surviving
+	// holder streams the lost shard's packed slabs to a new successor.
+	tagStealReq    msgplane.Tag = 9  // reqID u32
+	tagStealGrant  msgplane.Tag = 10 // reqID u32 | granted u8 | [chunk u32 | reads batch]
+	tagStealReturn msgplane.Tag = 11 // chunk u32 | corrected reads batch (one-way)
+	tagReplPush    msgplane.Tag = 12 // reqID u32 | owner u32 | kind u8 | slab image
+	tagReplAck     msgplane.Tag = 13 // reqID u32
 )
 
 // init registers the correction protocol with the message-plane registry:
@@ -47,6 +59,16 @@ func init() {
 			MinSize: batchHdrBytes, MaxSize: batchHdrBytes + maxBatchEntries*BatchReqEntryBytes},
 		msgplane.Spec{Tag: tagBatchResp, Name: "batchResp", Dir: msgplane.DirResponse,
 			MinSize: batchHdrBytes, MaxSize: batchHdrBytes + maxBatchEntries*BatchRespEntry},
+		msgplane.Spec{Tag: tagStealReq, Name: "stealReq", Dir: msgplane.DirRequest,
+			MinSize: stealReqBytes, MaxSize: stealReqBytes},
+		msgplane.Spec{Tag: tagStealGrant, Name: "stealGrant", Dir: msgplane.DirResponse,
+			MinSize: stealGrantHdrBytes, MaxSize: msgplane.Unbounded},
+		msgplane.Spec{Tag: tagStealReturn, Name: "stealReturn", Dir: msgplane.DirRequest,
+			MinSize: stealReturnHdrBytes, MaxSize: msgplane.Unbounded},
+		msgplane.Spec{Tag: tagReplPush, Name: "replPush", Dir: msgplane.DirRequest,
+			MinSize: replPushHdrBytes, MaxSize: msgplane.Unbounded},
+		msgplane.Spec{Tag: tagReplAck, Name: "replAck", Dir: msgplane.DirResponse,
+			MinSize: replAckBytes, MaxSize: replAckBytes},
 	)
 }
 
@@ -227,6 +249,128 @@ func decodeBatchResp(payload []byte) (reqID uint32, answers []batchAnswer, err e
 		}
 	}
 	return reqID, answers, nil
+}
+
+// Recovery frame geometry.
+const (
+	stealReqBytes       = 4 // reqID u32
+	stealGrantHdrBytes  = 5 // reqID u32 + granted u8; chunk u32 + reads follow when granted
+	stealReturnHdrBytes = 4 // chunk u32; corrected reads batch follows
+	replPushHdrBytes    = 9 // reqID u32 + owner u32 + kind u8; slab image follows
+	replAckBytes        = 4 // reqID u32
+)
+
+// encodeStealReqFrame builds one steal request in the caller's encoder
+// shape: the thief asks the victim for one chunk of its remaining reads.
+func encodeStealReqFrame(reqID uint32) (msgplane.Tag, []byte) {
+	buf := make([]byte, stealReqBytes)
+	binary.LittleEndian.PutUint32(buf, reqID)
+	return tagStealReq, buf
+}
+
+// decodeStealReq parses a tagStealReq payload.
+func decodeStealReq(payload []byte) (reqID uint32, err error) {
+	if len(payload) != stealReqBytes {
+		return 0, fmt.Errorf("core: steal request of %d bytes", len(payload))
+	}
+	return binary.LittleEndian.Uint32(payload), nil
+}
+
+// encodeStealGrant builds a tagStealGrant payload: granted=false answers
+// "my queue is empty", granted=true carries the chunk id (the chunk's start
+// index in the victim's read order, which is also how the corrected reads
+// find their way back to the right slots) and the chunk's reads.
+func encodeStealGrant(reqID uint32, chunk uint32, rs []reads.Read, granted bool) []byte {
+	buf := make([]byte, stealGrantHdrBytes)
+	binary.LittleEndian.PutUint32(buf[0:4], reqID)
+	if !granted {
+		return buf
+	}
+	buf[4] = 1
+	var c [4]byte
+	binary.LittleEndian.PutUint32(c[:], chunk)
+	buf = append(buf, c[:]...)
+	return append(buf, reads.EncodeBatch(rs)...)
+}
+
+// decodeStealGrant parses a tagStealGrant payload.
+func decodeStealGrant(payload []byte) (reqID uint32, chunk uint32, rs []reads.Read, granted bool, err error) {
+	if len(payload) < stealGrantHdrBytes {
+		return 0, 0, nil, false, fmt.Errorf("core: steal grant of %d bytes", len(payload))
+	}
+	reqID = binary.LittleEndian.Uint32(payload[0:4])
+	if payload[4] == 0 {
+		return reqID, 0, nil, false, nil
+	}
+	if len(payload) < stealGrantHdrBytes+4 {
+		return 0, 0, nil, false, fmt.Errorf("core: granted steal grant of %d bytes", len(payload))
+	}
+	chunk = binary.LittleEndian.Uint32(payload[5:9])
+	rs, err = reads.DecodeBatch(payload[9:])
+	if err != nil {
+		return 0, 0, nil, false, err
+	}
+	return reqID, chunk, rs, true, nil
+}
+
+// encodeStealReturn builds a tagStealReturn payload: the corrected chunk
+// travels home keyed by its chunk id, so the victim writes it back into the
+// exact slots it was granted from — the write-back by chunk id that keeps
+// stolen output deterministic.
+func encodeStealReturn(chunk uint32, rs []reads.Read) []byte {
+	buf := make([]byte, stealReturnHdrBytes)
+	binary.LittleEndian.PutUint32(buf, chunk)
+	return append(buf, reads.EncodeBatch(rs)...)
+}
+
+// decodeStealReturn parses a tagStealReturn payload.
+func decodeStealReturn(payload []byte) (chunk uint32, rs []reads.Read, err error) {
+	if len(payload) < stealReturnHdrBytes {
+		return 0, nil, fmt.Errorf("core: steal return of %d bytes", len(payload))
+	}
+	chunk = binary.LittleEndian.Uint32(payload[0:4])
+	rs, err = reads.DecodeBatch(payload[4:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return chunk, rs, nil
+}
+
+// encodeReplPushFrame builds one replica push in the caller's encoder
+// shape: the slab image of the dead rank `owner`'s spectrum of `kind`,
+// streamed to the new successor to restore R=2.
+func encodeReplPushFrame(reqID uint32, owner int, kind byte, slab []byte) (msgplane.Tag, []byte) {
+	buf := make([]byte, replPushHdrBytes, replPushHdrBytes+len(slab))
+	binary.LittleEndian.PutUint32(buf[0:4], reqID)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(owner))
+	buf[8] = kind
+	return tagReplPush, append(buf, slab...)
+}
+
+// decodeReplPush parses a tagReplPush payload. The slab bytes alias the
+// payload; the spectrum importer copies them into its own slabs.
+func decodeReplPush(payload []byte) (reqID uint32, owner int, kind byte, slab []byte, err error) {
+	if len(payload) < replPushHdrBytes {
+		return 0, 0, 0, nil, fmt.Errorf("core: replica push of %d bytes", len(payload))
+	}
+	reqID = binary.LittleEndian.Uint32(payload[0:4])
+	owner = int(int32(binary.LittleEndian.Uint32(payload[4:8])))
+	return reqID, owner, payload[8], payload[replPushHdrBytes:], nil
+}
+
+// encodeReplAck builds a tagReplAck payload confirming one replica push.
+func encodeReplAck(reqID uint32) []byte {
+	buf := make([]byte, replAckBytes)
+	binary.LittleEndian.PutUint32(buf, reqID)
+	return buf
+}
+
+// decodeReplAck parses a tagReplAck payload.
+func decodeReplAck(payload []byte) (reqID uint32, err error) {
+	if len(payload) != replAckBytes {
+		return 0, fmt.Errorf("core: replica ack of %d bytes", len(payload))
+	}
+	return binary.LittleEndian.Uint32(payload), nil
 }
 
 // encodeAbortInfo serializes an abort record:

@@ -7,11 +7,13 @@ import (
 	"time"
 
 	"reptile/internal/core"
+	"reptile/internal/dna"
 	"reptile/internal/genome"
 	"reptile/internal/kmer"
 	"reptile/internal/machine"
 	"reptile/internal/spectrum"
 	"reptile/internal/stats"
+	"reptile/internal/transport"
 )
 
 // TableI reproduces the dataset table: reads, read length, genome size,
@@ -537,4 +539,101 @@ func storeData(n int) (entries []spectrum.Entry, probes []kmer.ID) {
 		}
 	}
 	return entries, probes
+}
+
+// Recover measures the rank-failure recovery layer: what R=2 replica
+// placement costs a fault-free run (peak memory and exchange volume carry
+// the duplicated frozen shards), and that a seeded single-rank crash
+// mid-correction completes with byte-identical output — the survivors fail
+// lookups over to the replica holder, re-replicate the lost shard, and
+// correct the dead rank's reads by proxy. The no-replica baseline under the
+// same crash aborts; that contract is exercised by the chaos suite, not
+// timed here.
+func Recover(sc Scale) (*Table, error) {
+	ds := buildDataset(genome.EColiSim, sc, false)
+	np := sc.Ranks(128)
+	if np < 4 {
+		np = 4 // a crash needs a coordinator, a victim, and >=2 survivors to shuffle shards between
+	}
+	h := core.Heuristics{LookupBatch: 32}
+	t := &Table{
+		ID:     "recover",
+		Title:  fmt.Sprintf("Rank-failure recovery, %d ranks (E.Coli, crash rank 1 mid-correction)", np),
+		Note:   "new to this implementation; acceptance bar is a completed, byte-identical run under a single correct-phase crash, with fault-free R=2 overhead reported",
+		Header: []string{"mode", "wall", "peak mem", "exchange", "failovers", "reshards", "reads recovered", "output"},
+	}
+	sameBases := func(a, b []dna.Base) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	identical := func(a, b *core.Output) bool {
+		ac, bc := a.Corrected(), b.Corrected()
+		if len(ac) != len(bc) {
+			return false
+		}
+		for i := range ac {
+			if ac[i].Seq != bc[i].Seq || !sameBases(ac[i].Base, bc[i].Base) {
+				return false
+			}
+		}
+		return a.Result == b.Result
+	}
+	crashPlan := transport.NewPlan(17)
+	crashPlan.CrashRank = 1
+	crashPlan.CrashPhase = "correct"
+	crashPlan.CrashAfter = 3
+	modes := []struct {
+		name     string
+		replicas int
+		plan     *transport.Plan
+	}{
+		{"baseline R=1", 0, nil},
+		{"replicas R=2", 2, nil},
+		{"R=2 + crash", 2, &crashPlan},
+	}
+	var ref *core.Output
+	var refMem, refExch int64
+	for i, m := range modes {
+		opts := optionsFor(sc, ds, h, true)
+		opts.Replicas = m.replicas
+		if m.plan != nil {
+			opts.Chaos = m.plan
+		}
+		out, err := engineRun(ds, np, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.name, err)
+		}
+		peak := out.Run.Max(func(r *stats.Rank) int64 { return r.PeakMemBytes })
+		exch := out.Run.Sum(func(r *stats.Rank) int64 { return r.ExchangeBytes })
+		outcome := "identical"
+		if i == 0 {
+			ref, refMem, refExch = out, peak, exch
+			outcome = "reference"
+		} else if !identical(ref, out) {
+			return nil, fmt.Errorf("%s: output differs from the R=1 reference", m.name)
+		}
+		memCol, exchCol := mib(peak), mib(exch)
+		if i > 0 && refMem > 0 {
+			memCol = fmt.Sprintf("%s (%+.1f%%)", mib(peak), 100*float64(peak-refMem)/float64(refMem))
+			exchCol = fmt.Sprintf("%s (%+.1f%%)", mib(exch), 100*float64(exch-refExch)/float64(refExch))
+		}
+		t.Rows = append(t.Rows, []string{
+			m.name,
+			out.Run.Elapsed.Round(time.Millisecond).String(),
+			memCol,
+			exchCol,
+			count(out.Run.Sum(func(r *stats.Rank) int64 { return r.FailoversTaken })),
+			count(out.Run.Sum(func(r *stats.Rank) int64 { return r.ShardsRereplicated })),
+			count(out.Run.Sum(func(r *stats.Rank) int64 { return r.ReadsRecovered })),
+			outcome,
+		})
+	}
+	return t, nil
 }

@@ -49,6 +49,12 @@ type Caller struct {
 	pending  map[uint32]*Call // guarded by mu
 	inflight []int            // guarded by mu; outstanding requests per peer
 	failed   error            // guarded by mu; first poison, sticky
+	// abandoned records request ids reaped by FailPeer whose peer might
+	// still answer: detection of a peer's death can race its last responses
+	// through the transport, and a late answer to an abandoned request must
+	// be dropped silently instead of surfacing as an unknown-request
+	// protocol violation. Guarded by mu.
+	abandoned map[uint32]int
 
 	framesSent int64 // guarded by mu
 	itemsSent  int64 // guarded by mu
@@ -117,6 +123,15 @@ func (c *Caller) Deliver(from int, t Tag, reqID uint32, result any) error {
 	c.mu.Lock()
 	call, ok := c.pending[reqID]
 	if !ok {
+		if owner, was := c.abandoned[reqID]; was && owner == from {
+			// A reaped request's answer arrived after its peer was declared
+			// dead (the declaration raced the response through the
+			// transport). The issuer already resolved with the failure and
+			// possibly retried elsewhere; the stale answer is dropped.
+			delete(c.abandoned, reqID)
+			c.mu.Unlock()
+			return nil
+		}
 		c.mu.Unlock()
 		return &ProtocolError{Tag: t, Kind: ViolationUnknownRequest, From: from, Want: -1, ReqID: reqID}
 	}
@@ -153,6 +168,39 @@ func (c *Caller) Fail(err error) {
 	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
+}
+
+// FailPeer resolves every call outstanding at one peer with err, leaving
+// calls to other peers (and the caller itself) healthy — the recovery
+// analogue of Fail for a single lost rank. Window waiters wake so an issuer
+// blocked on the dead peer's window re-checks its options. The reaped
+// request ids are remembered so the dead peer's in-flight answers, should
+// they still arrive, are dropped instead of tripping the unknown-request
+// violation.
+func (c *Caller) FailPeer(peer int, err error) {
+	if err == nil {
+		err = fmt.Errorf("msgplane: peer %d failed with nil error", peer)
+	}
+	c.mu.Lock()
+	var reaped []*Call
+	for id, call := range c.pending {
+		if call.owner != peer {
+			continue
+		}
+		delete(c.pending, id)
+		if c.abandoned == nil {
+			c.abandoned = make(map[uint32]int)
+		}
+		c.abandoned[id] = peer
+		c.inflight[peer]--
+		call.err = err
+		reaped = append(reaped, call)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, call := range reaped {
+		close(call.done)
+	}
 }
 
 // Counters returns the frame and item totals for the stats merge.

@@ -100,6 +100,45 @@ func TestCallerFailPoisonsWaiters(t *testing.T) {
 	}
 }
 
+// TestCallerFailPeerReapsOnePeer: FailPeer must resolve only the dead
+// peer's outstanding calls, leave other peers' calls (and future Starts)
+// healthy, and silently drop the dead peer's late answers — detection of a
+// death can race the peer's last responses through the transport, and a
+// reaped request's answer must not surface as an unknown-request violation.
+func TestCallerFailPeerReapsOnePeer(t *testing.T) {
+	eps := procGroup(t, 3)
+	c := NewCaller(eps[0], 3, 0)
+	dead := startOne(t, c, 1)  // reqID 1
+	alive := startOne(t, c, 2) // reqID 2
+	boom := errors.New("peer 1 down")
+	c.FailPeer(1, boom)
+	if _, err := dead.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("dead peer's call resolved with %v, want the peer failure", err)
+	}
+	// The dead peer's in-flight answer arrives late: dropped, not a violation.
+	if err := c.Deliver(1, testTagResp, 1, "stale"); err != nil {
+		t.Fatalf("late answer to the reaped request: %v, want silent drop", err)
+	}
+	// The abandoned id is consumed by the drop; a second arrival is a real
+	// protocol violation again.
+	var pe *ProtocolError
+	if err := c.Deliver(1, testTagResp, 1, "stale again"); !errors.As(err, &pe) {
+		t.Fatalf("re-delivered stale answer returned %v, want ProtocolError", err)
+	}
+	// The healthy peer is untouched: its call resolves, new calls start.
+	if err := c.Deliver(2, testTagResp, 2, "fine"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := alive.Wait(); err != nil || got != "fine" {
+		t.Fatalf("healthy peer's call: %v, %v", got, err)
+	}
+	if _, err := c.Start(2, 1, func(reqID uint32) (Tag, []byte) {
+		return testTagReq, []byte{byte(reqID), 0, 0, 0, 0}
+	}); err != nil {
+		t.Fatalf("post-FailPeer start to a healthy peer: %v", err)
+	}
+}
+
 // TestCallerWindowBackpressure checks Start blocks at the per-peer window
 // and unblocks when a response frees the slot.
 func TestCallerWindowBackpressure(t *testing.T) {

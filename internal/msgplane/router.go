@@ -1,7 +1,10 @@
 package msgplane
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"sync"
 
 	"reptile/internal/transport"
 )
@@ -11,7 +14,10 @@ import (
 // deployment is unchanged.
 const (
 	// TagDone tells the coordinator (rank 0) that one rank's workers have
-	// finished their shard.
+	// finished their shard. An empty payload reports the sender itself; a
+	// 4-byte payload carries the rank being reported, which is how a
+	// recovery executor announces done on behalf of a dead rank whose
+	// shard it finished (the proxy-done of the recovery protocol).
 	TagDone Tag = 5
 	// TagStop is the coordinator's broadcast: every rank is done, routers
 	// shut down.
@@ -20,7 +26,7 @@ const (
 
 func init() {
 	Register(
-		Spec{Tag: TagDone, Name: "done", Dir: DirControl, MinSize: 0, MaxSize: 0},
+		Spec{Tag: TagDone, Name: "done", Dir: DirControl, MinSize: 0, MaxSize: 4},
 		Spec{Tag: TagStop, Name: "stop", Dir: DirControl, MinSize: 0, MaxSize: 0},
 	)
 }
@@ -50,8 +56,18 @@ type Router struct {
 	// handlers is written by Handle before Run starts and read-only after;
 	// the goroutine launch is the happens-before edge.
 	handlers map[Tag]Handler
-	// done counts TagDone arrivals; touched only by the Run goroutine.
-	done int
+	// doneSet tracks which ranks reported done; touched only by the Run
+	// goroutine. Distinct-rank tracking (rather than a bare count) makes a
+	// duplicate report idempotent, which the recovery protocol needs: a
+	// rank may announce done for itself and an executor may later announce
+	// done on a dead rank's behalf, and neither may double-count.
+	doneSet  []bool
+	doneRept int
+	// dead marks ranks a recovery layer declared lost, so the stop
+	// broadcast tolerates undeliverable sends to exactly those ranks.
+	// Guarded by deadMu: MarkDead is called from transport goroutines.
+	deadMu sync.Mutex
+	dead   map[int]bool
 }
 
 // NewRouter builds a router over one rank's endpoint.
@@ -61,7 +77,26 @@ func NewRouter(e transport.Conn) *Router {
 		rank:     e.Rank(),
 		np:       e.Size(),
 		handlers: make(map[Tag]Handler),
+		doneSet:  make([]bool, e.Size()),
+		dead:     make(map[int]bool),
 	}
+}
+
+// MarkDead records that a recovery layer declared rank lost. The stop
+// broadcast skips send failures to marked ranks (their endpoints are gone
+// by definition) instead of failing the coordinator. Safe to call from any
+// goroutine.
+func (r *Router) MarkDead(rank int) {
+	r.deadMu.Lock()
+	r.dead[rank] = true
+	r.deadMu.Unlock()
+}
+
+// isDead reports whether rank was marked lost.
+func (r *Router) isDead(rank int) bool {
+	r.deadMu.Lock()
+	defer r.deadMu.Unlock()
+	return r.dead[rank]
 }
 
 // Handle registers the handler for one tag. It must be called before Run
@@ -127,10 +162,31 @@ func (r *Router) Run() error {
 			if r.rank != 0 {
 				return &ProtocolError{Tag: t, Kind: ViolationStraySender, From: m.From, Want: 0}
 			}
-			r.done++
-			if r.done == r.np {
+			who := m.From
+			switch len(m.Data) {
+			case 0:
+			case 4:
+				who = int(int32(binary.LittleEndian.Uint32(m.Data)))
+			default:
+				return &ProtocolError{Tag: t, Kind: ViolationBadFrame, From: m.From, Want: -1, Size: len(m.Data)}
+			}
+			if who < 0 || who >= r.np {
+				return &ProtocolError{Tag: t, Kind: ViolationBadFrame, From: m.From, Want: -1, Size: len(m.Data)}
+			}
+			if r.doneSet[who] {
+				continue // idempotent: a duplicate or redundant proxy report
+			}
+			r.doneSet[who] = true
+			r.doneRept++
+			if r.doneRept == r.np {
 				for peer := 0; peer < r.np; peer++ {
 					if err := Send(r.e, peer, TagStop, nil); err != nil {
+						// A marked-dead rank's endpoint is gone by
+						// definition; failing its stop must not fail the
+						// coordinator and with it every survivor.
+						if r.isDead(peer) && errors.Is(err, transport.ErrPeerDown) {
+							continue
+						}
 						return err
 					}
 				}
@@ -172,4 +228,13 @@ func (r *Router) dispatch(h Handler, m transport.Message) (err error) {
 // router keeps serving peers until the coordinator's stop arrives.
 func (r *Router) AnnounceDone() error {
 	return Send(r.e, 0, TagDone, nil)
+}
+
+// AnnounceDoneFor reports a *different* rank's shard finished — the proxy
+// done a recovery executor sends after completing a dead rank's work, which
+// is what lets the done/stop protocol converge with a hole in the group.
+func (r *Router) AnnounceDoneFor(rank int) error {
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf, uint32(rank))
+	return Send(r.e, 0, TagDone, buf)
 }

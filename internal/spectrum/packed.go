@@ -1,6 +1,8 @@
 package spectrum
 
 import (
+	"encoding/binary"
+	"fmt"
 	"sort"
 
 	"reptile/internal/kmer"
@@ -179,6 +181,78 @@ func (p *PackedStore) Clear() { panic("spectrum: Clear on frozen PackedStore") }
 
 // Prune panics: the store is frozen.
 func (p *PackedStore) Prune(min uint32) int { panic("spectrum: Prune on frozen PackedStore") }
+
+// Slab image layout: a fixed header followed by the raw key and count
+// slabs, so an import reconstructs the *exact* probe layout of the source
+// store without rehashing — a replica answers every Count with the identical
+// probe sequence the owner would have. The image is self-delimiting (the
+// header carries the slot count), so several stores concatenate into one
+// payload for ring re-replication.
+const slabHdrBytes = 8 + 8 + 4 + 1 // slots u64 | n u64 | zeroCount u32 | hasZero u8
+
+// ExportSlabs appends this store's slab image to buf and returns the
+// extended slice. The store is immutable, so the export is safe to run
+// concurrently with lookups.
+func (p *PackedStore) ExportSlabs(buf []byte) []byte {
+	var hdr [slabHdrBytes]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(len(p.keys)))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(p.n))
+	binary.LittleEndian.PutUint32(hdr[16:20], p.zeroCount)
+	if p.hasZero {
+		hdr[20] = 1
+	}
+	buf = append(buf, hdr[:]...)
+	var w [8]byte
+	for _, k := range p.keys {
+		binary.LittleEndian.PutUint64(w[:], k)
+		buf = append(buf, w[:]...)
+	}
+	for _, c := range p.counts {
+		binary.LittleEndian.PutUint32(w[:4], c)
+		buf = append(buf, w[:4]...)
+	}
+	return buf
+}
+
+// ImportPackedSlabs reconstructs a PackedStore from the slab image at the
+// head of b, returning the store and the remainder of b (images are
+// self-delimiting and concatenate). The reconstructed slabs are
+// byte-identical to the exporter's, so replica lookups probe exactly as the
+// owner's would.
+func ImportPackedSlabs(b []byte) (*PackedStore, []byte, error) {
+	if len(b) < slabHdrBytes {
+		return nil, nil, fmt.Errorf("spectrum: slab image of %d bytes", len(b))
+	}
+	slots := binary.LittleEndian.Uint64(b[0:8])
+	n := binary.LittleEndian.Uint64(b[8:16])
+	if slots > 0 && slots&(slots-1) != 0 {
+		return nil, nil, fmt.Errorf("spectrum: slab image with %d slots (not a power of two)", slots)
+	}
+	need := uint64(slabHdrBytes) + slots*12
+	if uint64(len(b)) < need {
+		return nil, nil, fmt.Errorf("spectrum: slab image truncated: %d bytes for %d slots", len(b), slots)
+	}
+	p := &PackedStore{
+		n:         int(n),
+		zeroCount: binary.LittleEndian.Uint32(b[16:20]),
+		hasZero:   b[20] == 1,
+	}
+	if slots > 0 {
+		p.keys = make([]uint64, slots)
+		p.counts = make([]uint32, slots)
+		p.mask = slots - 1
+		off := slabHdrBytes
+		for i := range p.keys {
+			p.keys[i] = binary.LittleEndian.Uint64(b[off:])
+			off += 8
+		}
+		for i := range p.counts {
+			p.counts[i] = binary.LittleEndian.Uint32(b[off:])
+			off += 4
+		}
+	}
+	return p, b[need:], nil
+}
 
 // Freeze packs one or more mutable HashStores — disjoint shards of one
 // logical spectrum — into a single PackedStore and releases every shard's

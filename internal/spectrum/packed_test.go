@@ -196,6 +196,57 @@ func TestFrozenWritesPanic(t *testing.T) {
 	}
 }
 
+// TestExportImportSlabsRoundTrip: an imported slab image must be
+// observably identical to the exporter — same Len, same Count for every
+// present and absent probe — because failover lookups hit the replica with
+// the owner's exact probe sequence. Images are self-delimiting, so two
+// concatenated stores (the k-mer + tile pair one re-replication push
+// carries) must come back as two stores with nothing left over.
+func TestExportImportSlabsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	a := randomWorkload(rng, 800)
+	b := randomWorkload(rng, 300)
+	pa, pb := NewPacked(a.Entries()), NewPacked(b.Entries())
+
+	buf := pa.ExportSlabs(nil)
+	buf = pb.ExportSlabs(buf)
+	ia, rest, err := ImportPackedSlabs(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, rest, err := ImportPackedSlabs(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after importing both images", len(rest))
+	}
+	checkEquivalent(t, a, ia)
+	checkEquivalent(t, b, ib)
+
+	// The empty store round-trips too (a rank can own zero k-mers).
+	empty, rest, err := ImportPackedSlabs(NewPacked(nil).ExportSlabs(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 || len(rest) != 0 {
+		t.Fatalf("empty round-trip: len %d, %d bytes rest", empty.Len(), len(rest))
+	}
+
+	// Truncated and corrupt images are rejected, never mis-decoded.
+	if _, _, err := ImportPackedSlabs(buf[:slabHdrBytes-1]); err == nil {
+		t.Error("short header accepted")
+	}
+	if _, _, err := ImportPackedSlabs(buf[:slabHdrBytes+5]); err == nil {
+		t.Error("truncated slab accepted")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] = 3 // 3 slots: not a power of two
+	if _, _, err := ImportPackedSlabs(bad); err == nil {
+		t.Error("non-power-of-two slot count accepted")
+	}
+}
+
 // TestFreezeDropsMemBytes is the Clear+Prune retention regression: a pruned
 // map used to keep its bucket array (and the 2x estimate kept charging for
 // it); after Freeze the mutable side must account ~nothing and the packed

@@ -94,6 +94,16 @@ type Rank struct {
 	// rank's endpoint (zero outside fault-injection runs).
 	FaultsInjected int64
 
+	// Recovery counters (zero outside fault-tolerant runs).
+	FailoversTaken     int64 // lookup frames rerouted to a surviving replica holder
+	ShardsRereplicated int64 // spectrum shards this rank pushed to restore R=2
+	ChunksStolen       int64 // correction chunks this rank stole from peers
+	ChunksLent         int64 // correction chunks peers stole from this rank
+	ReadsRecovered     int64 // dead ranks' reads this rank corrected by proxy
+	// RecoveredRanks lists the ranks whose loss this rank's recovery layer
+	// absorbed during the run (empty for a clean run).
+	RecoveredRanks []int
+
 	// Peak application memory this rank held (spectra + reads tables +
 	// caches), in bytes.
 	PeakMemBytes int64
@@ -130,6 +140,7 @@ func (r *Rank) AddLookups(o *Rank) {
 	r.TileLookupsRemote += o.TileLookupsRemote
 	r.RemoteMisses += o.RemoteMisses
 	r.CacheHits += o.CacheHits
+	r.FailoversTaken += o.FailoversTaken
 }
 
 // TotalRemoteLookups returns all lookups that left the rank.

@@ -41,6 +41,14 @@ type Plan struct {
 	// peers must detect the loss themselves.
 	CrashRank  int
 	CrashAfter int64
+	// CrashPhase, when non-empty, scopes the crash trigger to a pipeline
+	// phase: the send counter restarts at every EnterPhase call and the
+	// crash fires at the CrashAfter-th send *inside* the named phase. This
+	// is how recovery tests kill a rank deterministically mid-correction
+	// instead of guessing a positional send ordinal that drifts with every
+	// protocol change. Valid names are the pipeline's phase strings (read,
+	// balance, spectrum, exchange, correct).
+	CrashPhase string
 
 	// CorruptRank's CorruptAfter-th send (1-based) has one frame byte
 	// flipped after its CRC is computed, so the receiver sees a checksum
@@ -97,6 +105,16 @@ func (p Plan) Validate(np int) error {
 	if err := check("crash", p.CrashRank); err != nil {
 		return err
 	}
+	if p.CrashPhase != "" {
+		if p.CrashRank < 0 {
+			return fmt.Errorf("chaos: crash phase %q without a crash rank", p.CrashPhase)
+		}
+		switch p.CrashPhase {
+		case "read", "balance", "spectrum", "exchange", "correct":
+		default:
+			return fmt.Errorf("chaos: unknown crash phase %q", p.CrashPhase)
+		}
+	}
 	if err := check("corrupt", p.CorruptRank); err != nil {
 		return err
 	}
@@ -123,6 +141,8 @@ func (p Plan) Validate(np int) error {
 //	jitter=1ms         uniform random extra latency in [0, 1ms)
 //	slow=1 | slow=1x8  throttle rank 1 (optionally by factor 8, default 4)
 //	crash=2@100        rank 2 crashes at its 100th send
+//	crash=2@correct    rank 2 crashes at its 1st send of the correct phase
+//	crash=2@correct:5  ... at its 5th send of the correct phase
 //	corrupt=1@50       rank 1's 50th frame is corrupted on the wire
 //	drop=0-1@30        rank 0 severs its link to rank 1 at its 30th send
 //
@@ -150,7 +170,7 @@ func ParsePlan(spec string, seed int64) (Plan, error) {
 				p.SlowFactor, err = strconv.Atoi(factor)
 			}
 		case "crash":
-			p.CrashRank, p.CrashAfter, err = parseRankAt(val)
+			p.CrashRank, p.CrashAfter, p.CrashPhase, err = parseCrash(val)
 		case "corrupt":
 			p.CorruptRank, p.CorruptAfter, err = parseRankAt(val)
 		case "drop":
@@ -193,6 +213,31 @@ func parseRankAt(val string) (rank int, at int64, err error) {
 	return rank, at, err
 }
 
+// parseCrash parses a crash trigger: rank@N (positional, the original
+// syntax) or rank@phase[:N] (the N-th send inside a named phase, default
+// the first). Phase names are validated by Plan.Validate, not here, so an
+// out-of-range rank and an unknown phase report through the same path.
+func parseCrash(val string) (rank int, at int64, phase string, err error) {
+	r, trigger, ok := strings.Cut(val, "@")
+	if !ok {
+		return 0, 0, "", fmt.Errorf("%q needs rank@N or rank@phase[:N]", val)
+	}
+	rank, err = strconv.Atoi(r)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	if at, err = strconv.ParseInt(trigger, 10, 64); err == nil {
+		return rank, at, "", nil
+	}
+	phase, nth, hasNth := strings.Cut(trigger, ":")
+	at = 1
+	err = nil
+	if hasNth {
+		at, err = strconv.ParseInt(nth, 10, 64)
+	}
+	return rank, at, phase, err
+}
+
 // Chaos wraps an Endpoint, executing a Plan against its traffic. It is safe
 // for the same concurrent use as the Endpoint itself.
 type Chaos struct {
@@ -205,6 +250,12 @@ type Chaos struct {
 	sends   atomic.Int64
 	faults  atomic.Int64
 	crashed atomic.Bool
+
+	// Phase-scoped crash trigger state: the engine announces pipeline
+	// phases through EnterPhase, which swaps the current name and resets
+	// the per-phase send counter.
+	phase      atomic.Pointer[string]
+	phaseSends atomic.Int64
 }
 
 // NewChaos wraps e with the plan's fault schedule. The jitter stream is
@@ -233,6 +284,38 @@ func (c *Chaos) MaxQueueDepth() int { return c.inner.MaxQueueDepth() }
 
 // Close implements Conn.
 func (c *Chaos) Close() error { return c.inner.Close() }
+
+// SetPeerDownHandler implements Conn, delegating to the wrapped endpoint:
+// recovery hooks must see organic and injected peer losses identically.
+func (c *Chaos) SetPeerDownHandler(h func(rank int, cause error) bool) {
+	c.inner.SetPeerDownHandler(h)
+}
+
+// EnterPhase announces a pipeline phase transition for the plan's
+// phase-scoped crash trigger: the per-phase send counter restarts so
+// CrashAfter counts sends inside the named phase only. The engine calls it
+// at every phase boundary; transports without a chaos wrapper never see it.
+func (c *Chaos) EnterPhase(name string) {
+	c.phase.Store(&name)
+	c.phaseSends.Store(0)
+}
+
+// crashDue reports whether this send ordinal trips the plan's crash
+// trigger — positional against the run-wide counter, or scoped to the
+// named phase's own counter.
+func (c *Chaos) crashDue(me int, n int64) bool {
+	if c.plan.CrashRank != me {
+		return false
+	}
+	if c.plan.CrashPhase == "" {
+		return n >= c.plan.CrashAfter
+	}
+	p := c.phase.Load()
+	if p == nil || *p != c.plan.CrashPhase {
+		return false
+	}
+	return c.phaseSends.Add(1) >= c.plan.CrashAfter
+}
 
 // Recv implements Conn.
 func (c *Chaos) Recv(tag int) (Message, error) { return c.inner.Recv(tag) }
@@ -268,7 +351,7 @@ func (c *Chaos) Send(to, tag int, data []byte) error {
 	}
 	n := c.sends.Add(1)
 	c.injectDelay(me)
-	if c.plan.CrashRank == me && n >= c.plan.CrashAfter {
+	if c.crashDue(me, n) {
 		c.crashed.Store(true)
 		c.faults.Add(1)
 		c.inner.Close()

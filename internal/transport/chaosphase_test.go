@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestParseCrashPhase covers the phase-scoped crash syntax next to the
+// original positional form: rank@N keeps meaning "the Nth send overall",
+// rank@phase means "the first send inside that phase", and rank@phase:N
+// picks the Nth.
+func TestParseCrashPhase(t *testing.T) {
+	p, err := ParsePlan("crash=2@correct", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CrashRank != 2 || p.CrashPhase != "correct" || p.CrashAfter != 1 {
+		t.Errorf("crash=2@correct: %+v", p)
+	}
+	if err := p.Validate(3); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+
+	p, err = ParsePlan("crash=2@correct:5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CrashRank != 2 || p.CrashPhase != "correct" || p.CrashAfter != 5 {
+		t.Errorf("crash=2@correct:5: %+v", p)
+	}
+
+	// The positional syntax is untouched.
+	p, err = ParsePlan("crash=2@100", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CrashRank != 2 || p.CrashPhase != "" || p.CrashAfter != 100 {
+		t.Errorf("crash=2@100: %+v", p)
+	}
+
+	// Phase names are validated against the pipeline's phase strings.
+	p, err = ParsePlan("crash=1@warp", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(2); err == nil {
+		t.Error("Validate accepted unknown phase \"warp\"")
+	}
+	if _, err := ParsePlan("crash=1@correct:x", 1); err == nil {
+		t.Error("ParsePlan accepted a non-numeric phase ordinal")
+	}
+
+	// A phase without a crash rank is meaningless.
+	orphan := NewPlan(1)
+	orphan.CrashPhase = "correct"
+	if err := orphan.Validate(2); err == nil {
+		t.Error("Validate accepted a crash phase without a crash rank")
+	}
+}
+
+// TestChaosPhaseScopedCrash: the crash must fire only inside the named
+// phase, counting that phase's own sends — and re-entering the phase resets
+// the counter, so the trigger is deterministic per phase visit.
+func TestChaosPhaseScopedCrash(t *testing.T) {
+	eps, err := NewProcGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseGroup(eps)
+	plan := NewPlan(0)
+	plan.CrashRank = 0
+	plan.CrashPhase = "correct"
+	plan.CrashAfter = 3
+	c := NewChaos(eps[0], plan)
+
+	mustSend := func(where string, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := c.Send(1, 1, nil); err != nil {
+				t.Fatalf("%s: send %d: %v", where, i+1, err)
+			}
+		}
+	}
+	mustSend("before any phase", 5)
+	c.EnterPhase("spectrum")
+	mustSend("spectrum phase", 5)
+	c.EnterPhase("correct")
+	mustSend("correct phase, first visit", 2)
+	c.EnterPhase("exchange")
+	mustSend("exchange phase", 3)
+	c.EnterPhase("correct")
+	mustSend("correct phase, second visit", 2)
+	if err := c.Send(1, 1, nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("3rd correct-phase send: got %v, want ErrInjected", err)
+	}
+	if _, err := eps[1].Recv(99); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("peer recv after phase crash: got %v, want ErrPeerDown", err)
+	}
+	if c.FaultsInjected() != 1 {
+		t.Errorf("faults = %d, want 1", c.FaultsInjected())
+	}
+}

@@ -45,7 +45,11 @@ func NewProcGroup(np int) ([]*Endpoint, error) {
 		eps[r].closeFn = func() error {
 			for to := 0; to < np; to++ {
 				if to != r {
-					eps[to].mbox.fail(&PeerDownError{Rank: r})
+					// peerDown consults the survivor's recovery handler
+					// (if armed) before poisoning; the handler runs on the
+					// closing rank's goroutine, mirroring how a TCP EOF runs
+					// on the reader goroutine rather than the application's.
+					eps[to].peerDown(r, nil)
 				}
 			}
 			return nil
@@ -62,8 +66,8 @@ func NewProcGroup(np int) ([]*Endpoint, error) {
 			if to == r {
 				return
 			}
-			eps[to].mbox.fail(&PeerDownError{Rank: r})
-			eps[r].mbox.fail(&PeerDownError{Rank: to})
+			eps[to].peerDown(r, nil)
+			eps[r].peerDown(to, nil)
 		}
 	}
 	return eps, nil

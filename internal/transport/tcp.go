@@ -308,10 +308,12 @@ func (e *Endpoint) peerFailed(from int, cause error) {
 		return
 	}
 	if _, ok := cause.(*CorruptFrameError); ok {
+		// Corruption is never recoverable: it is a wire-integrity failure,
+		// not a topology change, so it bypasses the peer-down handler.
 		e.mbox.fail(cause)
 		return
 	}
-	e.mbox.fail(&PeerDownError{Rank: from, Cause: cause})
+	e.peerDown(from, cause)
 }
 
 func readLoop(e *Endpoint, from int, conn net.Conn, peerTimeout time.Duration) {

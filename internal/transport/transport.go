@@ -98,6 +98,7 @@ type Conn interface {
 	RecvMatch(match func(tag int) bool) (Message, error)
 	TryRecvMatch(match func(tag int) bool) (Message, bool, error)
 	MaxQueueDepth() int
+	SetPeerDownHandler(h func(rank int, cause error) bool)
 	Close() error
 }
 
@@ -217,7 +218,38 @@ type Endpoint struct {
 	corruptFn func(to int)
 	dropFn    func(to int)
 
+	// peerDownH, when installed, is consulted before a lost peer poisons
+	// the mailbox; see SetPeerDownHandler.
+	peerDownH atomic.Pointer[func(rank int, cause error) bool]
+
 	closed atomic.Bool
+}
+
+// SetPeerDownHandler installs (or, with nil, removes) the recovery hook the
+// endpoint consults when it learns a peer is gone. The handler returns true
+// to absorb the event — the mailbox is not poisoned and the run continues,
+// with the recovery layer responsible for rerouting traffic — or false to
+// fall back to the default fatal path (mailbox poisoned with a
+// PeerDownError). The handler may be invoked from any transport goroutine,
+// including the dying peer's own in the proc transport, and must be safe
+// for concurrent use. Frame corruption is never offered to the handler:
+// a CRC mismatch is not a recoverable topology change.
+func (e *Endpoint) SetPeerDownHandler(h func(rank int, cause error) bool) {
+	if h == nil {
+		e.peerDownH.Store(nil)
+		return
+	}
+	e.peerDownH.Store(&h)
+}
+
+// peerDown routes one peer-loss event: through the recovery handler when
+// one is installed and it absorbs the event, into mailbox poison otherwise.
+func (e *Endpoint) peerDown(rank int, cause error) {
+	err := &PeerDownError{Rank: rank, Cause: cause}
+	if h := e.peerDownH.Load(); h != nil && (*h)(rank, err) {
+		return
+	}
+	e.mbox.fail(err)
 }
 
 // Rank returns this endpoint's rank in [0, Size).
