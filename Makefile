@@ -85,7 +85,7 @@ property:
 ## turning into an open-ended campaign.
 FUZZ_TIME ?= 10s
 fuzz:
-	@for target in FuzzDecodeBatchReq FuzzDecodeBatchResp FuzzDecodeAbortInfo; do \
+	@for target in FuzzDecodeBatchReq FuzzDecodeBatchResp FuzzBatchReqDeltaCodec FuzzBatchRespVarintCodec FuzzDecodeAbortInfo; do \
 		echo "fuzz $$target ($(FUZZ_TIME))"; \
 		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZ_TIME) ./internal/core/ || exit 1; \
 	done
@@ -102,4 +102,4 @@ cover:
 		fi; \
 	done
 
-ci: build vet lint test race chaos chaos-recover property cover fuzz
+ci: build vet lint test race chaos chaos-recover property cover fuzz bench-build bench-lookup

@@ -69,9 +69,24 @@ func main() {
 
 	fmt.Printf("reptile-bench: scale=%.3g rankdiv=%d maxranks=%d\n\n", *scale, *rankDiv, *maxRanks)
 	var tables []*harness.Table
+	exitCode := 0
 	for _, e := range exps {
 		start := time.Now()
 		tab, err := e.Run(sc)
+		if tab != nil {
+			// Render (and below, serialize) even a failing experiment's table:
+			// an acceptance-bar violation exits nonzero, but the rows that
+			// tripped it are exactly what the artifact should show.
+			fmt.Print(tab.Render())
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, tab.ID+".csv")
+				if werr := os.WriteFile(path, []byte(tab.CSV()), 0o644); werr != nil {
+					fmt.Fprintf(os.Stderr, "reptile-bench: writing %s: %v\n", path, werr)
+					os.Exit(1)
+				}
+			}
+			tables = append(tables, tab)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "reptile-bench: %s: %v\n", e.ID, err)
 			// A protocol violation is an engine bug, not a workload failure;
@@ -79,22 +94,15 @@ func main() {
 			// apart (the message already names the offending tag).
 			var pe *msgplane.ProtocolError
 			if errors.As(err, &pe) {
-				os.Exit(3)
+				exitCode = 3
+			} else {
+				exitCode = 1
 			}
-			os.Exit(1)
+			break
 		}
-		fmt.Print(tab.Render())
 		fmt.Printf("   (measured in %v)\n\n", time.Since(start).Round(time.Millisecond))
-		if *csvDir != "" {
-			path := filepath.Join(*csvDir, tab.ID+".csv")
-			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "reptile-bench: writing %s: %v\n", path, err)
-				os.Exit(1)
-			}
-		}
-		tables = append(tables, tab)
 	}
-	if *jsonPath != "" {
+	if *jsonPath != "" && len(tables) > 0 {
 		blob, err := json.MarshalIndent(tables, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "reptile-bench: %v\n", err)
@@ -106,4 +114,5 @@ func main() {
 		}
 		fmt.Printf("json: %s\n", *jsonPath)
 	}
+	os.Exit(exitCode)
 }

@@ -14,17 +14,25 @@ import (
 )
 
 func TestBatchWireRoundTrips(t *testing.T) {
-	ids := []kmer.ID{1, 0xDEADBEEF, 1 << 60}
-	payload := encodeBatchReq(7, kindTile, ids)
-	reqID, kinds, got, err := decodeBatchReq(payload)
-	if err != nil || reqID != 7 {
-		t.Fatalf("batch req round trip: id=%d err=%v", reqID, err)
-	}
-	for i := range ids {
-		if kinds[i] != kindTile || got[i] != ids[i] {
-			t.Fatalf("entry %d: kind=%d id=%d", i, kinds[i], got[i])
+	// Sorted, unsorted, and extreme-width id lists must all survive the
+	// delta+varint round trip bit-exactly.
+	for _, ids := range [][]kmer.ID{
+		{1, 0xDEADBEEF, 1 << 60},
+		{1 << 60, 1, 0xDEADBEEF}, // unsorted: negative deltas
+		{0, ^kmer.ID(0), 0},      // full-width wrap in both directions
+	} {
+		payload := encodeBatchReq(7, kindTile, ids)
+		reqID, kind, got, err := decodeBatchReq(payload)
+		if err != nil || reqID != 7 || kind != kindTile {
+			t.Fatalf("batch req round trip: id=%d kind=%d err=%v", reqID, kind, err)
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Fatalf("entry %d: id=%d want %d", i, got[i], ids[i])
+			}
 		}
 	}
+	payload := encodeBatchReq(7, kindTile, []kmer.ID{1, 0xDEADBEEF, 1 << 60})
 
 	answers := []batchAnswer{{Count: 42, Exists: true}, {Count: 0, Exists: false}}
 	reqID, back, err := decodeBatchResp(encodeBatchResp(9, answers))
@@ -41,6 +49,9 @@ func TestBatchWireRoundTrips(t *testing.T) {
 	}
 	if _, _, _, err := decodeBatchReq(payload[:len(payload)-1]); err == nil {
 		t.Error("truncated batch request accepted")
+	}
+	if _, _, _, err := decodeBatchReq(append(append([]byte{}, payload...), 0)); err == nil {
+		t.Error("batch request with trailing bytes accepted")
 	}
 	if _, _, err := decodeBatchResp([]byte{1}); err == nil {
 		t.Error("short batch response accepted")

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"reptile/internal/kmer"
@@ -9,6 +10,14 @@ import (
 	"reptile/internal/reads"
 	"reptile/internal/spectrum"
 )
+
+// buildParallelism caps the extraction fan-out at the scheduler's actual
+// parallelism. Requesting more workers than the machine has cores cannot
+// speed anything up — the extra goroutines only add handoff, fold, and
+// cache overhead (BENCH_build's workers=4 running 0.76x of serial on a
+// small host was exactly this). Tests override the hook to force the
+// parallel path on machines with fewer cores than the sweep requests.
+var buildParallelism = func() int { return runtime.GOMAXPROCS(0) }
 
 // specBuilder runs the spectrum construction (Steps II-III) for one rank
 // with Heuristics.Workers extraction goroutines and a pipelined count
@@ -57,11 +66,16 @@ type specBuilder struct {
 }
 
 // newSpecBuilder builds the sharded tables and registers the builder on the
-// context so currentMem accounts them.
+// context so currentMem accounts them. The worker count is clamped to the
+// machine's parallelism; at one effective worker the builder takes the
+// serial direct-route path, which never allocates the per-worker tables.
 func (ctx *rankCtx) newSpecBuilder(retain bool) *specBuilder {
 	nw := ctx.opts.Heuristics.Workers
 	if nw < 1 {
 		nw = 1
+	}
+	if p := buildParallelism(); nw > p && p > 0 {
+		nw = p
 	}
 	b := &specBuilder{ctx: ctx, nw: nw, spec: ctx.opts.Config.Spec}
 	shards := func() []*spectrum.HashStore {
@@ -76,10 +90,12 @@ func (ctx *rankCtx) newSpecBuilder(retain bool) *specBuilder {
 	if retain {
 		b.retK, b.retT = shards(), shards()
 	}
-	b.workK = make([][]*spectrum.HashStore, nw)
-	b.workT = make([][]*spectrum.HashStore, nw)
-	for w := 0; w < nw; w++ {
-		b.workK[w], b.workT[w] = shards(), shards()
+	if nw > 1 {
+		b.workK = make([][]*spectrum.HashStore, nw)
+		b.workT = make([][]*spectrum.HashStore, nw)
+		for w := 0; w < nw; w++ {
+			b.workK[w], b.workT[w] = shards(), shards()
+		}
 	}
 	for set := range b.encK {
 		b.encK[set] = make([][]byte, ctx.np)
@@ -106,6 +122,10 @@ func (b *specBuilder) shardOf(id kmer.ID) int {
 //
 // reptile-lint:hotpath
 func (b *specBuilder) extract(batch []reads.Read) {
+	if b.nw == 1 {
+		b.extractSerial(batch)
+		return
+	}
 	type tally struct{ kmers, tiles int64 }
 	tallies := make([]tally, b.nw)
 	var wg sync.WaitGroup
@@ -137,9 +157,59 @@ func (b *specBuilder) extract(batch []reads.Read) {
 	}
 }
 
+// extractSerial is the single-worker fast path: with no sibling to race,
+// each id routes by owner straight into the cumulative owned shard or the
+// round table — one map insert per occurrence instead of the parallel
+// path's work-table insert plus fold re-insert (the double map handling
+// that dominated the serial profile). Retention accumulates per occurrence
+// here instead of per round-entry in foldShard; the sums are identical.
+// The extraction callbacks are hoisted out of the per-read loop, as in the
+// parallel path.
+//
+// reptile-lint:hotpath
+func (b *specBuilder) extractSerial(batch []reads.Read) {
+	rank, np := b.ctx.rank, b.ctx.np
+	var kmers, tiles int64
+	addKmer := func(_ int, id kmer.ID) {
+		kmers++
+		s := b.shardOf(id)
+		if kmer.Owner(id, np) == rank {
+			b.ownK[s].Add(id, 1)
+		} else {
+			b.roundK[s].Add(id, 1)
+			if b.retK != nil {
+				b.retK[s].Add(id, 1)
+			}
+		}
+	}
+	addTile := func(_ int, id kmer.ID) {
+		tiles++
+		s := b.shardOf(id)
+		if kmer.Owner(id, np) == rank {
+			b.ownT[s].Add(id, 1)
+		} else {
+			b.roundT[s].Add(id, 1)
+			if b.retT != nil {
+				b.retT[s].Add(id, 1)
+			}
+		}
+	}
+	for i := range batch {
+		b.spec.EachKmer(batch[i].Base, addKmer)
+		b.spec.EachTileStep(batch[i].Base, 1, addTile)
+	}
+	b.ctx.st.KmersExtracted += kmers
+	b.ctx.st.TilesExtracted += tiles
+}
+
 // fold merges the workers' private tables into the cumulative owned shards
-// and the round's non-owned tables, one goroutine per shard.
+// and the round's non-owned tables, one goroutine per shard. The serial
+// fast path already routed everything at extraction, so there is nothing
+// to fold.
 func (b *specBuilder) fold() {
+	if b.nw == 1 {
+		return
+	}
 	var wg sync.WaitGroup
 	for s := 0; s < b.nw; s++ {
 		wg.Add(1)
@@ -340,6 +410,9 @@ func (b *specBuilder) finish() {
 		ctx.cacheTile = flattenShards(b.retT)
 	}
 	ctx.build = nil
+	// The freeze-point footprint: frozen owned stores plus the flattened
+	// retained tables, with every builder shard already released.
+	ctx.st.MemAtFreeze = ctx.currentMem()
 }
 
 // flattenShards folds disjoint shard tables into one mutable HashStore,
@@ -373,7 +446,7 @@ func (b *specBuilder) memBytes() int64 {
 		add(b.retK)
 		add(b.retT)
 	}
-	for w := 0; w < b.nw; w++ {
+	for w := range b.workK {
 		add(b.workK[w])
 		add(b.workT[w])
 	}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"reptile/internal/dna"
+	"reptile/internal/reads"
+	"reptile/internal/reptile"
+	"reptile/internal/spectrum"
+)
+
+// TestBuildParallelPathMatchesSerial pins the two extraction paths against
+// each other: the serial direct-route fast path (one effective worker) and
+// the sharded extract/fold pipeline must produce identical owned, round,
+// and retained tables. The parallelism hook is forced so the test
+// exercises the parallel path even on a single-core host, where the clamp
+// would otherwise route every worker count through the serial path.
+func TestBuildParallelPathMatchesSerial(t *testing.T) {
+	oldPar := buildParallelism
+	buildParallelism = func() int { return 4 }
+	defer func() { buildParallelism = oldPar }()
+
+	rng := rand.New(rand.NewSource(7))
+	const bases = "ACGT"
+	var batch []reads.Read
+	for i := 0; i < 200; i++ {
+		n := 40 + rng.Intn(40)
+		seq := make([]byte, n)
+		for j := range seq {
+			seq[j] = bases[rng.Intn(4)]
+		}
+		batch = append(batch, reads.Read{
+			Seq: int64(i), Base: dna.MustEncode(string(seq)), Qual: make([]byte, n),
+		})
+	}
+
+	build := func(workers int) (own, round, ret *spectrum.HashStore, nw int) {
+		cfg := reptile.Default()
+		ctx := &rankCtx{
+			opts: Options{Config: cfg, Heuristics: Heuristics{Workers: workers}},
+			rank: 0,
+			np:   4, // most ids are foreign, so the round/retained path is hot
+		}
+		b := ctx.newSpecBuilder(true)
+		b.extract(batch)
+		b.fold()
+		merge := func(shards []*spectrum.HashStore) *spectrum.HashStore {
+			out := spectrum.NewHash(0)
+			for _, s := range shards {
+				s.Each(func(e spectrum.Entry) bool { out.Add(e.ID, e.Count); return true })
+			}
+			return out
+		}
+		return merge(append(append([]*spectrum.HashStore{}, b.ownK...), b.ownT...)),
+			merge(append(append([]*spectrum.HashStore{}, b.roundK...), b.roundT...)),
+			merge(append(append([]*spectrum.HashStore{}, b.retK...), b.retT...)),
+			b.nw
+	}
+
+	own1, round1, ret1, nw1 := build(1)
+	own4, round4, ret4, nw4 := build(4)
+	if nw1 != 1 || nw4 != 4 {
+		t.Fatalf("effective workers: serial=%d parallel=%d, want 1 and 4", nw1, nw4)
+	}
+	if own1.Len() == 0 || round1.Len() == 0 {
+		t.Fatal("degenerate dataset: empty owned or round tables")
+	}
+	for name, pair := range map[string][2]*spectrum.HashStore{
+		"owned":    {own1, own4},
+		"round":    {round1, round4},
+		"retained": {ret1, ret4},
+	} {
+		serial, parallel := pair[0], pair[1]
+		if serial.Len() != parallel.Len() {
+			t.Fatalf("%s tables diverge: %d vs %d entries", name, serial.Len(), parallel.Len())
+		}
+		serial.Each(func(e spectrum.Entry) bool {
+			if got, ok := parallel.Count(e.ID); !ok || got != e.Count {
+				t.Fatalf("%s id %v: serial count %d, parallel %d (present=%v)", name, e.ID, e.Count, got, ok)
+			}
+			return true
+		})
+	}
+}
+
+// TestBuildWorkerClamp pins the clamp itself: requesting more workers than
+// the machine's parallelism must fall back to the serial path (one shard,
+// no per-worker tables) instead of scheduling goroutines that cannot run
+// concurrently.
+func TestBuildWorkerClamp(t *testing.T) {
+	oldPar := buildParallelism
+	buildParallelism = func() int { return 1 }
+	defer func() { buildParallelism = oldPar }()
+
+	ctx := &rankCtx{opts: Options{Config: reptile.Default(), Heuristics: Heuristics{Workers: 8}}, np: 2}
+	b := ctx.newSpecBuilder(false)
+	if b.nw != 1 {
+		t.Fatalf("effective workers %d on a 1-core host, want 1", b.nw)
+	}
+	if b.workK != nil || b.workT != nil {
+		t.Fatal("serial path allocated per-worker tables")
+	}
+}

@@ -22,6 +22,9 @@ import (
 func (ctx *rankCtx) correctDriver(work func(disp *lookupDispatcher) (reptile.Result, error)) (reptile.Result, error) {
 	msgs0, bytes0 := ctx.e.Counters().PerDestSnapshot()
 	disp := ctx.newDispatcher()
+	if disp != nil {
+		ctx.plane = newPrefetchPlane(ctx.np)
+	}
 	if ctx.opts.WorkSteal {
 		ctx.steal = newStealSched(ctx.myReads, ctx.opts.Config.ChunkReads)
 	}
@@ -206,8 +209,8 @@ func (ctx *rankCtx) newDispatcher() *lookupDispatcher {
 }
 
 // newOracle builds a correction oracle over the given stats shard. Every
-// worker gets its own oracle (prefetch buffers are worker-confined); the
-// dispatcher and the spectra are shared.
+// worker gets its own oracle (the miss-filter scratch is worker-confined);
+// the dispatcher, the prefetch plane, and the spectra are shared.
 func (ctx *rankCtx) newOracle(st *stats.Rank, disp *lookupDispatcher, cacheMu *sync.RWMutex) *distOracle {
 	batch := 0
 	if disp != nil {
@@ -232,6 +235,7 @@ func (ctx *rankCtx) newOracle(st *stats.Rank, disp *lookupDispatcher, cacheMu *s
 		groupSize: ctx.opts.Heuristics.PartialReplicationGroup,
 		disp:      disp,
 		batch:     batch,
+		plane:     ctx.plane,
 		cacheMu:   cacheMu,
 		rec:       ctx.rec,
 	}
@@ -378,13 +382,13 @@ func (ctx *rankCtx) serve(m transport.Message) error {
 // owned spectra and the answers travel back in one frame, positionally,
 // echoing the request id so the requester's dispatcher can match it.
 func (ctx *rankCtx) serveBatch(m transport.Message) error {
-	reqID, kinds, ids, err := decodeBatchReq(m.Data)
+	reqID, kind, ids, err := decodeBatchReq(m.Data)
 	if err != nil {
 		return err
 	}
 	answers := make([]batchAnswer, len(ids))
 	for i := range ids {
-		store, err := ctx.lookupStore(kinds[i], ids[i])
+		store, err := ctx.lookupStore(kind, ids[i])
 		if err != nil {
 			return err
 		}

@@ -58,6 +58,10 @@ type rankCtx struct {
 	// frozen: packed by groupReplicate
 	groupKmer, groupTile *spectrum.PackedStore
 
+	// plane is the rank-wide prefetch accumulator shared by every correction
+	// worker (nil unless lookup batching is on); created by correctDriver.
+	plane *prefetchPlane
+
 	// res accumulates the correct step's totals for the pipeline epilogue.
 	res reptile.Result
 

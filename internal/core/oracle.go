@@ -66,16 +66,13 @@ type distOracle struct {
 	cacheKmer, cacheTile *spectrum.HashStore
 
 	// Batched-lookup state, nil/zero when Heuristics.LookupBatch == 0. The
-	// dispatcher is shared by every worker of the rank; the prefetch buffer
-	// and scratch are this worker's own.
-	disp      *lookupDispatcher
-	batch     int
-	pre       map[preKey]preVal
-	preOwners [][]kmer.ID          // scratch: per-owner id lists
-	preSeen   map[kmer.ID]struct{} // scratch: per-call dedup
-	preCalls  []*msgplane.Call     // scratch: frames issued this call
-	preIDs    [][]kmer.ID          // scratch: ids of each issued frame
-	preShard  []int                // scratch: owner rank of each issued frame
+	// dispatcher and the prefetch plane (the rank-wide answers map and
+	// per-owner accumulator) are shared by every worker of the rank; only
+	// the miss-filter scratch is this worker's own.
+	disp    *lookupDispatcher
+	batch   int
+	plane   *prefetchPlane
+	preMiss []kmer.ID // scratch: the genuinely-remote subset of one hint
 	// cacheMu serializes reads-table access when several workers share the
 	// tables under the CacheRemote heuristic; nil in single-worker runs.
 	cacheMu *sync.RWMutex
@@ -151,12 +148,13 @@ func (o *distOracle) lookup(kind byte, id kmer.ID) (uint32, bool) {
 		}
 	}
 
-	// A prefetched answer resolves the lookup without a round trip. The
-	// stats and cache effects are applied at consume time, exactly as a live
-	// round trip would — this is what keeps a batched run's counters equal
-	// to the unbatched run's.
-	if o.pre != nil {
-		if v, ok := o.pre[preKey{kind: kind, id: id}]; ok {
+	// A prefetched answer resolves the lookup without a round trip — from
+	// the rank-wide plane, so an id any worker fetched answers every
+	// worker. The stats and cache effects are applied at consume time,
+	// exactly as a live round trip would — this is what keeps a batched
+	// run's counters equal to the unbatched run's.
+	if o.plane != nil {
+		if v, ok := o.plane.answer(kind, id); ok {
 			o.finishRemote(kind, id, v.cnt, v.exists, cache)
 			return v.cnt, v.exists
 		}
@@ -230,13 +228,13 @@ func (o *distOracle) countLocal(kind byte) {
 	}
 }
 
-// prefetch batch-resolves the genuinely-remote subset of ids into the
-// prefetch buffer: walk the local chain silently (no counters — the real
-// lookups count when they consume), coalesce the misses per owner rank,
-// issue every frame before waiting on any (the in-flight window is the
-// pipeline depth), then collect the answers.
+// prefetch hands the genuinely-remote subset of ids to the shared plane:
+// walk the local chain silently (no counters — the real lookups count when
+// they consume), then stage the misses for a combined flush with every
+// sibling worker's misses. Returns once the plane has answers for all of
+// them.
 func (o *distOracle) prefetch(kind byte, ids []kmer.ID) {
-	if o.disp == nil || o.batch <= 0 || o.err != nil || len(ids) == 0 {
+	if o.plane == nil || o.disp == nil || o.batch <= 0 || o.err != nil || len(ids) == 0 {
 		return
 	}
 	var repl spectrum.Lookuper = o.replKmer
@@ -248,18 +246,7 @@ func (o *distOracle) prefetch(kind byte, ids []kmer.ID) {
 		return // every lookup of this kind is local
 	}
 
-	if o.pre == nil {
-		o.pre = make(map[preKey]preVal)
-		o.preSeen = make(map[kmer.ID]struct{})
-		o.preOwners = make([][]kmer.ID, o.np)
-	} else if len(o.pre) > maxPrefetchEntries {
-		clear(o.pre)
-	}
-	for r := range o.preOwners {
-		o.preOwners[r] = o.preOwners[r][:0]
-	}
-	clear(o.preSeen)
-
+	o.preMiss = o.preMiss[:0]
 	for _, id := range ids {
 		owner := kmer.Owner(id, o.np)
 		if owner == o.rank {
@@ -276,97 +263,13 @@ func (o *distOracle) prefetch(kind byte, ids []kmer.ID) {
 				continue
 			}
 		}
-		if _, ok := o.pre[preKey{kind: kind, id: id}]; ok {
-			continue
-		}
-		if _, ok := o.preSeen[id]; ok {
-			continue
-		}
-		o.preSeen[id] = struct{}{}
-		o.preOwners[owner] = append(o.preOwners[owner], id)
+		o.preMiss = append(o.preMiss, id)
 	}
-
-	o.preCalls = o.preCalls[:0]
-	o.preIDs = o.preIDs[:0]
-	o.preShard = o.preShard[:0]
-	var firstErr error
-	var retry [][]kmer.ID // frames to reissue through the failover path
-	var retryOwner []int
-	for owner := range o.preOwners {
-		list := o.preOwners[owner]
-		dest := owner
-		if o.rec != nil {
-			dest = o.rec.holderOf(owner)
-		}
-		for len(list) > 0 && firstErr == nil {
-			n := len(list)
-			if n > o.batch {
-				n = o.batch
-			}
-			call, err := o.disp.start(dest, kind, list[:n])
-			if err != nil {
-				if o.rec != nil && errors.Is(err, transport.ErrPeerDown) {
-					// The holder died under the frame; reissue synchronously
-					// after the collect, through the failover route.
-					retry = append(retry, list[:n])
-					retryOwner = append(retryOwner, owner)
-					list = list[n:]
-					continue
-				}
-				firstErr = err
-				break
-			}
-			o.preCalls = append(o.preCalls, call)
-			o.preIDs = append(o.preIDs, list[:n])
-			o.preShard = append(o.preShard, owner)
-			list = list[n:]
-		}
+	if len(o.preMiss) == 0 {
+		return
 	}
-	// Collect every issued frame even after an error — abandoning a call
-	// would leak its window slot until the dispatcher is poisoned.
-	for i, call := range o.preCalls {
-		answers, err := o.disp.wait(call)
-		if err != nil {
-			if o.rec != nil && errors.Is(err, transport.ErrPeerDown) {
-				retry = append(retry, o.preIDs[i])
-				retryOwner = append(retryOwner, o.preShard[i])
-				continue
-			}
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		frame := o.preIDs[i]
-		if len(answers) != len(frame) {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("core: batch of %d ids answered with %d entries", len(frame), len(answers))
-			}
-			continue
-		}
-		for j, id := range frame {
-			o.pre[preKey{kind: kind, id: id}] = preVal{cnt: answers[j].Count, exists: answers[j].Exists}
-		}
-	}
-	for i, frame := range retry {
-		if firstErr != nil {
-			break
-		}
-		answers, err := o.batchLookup(kind, frame, retryOwner[i])
-		if err != nil {
-			firstErr = err
-			break
-		}
-		if len(answers) != len(frame) {
-			firstErr = fmt.Errorf("core: batch of %d ids answered with %d entries", len(frame), len(answers))
-			break
-		}
-		for j, id := range frame {
-			o.pre[preKey{kind: kind, id: id}] = preVal{cnt: answers[j].Count, exists: answers[j].Exists}
-		}
-	}
-	if firstErr != nil && o.err == nil {
-		o.err = firstErr
+	if err := o.plane.resolve(o, kind, o.preMiss); err != nil && o.err == nil {
+		o.err = err
 	}
 }
 

@@ -24,8 +24,8 @@ const (
 	// alternative to the one-id-per-message protocol above). Requests carry a
 	// request id so responses from several in-flight batches — possibly from
 	// several worker threads — can interleave and still be matched.
-	tagBatchReq  msgplane.Tag = 7 // reqID u32 | n u16 | n × (kind byte | id u64)
-	tagBatchResp msgplane.Tag = 8 // reqID u32 | n u16 | n × (exists byte | count u32)
+	tagBatchReq  msgplane.Tag = 7 // reqID u32 | n u16 | kind u8 | n × varint(zigzag id delta)
+	tagBatchResp msgplane.Tag = 8 // reqID u32 | n u16 | n × varint(count<<1|exists)
 
 	// Recovery and work-stealing frames. Steal requests/grants implement
 	// correct-phase work stealing (an idle rank pulls read chunks from a
@@ -56,9 +56,9 @@ func init() {
 		msgplane.Spec{Tag: tagResp, Name: "resp", Dir: msgplane.DirResponse,
 			MinSize: RespBytes, MaxSize: RespBytes, Direct: true},
 		msgplane.Spec{Tag: tagBatchReq, Name: "batchReq", Dir: msgplane.DirRequest,
-			MinSize: batchHdrBytes, MaxSize: batchHdrBytes + maxBatchEntries*BatchReqEntryBytes},
+			MinSize: batchReqHdrBytes, MaxSize: batchReqHdrBytes + maxBatchEntries*maxReqEntry},
 		msgplane.Spec{Tag: tagBatchResp, Name: "batchResp", Dir: msgplane.DirResponse,
-			MinSize: batchHdrBytes, MaxSize: batchHdrBytes + maxBatchEntries*BatchRespEntry},
+			MinSize: batchHdrBytes, MaxSize: batchHdrBytes + maxBatchEntries*maxRespEntry},
 		msgplane.Spec{Tag: tagStealReq, Name: "stealReq", Dir: msgplane.DirRequest,
 			MinSize: stealReqBytes, MaxSize: stealReqBytes},
 		msgplane.Spec{Tag: tagStealGrant, Name: "stealGrant", Dir: msgplane.DirResponse,
@@ -153,14 +153,21 @@ func decodeResp(payload []byte) (count uint32, exists bool, err error) {
 	return binary.LittleEndian.Uint32(payload[1:]), payload[0] == 1, nil
 }
 
-// Batch frame geometry. A batch header is the request id plus the entry
-// count; entries are fixed-width so the machine-model projection can price
-// a batch exactly.
+// Batch frame geometry. A batch header is the request id, the entry count,
+// and (requests only) the frame's single kind — a frame never mixes k-mers
+// and tiles, so hoisting the kind out of the entries saves a byte per id.
+// Entries are variable-width: request ids travel as zigzag-varint deltas
+// (the issuer sorts each frame, so consecutive 40-bit tile ids collapse to
+// a few bytes each), responses as a single varint folding the exists bit
+// into the count's low bit. The unikmer-style compaction ROADMAP item 2
+// names; the machine model prices batches from the measured transport
+// counters, not from a fixed entry width.
 const (
-	batchHdrBytes      = 6 // reqID u32 + n u16
-	BatchReqEntryBytes = 9 // kind byte + id u64
-	BatchRespEntry     = 5 // exists byte + count u32
-	maxBatchEntries    = 1<<16 - 1
+	batchHdrBytes    = 6                     // reqID u32 + n u16
+	batchReqHdrBytes = batchHdrBytes + 1     // + kind u8
+	maxBatchEntries  = 1<<16 - 1             // n is a u16
+	maxRespEntry     = 5                     // varint of a 33-bit value
+	maxReqEntry      = binary.MaxVarintLen64 // varint of a zigzag 64-bit delta
 )
 
 // batchAnswer is one resolved lookup inside a batch response.
@@ -169,6 +176,11 @@ type batchAnswer struct {
 	Exists bool
 }
 
+// zigzag maps a signed delta onto an unsigned varint-friendly value
+// (small magnitudes of either sign encode short); unzigzag inverts it.
+func zigzag(d int64) uint64   { return uint64(d<<1) ^ uint64(d>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
 // encodeBatchFrame builds one complete batch-request frame — the tag plus
 // the payload for the assigned request id — in the shape the message
 // plane's caller asks its encoder for.
@@ -176,56 +188,70 @@ func encodeBatchFrame(reqID uint32, kind byte, ids []kmer.ID) (msgplane.Tag, []b
 	return tagBatchReq, encodeBatchReq(reqID, kind, ids)
 }
 
-// encodeBatchReq builds a tagBatchReq payload: every id in the frame shares
-// one kind (the prefetcher batches k-mers and tiles separately), but the
-// kind is carried per entry so mixed frames stay representable on the wire.
+/// encodeBatchReq builds a tagBatchReq payload: the shared kind in the
+// header, then every id as the zigzag-varint delta from its predecessor
+// (the first id deltas from zero). Any id order round-trips — an unsorted
+// frame just pays wider varints — so issuers sort for compression, not for
+// correctness.
 func encodeBatchReq(reqID uint32, kind byte, ids []kmer.ID) []byte {
-	buf := make([]byte, batchHdrBytes, batchHdrBytes+len(ids)*BatchReqEntryBytes)
+	buf := make([]byte, batchReqHdrBytes, batchReqHdrBytes+len(ids)*3)
 	binary.LittleEndian.PutUint32(buf[0:4], reqID)
 	binary.LittleEndian.PutUint16(buf[4:6], uint16(len(ids)))
-	var entry [BatchReqEntryBytes]byte
+	buf[6] = kind
+	var entry [maxReqEntry]byte
+	prev := uint64(0)
 	for _, id := range ids {
-		entry[0] = kind
-		binary.LittleEndian.PutUint64(entry[1:], uint64(id))
-		buf = append(buf, entry[:]...)
+		n := binary.PutUvarint(entry[:], zigzag(int64(uint64(id)-prev)))
+		buf = append(buf, entry[:n]...)
+		prev = uint64(id)
 	}
 	return buf
 }
 
-// decodeBatchReq parses a tagBatchReq payload.
-func decodeBatchReq(payload []byte) (reqID uint32, kinds []byte, ids []kmer.ID, err error) {
-	if len(payload) < batchHdrBytes {
-		return 0, nil, nil, fmt.Errorf("core: batch request of %d bytes", len(payload))
+// decodeBatchReq parses a tagBatchReq payload. The delta arithmetic is
+// wrapping, so every encoder output decodes to the exact input ids; a frame
+// whose varints overrun or underrun the payload is rejected.
+func decodeBatchReq(payload []byte) (reqID uint32, kind byte, ids []kmer.ID, err error) {
+	if len(payload) < batchReqHdrBytes {
+		return 0, 0, nil, fmt.Errorf("core: batch request of %d bytes", len(payload))
 	}
 	reqID = binary.LittleEndian.Uint32(payload[0:4])
 	n := int(binary.LittleEndian.Uint16(payload[4:6]))
-	if len(payload) != batchHdrBytes+n*BatchReqEntryBytes {
-		return 0, nil, nil, fmt.Errorf("core: batch request of %d bytes for %d entries", len(payload), n)
-	}
-	kinds = make([]byte, n)
+	kind = payload[6]
+	rest := payload[batchReqHdrBytes:]
 	ids = make([]kmer.ID, n)
+	prev := uint64(0)
 	for i := 0; i < n; i++ {
-		e := payload[batchHdrBytes+i*BatchReqEntryBytes:]
-		kinds[i] = e[0]
-		ids[i] = kmer.ID(binary.LittleEndian.Uint64(e[1:BatchReqEntryBytes]))
+		u, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return 0, 0, nil, fmt.Errorf("core: batch request id %d/%d truncated", i, n)
+		}
+		prev += uint64(unzigzag(u))
+		ids[i] = kmer.ID(prev)
+		rest = rest[w:]
 	}
-	return reqID, kinds, ids, nil
+	if len(rest) != 0 {
+		return 0, 0, nil, fmt.Errorf("core: batch request has %d trailing bytes after %d entries", len(rest), n)
+	}
+	return reqID, kind, ids, nil
 }
 
 // encodeBatchResp builds a tagBatchResp payload answering a batch request;
-// answers are positional (answer i resolves id i of the request).
+// answers are positional (answer i resolves id i of the request). Each
+// answer is one varint of count<<1|exists — a miss (the dominant answer,
+// Section IV) is a single zero byte instead of five.
 func encodeBatchResp(reqID uint32, answers []batchAnswer) []byte {
-	buf := make([]byte, batchHdrBytes, batchHdrBytes+len(answers)*BatchRespEntry)
+	buf := make([]byte, batchHdrBytes, batchHdrBytes+len(answers)*2)
 	binary.LittleEndian.PutUint32(buf[0:4], reqID)
 	binary.LittleEndian.PutUint16(buf[4:6], uint16(len(answers)))
-	var entry [BatchRespEntry]byte
+	var entry [maxRespEntry]byte
 	for _, a := range answers {
-		entry[0] = 0
+		v := uint64(a.Count) << 1
 		if a.Exists {
-			entry[0] = 1
+			v |= 1
 		}
-		binary.LittleEndian.PutUint32(entry[1:], a.Count)
-		buf = append(buf, entry[:]...)
+		n := binary.PutUvarint(entry[:], v)
+		buf = append(buf, entry[:n]...)
 	}
 	return buf
 }
@@ -237,16 +263,21 @@ func decodeBatchResp(payload []byte) (reqID uint32, answers []batchAnswer, err e
 	}
 	reqID = binary.LittleEndian.Uint32(payload[0:4])
 	n := int(binary.LittleEndian.Uint16(payload[4:6]))
-	if len(payload) != batchHdrBytes+n*BatchRespEntry {
-		return 0, nil, fmt.Errorf("core: batch response of %d bytes for %d entries", len(payload), n)
-	}
+	rest := payload[batchHdrBytes:]
 	answers = make([]batchAnswer, n)
 	for i := 0; i < n; i++ {
-		e := payload[batchHdrBytes+i*BatchRespEntry:]
-		answers[i] = batchAnswer{
-			Exists: e[0] == 1,
-			Count:  binary.LittleEndian.Uint32(e[1:BatchRespEntry]),
+		v, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return 0, nil, fmt.Errorf("core: batch response answer %d/%d truncated", i, n)
 		}
+		if v>>1 > 1<<32-1 {
+			return 0, nil, fmt.Errorf("core: batch response count %d overflows u32", v>>1)
+		}
+		answers[i] = batchAnswer{Count: uint32(v >> 1), Exists: v&1 == 1}
+		rest = rest[w:]
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("core: batch response has %d trailing bytes after %d entries", len(rest), n)
 	}
 	return reqID, answers, nil
 }

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -309,9 +310,11 @@ func Lookup(sc Scale) (*Table, error) {
 		{"batch=32 workers=4", core.Heuristics{LookupBatch: 32, Workers: 4}},
 	}
 	t := &Table{
-		ID:     "lookup",
-		Title:  fmt.Sprintf("Remote-lookup batching, %d ranks (E.Coli, no replication)", np),
-		Note:   "new to this implementation (cf. diBELLA's message aggregation); acceptance bar is >=2x fewer correction messages per read with byte-identical output",
+		ID:    "lookup",
+		Title: fmt.Sprintf("Remote-lookup batching, %d ranks (E.Coli, no replication)", np),
+		Note: "new to this implementation (cf. diBELLA's message aggregation); enforced bars: byte-identical output for " +
+			"every mode, batch=32 cuts correction messages per read >=2x, and the worker pool's reduction is at least the " +
+			"single worker's (the rank-wide prefetch plane re-coalesces what per-worker buffers fragmented)",
 		Header: []string{"mode", "msgs/read", "bytes/read", "frames", "ids/frame", "msg reduction", "bases corrected"},
 	}
 	correctMsgs := func(out *core.Output) (msgs, bytes int64) {
@@ -327,6 +330,7 @@ func Lookup(sc Scale) (*Table, error) {
 		return
 	}
 	var baseMsgs, baseCorrected int64
+	reductions := make([]float64, len(modes))
 	for i, m := range modes {
 		opts := optionsFor(sc, ds, m.h, true)
 		out, err := engineRun(ds, np, opts)
@@ -347,9 +351,9 @@ func Lookup(sc Scale) (*Table, error) {
 		if frames > 0 {
 			perFrame = float64(ids) / float64(frames)
 		}
-		reduction := "1.00x"
+		reductions[i] = 1.0
 		if i > 0 && msgs > 0 {
-			reduction = fmt.Sprintf("%.2fx", float64(baseMsgs)/float64(msgs))
+			reductions[i] = float64(baseMsgs) / float64(msgs)
 		}
 		t.Rows = append(t.Rows, []string{
 			m.name,
@@ -357,9 +361,19 @@ func Lookup(sc Scale) (*Table, error) {
 			fmt.Sprintf("%.1f", float64(bytes)/nr),
 			count(frames),
 			fmt.Sprintf("%.1f", perFrame),
-			reduction,
+			fmt.Sprintf("%.2fx", reductions[i]),
 			count(out.Result.BasesCorrected),
 		})
+	}
+	// The bars in the note, enforced: a violated bar fails the experiment so
+	// make bench-lookup exits nonzero instead of quietly shipping a
+	// regressed BENCH_lookup.json.
+	if reductions[2] < 2.0 {
+		return t, fmt.Errorf("lookup: batch=32 message reduction %.2fx, bar is >=2x", reductions[2])
+	}
+	if reductions[3] < reductions[2] {
+		return t, fmt.Errorf("lookup: workers=4 reduction %.2fx fell below workers=1's %.2fx — the worker pool is fragmenting batches again",
+			reductions[3], reductions[2])
 	}
 	return t, nil
 }
@@ -411,58 +425,97 @@ func BatchSweep(sc Scale) (*Table, error) {
 func Build(sc Scale) (*Table, error) {
 	ds := buildDataset(genome.EColiSim, sc, false)
 	np := sc.Ranks(128)
+	par := runtime.GOMAXPROCS(0)
+	cpuBar := fmt.Sprintf("informational only (GOMAXPROCS=%d, <4 CPUs: the builder clamps its workers to the "+
+		"machine parallelism, so extra workers route through the serial path)", par)
+	if par >= 4 {
+		cpuBar = fmt.Sprintf("enforced (GOMAXPROCS=%d)", par)
+	}
 	t := &Table{
 		ID:    "build",
 		Title: fmt.Sprintf("Spectrum build: workers and store layouts, %d ranks (E.Coli)", np),
-		Note: "new to this implementation; acceptance bars are byte-identical output for every worker count " +
-			"and >=1.5x lower MemBytes for the packed layout vs the mutable hash tables at equal entries",
-		Header: []string{"mode", "spectrum wall", "speedup", "mem after construct", "owned bytes", "bytes/entry", "vs hash", "lookup", "bases corrected"},
+		Note: "new to this implementation; enforced bars: byte-identical output for every worker count, " +
+			"workers>1 spectrum wall no worse than 0.8x of serial, and >=1.5x lower MemBytes for the packed layout " +
+			"vs the mutable hash tables at equal entries; the cpu-bound large-genome rows carry a >=1.3x workers=4 " +
+			"speedup bar, " + cpuBar,
+		Header: []string{"mode", "spectrum wall", "speedup", "mem at freeze", "owned bytes", "bytes/entry", "vs hash", "lookup", "bases corrected"},
 	}
 
 	// Engine sweep: the worker count shards extraction and folding; the
-	// batch-reads chunks drive the multi-round pipelined exchange.
-	var baseWall float64
-	var baseCorrected, baseChanged int64
-	for i, workers := range []int{1, 2, 4} {
-		h := core.Heuristics{BatchReads: true}
-		if workers > 1 {
-			h.Workers = workers
-			h.LookupBatch = 32
+	// batch-reads chunks drive the multi-round pipelined exchange. Run once
+	// at the harness's communication-heavy rank count, then again on a 4x
+	// dataset at 2 ranks — there extraction dominates the spectrum phase, so
+	// the sweep is CPU-bound and the workers=4 row measures real parallel
+	// speedup instead of exchange overlap.
+	sweep := func(label string, ds *genome.Dataset, np int, cpuBound bool) error {
+		var baseWall float64
+		var baseCorrected, baseChanged int64
+		for i, workers := range []int{1, 2, 4} {
+			h := core.Heuristics{BatchReads: true}
+			if workers > 1 {
+				h.Workers = workers
+				h.LookupBatch = 32
+			}
+			opts := optionsFor(sc, ds, h, true)
+			// Best-of-2: the walls under comparison are fractions of a second
+			// at bench scale, and the 0.8x no-regression bar is enforced, so
+			// a single noisy sample must not fail the run.
+			var out *core.Output
+			wall := 0.0
+			for rep := 0; rep < 2; rep++ {
+				o, err := engineRun(ds, np, opts)
+				if err != nil {
+					return fmt.Errorf("%s workers=%d: %w", label, workers, err)
+				}
+				if w := o.Run.Wall[stats.PhaseSpectrum].Seconds(); out == nil || w < wall {
+					out, wall = o, w
+				}
+			}
+			if i == 0 {
+				baseWall = wall
+				baseCorrected, baseChanged = out.Result.BasesCorrected, out.Result.ReadsChanged
+			} else if out.Result.BasesCorrected != baseCorrected || out.Result.ReadsChanged != baseChanged {
+				return fmt.Errorf("%s workers=%d: corrected %d bases (%d reads), workers=1 corrected %d (%d) — sharding changed the output",
+					label, workers, out.Result.BasesCorrected, out.Result.ReadsChanged, baseCorrected, baseChanged)
+			}
+			speedup := 1.0
+			if wall > 0 {
+				speedup = baseWall / wall
+			}
+			if workers > 1 && speedup < 0.8 {
+				return fmt.Errorf("%s workers=%d: spectrum wall %.3fs is %.2fx of serial's %.3fs — parallel build regression (bar: >=0.8x)",
+					label, workers, wall, speedup, baseWall)
+			}
+			if cpuBound && workers == 4 && par >= 4 && speedup < 1.3 {
+				return fmt.Errorf("%s workers=4: cpu-bound speedup %.2fx on a %d-CPU host, bar is >=1.3x", label, speedup, par)
+			}
+			owned := out.Run.Sum(func(r *stats.Rank) int64 { return r.OwnedMemBytes })
+			entries := out.Run.Sum(func(r *stats.Rank) int64 { return r.OwnedKmers + r.OwnedTiles })
+			perEntry := 0.0
+			if entries > 0 {
+				perEntry = float64(owned) / float64(entries)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%s workers=%d", label, workers),
+				secs(wall),
+				fmt.Sprintf("%.2fx", speedup),
+				mib(out.Run.Max(func(r *stats.Rank) int64 { return r.MemAtFreeze })),
+				mib(owned),
+				fmt.Sprintf("%.1f", perEntry),
+				"-",
+				"-",
+				count(out.Result.BasesCorrected),
+			})
 		}
-		opts := optionsFor(sc, ds, h, true)
-		out, err := engineRun(ds, np, opts)
-		if err != nil {
-			return nil, fmt.Errorf("workers=%d: %w", workers, err)
-		}
-		if i == 0 {
-			baseWall = out.Run.Wall[stats.PhaseSpectrum].Seconds()
-			baseCorrected, baseChanged = out.Result.BasesCorrected, out.Result.ReadsChanged
-		} else if out.Result.BasesCorrected != baseCorrected || out.Result.ReadsChanged != baseChanged {
-			return nil, fmt.Errorf("workers=%d: corrected %d bases (%d reads), workers=1 corrected %d (%d) — sharding changed the output",
-				workers, out.Result.BasesCorrected, out.Result.ReadsChanged, baseCorrected, baseChanged)
-		}
-		wall := out.Run.Wall[stats.PhaseSpectrum].Seconds()
-		speedup := 1.0
-		if wall > 0 {
-			speedup = baseWall / wall
-		}
-		owned := out.Run.Sum(func(r *stats.Rank) int64 { return r.OwnedMemBytes })
-		entries := out.Run.Sum(func(r *stats.Rank) int64 { return r.OwnedKmers + r.OwnedTiles })
-		perEntry := 0.0
-		if entries > 0 {
-			perEntry = float64(owned) / float64(entries)
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("engine workers=%d", workers),
-			secs(wall),
-			fmt.Sprintf("%.2fx", speedup),
-			mib(out.Run.Max(func(r *stats.Rank) int64 { return r.MemAfterConstruct })),
-			mib(owned),
-			fmt.Sprintf("%.1f", perEntry),
-			"-",
-			"-",
-			count(out.Result.BasesCorrected),
-		})
+		return nil
+	}
+	if err := sweep("engine", ds, np, false); err != nil {
+		return t, err
+	}
+	scLarge := sc
+	scLarge.Dataset = sc.Dataset * 4
+	if err := sweep("large np=2", buildDataset(genome.EColiSim, scLarge, false), 2, true); err != nil {
+		return t, err
 	}
 
 	// Layout comparison at equal entry counts. 100000 entries land the
@@ -487,6 +540,9 @@ func Build(sc Scale) (*Table, error) {
 	for _, st := range stores {
 		if st.s.Len() != len(entries) {
 			return nil, fmt.Errorf("%s: %d entries, want %d", st.name, st.s.Len(), len(entries))
+		}
+		if ratio := float64(hashBytes) / float64(st.s.MemBytes()); st.name == "store packed (frozen)" && ratio < 1.5 {
+			return t, fmt.Errorf("build: packed layout is %.2fx smaller than the hash tables, bar is >=1.5x", ratio)
 		}
 		start := time.Now()
 		hits := 0

@@ -193,6 +193,13 @@ func (s Spec) EachTile(read []dna.Base, fn func(pos int, id ID)) {
 // otherwise a correction walk whose phase differs from the extraction phase
 // would find no support for perfectly genomic tiles.
 //
+// Every stride rolls the window one base at a time (O(1) per position)
+// instead of re-packing tl bases per visited tile: for stride > 1 the
+// window still advances base-by-base, the callback just fires only at
+// stride positions. With the corrector's stride (Step = K - Overlap, i.e.
+// 8 against a 20-base tile) that is Step appends per tile instead of a
+// 20-base re-encode.
+//
 // reptile-lint:hotpath
 func (s Spec) EachTileStep(read []dna.Base, step int, fn func(pos int, id ID)) {
 	if step < 1 {
@@ -212,8 +219,34 @@ func (s Spec) EachTileStep(read []dna.Base, step int, fn func(pos int, id ID)) {
 		return
 	}
 	for p := step; p+tl <= len(read); p += step {
-		fn(p, Encode(read[p:p+tl]))
+		for q := p + tl - step; q < p+tl; q++ {
+			id = id.Append(read[q], tl)
+		}
+		fn(p, id)
 	}
+}
+
+// AppendTiles appends the ID of every tile the correction walk visits
+// (stride Step, starting at 0) to dst and returns it. It is the
+// callback-free twin of EachTile for hot paths that want the ids in a
+// reusable buffer without a per-call closure; the window rolls exactly as
+// in EachTileStep.
+//
+// reptile-lint:hotpath
+func (s Spec) AppendTiles(read []dna.Base, dst []ID) []ID {
+	tl, step := s.TileLen(), s.Step()
+	if tl > len(read) {
+		return dst
+	}
+	id := Encode(read[:tl])
+	dst = append(dst, id)
+	for p := step; p+tl <= len(read); p += step {
+		for q := p + tl - step; q < p+tl; q++ {
+			id = id.Append(read[q], tl)
+		}
+		dst = append(dst, id)
+	}
+	return dst
 }
 
 // TileStarts returns the tile start positions EachTile would visit for a

@@ -1,0 +1,102 @@
+package kmer
+
+import (
+	"math/rand"
+	"testing"
+
+	"reptile/internal/dna"
+)
+
+// TestRollingMatchesScratch is the property pin for the rolling extractors:
+// at every position EachKmer, EachTileStep (all strides), and AppendTiles
+// must yield exactly the ID a from-scratch Encode of that window produces.
+// The reads include 'N' bases — EncodeLossy substitutes them, which is how
+// real inputs reach the extractors — and lengths straddling the short-read
+// edges (shorter than K, shorter than a tile).
+func TestRollingMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	specs := []Spec{
+		{K: 12, Overlap: 4},  // the run default: TileLen 20, Step 8
+		{K: 12, Overlap: 11}, // maximal overlap: Step 1
+		{K: 16, Overlap: 0},  // TileLen 32, the full ID width
+		{K: 3, Overlap: 1},
+		{K: 1, Overlap: 0},
+	}
+	const alphabet = "ACGTN"
+	for _, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("spec %+v: %v", spec, err)
+		}
+		tl, step := spec.TileLen(), spec.Step()
+		for trial := 0; trial < 200; trial++ {
+			// Lengths concentrate around the edges: empty, sub-K, sub-tile,
+			// and a spread of full-size reads.
+			n := rng.Intn(3 * tl)
+			if trial%4 == 0 {
+				n = rng.Intn(tl + 2)
+			}
+			seq := make([]byte, n)
+			for i := range seq {
+				seq[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			read := dna.EncodeLossy(seq, 0)
+
+			var kpos []int
+			spec.EachKmer(read, func(pos int, id ID) {
+				if want := Encode(read[pos : pos+spec.K]); id != want {
+					t.Fatalf("spec %+v read len %d: EachKmer at %d rolled %v, scratch %v", spec, n, pos, id, want)
+				}
+				kpos = append(kpos, pos)
+			})
+			if want := spec.KmersPerRead(n); len(kpos) != want {
+				t.Fatalf("spec %+v read len %d: EachKmer visited %d positions, want %d", spec, n, len(kpos), want)
+			}
+			for i, p := range kpos {
+				if p != i {
+					t.Fatalf("spec %+v: EachKmer position %d at index %d", spec, p, i)
+				}
+			}
+
+			for _, stride := range []int{1, step, step + 1} {
+				var tpos []int
+				spec.EachTileStep(read, stride, func(pos int, id ID) {
+					if want := Encode(read[pos : pos+tl]); id != want {
+						t.Fatalf("spec %+v stride %d read len %d: tile at %d rolled %v, scratch %v",
+							spec, stride, n, pos, id, want)
+					}
+					tpos = append(tpos, pos)
+				})
+				want := 0
+				for p := 0; p+tl <= n; p += stride {
+					want++
+				}
+				if len(tpos) != want {
+					t.Fatalf("spec %+v stride %d read len %d: visited %d tiles, want %d", spec, stride, n, len(tpos), want)
+				}
+				for i, p := range tpos {
+					if p != i*stride {
+						t.Fatalf("spec %+v stride %d: tile position %d at index %d", spec, stride, p, i)
+					}
+				}
+			}
+
+			// AppendTiles must match the corrector-stride walk exactly and
+			// leave an existing prefix untouched.
+			var walk []ID
+			spec.EachTile(read, func(_ int, id ID) { walk = append(walk, id) })
+			sentinel := ID(0xDEAD)
+			got := spec.AppendTiles(read, []ID{sentinel})
+			if got[0] != sentinel {
+				t.Fatalf("spec %+v: AppendTiles clobbered the dst prefix", spec)
+			}
+			if len(got)-1 != len(walk) {
+				t.Fatalf("spec %+v read len %d: AppendTiles yielded %d ids, EachTile %d", spec, n, len(got)-1, len(walk))
+			}
+			for i, id := range walk {
+				if got[i+1] != id {
+					t.Fatalf("spec %+v: AppendTiles id %d is %v, EachTile rolled %v", spec, i, got[i+1], id)
+				}
+			}
+		}
+	}
+}

@@ -66,24 +66,33 @@ func (c *Corrector) CorrectRead(r *reads.Read) Result {
 		// Hint the whole walk's tiles up front. Greedy propagation may
 		// rewrite downstream tiles after a repair; those few then fall back
 		// to individual lookups.
-		c.tileBuf = c.tileBuf[:0]
-		for p := 0; p+tl <= len(r.Base); p += spec.Step() {
-			c.tileBuf = append(c.tileBuf, kmer.Encode(r.Base[p:p+tl]))
-		}
+		c.tileBuf = spec.AppendTiles(r.Base, c.tileBuf[:0])
 		c.pf.PrefetchTiles(c.tileBuf)
 	}
+	// The walk rolls the tile window incrementally: each stride appends
+	// Step bases to the previous window instead of re-packing all tl bases
+	// per position. A repair rewrites bases inside the current window only,
+	// and the repaired tile id is exactly the winning candidate, so the
+	// roll resumes from it and downstream windows see the corrected bases.
 	corrections := 0
-	for p := 0; p+tl <= len(r.Base); p += spec.Step() {
-		tile := kmer.Encode(r.Base[p : p+tl])
+	step := spec.Step()
+	tile := kmer.Encode(r.Base[:tl])
+	for p := 0; p+tl <= len(r.Base); p += step {
+		if p > 0 {
+			for q := p + tl - step; q < p+tl; q++ {
+				tile = tile.Append(r.Base[q], tl)
+			}
+		}
 		if cnt, ok := c.oracle.TileCount(tile); ok && cnt >= c.cfg.TileThreshold {
 			res.TilesSolid++
 			continue
 		}
-		fixed, nchanged := c.repairTile(r, p, tile)
+		repaired, fixed, nchanged := c.repairTile(r, p, tile)
 		if !fixed {
 			res.TilesGivenUp++
 			continue
 		}
+		tile = repaired
 		res.TilesRepaired++
 		res.BasesCorrected += int64(nchanged)
 		corrections += nchanged
@@ -107,12 +116,14 @@ type candidate struct {
 }
 
 // repairTile attempts to replace the weak tile starting at read position p.
-// It returns whether a repair was applied and how many bases changed.
-func (c *Corrector) repairTile(r *reads.Read, p int, tile kmer.ID) (bool, int) {
+// It returns the repaired tile id (the winning candidate, which matches the
+// rewritten read bases exactly — the walk resumes its rolling window from
+// it), whether a repair was applied, and how many bases changed.
+func (c *Corrector) repairTile(r *reads.Read, p int, tile kmer.ID) (kmer.ID, bool, int) {
 	tl := c.cfg.Spec.TileLen()
 	positions, lowN := c.errPositions(r, p, tl)
 	if len(positions) == 0 {
-		return false, 0
+		return tile, false, 0
 	}
 
 	var best, second candidate
@@ -199,12 +210,12 @@ func (c *Corrector) repairTile(r *reads.Read, p int, tile kmer.ID) (bool, int) {
 	// Require an unambiguous winner: correcting on a tie risks writing the
 	// wrong haplotype (this is Reptile's exactness argument for tiles).
 	if best.n == 0 || best.count == second.count {
-		return false, 0
+		return tile, false, 0
 	}
 	for i := 0; i < best.n; i++ {
 		r.Base[best.pos[i]] = best.base[i]
 	}
-	return true, best.n
+	return best.tile, true, best.n
 }
 
 // validCandidate validates a candidate tile against the tile spectrum,

@@ -112,6 +112,13 @@ type Rank struct {
 	// snapshots.
 	MemAfterConstruct int64
 	MemAfterCorrect   int64
+	// MemAtFreeze is the table footprint at the spectrum freeze point — the
+	// instant specBuilder.finish packs the owned stores and releases the
+	// builder shards. Unlike MemAfterConstruct (sampled after the
+	// post-construction exchanges, by which point the round tables are long
+	// gone) it captures the frozen spectra plus the still-unresolved retained
+	// tables, so it actually moves with dataset scale and worker count.
+	MemAtFreeze int64
 	// PhaseMem is the table footprint observed as each pipeline step
 	// exited — the per-phase trajectory behind the two snapshots above.
 	// Phases an engine does not run (read/balance in streaming) stay zero.
