@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-fixtures vet chaos chaos-recover bench-lookup bench-build bench-recover property fuzz cover ci
+.PHONY: build test race lint lint-fixtures vet chaos chaos-recover bench-lookup bench-build bench-recover bench-snapshot property fuzz cover ci
 
 build:
 	$(GO) build ./...
@@ -74,20 +74,37 @@ bench-build:
 bench-recover:
 	$(GO) run ./cmd/reptile-bench -exp recover -scale 0.05 -rankdiv 16 -maxranks 8 -json BENCH_recover.json
 
+## bench-snapshot: the spectrum-snapshot cache benchmark — cold build vs
+## warm load over proc and TCP transports, with the >=5x load-speedup and
+## byte-identical-output bars enforced inside the experiment, plus disk
+## bytes per entry of the near-zero-parse format.
+bench-snapshot:
+	$(GO) run ./cmd/reptile-bench -exp snapshot -scale 0.05 -rankdiv 16 -maxranks 8 -json BENCH_snapshot.json
+
 ## property: the randomized/fuzz-seeded equivalence suites in short mode —
 ## packed-vs-hash store equivalence, freeze invariants, and the batched
 ## lookup equivalence matrix.
 property:
 	$(GO) test -short -count=1 -run 'Packed|Freeze|Frozen|Batched' ./internal/spectrum/ ./internal/core/
 
-## fuzz: the wire-decoder fuzz targets — each runs briefly past its golden
-## seed corpus so CI catches decode panics and round-trip drift without
-## turning into an open-ended campaign.
+## fuzz: the wire- and snapshot-decoder fuzz targets — each runs briefly
+## past its golden seed corpus so CI catches decode panics and round-trip
+## drift without turning into an open-ended campaign. Entries are
+## package:target pairs so targets can live in any package.
 FUZZ_TIME ?= 10s
+FUZZ_TARGETS ?= \
+	./internal/core/:FuzzDecodeBatchReq \
+	./internal/core/:FuzzDecodeBatchResp \
+	./internal/core/:FuzzBatchReqDeltaCodec \
+	./internal/core/:FuzzBatchRespVarintCodec \
+	./internal/core/:FuzzSpecEntryCodec \
+	./internal/core/:FuzzDecodeAbortInfo \
+	./internal/snapshot/:FuzzSnapshotDecode
 fuzz:
-	@for target in FuzzDecodeBatchReq FuzzDecodeBatchResp FuzzBatchReqDeltaCodec FuzzBatchRespVarintCodec FuzzDecodeAbortInfo; do \
-		echo "fuzz $$target ($(FUZZ_TIME))"; \
-		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZ_TIME) ./internal/core/ || exit 1; \
+	@for spec in $(FUZZ_TARGETS); do \
+		pkg=$${spec%%:*}; target=$${spec##*:}; \
+		echo "fuzz $$pkg $$target ($(FUZZ_TIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZ_TIME) $$pkg || exit 1; \
 	done
 
 ## cover: the statement-coverage floor on the protocol-bearing packages —
@@ -102,4 +119,4 @@ cover:
 		fi; \
 	done
 
-ci: build vet lint test race chaos chaos-recover property cover fuzz bench-build bench-lookup
+ci: build vet lint test race chaos chaos-recover property cover fuzz bench-build bench-lookup bench-snapshot

@@ -26,6 +26,7 @@ import (
 	"reptile/internal/fastaio"
 	"reptile/internal/reads"
 	"reptile/internal/reptile"
+	"reptile/internal/snapshot"
 	"reptile/internal/stats"
 	"reptile/internal/transport"
 )
@@ -64,6 +65,9 @@ func main() {
 		stream      = flag.Bool("stream", false, "streaming mode: never hold reads whole; write per-rank outputs incrementally (proc transport)")
 		corrections = flag.String("corrections", "", "also write the list of applied substitutions (seq, pos, from, to) to this file (proc non-streaming mode)")
 
+		cacheDir = flag.String("cache-dir", "", "spectrum-snapshot cache directory: reuse frozen spectra across runs keyed by input content and parameters; a miss builds and publishes, a hit skips construction")
+		snapPath = flag.String("snapshot", "", "explicit spectrum-snapshot prefix (<prefix>.r<rank>.rsnap): load if present and matching, else build and save there (mutually exclusive with -cache-dir)")
+
 		transportName = flag.String("transport", "proc", "proc (goroutine ranks) or tcp (one process per rank)")
 		rank          = flag.Int("rank", 0, "this process's rank (tcp transport)")
 		addrs         = flag.String("addrs", "", "comma-separated rank addresses (tcp transport)")
@@ -87,6 +91,9 @@ func main() {
 			fatal(fmt.Errorf("%s: fasta and qual are required", *configPath))
 		}
 		src := &core.FileSource{FastaPath: settings.FastaPath, QualPath: settings.QualPath}
+		if err := resolveSnapshotDigest(&settings.Options, settings.FastaPath, settings.QualPath); err != nil {
+			fatal(err)
+		}
 		start := time.Now()
 		if settings.Streaming {
 			runStreaming(src, settings.Ranks, settings.Options, settings.OutPrefix, *verbose)
@@ -130,6 +137,12 @@ func main() {
 	if (*replicas >= 2 || *steal) && opts.Heuristics.LookupBatch == 0 {
 		opts.Heuristics.LookupBatch = 16
 	}
+	if *cacheDir != "" || *snapPath != "" {
+		opts.Snapshot = &core.SnapshotOptions{Dir: *cacheDir, Path: *snapPath}
+	}
+	if err := resolveSnapshotDigest(&opts, *fasta, *qual); err != nil {
+		fatal(err)
+	}
 	if *chaosSpec != "" {
 		plan, err := transport.ParsePlan(*chaosSpec, *chaosSeed)
 		if err != nil {
@@ -154,6 +167,22 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("total wall time %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// resolveSnapshotDigest fills the cache-mode input digest from the run's
+// input files. The digest is content-addressed — touching the files without
+// changing their bytes keeps the cache entry valid, editing them invalidates
+// it. Explicit prefix mode needs no digest (the path is the identity).
+func resolveSnapshotDigest(opts *core.Options, fasta, qual string) error {
+	if opts.Snapshot == nil || opts.Snapshot.Dir == "" || opts.Snapshot.InputDigest != "" {
+		return nil
+	}
+	digest, err := snapshot.DigestFiles(fasta, qual)
+	if err != nil {
+		return fmt.Errorf("hashing input for the snapshot cache: %w", err)
+	}
+	opts.Snapshot.InputDigest = digest
+	return nil
 }
 
 func runProc(src core.Source, np int, opts core.Options, out string, verbose bool) {
@@ -192,10 +221,16 @@ func runProcWithCorrections(src core.Source, np int, opts core.Options, out, cor
 	}
 	fmt.Printf("ranks %d | reads %d | bases corrected %d | reads changed %d\n",
 		np, output.Result.ReadsProcessed, output.Result.BasesCorrected, output.Result.ReadsChanged)
+	// The snapshot probe replaces the build on a hit, so it belongs in the
+	// construction total either way.
 	fmt.Printf("k-mer construction %v | error correction %v\n",
 		(output.Run.Wall[stats.PhaseRead] + output.Run.Wall[stats.PhaseBalance] +
+			output.Run.Wall[stats.PhaseSnapshot] +
 			output.Run.Wall[stats.PhaseSpectrum] + output.Run.Wall[stats.PhaseExchange]).Round(time.Millisecond),
 		output.Run.Wall[stats.PhaseCorrect].Round(time.Millisecond))
+	if line := snapshotSummary(output.Run.Ranks); line != "" {
+		fmt.Println(line)
+	}
 	if verbose {
 		recovered := make(map[int]bool)
 		for _, r := range output.Run.Ranks {
@@ -221,9 +256,46 @@ func runProcWithCorrections(src core.Source, np int, opts core.Options, out, cor
 			if line := recoveryLine(r); line != "" {
 				fmt.Printf("          recovery: %s\n", line)
 			}
+			if line := snapshotLine(r); line != "" {
+				fmt.Printf("          snapshot: %s\n", line)
+			}
 			fmt.Printf("          phase-mem: %s\n", phaseMemLine(r))
 		}
 	}
+}
+
+// snapshotSummary condenses the run's cache outcome into one line, empty
+// when the run had no snapshot configured.
+func snapshotSummary(ranks []stats.Rank) string {
+	var hits, misses, saves, read, written int64
+	for i := range ranks {
+		hits += ranks[i].SnapshotHits
+		misses += ranks[i].SnapshotMisses
+		saves += ranks[i].SnapshotSaves
+		read += ranks[i].SnapshotBytesRead
+		written += ranks[i].SnapshotBytesWritten
+	}
+	switch {
+	case hits == 0 && misses == 0:
+		return ""
+	case misses == 0:
+		return fmt.Sprintf("spectrum snapshot: hit on all %d ranks (%.1f MiB loaded, build skipped)",
+			hits, float64(read)/(1<<20))
+	default:
+		return fmt.Sprintf("spectrum snapshot: miss (%d/%d ranks), built and saved %.1f MiB",
+			misses, hits+misses, float64(written)/(1<<20))
+	}
+}
+
+// snapshotLine formats one rank's cache counters for -v, empty when the run
+// had no snapshot configured.
+func snapshotLine(r stats.Rank) string {
+	if r.SnapshotHits == 0 && r.SnapshotMisses == 0 {
+		return ""
+	}
+	return fmt.Sprintf("hits=%d misses=%d saves=%d read=%.1fMiB written=%.1fMiB",
+		r.SnapshotHits, r.SnapshotMisses, r.SnapshotSaves,
+		float64(r.SnapshotBytesRead)/(1<<20), float64(r.SnapshotBytesWritten)/(1<<20))
 }
 
 // phaseMemLine formats the table footprint observed at each pipeline-step
@@ -274,6 +346,9 @@ func runStreaming(src core.Source, np int, opts core.Options, out string, verbos
 	fmt.Printf("ranks %d (streaming) | reads %d | bases corrected %d | reads changed %d\n",
 		np, output.Result.ReadsProcessed, output.Result.BasesCorrected, output.Result.ReadsChanged)
 	fmt.Printf("outputs: %s.rank*.fa / .qual\n", out)
+	if line := snapshotSummary(output.Run.Ranks); line != "" {
+		fmt.Println(line)
+	}
 	if verbose {
 		for _, r := range output.Run.Ranks {
 			fmt.Printf("rank %3d: reads=%d remote=%d served=%d corrected=%d peak-mem=%.1fMiB\n",
@@ -309,13 +384,17 @@ func runTCP(src core.Source, opts core.Options, rank int, addrs []string, deadli
 		rank, ro.Stats.ReadsAssigned, ro.Result.BasesCorrected,
 		ro.Stats.TotalRemoteLookups(), ro.Stats.RequestsServed)
 	if verbose {
-		fmt.Printf("rank %d wall: read=%v balance=%v spectrum=%v exchange=%v correct=%v\n",
+		fmt.Printf("rank %d wall: read=%v balance=%v snapshot=%v spectrum=%v exchange=%v correct=%v\n",
 			rank, ro.Stats.Wall[stats.PhaseRead], ro.Stats.Wall[stats.PhaseBalance],
+			ro.Stats.Wall[stats.PhaseSnapshot],
 			ro.Stats.Wall[stats.PhaseSpectrum], ro.Stats.Wall[stats.PhaseExchange],
 			ro.Stats.Wall[stats.PhaseCorrect])
 		fmt.Printf("rank %d phase-mem: %s\n", rank, phaseMemLine(ro.Stats))
 		if line := recoveryLine(ro.Stats); line != "" {
 			fmt.Printf("rank %d recovery: %s\n", rank, line)
+		}
+		if line := snapshotLine(ro.Stats); line != "" {
+			fmt.Printf("rank %d snapshot: %s\n", rank, line)
 		}
 	}
 }

@@ -2,9 +2,13 @@
 // files, so the construction cost is paid once per dataset:
 //
 //	reptile-spectrum build -fasta ds.fa -qual ds.qual -out ds     # ds.kspec + ds.tspec
+//	reptile-spectrum build -fasta ds.fa -qual ds.qual -out ds -save   # + ds.r0.rsnap
 //	reptile-spectrum info -in ds.kspec
+//	reptile-spectrum info -in ds.r0.rsnap
 //
-// Spectrum files use the RSP1 format of internal/spectrum.
+// Spectrum files use the RSP1 format of internal/spectrum; -save also
+// writes the frozen stores as a single-rank RSNP snapshot (internal/
+// snapshot), directly loadable by reptile-correct -snapshot at np=1.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"reptile/internal/fastaio"
 	"reptile/internal/reptile"
+	"reptile/internal/snapshot"
 	"reptile/internal/spectrum"
 )
 
@@ -46,6 +51,7 @@ func build(args []string) {
 	overlap := fs.Int("overlap", 4, "tile overlap")
 	kmerThr := fs.Uint("kmer-threshold", 6, "k-mer solidity threshold")
 	tileThr := fs.Uint("tile-threshold", 3, "tile solidity threshold")
+	save := fs.Bool("save", false, "also write a single-rank frozen snapshot (<out>.r0.rsnap) loadable by reptile-correct -snapshot")
 	fs.Parse(args)
 	if *fasta == "" || *qual == "" {
 		fmt.Fprintln(os.Stderr, "reptile-spectrum build: -fasta and -qual are required")
@@ -85,6 +91,22 @@ func build(args []string) {
 		}
 		fmt.Printf("%s: %d entries, %d bytes\n", part.path, part.store.Len(), n)
 	}
+	if *save {
+		p := snapshot.Params{
+			K:             cfg.Spec.K,
+			Overlap:       cfg.Spec.Overlap,
+			KmerThreshold: cfg.KmerThreshold,
+			TileThreshold: cfg.TileThreshold,
+			NP:            1,
+			Rank:          0,
+		}
+		path := snapshot.RankFile(*out, 0)
+		n, err := snapshot.Write(path, p, spectrum.Freeze(kmers), spectrum.Freeze(tiles))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: frozen snapshot, %d bytes\n", path, n)
+	}
 }
 
 func info(args []string) {
@@ -101,6 +123,14 @@ func info(args []string) {
 		fatal(err)
 	}
 	defer f.Close()
+	var magic [4]byte
+	if _, err := f.Read(magic[:]); err == nil && magic == snapshot.Magic {
+		snapshotInfo(*in)
+		return
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		fatal(err)
+	}
 	h, err := spectrum.ReadFrom(f)
 	if err != nil {
 		fatal(err)
@@ -127,6 +157,27 @@ func info(args []string) {
 		for _, e := range entries[:n] {
 			fmt.Printf("  id=%#016x count=%d\n", uint64(e.ID), e.Count)
 		}
+	}
+}
+
+// snapshotInfo prints an RSNP frozen-snapshot file: the parameter header,
+// then both stores' sizes (which requires the full checksum-verified load).
+func snapshotInfo(path string) {
+	p, kmers, tiles, n, err := snapshot.Read(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("format       RSNP v%d (frozen spectrum snapshot)\n", snapshot.Version)
+	fmt.Printf("rank         %d of %d\n", p.Rank, p.NP)
+	fmt.Printf("k / overlap  %d / %d\n", p.K, p.Overlap)
+	fmt.Printf("thresholds   kmer=%d tile=%d\n", p.KmerThreshold, p.TileThreshold)
+	fmt.Printf("kmers        %d entries\n", kmers.Len())
+	fmt.Printf("tiles        %d entries\n", tiles.Len())
+	total := kmers.Len() + tiles.Len()
+	if total > 0 {
+		fmt.Printf("bytes        %d (%.1f per entry)\n", n, float64(n)/float64(total))
+	} else {
+		fmt.Printf("bytes        %d\n", n)
 	}
 }
 

@@ -197,6 +197,14 @@ func (s *Settings) apply(key, val string) error {
 		h.LookupWindow, err = asInt()
 	case "workers":
 		h.Workers, err = asInt()
+	case "snapshot_dir":
+		if val != "" {
+			snap(&s.Options).Dir = val
+		}
+	case "snapshot_path":
+		if val != "" {
+			snap(&s.Options).Path = val
+		}
 	case "replicated_layout":
 		switch normalize(val) {
 		case "hash":
@@ -212,6 +220,17 @@ func (s *Settings) apply(key, val string) error {
 		return fmt.Errorf("unknown key %q", key)
 	}
 	return err
+}
+
+// snap returns the options' snapshot block, creating it on first use so a
+// file can set either snapshot key without a separate enable switch. The
+// input digest stays empty here — the CLI derives it from the input files at
+// run time, keeping config parsing free of disk I/O.
+func snap(o *core.Options) *core.SnapshotOptions {
+	if o.Snapshot == nil {
+		o.Snapshot = &core.SnapshotOptions{}
+	}
+	return o.Snapshot
 }
 
 // Render writes settings back in file form, for -dump-config style
@@ -250,5 +269,11 @@ func (s Settings) Render() string {
 	w("lookup_window", h.LookupWindow)
 	w("workers", h.Workers)
 	w("replicated_layout", h.ReplicatedLayout)
+	var snapDir, snapPath string
+	if sn := s.Options.Snapshot; sn != nil {
+		snapDir, snapPath = sn.Dir, sn.Path
+	}
+	w("snapshot_dir", snapDir)
+	w("snapshot_path", snapPath)
 	return sb.String()
 }

@@ -202,3 +202,39 @@ func TestLoad(t *testing.T) {
 		t.Error("Load accepted missing file")
 	}
 }
+
+func TestSnapshotKeys(t *testing.T) {
+	s, err := Parse(strings.NewReader("snapshot_dir = /tmp/spectra-cache\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Options.Snapshot == nil || s.Options.Snapshot.Dir != "/tmp/spectra-cache" {
+		t.Fatalf("snapshot_dir not applied: %+v", s.Options.Snapshot)
+	}
+	if s.Options.Snapshot.InputDigest != "" {
+		t.Error("config parsing must not compute an input digest")
+	}
+
+	s, err = Parse(strings.NewReader("snapshot_path = /data/ecoli\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Options.Snapshot == nil || s.Options.Snapshot.Path != "/data/ecoli" {
+		t.Fatalf("snapshot_path not applied: %+v", s.Options.Snapshot)
+	}
+
+	// Both at once is the Validate error the engine would also raise.
+	if _, err := Parse(strings.NewReader("snapshot_dir = /a\nsnapshot_path = /b\n")); err == nil {
+		t.Error("snapshot_dir + snapshot_path accepted")
+	}
+
+	// An empty value (Render's form for "not configured") is a no-op, so
+	// rendered settings round-trip.
+	s, err = Parse(strings.NewReader("snapshot_dir =\nsnapshot_path =\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Options.Snapshot != nil {
+		t.Fatalf("empty snapshot keys created a snapshot block: %+v", s.Options.Snapshot)
+	}
+}

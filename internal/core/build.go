@@ -63,6 +63,9 @@ type specBuilder struct {
 	encK, encT [3][][]byte
 	// Reused sort scratch for the round encode (HashStore.EntriesInto).
 	entryScratch []spectrum.Entry
+	// Per-destination delta-codec state for the round encode, reset at the
+	// top of each encodeRound call.
+	encPrev []uint64
 }
 
 // newSpecBuilder builds the sharded tables and registers the builder on the
@@ -101,6 +104,7 @@ func (ctx *rankCtx) newSpecBuilder(retain bool) *specBuilder {
 		b.encK[set] = make([][]byte, ctx.np)
 		b.encT[set] = make([][]byte, ctx.np)
 	}
+	b.encPrev = make([]uint64, ctx.np)
 	ctx.build = b
 	return b
 }
@@ -293,6 +297,10 @@ func (b *specBuilder) encode(set int) (bufsK, bufsT [][]byte) {
 
 // encodeRound serializes every shard's entries into the per-destination
 // wire slabs, reusing the sort scratch and the slab capacity across rounds.
+// Entries travel delta-compressed (appendSpecEntry): each slab is a run of
+// zigzag-varint id deltas plus varint counts rather than fixed 12-byte
+// records — round counts are overwhelmingly small and sorted shard segments
+// keep deltas short, so typical slabs shrink well below 8 bytes per entry.
 //
 // reptile-lint:hotpath
 func (b *specBuilder) encodeRound(round []*spectrum.HashStore, enc [][]byte) [][]byte {
@@ -300,19 +308,30 @@ func (b *specBuilder) encodeRound(round []*spectrum.HashStore, enc [][]byte) [][
 		enc[r] = enc[r][:0]
 	}
 	np := b.ctx.np
+	prev := b.encPrev
+	for r := range prev {
+		prev[r] = 0
+	}
+	var entries int64
 	for s := range round {
 		b.entryScratch = round[s].EntriesInto(b.entryScratch[:0])
 		for i := range b.entryScratch {
-			o := kmer.Owner(b.entryScratch[i].ID, np)
-			enc[o] = spectrum.EncodeEntries(enc[o], b.entryScratch[i:i+1])
+			e := &b.entryScratch[i]
+			o := kmer.Owner(e.ID, np)
+			enc[o], prev[o] = appendSpecEntry(enc[o], prev[o], e.ID, e.Count)
 		}
+		entries += int64(len(b.entryScratch))
 		round[s].Clear()
 	}
 	for r := range enc {
 		if r != b.ctx.rank {
 			b.ctx.st.ExchangeBytes += int64(len(enc[r]))
+			b.ctx.st.SpecBytesSent += int64(len(enc[r]))
 		}
 	}
+	// The round tables hold only non-owned ids, so every encoded entry is
+	// outbound; the self slab is always empty.
+	b.ctx.st.SpecEntriesSent += entries
 	return enc
 }
 
@@ -363,15 +382,18 @@ func (b *specBuilder) merge(got [][]byte, own []*spectrum.HashStore) error {
 		if r == rank || len(buf) == 0 {
 			continue
 		}
-		entries, err := spectrum.DecodeEntries(buf)
-		if err != nil {
-			return fmt.Errorf("merging entries from rank %d: %w", r, err)
-		}
-		for _, e := range entries {
-			if kmer.Owner(e.ID, np) != rank {
-				return &msgplane.ProtocolError{Kind: msgplane.ViolationMisroutedEntry, From: r, Want: kmer.Owner(e.ID, np)}
+		addOwned := func(id kmer.ID, count uint32) error {
+			if kmer.Owner(id, np) != rank {
+				return &msgplane.ProtocolError{Kind: msgplane.ViolationMisroutedEntry, From: r, Want: kmer.Owner(id, np)}
 			}
-			own[b.shardOf(e.ID)].Add(e.ID, e.Count)
+			own[b.shardOf(id)].Add(id, count)
+			return nil
+		}
+		if err := decodeSpecEntries(buf, addOwned); err != nil {
+			if _, ok := err.(*msgplane.ProtocolError); ok {
+				return err
+			}
+			return fmt.Errorf("merging entries from rank %d: %w", r, err)
 		}
 	}
 	return nil

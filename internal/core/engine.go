@@ -58,6 +58,12 @@ type rankCtx struct {
 	// frozen: packed by groupReplicate
 	groupKmer, groupTile *spectrum.PackedStore
 
+	// Snapshot-cache state (zero unless Options.Snapshot is set): the
+	// resolved per-rank file path, and whether the run-wide cache hit let
+	// this rank adopt its frozen spectra instead of building them.
+	snapPath   string
+	snapLoaded bool
+
 	// plane is the rank-wide prefetch accumulator shared by every correction
 	// worker (nil unless lookup batching is on); created by correctDriver.
 	plane *prefetchPlane
@@ -89,7 +95,7 @@ type rankCtx struct {
 // abort so every peer unblocks promptly instead of hanging in a collective
 // or the responder loop.
 func RunRank(e transport.Conn, src Source, opts Options) (*RankOutput, error) {
-	return runRankPipeline(e, opts, batchSteps(src))
+	return runRankPipeline(e, opts, batchSteps(src, opts))
 }
 
 // observeFaults records the chaos-schedule fault count when the endpoint is
@@ -184,6 +190,11 @@ func (ctx *rankCtx) balancePhase() error {
 //
 // reptile-lint:build
 func (ctx *rankCtx) spectrumPhase() error {
+	if ctx.snapLoaded {
+		// The snapshot phase already adopted this run's frozen spectra —
+		// run-wide, so no peer is inside the build's collectives either.
+		return nil
+	}
 	chunk := len(ctx.myReads)
 	if ctx.opts.Heuristics.BatchReads {
 		chunk = ctx.opts.Config.ChunkReads
@@ -233,6 +244,9 @@ func (ctx *rankCtx) spectrumPhase() error {
 		return err
 	}
 	b.finish()
+	if ctx.opts.Snapshot != nil {
+		return ctx.saveSnapshot()
+	}
 	return nil
 }
 

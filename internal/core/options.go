@@ -184,6 +184,13 @@ type Options struct {
 	// run completes with byte-identical output. Requires LookupBatch (the
 	// failover retry rides the request-id protocol) and the batch engine.
 	Replicas int
+	// Snapshot, when non-nil, layers the frozen-spectrum snapshot cache
+	// over the build phases (DESIGN.md §16): each rank probes for a
+	// snapshot of its owned spectra before building; on a run-wide hit the
+	// spectrum build is replaced by the slab load, on any miss every rank
+	// builds and writes its snapshot back atomically. Incompatible with
+	// AutoThresholds and RetainReadKmers — see Validate.
+	Snapshot *SnapshotOptions
 	// WorkSteal lets a rank that drains its own read queue early steal
 	// correction chunks from still-busy peers over the steal-request/grant
 	// protocol. Stolen chunks are corrected against the same static spectra
@@ -193,10 +200,41 @@ type Options struct {
 	WorkSteal bool
 }
 
+// SnapshotOptions configures the spectrum-snapshot layer: where this run's
+// per-rank snapshot files live and how the cache key identifies the input.
+type SnapshotOptions struct {
+	// Dir is the content-hash cache directory: each rank's file is named
+	// by hash(InputDigest, k, overlap, thresholds, np, format version), so
+	// any input or parameter change lands on a fresh entry and stale
+	// snapshots are simply never consulted.
+	Dir string
+	// Path, when set, bypasses the content-hash cache and names the
+	// per-rank files directly as "<Path>.r<rank>.rsnap" — the explicit
+	// form behind reptile-correct -snapshot and reptile-spectrum -save.
+	// Exactly one of Dir and Path must be set.
+	Path string
+	// InputDigest identifies the input reads for cache keying (Dir mode):
+	// snapshot.DigestFiles over the fasta/qual pair, or
+	// snapshot.DigestReads over an in-memory set. The engine cannot
+	// compute it — by the time ranks run, each holds only its shard.
+	InputDigest string
+}
+
 // Validate checks the whole option set.
 func (o Options) Validate() error {
 	if err := o.Config.Validate(); err != nil {
 		return err
+	}
+	if s := o.Snapshot; s != nil {
+		if (s.Dir == "") == (s.Path == "") {
+			return fmt.Errorf("core: SnapshotOptions needs exactly one of Dir (content-hash cache) or Path (explicit prefix)")
+		}
+		if o.AutoThresholds {
+			return fmt.Errorf("core: Snapshot is incompatible with AutoThresholds: auto thresholds are resolved during the build the snapshot skips, so the cache key could not name them")
+		}
+		if o.Heuristics.RetainReadKmers {
+			return fmt.Errorf("core: Snapshot is incompatible with RetainReadKmers/CacheRemote: the retained reads tables are a byproduct of the build the snapshot skips")
+		}
 	}
 	if o.Replicas < 0 || o.Replicas > 2 {
 		return fmt.Errorf("core: Replicas=%d (want 0, 1, or 2)", o.Replicas)

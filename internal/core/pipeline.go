@@ -74,12 +74,26 @@ func afterConstruct(ctx *rankCtx) {
 	ctx.st.MemAfterConstruct = ctx.currentMem()
 }
 
+// snapshotStep inserts the snapshot-cache probe ahead of the build steps
+// when the run is configured for it. The step exists only then: a run
+// without Options.Snapshot has no snapshot phase at all (its wall time and
+// footprint stay zero), so the phase list is still declarative evidence of
+// what the rank actually did.
+func snapshotStep(opts Options, steps []phaseStep) []phaseStep {
+	if opts.Snapshot == nil {
+		return steps
+	}
+	return append([]phaseStep{{phase: stats.PhaseSnapshot, run: (*rankCtx).snapshotPhase}}, steps...)
+}
+
 // batchSteps is the in-memory engine: the paper's five steps, each read
-// held resident from the read phase through correction.
-func batchSteps(src Source) []phaseStep {
-	return []phaseStep{
+// held resident from the read phase through correction, with the snapshot
+// probe spliced ahead of the build when the run is configured for it.
+func batchSteps(src Source, opts Options) []phaseStep {
+	return append([]phaseStep{
 		{phase: stats.PhaseRead, run: func(ctx *rankCtx) error { return ctx.readPhase(src) }},
 		{phase: stats.PhaseBalance, run: (*rankCtx).balancePhase},
+	}, snapshotStep(opts, []phaseStep{
 		{phase: stats.PhaseSpectrum, run: (*rankCtx).spectrumPhase},
 		{phase: stats.PhaseExchange, run: (*rankCtx).postExchangePhase, after: afterConstruct},
 		{phase: stats.PhaseCorrect, run: func(ctx *rankCtx) error {
@@ -89,15 +103,16 @@ func batchSteps(src Source) []phaseStep {
 			ctx.res = res
 			return err
 		}},
-	}
+	})...)
 }
 
 // streamingSteps is the low-memory engine: no read or balance phase up
 // front (the source is traversed inside the spectrum and correct steps,
 // one chunk at a time), and the correct step loops balanced chunks through
-// the same worker pool, writing each to the sink.
-func streamingSteps(src Source, sink Sink) []phaseStep {
-	return []phaseStep{
+// the same worker pool, writing each to the sink. A snapshot hit skips the
+// build's whole first source traversal.
+func streamingSteps(src Source, sink Sink, opts Options) []phaseStep {
+	return snapshotStep(opts, []phaseStep{
 		{phase: stats.PhaseSpectrum, run: func(ctx *rankCtx) error { return ctx.spectrumPassStreaming(src) }},
 		{phase: stats.PhaseExchange, run: (*rankCtx).postExchangePhase, after: afterConstruct},
 		{phase: stats.PhaseCorrect, run: func(ctx *rankCtx) error {
@@ -107,5 +122,5 @@ func streamingSteps(src Source, sink Sink) []phaseStep {
 			ctx.res = res
 			return err
 		}},
-	}
+	})
 }

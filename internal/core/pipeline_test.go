@@ -27,6 +27,14 @@ func TestPipelinePhaseObservability(t *testing.T) {
 	}
 	for _, r := range out.Run.Ranks {
 		for p := stats.Phase(0); p < stats.NumPhases; p++ {
+			if p == stats.PhaseSnapshot {
+				// The snapshot probe exists only in runs configured with
+				// Options.Snapshot (snapshot_test.go covers that shape).
+				if r.Wall[p] != 0 {
+					t.Errorf("batch rank %d: snapshot phase timed without Options.Snapshot", r.Rank)
+				}
+				continue
+			}
 			if r.Wall[p] <= 0 {
 				t.Errorf("batch rank %d: phase %v not timed", r.Rank, p)
 			}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"reptile/internal/snapshot"
+	"reptile/internal/spectrum"
+)
+
+// This file wires the frozen-spectrum snapshot cache (internal/snapshot,
+// DESIGN.md §16) into the rank pipeline. The probe is a dedicated phase
+// ahead of the spectrum build: every rank tries to load its own snapshot,
+// the ranks agree on the outcome with one allreduce, and on a unanimous hit
+// the build phase becomes a no-op — the adopted stores are byte-identical
+// to what the build would have frozen. On any miss every rank builds
+// normally (the build's collectives need all ranks, so a partial hit cannot
+// be used) and publishes its snapshot atomically at the freeze point.
+
+// snapshotParams derives the on-disk parameter header from the run options.
+// Everything the frozen slabs depend on is here; AutoThresholds is rejected
+// at Validate, so the Config thresholds are the effective thresholds.
+func (ctx *rankCtx) snapshotParams() snapshot.Params {
+	cfg := ctx.opts.Config
+	return snapshot.Params{
+		K:             cfg.Spec.K,
+		Overlap:       cfg.Spec.Overlap,
+		KmerThreshold: cfg.KmerThreshold,
+		TileThreshold: cfg.TileThreshold,
+		NP:            ctx.np,
+		Rank:          ctx.rank,
+	}
+}
+
+// snapshotFile resolves this rank's snapshot path: the explicit per-rank
+// prefix, or a content-hash cache entry keyed on the input digest and every
+// header parameter.
+func (ctx *rankCtx) snapshotFile() (string, error) {
+	so := ctx.opts.Snapshot
+	if so.Path != "" {
+		return snapshot.RankFile(so.Path, ctx.rank), nil
+	}
+	if so.InputDigest == "" {
+		return "", fmt.Errorf("core: snapshot cache mode needs SnapshotOptions.InputDigest (hash the input with snapshot.DigestFiles or DigestReads)")
+	}
+	key := snapshot.CacheKey(so.InputDigest, ctx.snapshotParams())
+	return snapshot.CachePath(so.Dir, key, ctx.rank), nil
+}
+
+// tryLoadSnapshot attempts a full load — header validation, checksums, slab
+// adoption, parameter equality. Every failure mode (absent file, torn or
+// corrupt image, stale format version, parameter drift) is the same
+// outcome: a miss, reported as (nil, nil, 0). The build then runs and
+// overwrites the bad entry, so corruption heals instead of crashing.
+func (ctx *rankCtx) tryLoadSnapshot(path string) (*spectrum.PackedStore, *spectrum.PackedStore, int64) {
+	p, kmers, tiles, n, err := snapshot.Read(path)
+	if err != nil || p != ctx.snapshotParams() {
+		return nil, nil, 0
+	}
+	return kmers, tiles, n
+}
+
+// snapshotPhase is the cache probe. The hit/miss verdict must be run-wide:
+// the spectrum build is a schedule of collectives every rank joins, so one
+// rank skipping it while another builds would deadlock the group. One
+// allreduce (max of per-rank miss flags) makes the verdict unanimous — all
+// ranks adopt, or all ranks build.
+//
+// reptile-lint:build
+func (ctx *rankCtx) snapshotPhase() error {
+	path, err := ctx.snapshotFile()
+	if err != nil {
+		return err
+	}
+	ctx.snapPath = path
+	kmers, tiles, bytes := ctx.tryLoadSnapshot(path)
+	miss := int64(1)
+	if kmers != nil {
+		miss = 0
+	}
+	anyMiss, err := ctx.comm.AllreduceMaxInt64(miss)
+	if err != nil {
+		return err
+	}
+	if anyMiss > 0 {
+		// Some rank (maybe this one) must build, so everyone builds; a
+		// locally loaded copy is dropped. The build writes back on finish.
+		ctx.st.SnapshotMisses++
+		return nil
+	}
+	ctx.ownKmer, ctx.ownTile = kmers, tiles
+	ctx.snapLoaded = true
+	ctx.st.SnapshotHits++
+	ctx.st.SnapshotBytesRead += bytes
+	// The load is this run's freeze point: record the same observations
+	// specBuilder.finish would have.
+	ctx.st.OwnedKmers = int64(kmers.Len())
+	ctx.st.OwnedTiles = int64(tiles.Len())
+	ctx.st.OwnedMemBytes = kmers.MemBytes() + tiles.MemBytes()
+	ctx.st.MemAtFreeze = ctx.currentMem()
+	return nil
+}
+
+// saveSnapshot publishes this rank's freshly frozen spectra to the path the
+// probe resolved. Called at the end of a cache-missed build; the write is
+// atomic (same-directory temp + rename), so a concurrent run racing on the
+// same entry cannot observe a torn file.
+func (ctx *rankCtx) saveSnapshot() error {
+	n, err := snapshot.Write(ctx.snapPath, ctx.snapshotParams(), ctx.ownKmer, ctx.ownTile)
+	if err != nil {
+		return fmt.Errorf("writing spectrum snapshot %s: %w", ctx.snapPath, err)
+	}
+	ctx.st.SnapshotSaves++
+	ctx.st.SnapshotBytesWritten += n
+	return nil
+}

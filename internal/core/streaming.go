@@ -61,7 +61,7 @@ func RunRankStreaming(e transport.Conn, src Source, opts Options, sink Sink) (*R
 	if opts.WorkSteal {
 		return nil, fmt.Errorf("core: WorkSteal requires the batch engine: the chunk queue is cut from resident reads")
 	}
-	out, err := runRankPipeline(e, opts, streamingSteps(src, sink))
+	out, err := runRankPipeline(e, opts, streamingSteps(src, sink, opts))
 	// The sink is closed here, exactly once, on every exit path: an aborted
 	// run must still flush buffered corrected reads and release the sink's
 	// file handles, and a close failure on an otherwise clean run is a run
@@ -103,6 +103,11 @@ func (ctx *rankCtx) moreRounds(localMore bool) (bool, error) {
 //
 // reptile-lint:build
 func (ctx *rankCtx) spectrumPassStreaming(src Source) error {
+	if ctx.snapLoaded {
+		// Run-wide snapshot hit: the build's first source traversal is
+		// skipped entirely (ReadBases stays zero on a warm run).
+		return nil
+	}
 	br, err := src.Open(ctx.rank, ctx.np, ctx.opts.Config.ChunkReads)
 	if err != nil {
 		return err
@@ -151,6 +156,9 @@ func (ctx *rankCtx) spectrumPassStreaming(src Source) error {
 		return err
 	}
 	b.finish()
+	if ctx.opts.Snapshot != nil {
+		return ctx.saveSnapshot()
+	}
 	return nil
 }
 

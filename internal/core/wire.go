@@ -282,6 +282,52 @@ func decodeBatchResp(payload []byte) (reqID uint32, answers []batchAnswer, err e
 	return reqID, answers, nil
 }
 
+// appendSpecEntry appends one spectrum-exchange entry to a round slab: the
+// id as the zigzag-varint delta from the slab's previous id, then the count
+// as a plain varint. The build encodes per destination out of sorted shard
+// segments, so the stream is only piecewise ascending — the delta arithmetic
+// wraps, so any order round-trips exactly; out-of-order segment boundaries
+// just pay wider varints. Returns the grown slab and the new predecessor.
+//
+// reptile-lint:hotpath
+func appendSpecEntry(dst []byte, prev uint64, id kmer.ID, count uint32) ([]byte, uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], zigzag(int64(uint64(id)-prev)))
+	dst = append(dst, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(count))
+	return append(dst, tmp[:n]...), uint64(id)
+}
+
+// decodeSpecEntries walks one slab built by appendSpecEntry, handing each
+// (id, count) to fn. Decoding streams straight into the callback — no
+// intermediate entry slice — so the merge adds into the owned shards with
+// zero per-round allocation. A slab whose varints overrun the payload or
+// whose count overflows u32 is rejected; an fn error aborts the walk
+// unwrapped.
+func decodeSpecEntries(b []byte, fn func(id kmer.ID, count uint32) error) error {
+	prev := uint64(0)
+	for i := 0; len(b) > 0; i++ {
+		u, w := binary.Uvarint(b)
+		if w <= 0 {
+			return fmt.Errorf("core: spectrum slab entry %d: truncated id", i)
+		}
+		b = b[w:]
+		prev += uint64(unzigzag(u))
+		c, w := binary.Uvarint(b)
+		if w <= 0 {
+			return fmt.Errorf("core: spectrum slab entry %d: truncated count", i)
+		}
+		if c > 1<<32-1 {
+			return fmt.Errorf("core: spectrum slab entry %d: count %d overflows u32", i, c)
+		}
+		b = b[w:]
+		if err := fn(kmer.ID(prev), uint32(c)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Recovery frame geometry.
 const (
 	stealReqBytes       = 4 // reqID u32

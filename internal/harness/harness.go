@@ -158,6 +158,7 @@ func All() []Experiment {
 		{"batchsweep", "Batch-reads chunk-size sweep (supplementary)", BatchSweep},
 		{"lookup", "Remote-lookup batching: messages per read (supplementary)", Lookup},
 		{"build", "Spectrum build: worker sharding and packed stores (supplementary)", Build},
+		{"snapshot", "Spectrum snapshot cache: cold build vs warm load (supplementary)", Snapshot},
 		{"recover", "Rank-failure recovery: R=2 overhead and crash survival (supplementary)", Recover},
 	}
 }

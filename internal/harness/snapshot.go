@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"reptile/internal/core"
+	"reptile/internal/dna"
+	"reptile/internal/genome"
+	"reptile/internal/reads"
+	"reptile/internal/snapshot"
+	"reptile/internal/stats"
+	"reptile/internal/transport"
+)
+
+// Snapshot measures the frozen-spectrum snapshot cache (DESIGN.md §16): a
+// cold run builds the spectra and publishes per-rank snapshots into a
+// content-hash cache, then warm runs — over the in-process transport and
+// over loopback TCP at the same rank count (the cache key includes np) —
+// adopt them and skip construction. Enforced bars: the cold run misses and
+// publishes on every rank, every warm run hits on every rank with
+// byte-identical corrected output, and the warm snapshot load is at least
+// 5x faster than the cold spectrum build it replaces. Reported alongside:
+// snapshot bytes on disk per spectrum entry (the near-zero-parse format
+// ships the packed slabs verbatim, so disk cost is the pow2 slab cost).
+func Snapshot(sc Scale) (*Table, error) {
+	ds := buildDataset(genome.EColiSim, sc, false)
+	np := sc.Ranks(128)
+	dir, err := os.MkdirTemp("", "reptile-snap-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	digest := snapshot.DigestReads(ds.Reads)
+	withSnap := func() core.Options {
+		opts := optionsFor(sc, ds, core.Heuristics{}, true)
+		opts.Snapshot = &core.SnapshotOptions{Dir: dir, InputDigest: digest}
+		return opts
+	}
+
+	t := &Table{
+		ID:    "snapshot",
+		Title: fmt.Sprintf("Spectrum snapshot cache: cold build vs warm load, %d ranks (E.Coli)", np),
+		Note: "new to this implementation; enforced bars: cold run misses+publishes on every rank, every warm run " +
+			"(proc and tcp) hits on every rank with byte-identical output, and the warm snapshot load is >=5x faster " +
+			"than the cold spectrum build; disk bytes per entry reported (packed slabs shipped verbatim)",
+		Header: []string{"mode", "wall", "speedup", "hits/misses", "disk", "disk B/entry", "bases corrected", "output"},
+	}
+
+	// Cold run: every rank must miss the empty cache, build, and publish.
+	cold, err := engineRun(ds, np, withSnap())
+	if err != nil {
+		return nil, fmt.Errorf("cold: %w", err)
+	}
+	misses := cold.Run.Sum(func(r *stats.Rank) int64 { return r.SnapshotMisses })
+	saves := cold.Run.Sum(func(r *stats.Rank) int64 { return r.SnapshotSaves })
+	if misses != int64(np) || saves != int64(np) {
+		return t, fmt.Errorf("cold: %d misses and %d saves on %d ranks — the cache was not cold or a publish failed", misses, saves, np)
+	}
+	coldWall := cold.Run.Wall[stats.PhaseSpectrum]
+	written := cold.Run.Sum(func(r *stats.Rank) int64 { return r.SnapshotBytesWritten })
+	entries := cold.Run.Sum(func(r *stats.Rank) int64 { return r.OwnedKmers + r.OwnedTiles })
+	perEntry := 0.0
+	if entries > 0 {
+		perEntry = float64(written) / float64(entries)
+	}
+	refKeys := outputKeys(cold.Corrected())
+	t.Rows = append(t.Rows, []string{
+		"cold build (proc)", coldWall.Round(time.Microsecond).String(), "-",
+		fmt.Sprintf("0/%d", misses), mib(written), fmt.Sprintf("%.1f", perEntry),
+		count(cold.Result.BasesCorrected), "reference",
+	})
+
+	// Warm proc run, best of 2: the load wall under the 5x bar is fractions
+	// of a millisecond at bench scale, so one noisy sample must not fail it.
+	var warm *core.Output
+	for rep := 0; rep < 2; rep++ {
+		o, err := engineRun(ds, np, withSnap())
+		if err != nil {
+			return nil, fmt.Errorf("warm proc: %w", err)
+		}
+		if warm == nil || o.Run.Wall[stats.PhaseSnapshot] < warm.Run.Wall[stats.PhaseSnapshot] {
+			warm = o
+		}
+	}
+	hits := warm.Run.Sum(func(r *stats.Rank) int64 { return r.SnapshotHits })
+	if hits != int64(np) {
+		return t, fmt.Errorf("warm proc: %d hits on %d ranks — the cache entry the cold run published was not adopted", hits, np)
+	}
+	if !sameOutputKeys(refKeys, outputKeys(warm.Corrected())) || warm.Result != cold.Result {
+		return t, fmt.Errorf("warm proc: output differs from the cold build — the adopted spectra are not equivalent")
+	}
+	warmWall := warm.Run.Wall[stats.PhaseSnapshot]
+	speedup := 0.0
+	if warmWall > 0 {
+		speedup = coldWall.Seconds() / warmWall.Seconds()
+	}
+	read := warm.Run.Sum(func(r *stats.Rank) int64 { return r.SnapshotBytesRead })
+	t.Rows = append(t.Rows, []string{
+		"warm load (proc)", warmWall.Round(time.Microsecond).String(), fmt.Sprintf("%.1fx", speedup),
+		fmt.Sprintf("%d/0", hits), mib(read), "-",
+		count(warm.Result.BasesCorrected), "identical",
+	})
+	if speedup < 5 {
+		return t, fmt.Errorf("snapshot: warm load %v vs cold build %v is %.1fx, bar is >=5x", warmWall, coldWall, speedup)
+	}
+
+	// Warm run over loopback TCP at the same np: same cache key, same hit.
+	tcpOuts, err := tcpRun(ds, np, withSnap())
+	if err != nil {
+		return nil, fmt.Errorf("warm tcp: %w", err)
+	}
+	var tcpHits, tcpRead, tcpCorrected int64
+	var tcpWall time.Duration
+	var tcpKeys []outputKey
+	for _, ro := range tcpOuts {
+		tcpHits += ro.Stats.SnapshotHits
+		tcpRead += ro.Stats.SnapshotBytesRead
+		tcpCorrected += ro.Result.BasesCorrected
+		if ro.Stats.Wall[stats.PhaseSnapshot] > tcpWall {
+			tcpWall = ro.Stats.Wall[stats.PhaseSnapshot]
+		}
+		tcpKeys = append(tcpKeys, outputKeys(ro.Corrected)...)
+	}
+	sort.Slice(tcpKeys, func(i, j int) bool { return tcpKeys[i].seq < tcpKeys[j].seq })
+	if tcpHits != int64(np) {
+		return t, fmt.Errorf("warm tcp: %d hits on %d ranks", tcpHits, np)
+	}
+	if !sameOutputKeys(refKeys, tcpKeys) {
+		return t, fmt.Errorf("warm tcp: output differs from the cold build")
+	}
+	tcpSpeedup := 0.0
+	if tcpWall > 0 {
+		tcpSpeedup = coldWall.Seconds() / tcpWall.Seconds()
+	}
+	t.Rows = append(t.Rows, []string{
+		"warm load (tcp)", tcpWall.Round(time.Microsecond).String(), fmt.Sprintf("%.1fx", tcpSpeedup),
+		fmt.Sprintf("%d/0", tcpHits), mib(tcpRead), "-",
+		count(tcpCorrected), "identical",
+	})
+	return t, nil
+}
+
+// outputKey flattens one corrected read for cross-transport comparison.
+type outputKey struct {
+	seq   int64
+	bases string
+}
+
+func outputKeys(rs []reads.Read) []outputKey {
+	keys := make([]outputKey, len(rs))
+	for i := range rs {
+		keys[i] = outputKey{rs[i].Seq, dna.DecodeString(rs[i].Base)}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].seq < keys[j].seq })
+	return keys
+}
+
+func sameOutputKeys(a, b []outputKey) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tcpRun drives the pipeline one OS-socket rank per goroutine over loopback
+// TCP — the cross-process transport the paper's MPI ranks correspond to —
+// and returns every rank's output.
+func tcpRun(ds *genome.Dataset, np int, opts core.Options) ([]*core.RankOutput, error) {
+	addrs := make([]string, np)
+	lns := make([]net.Listener, np)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	src := &core.MemorySource{Reads: ds.Reads}
+	outs := make([]*core.RankOutput, np)
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			e, err := transport.NewTCP(transport.TCPConfig{Rank: r, Addrs: addrs, DialTimeout: 10 * time.Second})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer e.Close()
+			outs[r], errs[r] = core.RunRank(e, src, opts)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return outs, nil
+}

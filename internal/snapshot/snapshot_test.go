@@ -1,0 +1,290 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reptile/internal/dna"
+	"reptile/internal/kmer"
+	"reptile/internal/reads"
+	"reptile/internal/spectrum"
+)
+
+// randomStore builds a PackedStore over a random entry set: clustered and
+// scattered ids, the out-of-band zero id, and counts spanning the uint32
+// range.
+func randomStore(rng *rand.Rand, n int) *spectrum.PackedStore {
+	entries := make([]spectrum.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		var id kmer.ID
+		switch rng.Intn(8) {
+		case 0:
+			id = 0
+		case 1:
+			id = kmer.ID(rng.Intn(64)) // force collisions
+		default:
+			id = kmer.ID(rng.Uint64())
+		}
+		entries = append(entries, spectrum.Entry{ID: id, Count: uint32(1 + rng.Intn(1<<20))})
+	}
+	return spectrum.NewPacked(entries)
+}
+
+// checkStoresEqual asserts the loaded store answers every probe exactly as
+// the original — the "byte-identical probe behavior" bar.
+func checkStoresEqual(t *testing.T, want, got *spectrum.PackedStore) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("Len: got %d want %d", got.Len(), want.Len())
+	}
+	if want.MemBytes() != got.MemBytes() {
+		t.Fatalf("MemBytes: got %d want %d", got.MemBytes(), want.MemBytes())
+	}
+	rng := rand.New(rand.NewSource(7))
+	want.Each(func(e spectrum.Entry) bool {
+		c, ok := got.Count(e.ID)
+		if !ok || c != e.Count {
+			t.Fatalf("Count(%d): got (%d,%v) want (%d,true)", e.ID, c, ok, e.Count)
+		}
+		return true
+	})
+	for i := 0; i < 200; i++ {
+		id := kmer.ID(rng.Uint64())
+		wc, wok := want.Count(id)
+		gc, gok := got.Count(id)
+		if wc != gc || wok != gok {
+			t.Fatalf("probe %d: got (%d,%v) want (%d,%v)", id, gc, gok, wc, wok)
+		}
+	}
+	// The slab images themselves must match byte for byte.
+	if !bytes.Equal(want.ExportSlabs(nil), got.ExportSlabs(nil)) {
+		t.Fatal("re-exported slab images differ")
+	}
+}
+
+func testParams() Params {
+	return Params{K: 13, Overlap: 4, KmerThreshold: 3, TileThreshold: 2, NP: 8, Rank: 5}
+}
+
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dir := t.TempDir()
+	for trial, n := range []int{0, 1, 7, 100, 5000} {
+		kmers, tiles := randomStore(rng, n), randomStore(rng, n/2+1)
+		p := testParams()
+		p.Rank = trial
+		path := filepath.Join(dir, RankFile("trial", trial))
+		wrote, err := Write(path, p, kmers, tiles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotP, gotK, gotT, size, err := Read(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotP != p {
+			t.Fatalf("params: got %+v want %+v", gotP, p)
+		}
+		if size != wrote {
+			t.Fatalf("size: read %d, wrote %d", size, wrote)
+		}
+		checkStoresEqual(t, kmers, gotK)
+		checkStoresEqual(t, tiles, gotT)
+		if hp, err := ReadParams(path); err != nil || hp != p {
+			t.Fatalf("ReadParams: %+v, %v", hp, err)
+		}
+	}
+}
+
+// TestSnapshotEveryByteFlipRejected pins the checksum coverage: flipping
+// any single byte of a snapshot image must fail the decode — via the magic,
+// the version, one of the CRCs, or a structural length check — and must
+// never panic or decode to different data.
+func TestSnapshotEveryByteFlipRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	img := Encode(nil, testParams(), randomStore(rng, 60), randomStore(rng, 30))
+	for off := range img {
+		bad := append([]byte(nil), img...)
+		bad[off] ^= 0x40
+		if _, _, _, err := Decode(bad); err == nil {
+			t.Fatalf("flip at offset %d accepted", off)
+		}
+	}
+}
+
+func TestSnapshotTruncationRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	img := Encode(nil, testParams(), randomStore(rng, 40), randomStore(rng, 20))
+	for cut := 0; cut < len(img); cut++ {
+		_, _, _, err := Decode(img[:cut])
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", cut, len(img))
+		}
+	}
+	// A clean prefix cut reports the typed truncation error specifically.
+	if _, _, _, err := Decode(img[:len(img)-3]); !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("tail cut: got %v", err)
+	}
+	if _, _, _, err := Decode(img[:hdrBytes+4]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("section cut: got %v, want ErrTruncated", err)
+	}
+	if _, _, _, err := Decode(img[:5]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("header cut: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestSnapshotStaleVersionRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	img := Encode(nil, testParams(), randomStore(rng, 10), randomStore(rng, 10))
+	binary.LittleEndian.PutUint16(img[4:6], Version+1)
+	if _, _, _, err := Decode(img); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+	copy(img[0:4], "NOPE")
+	if _, _, _, err := Decode(img); !errors.Is(err, ErrFormat) {
+		t.Fatalf("got %v, want ErrFormat", err)
+	}
+}
+
+// TestSnapshotHostileSectionLength pins the no-giant-allocation guarantee:
+// a section header claiming an enormous payload fails the length check
+// before anything is allocated or sliced.
+func TestSnapshotHostileSectionLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	img := Encode(nil, testParams(), randomStore(rng, 5), randomStore(rng, 5))
+	for _, huge := range []uint64{1 << 40, 1 << 62, ^uint64(0)} {
+		bad := append([]byte(nil), img...)
+		binary.LittleEndian.PutUint64(bad[hdrBytes:], huge)
+		if _, _, _, err := Decode(bad); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("length %d: got %v, want ErrTruncated", huge, err)
+		}
+	}
+}
+
+func TestSnapshotWriteAtomic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.r0.rsnap")
+	kmers, tiles := randomStore(rng, 100), randomStore(rng, 50)
+	if _, err := Write(path, testParams(), kmers, tiles); err != nil {
+		t.Fatal(err)
+	}
+	// Overwriting an existing snapshot (two runs racing on one cache
+	// entry) succeeds and leaves a complete file.
+	if _, err := Write(path, testParams(), kmers, tiles); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d files in cache dir, want 1", len(entries))
+	}
+	if _, _, _, _, err := Read(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheKeyCoversEveryParameter(t *testing.T) {
+	base := testParams()
+	key := CacheKey("digest-a", base)
+	if k2 := CacheKey("digest-a", base); k2 != key {
+		t.Fatal("key not deterministic")
+	}
+	// Rank is a file-name concern, not a key concern.
+	other := base
+	other.Rank = 0
+	if CacheKey("digest-a", other) != key {
+		t.Fatal("key depends on rank")
+	}
+	variants := []Params{base, base, base, base, base}
+	variants[0].K = 14
+	variants[1].Overlap = 5
+	variants[2].KmerThreshold = 4
+	variants[3].TileThreshold = 9
+	variants[4].NP = 16
+	seen := map[string]bool{key: true, CacheKey("digest-b", base): false}
+	if len(seen) != 2 {
+		t.Fatal("input digest not folded into the key")
+	}
+	for i, v := range variants {
+		k := CacheKey("digest-a", v)
+		if seen[k] || k == key {
+			t.Fatalf("variant %d did not change the key", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestDigests(t *testing.T) {
+	dir := t.TempDir()
+	fa := filepath.Join(dir, "in.fa")
+	qual := filepath.Join(dir, "in.qual")
+	os.WriteFile(fa, []byte(">r1\nACGT\n"), 0o644)
+	os.WriteFile(qual, []byte(">r1\n40 40 40 40\n"), 0o644)
+	d1, err := DigestFiles(fa, qual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(fa, []byte(">r1\nACGA\n"), 0o644)
+	d2, err := DigestFiles(fa, qual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 == d2 {
+		t.Fatal("content change did not change the file digest")
+	}
+	if _, err := DigestFiles(filepath.Join(dir, "missing.fa")); err == nil {
+		t.Fatal("missing file digested")
+	}
+
+	rs := []reads.Read{{Seq: 1, Base: []dna.Base{0, 1, 2, 3}, Qual: []byte{40, 40, 40, 40}}}
+	r1 := DigestReads(rs)
+	rs[0].Qual[3] = 39
+	if DigestReads(rs) == r1 {
+		t.Fatal("quality change did not change the reads digest")
+	}
+	rs[0].Qual[3] = 40
+	rs[0].Base[0] = 3
+	if DigestReads(rs) == r1 {
+		t.Fatal("base change did not change the reads digest")
+	}
+}
+
+// FuzzSnapshotDecode drives the header + section decoder over arbitrary
+// bytes: it must never panic, never allocate per a hostile header, and any
+// image it accepts must re-encode to the identical bytes.
+func FuzzSnapshotDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(6))
+	valid := Encode(nil, testParams(), randomStore(rng, 30), randomStore(rng, 15))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:hdrBytes])
+	f.Add([]byte{})
+	f.Add([]byte("RSNP"))
+	hostile := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(hostile[hdrBytes:], ^uint64(0))
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, kmers, tiles, err := Decode(b)
+		if err != nil {
+			return
+		}
+		re := Encode(nil, p, kmers, tiles)
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted image does not re-encode identically (%d vs %d bytes)", len(re), len(b))
+		}
+	})
+}

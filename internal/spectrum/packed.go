@@ -53,7 +53,11 @@ func NewPacked(entries []Entry) *PackedStore {
 	}
 	if nonZero > 0 {
 		capSlots := uint64(1)
-		need := uint64(nonZero) * packedLoadDen / packedLoadNum
+		// Round the load-factor bound UP: floor division let a 1- or
+		// 2-entry store fill every slot, and a probe for an absent id on
+		// a full table never finds the empty slot that terminates it.
+		// Ceiling keeps load strictly below 1 at every size.
+		need := (uint64(nonZero)*packedLoadDen + packedLoadNum - 1) / packedLoadNum
 		for capSlots < need {
 			capSlots <<= 1
 		}
@@ -214,24 +218,48 @@ func (p *PackedStore) ExportSlabs(buf []byte) []byte {
 	return buf
 }
 
+// SlabImageError reports a rejected packed-slab image: a corrupt or
+// truncated header, or a payload shorter than the header promises. It is
+// always returned *before* any slab allocation, so a hostile header cannot
+// make the importer reserve multi-GB slabs it will never fill.
+type SlabImageError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *SlabImageError) Error() string { return "spectrum: slab image: " + e.Reason }
+
 // ImportPackedSlabs reconstructs a PackedStore from the slab image at the
 // head of b, returning the store and the remainder of b (images are
 // self-delimiting and concatenate). The reconstructed slabs are
 // byte-identical to the exporter's, so replica lookups probe exactly as the
-// owner's would.
+// owner's would. A malformed image yields a *SlabImageError with nothing
+// allocated.
 func ImportPackedSlabs(b []byte) (*PackedStore, []byte, error) {
 	if len(b) < slabHdrBytes {
-		return nil, nil, fmt.Errorf("spectrum: slab image of %d bytes", len(b))
+		return nil, nil, &SlabImageError{Reason: fmt.Sprintf("%d bytes, shorter than the %d-byte header", len(b), slabHdrBytes)}
 	}
 	slots := binary.LittleEndian.Uint64(b[0:8])
 	n := binary.LittleEndian.Uint64(b[8:16])
 	if slots > 0 && slots&(slots-1) != 0 {
-		return nil, nil, fmt.Errorf("spectrum: slab image with %d slots (not a power of two)", slots)
+		return nil, nil, &SlabImageError{Reason: fmt.Sprintf("%d slots (not a power of two)", slots)}
+	}
+	// Bound slots by the bytes actually present (12 per slot) BEFORE
+	// allocating anything. Dividing the remainder sidesteps the
+	// slots*12 overflow a hostile header could use to wrap the length
+	// check and trigger a giant make().
+	if slots > uint64(len(b)-slabHdrBytes)/12 {
+		return nil, nil, &SlabImageError{Reason: fmt.Sprintf("truncated: %d bytes for %d slots", len(b), slots)}
+	}
+	// n counts live entries: at most one per slot plus the out-of-band
+	// zero ID. Anything larger is a corrupt header, not a real store.
+	if n > slots+1 {
+		return nil, nil, &SlabImageError{Reason: fmt.Sprintf("%d entries in %d slots", n, slots)}
+	}
+	if b[20] > 1 {
+		return nil, nil, &SlabImageError{Reason: fmt.Sprintf("hasZero flag %d", b[20])}
 	}
 	need := uint64(slabHdrBytes) + slots*12
-	if uint64(len(b)) < need {
-		return nil, nil, fmt.Errorf("spectrum: slab image truncated: %d bytes for %d slots", len(b), slots)
-	}
 	p := &PackedStore{
 		n:         int(n),
 		zeroCount: binary.LittleEndian.Uint32(b[16:20]),

@@ -1,8 +1,11 @@
 package spectrum
 
 import (
+	"encoding/binary"
+	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"reptile/internal/kmer"
 )
@@ -244,6 +247,57 @@ func TestExportImportSlabsRoundTrip(t *testing.T) {
 	bad[0] = 3 // 3 slots: not a power of two
 	if _, _, err := ImportPackedSlabs(bad); err == nil {
 		t.Error("non-power-of-two slot count accepted")
+	}
+}
+
+// TestExportImportSlabsRejectsHostileHeader pins the pre-allocation
+// validation: a corrupt header promising an absurd slot count must be
+// rejected as a typed *SlabImageError before any slab is allocated —
+// including slot counts chosen so slots*12 wraps uint64 and would have
+// slipped past a need-vs-len comparison into a multi-GB make().
+func TestExportImportSlabsRejectsHostileHeader(t *testing.T) {
+	hostile := func(slots, n uint64) []byte {
+		b := make([]byte, slabHdrBytes)
+		binary.LittleEndian.PutUint64(b[0:8], slots)
+		binary.LittleEndian.PutUint64(b[8:16], n)
+		return b
+	}
+	cases := []struct {
+		name string
+		img  []byte
+	}{
+		{"huge power-of-two slots", hostile(1<<40, 10)},
+		{"slots*12 wraps uint64", hostile(1<<61, 10)},
+		{"max power of two", hostile(1<<63, 10)},
+		{"entries exceed slots", hostile(4, 6)},
+		{"bad hasZero flag", func() []byte { b := hostile(0, 0); b[20] = 7; return b }()},
+		{"empty buffer", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			done := make(chan error, 1)
+			go func() {
+				_, _, err := ImportPackedSlabs(tc.img)
+				done <- err
+			}()
+			// A rejected header returns ~instantly; a 2^40-slot allocation
+			// would stall (or OOM) long before this deadline.
+			select {
+			case err := <-done:
+				var sie *SlabImageError
+				if !errors.As(err, &sie) {
+					t.Fatalf("got %v, want *SlabImageError", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("ImportPackedSlabs did not fail fast on a hostile header")
+			}
+		})
+	}
+	// The legit truncation path reports the typed error too.
+	img := NewPacked([]Entry{{ID: 7, Count: 3}}).ExportSlabs(nil)
+	var sie *SlabImageError
+	if _, _, err := ImportPackedSlabs(img[:len(img)-1]); !errors.As(err, &sie) {
+		t.Fatalf("truncated image: got %v, want *SlabImageError", err)
 	}
 }
 

@@ -16,17 +16,20 @@ import (
 type Phase int
 
 // Execution phases in paper order: Step I (read+balance), Steps II-III
-// (spectrum build + exchange), Step IV (correction).
+// (spectrum build + exchange), Step IV (correction). PhaseSnapshot is the
+// snapshot-cache probe that can replace the spectrum build (DESIGN.md §16);
+// it exists only in runs configured with Options.Snapshot.
 const (
 	PhaseRead Phase = iota
 	PhaseBalance
+	PhaseSnapshot
 	PhaseSpectrum
 	PhaseExchange
 	PhaseCorrect
 	NumPhases
 )
 
-var phaseNames = [NumPhases]string{"read", "balance", "spectrum", "exchange", "correct"}
+var phaseNames = [NumPhases]string{"read", "balance", "snapshot", "spectrum", "exchange", "correct"}
 
 // String returns the phase name.
 func (p Phase) String() string {
@@ -77,6 +80,16 @@ type Rank struct {
 	// Correction, responder side.
 	RequestsServed int64
 
+	// Spectrum-snapshot cache (zero unless Options.Snapshot is configured;
+	// see DESIGN.md §16). A hit means this rank adopted its frozen spectra
+	// from disk and the build phases were skipped run-wide; a miss means
+	// the build ran (and, on success, wrote the snapshot back).
+	SnapshotHits         int64
+	SnapshotMisses       int64
+	SnapshotSaves        int64 // snapshot files this rank published
+	SnapshotBytesRead    int64
+	SnapshotBytesWritten int64
+
 	// Transport totals (whole run).
 	MsgsSent  int64
 	BytesSent int64
@@ -87,6 +100,13 @@ type Rank struct {
 	// ExchangeBytes is what this rank sent through collectives during
 	// spectrum construction and load balancing.
 	ExchangeBytes int64
+	// SpecBytesSent/SpecEntriesSent split the spectrum round exchange out
+	// of ExchangeBytes: the varint-packed slab bytes this rank shipped to
+	// peers and the entries those slabs carried, so benches can pin the
+	// achieved wire width (bytes per entry) against the fixed 12-byte
+	// encoding the exchange used before delta compression.
+	SpecBytesSent   int64
+	SpecEntriesSent int64
 	// MaxInboxDepth is the transport mailbox's high-water mark: how far
 	// behind this rank's receivers fell at the worst moment.
 	MaxInboxDepth int64
