@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-fixtures vet chaos chaos-recover bench-lookup bench-build bench-recover bench-snapshot property fuzz cover ci
+.PHONY: build test race lint lint-fixtures vet chaos chaos-recover bench-lookup bench-build bench-recover bench-snapshot bench-serve serve-smoke property fuzz cover ci
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,40 @@ bench-recover:
 bench-snapshot:
 	$(GO) run ./cmd/reptile-bench -exp snapshot -scale 0.05 -rankdiv 16 -maxranks 8 -json BENCH_snapshot.json
 
+## bench-serve: the resident-service benchmark — concurrent client jobs
+## against one shared frozen spectrum vs per-job batch runs, with the >=2x
+## aggregate-throughput and byte-identical-output bars enforced inside the
+## experiment, plus session latency quantiles (p50/p99).
+bench-serve:
+	$(GO) run ./cmd/reptile-bench -exp serve -scale 0.05 -rankdiv 16 -maxranks 8 -json BENCH_serve.json
+
+## serve-smoke: end-to-end service smoke — simulate a small dataset, start
+## reptile-serve, wait for the front door, run two concurrent clients, drain
+## with SIGINT, and require every client's output byte-identical to a batch
+## reptile-correct run on the same input.
+serve-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	port=$$((20000 + $$$$ % 20000)); \
+	$(GO) build -o $$dir/reptile-serve ./cmd/reptile-serve; \
+	$(GO) build -o $$dir/reptile-correct ./cmd/reptile-correct; \
+	$(GO) run ./cmd/readsim -preset ecoli -scale 0.02 -out $$dir -name smoke; \
+	$$dir/reptile-correct -fasta $$dir/smoke.fa -qual $$dir/smoke.qual -np 2 -out $$dir/batch; \
+	$$dir/reptile-serve -fasta $$dir/smoke.fa -qual $$dir/smoke.qual -np 2 -addr 127.0.0.1:$$port & srv=$$!; \
+	ok=0; for i in $$(seq 1 60); do \
+		if $$dir/reptile-serve -client -addr 127.0.0.1:$$port -tenant probe \
+			-fasta $$dir/smoke.fa -qual $$dir/smoke.qual -out $$dir/probe >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.25; done; \
+	[ $$ok -eq 1 ] || { echo "serve-smoke: server never came up"; kill $$srv 2>/dev/null; exit 1; }; \
+	$$dir/reptile-serve -client -addr 127.0.0.1:$$port -tenant smoke-a \
+		-fasta $$dir/smoke.fa -qual $$dir/smoke.qual -out $$dir/c1 & c1=$$!; \
+	$$dir/reptile-serve -client -addr 127.0.0.1:$$port -tenant smoke-b \
+		-fasta $$dir/smoke.fa -qual $$dir/smoke.qual -out $$dir/c2 & c2=$$!; \
+	wait $$c1; wait $$c2; \
+	kill -INT $$srv; wait $$srv; \
+	cmp $$dir/batch.fa $$dir/c1.fa; cmp $$dir/batch.qual $$dir/c1.qual; \
+	cmp $$dir/batch.fa $$dir/c2.fa; cmp $$dir/batch.qual $$dir/c2.qual; \
+	echo "serve-smoke: 2 concurrent clients byte-identical to the batch run"
+
 ## property: the randomized/fuzz-seeded equivalence suites in short mode —
 ## packed-vs-hash store equivalence, freeze invariants, and the batched
 ## lookup equivalence matrix.
@@ -119,4 +153,4 @@ cover:
 		fi; \
 	done
 
-ci: build vet lint test race chaos chaos-recover property cover fuzz bench-build bench-lookup bench-snapshot
+ci: build vet lint test race chaos chaos-recover property cover fuzz bench-build bench-lookup bench-snapshot bench-serve serve-smoke

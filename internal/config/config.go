@@ -205,6 +205,24 @@ func (s *Settings) apply(key, val string) error {
 		if val != "" {
 			snap(&s.Options).Path = val
 		}
+	case "serve_addr":
+		if val != "" {
+			srv(&s.Options).Addr = val
+		}
+	case "serve_max_sessions":
+		// 0 is Render's form for "not configured" (the engine default), so it
+		// must not materialize a serve block — rendered settings round-trip.
+		var v int
+		v, err = asInt()
+		if err == nil && v != 0 {
+			srv(&s.Options).MaxSessions = v
+		}
+	case "serve_tenant_window":
+		var v int
+		v, err = asInt()
+		if err == nil && v != 0 {
+			srv(&s.Options).TenantWindow = v
+		}
 	case "replicated_layout":
 		switch normalize(val) {
 		case "hash":
@@ -231,6 +249,15 @@ func snap(o *core.Options) *core.SnapshotOptions {
 		o.Snapshot = &core.SnapshotOptions{}
 	}
 	return o.Snapshot
+}
+
+// srv returns the options' serve block, creating it on first use, so a file
+// can tune the session layer with any one of the serve_* keys.
+func srv(o *core.Options) *core.ServeOptions {
+	if o.Serve == nil {
+		o.Serve = &core.ServeOptions{}
+	}
+	return o.Serve
 }
 
 // Render writes settings back in file form, for -dump-config style
@@ -275,5 +302,13 @@ func (s Settings) Render() string {
 	}
 	w("snapshot_dir", snapDir)
 	w("snapshot_path", snapPath)
+	var serveAddr string
+	var serveMax, serveWin int
+	if sv := s.Options.Serve; sv != nil {
+		serveAddr, serveMax, serveWin = sv.Addr, sv.MaxSessions, sv.TenantWindow
+	}
+	w("serve_addr", serveAddr)
+	w("serve_max_sessions", serveMax)
+	w("serve_tenant_window", serveWin)
 	return sb.String()
 }

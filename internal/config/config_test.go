@@ -188,6 +188,48 @@ func TestRenderRoundTripChaos(t *testing.T) {
 	}
 }
 
+func TestServeKeys(t *testing.T) {
+	s, err := Parse(strings.NewReader("serve_addr = 127.0.0.1:7311\nserve_max_sessions = 4\nserve_tenant_window = 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := s.Options.Serve
+	if sv == nil || sv.Addr != "127.0.0.1:7311" || sv.MaxSessions != 4 || sv.TenantWindow != 2 {
+		t.Fatalf("serve keys not applied: %+v", sv)
+	}
+
+	// Negative knobs are the same Validate error the engine would raise.
+	if _, err := Parse(strings.NewReader("serve_max_sessions = -1\n")); err == nil {
+		t.Error("negative serve_max_sessions accepted")
+	}
+	if _, err := Parse(strings.NewReader("serve_tenant_window = -1\n")); err == nil {
+		t.Error("negative serve_tenant_window accepted")
+	}
+
+	// Zero/empty values (Render's form for "not configured") are no-ops, so
+	// rendered settings round-trip without materializing a serve block.
+	s, err = Parse(strings.NewReader("serve_addr =\nserve_max_sessions = 0\nserve_tenant_window = 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Options.Serve != nil {
+		t.Fatalf("empty serve keys created a serve block: %+v", s.Options.Serve)
+	}
+}
+
+func TestRenderRoundTripServe(t *testing.T) {
+	orig := Default()
+	orig.Options.Serve = &core.ServeOptions{Addr: "0.0.0.0:7311", MaxSessions: 3, TenantWindow: 5}
+	back, err := Parse(strings.NewReader(orig.Render()))
+	if err != nil {
+		t.Fatalf("rendered config does not parse: %v\n%s", err, orig.Render())
+	}
+	sv := back.Options.Serve
+	if sv == nil || *sv != *orig.Options.Serve {
+		t.Errorf("serve block drifted: %+v", sv)
+	}
+}
+
 func TestLoad(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "run.conf")

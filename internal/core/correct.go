@@ -13,16 +13,35 @@ import (
 	"reptile/internal/transport"
 )
 
-// correctDriver is Step IV's shared frame: fork the rank's router (the
-// paper's communication thread), run the driver-specific work function on
-// the worker side — the batch engine corrects its resident reads once, the
-// streaming engine loops chunks through it — then drive the done/stop
-// termination protocol: a rank keeps answering remote lookups until
-// *every* worker has finished.
-func (ctx *rankCtx) correctDriver(work func(disp *lookupDispatcher) (reptile.Result, error)) (reptile.Result, error) {
-	msgs0, bytes0 := ctx.e.Counters().PerDestSnapshot()
-	disp := ctx.newDispatcher()
-	if disp != nil {
+// residentPlane is one rank's armed correct-phase machinery: the live
+// router goroutine, the batch dispatcher, and the pre-phase counter
+// snapshots. The batch driver arms it, works, and quiesces within one
+// correctDriver call; the SpectrumService keeps it armed across many
+// sessions and quiesces at Drain.
+type residentPlane struct {
+	disp       *lookupDispatcher
+	rt         *msgplane.Router
+	respErr    chan error
+	routerExit chan struct{}
+	wg         sync.WaitGroup
+	msgs0      []int64
+	bytes0     []int64
+}
+
+// armCorrect builds Step IV's resident machinery: the dispatcher and
+// prefetch plane, the steal scheduler and recovery side channel when
+// configured, the session caller and executor, and the router goroutine
+// (the paper's communication thread) serving them all. From here the rank
+// answers peers' lookups and session requests until quiesceCorrect (or a
+// failure) tears it down.
+func (ctx *rankCtx) armCorrect() *residentPlane {
+	p := &residentPlane{
+		respErr:    make(chan error, 1),
+		routerExit: make(chan struct{}),
+	}
+	p.msgs0, p.bytes0 = ctx.e.Counters().PerDestSnapshot()
+	p.disp = ctx.newDispatcher()
+	if p.disp != nil {
 		ctx.plane = newPrefetchPlane(ctx.np)
 	}
 	if ctx.opts.WorkSteal {
@@ -34,12 +53,18 @@ func (ctx *rankCtx) correctDriver(work func(disp *lookupDispatcher) (reptile.Res
 		// dispatcher's window accounting.
 		ctx.recCaller = msgplane.NewCaller(ctx.e, ctx.np, 0)
 	}
-	rt := ctx.newResponder(disp)
+	// The session layer: every correction — one-shot batch, streaming
+	// chunks, or served client jobs — enters through a session at some
+	// rank's executor. The caller's window is sized so the per-session
+	// windows are the binding flow control, never the shared caller.
+	ctx.sessCaller = msgplane.NewCaller(ctx.e, ctx.np, ctx.opts.sessionCallerWindow())
+	ctx.sessions = newSessionExec(ctx, p.disp)
+	rt := ctx.newResponder(p.disp)
+	p.rt = rt
 	if ctx.rec != nil {
 		// From here the peer-down handler can fail the dead rank's calls
 		// directly; deaths absorbed before this point are replayed now.
-		ctx.rec.arm(disp, ctx.recCaller, rt, ctx.steal)
-		defer ctx.disarmRecovery()
+		ctx.rec.arm(p.disp, ctx.recCaller, rt, ctx.steal)
 	}
 
 	// The router routes its own failures through ctx.fail: the abort
@@ -47,16 +72,13 @@ func (ctx *rankCtx) correctDriver(work func(disp *lookupDispatcher) (reptile.Res
 	// direct Recv(tagResp) unblocks instead of waiting on a router that
 	// died. With batching the dispatcher is poisoned first, which wakes
 	// workers parked on batch futures or window slots the same way.
-	var wg sync.WaitGroup
-	respErr := make(chan error, 1)
-	routerExit := make(chan struct{})
-	wg.Add(1)
+	p.wg.Add(1)
 	go func() {
-		defer wg.Done()
-		defer close(routerExit)
+		defer p.wg.Done()
+		defer close(p.routerExit)
 		if err := rt.Run(); err != nil {
-			if disp != nil {
-				disp.fail(err)
+			if p.disp != nil {
+				p.disp.fail(err)
 			}
 			if ctx.recCaller != nil {
 				ctx.recCaller.Fail(err)
@@ -64,54 +86,106 @@ func (ctx *rankCtx) correctDriver(work func(disp *lookupDispatcher) (reptile.Res
 			if ctx.steal != nil {
 				ctx.steal.fail(err)
 			}
-			respErr <- ctx.fail("correct", err)
+			aerr := ctx.fail("correct", err)
+			ctx.sessCaller.Fail(aerr)
+			ctx.sessions.fail(aerr)
+			p.respErr <- aerr
 		}
 	}()
-	// failBoth aborts the run from the worker side and joins the router
-	// (which the broadcast just unblocked) before returning. When the worker
-	// only observed the teardown — its endpoint closed under it — the
-	// router's error is the root cause and wins.
-	failBoth := func(err error) error {
-		aerr := ctx.fail("correct", err)
-		wg.Wait()
-		select {
-		case rerr := <-respErr:
-			if errors.Is(aerr, transport.ErrClosed) && !errors.Is(rerr, transport.ErrClosed) {
-				return rerr
-			}
-		default:
+	return p
+}
+
+// failBoth aborts the run from the worker side and joins the router
+// (which the broadcast just unblocked) and the session executor before
+// returning. When the worker only observed the teardown — its endpoint
+// closed under it — the router's error is the root cause and wins.
+func (p *residentPlane) failBoth(ctx *rankCtx, err error) error {
+	aerr := ctx.fail("correct", err)
+	ctx.sessCaller.Fail(aerr)
+	ctx.sessions.fail(aerr)
+	p.wg.Wait()
+	ctx.sessions.join()
+	select {
+	case rerr := <-p.respErr:
+		if errors.Is(aerr, transport.ErrClosed) && !errors.Is(rerr, transport.ErrClosed) {
+			return rerr
 		}
-		return aerr
+	default:
 	}
+	return aerr
+}
 
-	res, werr := work(disp)
-	if werr != nil {
-		return res, failBoth(werr)
-	}
-
-	// Workers finished — every issued batch has been answered, so no
-	// in-flight frame can outlive the stop broadcast. Notify the coordinator
-	// and keep the router serving until everyone is done.
-	if err := rt.AnnounceDone(); err != nil {
-		return res, failBoth(err)
+// quiesceCorrect drives the clean end of the correct phase: every request
+// this rank issued has been answered and every session it opened is
+// closed, so announce done, keep serving peers (and recovery duties) until
+// the coordinator's stop, then join the router and the session executor
+// and record the phase's stats.
+func (ctx *rankCtx) quiesceCorrect(p *residentPlane, res *reptile.Result) error {
+	if err := p.rt.AnnounceDone(); err != nil {
+		return p.failBoth(ctx, err)
 	}
 	if ctx.rec != nil {
 		// Keep executing recovery duties (replica pushes, a dead rank's
 		// estate) until the stop broadcast shuts the router down; the dead
 		// rank's proxy done is what lets the coordinator converge.
-		if err := ctx.drainRecovery(&res, disp, rt, routerExit); err != nil {
-			return res, failBoth(err)
+		if err := ctx.drainRecovery(res, p.disp, p.rt, p.routerExit); err != nil {
+			return p.failBoth(ctx, err)
 		}
 	}
-	wg.Wait()
+	p.wg.Wait()
+	ctx.sessions.stop()
 	select {
-	case err := <-respErr:
-		return res, err
+	case err := <-p.respErr:
+		return err
 	default:
 	}
 
-	ctx.finishCorrectStats(disp, msgs0, bytes0)
-	return res, nil
+	ctx.finishCorrectStats(p.disp, p.msgs0, p.bytes0)
+	return nil
+}
+
+// correctDriver is Step IV's one-shot frame, built from the same arm/
+// quiesce halves the resident service uses: arm the router and session
+// layer, run the driver-specific work function on the worker side — the
+// batch engine corrects its resident reads as one session chunk, the
+// streaming engine loops chunks through one session — then drive the
+// done/stop termination protocol: a rank keeps answering remote lookups
+// until *every* worker has finished.
+func (ctx *rankCtx) correctDriver(work func(disp *lookupDispatcher) (reptile.Result, error)) (reptile.Result, error) {
+	p := ctx.armCorrect()
+	if ctx.rec != nil {
+		defer ctx.disarmRecovery()
+	}
+	res, werr := work(p.disp)
+	if werr != nil {
+		return res, p.failBoth(ctx, werr)
+	}
+	return res, ctx.quiesceCorrect(p, &res)
+}
+
+// correctOneShot is the batch engine's work function: its whole resident
+// read set travels the session layer as a single session with one
+// resident chunk, so the classic reptile-correct run and a served client
+// job execute the identical code path (admission, session accounting,
+// worker pool, steal scheduler) — the resident chunk corrected caller-runs
+// on this very goroutine.
+func (ctx *rankCtx) correctOneShot() (reptile.Result, error) {
+	sess, err := ctx.openSession(ctx.rank, batchTenant)
+	if err != nil {
+		return reptile.Result{}, err
+	}
+	pend, err := sess.submitResident(ctx.myReads)
+	if err != nil {
+		// reptile-lint:allow errorflow the submit error aborts the run; a close failure on the failing path is secondary noise
+		_ = sess.Close()
+		return reptile.Result{}, err
+	}
+	_, res, werr := pend.Wait()
+	cerr := sess.Close()
+	if werr != nil {
+		return res, werr
+	}
+	return res, cerr
 }
 
 // newResponder builds the rank's correct-phase router: the three request
@@ -129,6 +203,18 @@ func (ctx *rankCtx) newResponder(disp *lookupDispatcher) *msgplane.Router {
 	if disp != nil {
 		rt.Handle(tagBatchResp, disp.deliver)
 	}
+	// The session plane: open/chunk/close land at this rank's executor, and
+	// every session answer routes back to the opener's caller by request id.
+	rt.Handle(tagSessionOpen, ctx.sessions.handleOpen)
+	rt.Handle(tagReadChunk, ctx.sessions.handleChunk)
+	rt.Handle(tagSessionClose, ctx.sessions.handleClose)
+	rt.Handle(tagCorrectedChunk, func(m transport.Message) error {
+		reqID, status, body, err := decodeSessionResp(m.Data)
+		if err != nil {
+			return err
+		}
+		return ctx.sessCaller.Deliver(m.From, msgplane.Tag(m.Tag), reqID, &sessResp{status: status, body: body})
+	})
 	if ctx.recCaller != nil {
 		rt.Handle(tagStealGrant, func(m transport.Message) error {
 			reqID, chunk, rs, granted, err := decodeStealGrant(m.Data)
@@ -248,9 +334,6 @@ func (ctx *rankCtx) newOracle(st *stats.Rank, disp *lookupDispatcher, cacheMu *s
 // for every worker count. Lookup counters accumulate into per-worker shards
 // that are merged after the join, keeping the shared stats race-free.
 func (ctx *rankCtx) correctPool(myReads []reads.Read, disp *lookupDispatcher) (reptile.Result, error) {
-	if ctx.steal != nil {
-		return ctx.correctPoolSteal(disp)
-	}
 	nw := ctx.opts.Heuristics.Workers
 	if nw < 1 {
 		nw = 1
@@ -342,6 +425,10 @@ func (ctx *rankCtx) finishCorrectStats(disp *lookupDispatcher, msgs0, bytes0 []i
 	}
 	if ctx.steal != nil {
 		ctx.st.ChunksLent = ctx.steal.chunksLent()
+	}
+	if ctx.sessions != nil {
+		ctx.st.SessionsOpened, ctx.st.SessionsCompleted,
+			ctx.st.SessionsRejected, ctx.st.SessionReads = ctx.sessions.counters()
 	}
 	nw := ctx.opts.Heuristics.Workers
 	if nw < 1 {

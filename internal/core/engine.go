@@ -82,6 +82,14 @@ type rankCtx struct {
 	// recCaller carries the recovery/steal request-response traffic
 	// (steal requests, replica pushes); nil when neither mode is on.
 	recCaller *msgplane.Caller
+
+	// The session layer, armed together with the correct-phase router:
+	// sessCaller matches this rank's session requests (open/chunk/close) to
+	// their answers, sessions is the executor admitting and correcting
+	// sessions opened at this rank. Both live from armCorrect to the
+	// quiesce/failure teardown.
+	sessCaller *msgplane.Caller
+	sessions   *sessionExec
 }
 
 // RunRank executes the full pipeline for one rank. Every rank of the group

@@ -28,6 +28,7 @@ package core
 import (
 	"fmt"
 
+	"reptile/internal/msgplane"
 	"reptile/internal/reptile"
 	"reptile/internal/transport"
 )
@@ -191,6 +192,12 @@ type Options struct {
 	// builds and writes its snapshot back atomically. Incompatible with
 	// AutoThresholds and RetainReadKmers — see Validate.
 	Snapshot *SnapshotOptions
+	// Serve tunes the session layer — the admission cap and flow-control
+	// window every correction session gets, and the front door address the
+	// reptile-serve daemon listens on. Nil uses the defaults; the session
+	// layer itself is always armed (the batch drivers run through it as a
+	// one-shot session).
+	Serve *ServeOptions
 	// WorkSteal lets a rank that drains its own read queue early steal
 	// correction chunks from still-busy peers over the steal-request/grant
 	// protocol. Stolen chunks are corrected against the same static spectra
@@ -220,10 +227,75 @@ type SnapshotOptions struct {
 	InputDigest string
 }
 
+// ServeOptions configures the session layer and the reptile-serve front
+// door (DESIGN.md §17).
+type ServeOptions struct {
+	// Addr is the TCP address the reptile-serve front door listens on for
+	// client connections ("" when the process is not a front door). The
+	// engine itself never reads it; it rides here so config and flags have
+	// one home.
+	Addr string
+	// MaxSessions caps how many sessions one tenant may hold open at a
+	// single executor rank at once; an open beyond it gets the typed
+	// capacity rejection. 0 means DefaultMaxSessions.
+	MaxSessions int
+	// TenantWindow bounds each session's in-flight chunks — the Caller-style
+	// pipeline depth between a session's submitter and its executor. 0 means
+	// the caller default.
+	TenantWindow int
+}
+
+// Session-layer defaults.
+const DefaultMaxSessions = 8
+
+// serveMaxSessions resolves the per-tenant session cap.
+func (o Options) serveMaxSessions() int {
+	if o.Serve != nil && o.Serve.MaxSessions > 0 {
+		return o.Serve.MaxSessions
+	}
+	return DefaultMaxSessions
+}
+
+// serveTenantWindow resolves the per-session chunk window.
+func (o Options) serveTenantWindow() int {
+	if o.Serve != nil && o.Serve.TenantWindow > 0 {
+		return o.Serve.TenantWindow
+	}
+	return msgplane.DefaultWindow
+}
+
+// sessionCallerWindow sizes the shared session caller's per-peer window so
+// the per-session windows bind first: a full tenant's worth of sessions,
+// each with a full chunk window plus an open or close in flight, still
+// fits.
+func (o Options) sessionCallerWindow() int {
+	w := o.serveMaxSessions() * (o.serveTenantWindow() + 2)
+	if w < 32 {
+		w = 32
+	}
+	return w
+}
+
+// Validate checks the serve/session knobs.
+func (s *ServeOptions) Validate() error {
+	if s.MaxSessions < 0 {
+		return fmt.Errorf("core: negative serve session cap")
+	}
+	if s.TenantWindow < 0 {
+		return fmt.Errorf("core: negative serve tenant window")
+	}
+	return nil
+}
+
 // Validate checks the whole option set.
 func (o Options) Validate() error {
 	if err := o.Config.Validate(); err != nil {
 		return err
+	}
+	if o.Serve != nil {
+		if err := o.Serve.Validate(); err != nil {
+			return err
+		}
 	}
 	if s := o.Snapshot; s != nil {
 		if (s.Dir == "") == (s.Path == "") {

@@ -19,14 +19,8 @@ type phaseStep struct {
 	after func(ctx *rankCtx)
 }
 
-// runRankPipeline executes one rank's pipeline over a declarative step
-// list — the single driver behind both RunRank and RunRankStreaming. It
-// owns everything the two engines used to duplicate: options validation,
-// context construction, per-phase wall timing, the abort-on-failure edge
-// (ctx.fail with the phase's canonical name), per-phase memory observation,
-// and the closing stats epilogue. The engines differ only in which steps
-// they pass.
-func runRankPipeline(e transport.Conn, opts Options, steps []phaseStep) (*RankOutput, error) {
+// newRankCtx validates the options and builds one rank's pipeline context.
+func newRankCtx(e transport.Conn, opts Options) (*rankCtx, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,13 +32,24 @@ func runRankPipeline(e transport.Conn, opts Options, steps []phaseStep) (*RankOu
 		np:   e.Size(),
 	}
 	ctx.st.Rank = ctx.rank
+	return ctx, nil
+}
 
+// enterPhase tells phase-aware endpoint wrappers (the chaos layer's
+// crash-at-phase trigger) which phase is entering; plain endpoints don't
+// care.
+func (ctx *rankCtx) enterPhase(p stats.Phase) {
+	if ep, ok := ctx.e.(interface{ EnterPhase(string) }); ok {
+		ep.EnterPhase(p.String())
+	}
+}
+
+// runSteps executes a declarative step list with per-phase wall timing,
+// the abort-on-failure edge (ctx.fail with the phase's canonical name),
+// and per-phase memory observation.
+func (ctx *rankCtx) runSteps(steps []phaseStep) error {
 	for _, s := range steps {
-		// Tell phase-aware wrappers (the chaos layer's crash-at-phase
-		// trigger) which phase is entering; plain endpoints don't care.
-		if ep, ok := e.(interface{ EnterPhase(string) }); ok {
-			ep.EnterPhase(s.phase.String())
-		}
+		ctx.enterPhase(s.phase)
 		start := time.Now()
 		err := s.run(ctx)
 		if err == nil && s.after != nil {
@@ -52,19 +57,40 @@ func runRankPipeline(e transport.Conn, opts Options, steps []phaseStep) (*RankOu
 		}
 		ctx.st.Wall[s.phase] += time.Since(start)
 		if err != nil {
-			return nil, ctx.fail(s.phase.String(), err)
+			return ctx.fail(s.phase.String(), err)
 		}
 		ctx.st.PhaseMem[s.phase] = ctx.currentMem()
 		ctx.observeMem()
 	}
+	return nil
+}
 
+// rankOutput is the closing stats epilogue: transport totals and the
+// correction summary, folded into this rank's output.
+func (ctx *rankCtx) rankOutput() *RankOutput {
 	ctx.st.BasesCorrected = ctx.res.BasesCorrected
 	ctx.st.ReadsChanged = ctx.res.ReadsChanged
-	ctx.st.MsgsSent = e.Counters().MsgsSent()
-	ctx.st.BytesSent = e.Counters().BytesSent()
-	ctx.st.MaxInboxDepth = int64(e.MaxQueueDepth())
+	ctx.st.MsgsSent = ctx.e.Counters().MsgsSent()
+	ctx.st.BytesSent = ctx.e.Counters().BytesSent()
+	ctx.st.MaxInboxDepth = int64(ctx.e.MaxQueueDepth())
 	ctx.observeFaults()
-	return &RankOutput{Corrected: ctx.myReads, Stats: ctx.st, Result: ctx.res}, nil
+	return &RankOutput{Corrected: ctx.myReads, Stats: ctx.st, Result: ctx.res}
+}
+
+// runRankPipeline executes one rank's pipeline over a declarative step
+// list — the single driver behind both RunRank and RunRankStreaming,
+// assembled from the same context/steps/epilogue parts StartService uses
+// to split the lifecycle. The engines differ only in which steps they
+// pass.
+func runRankPipeline(e transport.Conn, opts Options, steps []phaseStep) (*RankOutput, error) {
+	ctx, err := newRankCtx(e, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.runSteps(steps); err != nil {
+		return nil, err
+	}
+	return ctx.rankOutput(), nil
 }
 
 // afterConstruct snapshots the table footprint at the second freeze point —
@@ -86,24 +112,35 @@ func snapshotStep(opts Options, steps []phaseStep) []phaseStep {
 	return append([]phaseStep{{phase: stats.PhaseSnapshot, run: (*rankCtx).snapshotPhase}}, steps...)
 }
 
-// batchSteps is the in-memory engine: the paper's five steps, each read
-// held resident from the read phase through correction, with the snapshot
-// probe spliced ahead of the build when the run is configured for it.
-func batchSteps(src Source, opts Options) []phaseStep {
+// buildSteps is the resident half of the in-memory engine's lifecycle: the
+// paper's Steps I-III (read, balance, spectrum build, post-construction
+// exchanges), ending at the freeze point with the spectra packed and
+// immutable — everything a resident SpectrumService runs exactly once,
+// with the snapshot probe spliced ahead of the build when the run is
+// configured for it.
+func buildSteps(src Source, opts Options) []phaseStep {
 	return append([]phaseStep{
 		{phase: stats.PhaseRead, run: func(ctx *rankCtx) error { return ctx.readPhase(src) }},
 		{phase: stats.PhaseBalance, run: (*rankCtx).balancePhase},
 	}, snapshotStep(opts, []phaseStep{
 		{phase: stats.PhaseSpectrum, run: (*rankCtx).spectrumPhase},
 		{phase: stats.PhaseExchange, run: (*rankCtx).postExchangePhase, after: afterConstruct},
-		{phase: stats.PhaseCorrect, run: func(ctx *rankCtx) error {
+	})...)
+}
+
+// batchSteps is the in-memory engine: the build steps plus Step IV, where
+// the rank's whole resident read set runs through the session layer as a
+// single one-shot session — the same correction code path a served client
+// job takes.
+func batchSteps(src Source, opts Options) []phaseStep {
+	return append(buildSteps(src, opts), phaseStep{
+		phase: stats.PhaseCorrect, run: func(ctx *rankCtx) error {
 			res, err := ctx.correctDriver(func(disp *lookupDispatcher) (reptile.Result, error) {
-				return ctx.correctPool(ctx.myReads, disp)
+				return ctx.correctOneShot()
 			})
 			ctx.res = res
 			return err
-		}},
-	})...)
+		}})
 }
 
 // streamingSteps is the low-memory engine: no read or balance phase up

@@ -1,0 +1,587 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"reptile/internal/msgplane"
+	"reptile/internal/reads"
+	"reptile/internal/reptile"
+	"reptile/internal/transport"
+)
+
+// batchTenant is the tenant name the batch and streaming drivers use for
+// their one-shot sessions, so every correction — a served client job or a
+// classic reptile-correct run — travels the same session layer.
+const batchTenant = "_batch"
+
+// execSession is one admitted session on the executor side.
+type execSession struct {
+	id     uint32
+	tenant string
+	from   int // opener rank
+}
+
+// execJob is one read chunk queued for the rank's correction executor.
+// Exactly one of local / (from,reqID) identifies where the answer goes: a
+// local job resolves its Pending in process, a remote one is answered with
+// a tagCorrectedChunk frame. Resident chunks never queue here — they take
+// the caller-runs path (runInline).
+type execJob struct {
+	sess  *execSession
+	from  int
+	reqID uint32
+	rs    []reads.Read
+	local *Pending
+}
+
+// sessionExec is the executor half of the session layer, one per rank: it
+// admits sessions under the per-tenant cap, queues their read chunks, and
+// corrects them on a single executor goroutine against the rank's frozen
+// spectra. The open/chunk/close handlers run on the router goroutine and
+// only touch the admission state; correction itself never blocks the
+// router.
+type sessionExec struct {
+	ctx  *rankCtx
+	disp *lookupDispatcher
+	max  int // per-tenant in-flight session cap
+
+	mu       sync.Mutex
+	cond     *sync.Cond              // guarded by mu; signaled on queue push, stop, fail
+	tenants  map[string]int          // guarded by mu; live sessions per tenant
+	live     map[uint32]*execSession // guarded by mu
+	nextID   uint32                  // guarded by mu
+	queue    []execJob               // guarded by mu
+	draining bool                    // guarded by mu; reject new opens
+	stopped  bool                    // guarded by mu
+	failed   error                   // guarded by mu; sticky poison
+
+	opened    int64          // guarded by mu
+	completed int64          // guarded by mu; sessions closed cleanly
+	rejected  int64          // guarded by mu; opens refused (cap or drain)
+	served    int64          // guarded by mu; reads corrected across sessions
+	total     reptile.Result // guarded by mu; correction totals across chunks
+
+	done chan struct{} // closed when the executor goroutine exits
+}
+
+// newSessionExec builds and starts one rank's session executor.
+func newSessionExec(ctx *rankCtx, disp *lookupDispatcher) *sessionExec {
+	x := &sessionExec{
+		ctx:     ctx,
+		disp:    disp,
+		max:     ctx.opts.serveMaxSessions(),
+		tenants: make(map[string]int),
+		live:    make(map[uint32]*execSession),
+		done:    make(chan struct{}),
+	}
+	x.cond = sync.NewCond(&x.mu)
+	go func() {
+		defer close(x.done)
+		x.run()
+	}()
+	return x
+}
+
+// reply answers one session request; answering a dead peer is tolerated
+// like every responder-side send.
+func (x *sessionExec) reply(to int, reqID uint32, status byte, body []byte) error {
+	return x.ctx.tolerateDeadPeer(msgplane.Send(x.ctx.e, to, tagCorrectedChunk, encodeSessionResp(reqID, status, body)))
+}
+
+// admit runs the admission decision for one open: the draining and
+// per-tenant-cap rejections, or a fresh live session. Shared by the wire
+// handler and the local fast path, so both see identical admission rules.
+func (x *sessionExec) admit(tenant string, from int) (*execSession, *SessionError) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	switch {
+	case x.draining:
+		x.rejected++
+		return nil, &SessionError{Kind: SessionRejectDraining, Rank: x.ctx.rank,
+			Tenant: tenant, Msg: "executor draining"}
+	case x.tenants[tenant] >= x.max:
+		x.rejected++
+		return nil, &SessionError{Kind: SessionRejectCapacity, Rank: x.ctx.rank,
+			Tenant: tenant, Msg: fmt.Sprintf("tenant at its %d-session cap", x.max)}
+	}
+	x.nextID++
+	s := &execSession{id: x.nextID, tenant: tenant, from: from}
+	x.live[s.id] = s
+	x.tenants[tenant]++
+	x.opened++
+	return s, nil
+}
+
+// handleOpen admits (or rejects) one remote session. Router goroutine.
+func (x *sessionExec) handleOpen(m transport.Message) error {
+	reqID, tenant, err := decodeSessionOpen(m.Data)
+	if err != nil {
+		return err
+	}
+	s, serr := x.admit(tenant, m.From)
+	if serr != nil {
+		return x.reply(m.From, reqID, serr.Kind.status(), []byte(serr.Msg))
+	}
+	return x.reply(m.From, reqID, sessOK, encodeOpenOKBody(s.id))
+}
+
+// handleChunk queues one remote read chunk for the executor. Router
+// goroutine.
+func (x *sessionExec) handleChunk(m transport.Message) error {
+	reqID, session, rs, err := decodeReadChunk(m.Data)
+	if err != nil {
+		return err
+	}
+	x.mu.Lock()
+	s, ok := x.live[session]
+	if !ok {
+		x.mu.Unlock()
+		return x.reply(m.From, reqID, sessUnknownSession,
+			[]byte(fmt.Sprintf("session %d not admitted here", session)))
+	}
+	x.queue = append(x.queue, execJob{sess: s, from: m.From, reqID: reqID, rs: rs})
+	x.cond.Broadcast()
+	x.mu.Unlock()
+	return nil
+}
+
+// retire ends one admitted session and frees its tenant's admission slot.
+// The opener guarantees every chunk was answered first (see Session.Close),
+// so no queued work can reference the session anymore. Shared by the wire
+// handler and the local fast path.
+func (x *sessionExec) retire(session uint32) *SessionError {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	s, ok := x.live[session]
+	if !ok {
+		return &SessionError{Kind: SessionUnknown, Rank: x.ctx.rank,
+			Msg: fmt.Sprintf("session %d not admitted here", session)}
+	}
+	delete(x.live, session)
+	x.tenants[s.tenant]--
+	if x.tenants[s.tenant] == 0 {
+		delete(x.tenants, s.tenant)
+	}
+	x.completed++
+	return nil
+}
+
+// handleClose retires one remote session. Router goroutine.
+func (x *sessionExec) handleClose(m transport.Message) error {
+	reqID, session, err := decodeSessionClose(m.Data)
+	if err != nil {
+		return err
+	}
+	if serr := x.retire(session); serr != nil {
+		return x.reply(m.From, reqID, serr.Kind.status(), []byte(serr.Msg))
+	}
+	return x.reply(m.From, reqID, sessOK, nil)
+}
+
+// admitJob checks a local submission against the poison and the live set,
+// returning the session for the job to reference.
+func (x *sessionExec) admitJob(session uint32) (*execSession, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.failed != nil {
+		return nil, x.failed
+	}
+	s, ok := x.live[session]
+	if !ok {
+		return nil, &SessionError{Kind: SessionUnknown, Rank: x.ctx.rank,
+			Msg: fmt.Sprintf("session %d not admitted here", session)}
+	}
+	return s, nil
+}
+
+// enqueueLocal queues a chunk submitted by a session opened from this very
+// rank, skipping the wire round trip: the reads go straight into the
+// executor queue and the answer resolves p in process. The poison check and
+// the push are one critical section, so a job can never slip in behind the
+// fail() that drained the queue.
+func (x *sessionExec) enqueueLocal(session uint32, rs []reads.Read, p *Pending) error {
+	x.mu.Lock()
+	if x.failed != nil {
+		err := x.failed
+		x.mu.Unlock()
+		return err
+	}
+	s, ok := x.live[session]
+	if !ok {
+		x.mu.Unlock()
+		return &SessionError{Kind: SessionUnknown, Rank: x.ctx.rank,
+			Msg: fmt.Sprintf("session %d not admitted here", session)}
+	}
+	x.queue = append(x.queue, execJob{sess: s, rs: rs, local: p})
+	x.cond.Broadcast()
+	x.mu.Unlock()
+	return nil
+}
+
+// runInline is the batch drivers' caller-runs path: a resident chunk (this
+// rank's own reads, corrected in place and steal-capable) is corrected on
+// the submitting goroutine through the same admission, accounting, and
+// completion as every queued job — but with no goroutine handoff, which on
+// a saturated scheduler would cost the chunk a full preemption quantum
+// before it even starts (fatal for the work-stealing thief, whose whole job
+// is to start before its victims finish). Resident chunks are submitted
+// only by the batch and streaming drivers, whose rank groups open sessions
+// strictly to themselves — so an inline correction never runs concurrently
+// with an executor-goroutine correction on the same rank stats.
+func (x *sessionExec) runInline(session uint32, rs []reads.Read, p *Pending) error {
+	s, err := x.admitJob(session)
+	if err != nil {
+		return err
+	}
+	res, cerr := x.ctx.correctChunk(rs, x.disp, true)
+	x.complete(execJob{sess: s, rs: rs, local: p}, res, cerr)
+	return nil
+}
+
+// setDraining makes every future open fail with the typed draining
+// rejection; admitted sessions run to completion.
+func (x *sessionExec) setDraining() {
+	x.mu.Lock()
+	x.draining = true
+	x.mu.Unlock()
+}
+
+// next blocks for the next queued chunk; false means the executor should
+// exit (stopped or poisoned, queue empty).
+func (x *sessionExec) next() (execJob, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for len(x.queue) == 0 && !x.stopped && x.failed == nil {
+		x.cond.Wait()
+	}
+	if len(x.queue) == 0 {
+		return execJob{}, false
+	}
+	job := x.queue[0]
+	x.queue[0] = execJob{}
+	x.queue = x.queue[1:]
+	return job, true
+}
+
+// run is the executor goroutine: one chunk at a time, corrected against
+// the rank's frozen spectra through the same pool (and dispatcher) the
+// batch engine uses.
+func (x *sessionExec) run() {
+	for {
+		job, ok := x.next()
+		if !ok {
+			return
+		}
+		res, err := x.ctx.correctChunk(job.rs, x.disp, false)
+		x.complete(job, res, err)
+	}
+}
+
+// complete delivers one corrected chunk to its submitter. A correction
+// failure on a remote job has no local issuer to propagate it, so the
+// executor aborts the run itself.
+func (x *sessionExec) complete(job execJob, res reptile.Result, err error) {
+	if err == nil {
+		x.mu.Lock()
+		x.served += int64(len(job.rs))
+		x.total.Add(res)
+		x.mu.Unlock()
+	}
+	if job.local != nil {
+		job.local.resolve(job.rs, res, err)
+		return
+	}
+	if err != nil {
+		// reptile-lint:allow errorflow the run aborts with the correction error either way; a failed courtesy reply adds nothing
+		_ = x.reply(job.from, job.reqID, sessFailed, []byte(err.Error()))
+		x.fail(x.ctx.fail("correct", err))
+		return
+	}
+	if serr := x.reply(job.from, job.reqID, sessOK, encodeCorrectedBody(res, job.rs)); serr != nil {
+		x.fail(x.ctx.fail("correct", serr))
+	}
+}
+
+// fail poisons the executor: queued local jobs resolve with err, future
+// submissions are refused, and the goroutine exits once its current chunk
+// finishes. Safe to call from any goroutine, more than once.
+func (x *sessionExec) fail(err error) {
+	x.mu.Lock()
+	if x.failed == nil {
+		x.failed = err
+	}
+	err = x.failed
+	q := x.queue
+	x.queue = nil
+	x.cond.Broadcast()
+	x.mu.Unlock()
+	for _, j := range q {
+		if j.local != nil {
+			j.local.resolve(nil, reptile.Result{}, err)
+		}
+	}
+}
+
+// stop ends the executor after the queue drains and joins the goroutine.
+// On the clean path the done/stop protocol already guarantees the queue is
+// empty: every session closed before its opener announced done.
+func (x *sessionExec) stop() {
+	x.mu.Lock()
+	x.stopped = true
+	x.cond.Broadcast()
+	x.mu.Unlock()
+	<-x.done
+}
+
+// join waits for the executor goroutine after a poison, without requiring
+// the queue to have been empty.
+func (x *sessionExec) join() { <-x.done }
+
+// counters snapshots the executor-side session tallies for the stats merge.
+func (x *sessionExec) counters() (opened, completed, rejected, served int64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.opened, x.completed, x.rejected, x.served
+}
+
+// totalResult snapshots the correction totals across every chunk this
+// executor corrected.
+func (x *sessionExec) totalResult() reptile.Result {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.total
+}
+
+// correctChunk corrects one session chunk. A resident chunk is the batch
+// driver's one-shot submission of its own reads: it is corrected in place
+// and may be served by the work-stealing scheduler; everything else runs
+// the plain worker pool.
+func (ctx *rankCtx) correctChunk(rs []reads.Read, disp *lookupDispatcher, resident bool) (reptile.Result, error) {
+	if resident && ctx.steal != nil {
+		return ctx.correctPoolSteal(disp)
+	}
+	return ctx.correctPool(rs, disp)
+}
+
+// sessResp is a decoded tagCorrectedChunk frame as the opener's caller
+// delivers it.
+type sessResp struct {
+	status byte
+	body   []byte
+}
+
+// Session is the client half of one correction session: chunks submitted
+// here are corrected by the target rank's executor against the resident
+// frozen spectra. A session is single-issuer: Submit/Correct/Close are
+// called from one goroutine (Wait may run elsewhere).
+type Session struct {
+	ctx    *rankCtx
+	target int
+	tenant string
+	id     uint32
+	opened time.Time
+	// window is the per-session chunk semaphore — the Caller-style in-flight
+	// bound: Submit acquires a slot, Wait releases it, Close acquires them
+	// all so no chunk can be outstanding when the close frame goes out.
+	window chan struct{}
+	svc    *SpectrumService // non-nil when opened through a service; told on close
+
+	mu     sync.Mutex
+	closed bool // guarded by mu
+}
+
+// openSession opens a correction session at target for tenant and returns
+// the client handle. A non-OK answer surfaces as a typed *SessionError.
+func (ctx *rankCtx) openSession(target int, tenant string) (*Session, error) {
+	if len(tenant) > maxTenantBytes {
+		return nil, fmt.Errorf("core: tenant name of %d bytes (max %d)", len(tenant), maxTenantBytes)
+	}
+	if target == ctx.rank {
+		// Local fast path: admission is a mutex acquisition on this rank's
+		// own executor, not a wire round trip through the router. Chunks
+		// submitted to a local session skip the wire the same way
+		// (enqueueLocal), which keeps the batch one-shot as cheap to start
+		// as the pre-session engine — an idle rank turns work-stealing
+		// thief without first waiting on its own busy router.
+		s, serr := ctx.sessions.admit(tenant, ctx.rank)
+		if serr != nil {
+			return nil, serr
+		}
+		return ctx.newSession(target, tenant, s.id), nil
+	}
+	call, err := ctx.sessCaller.Start(target, 1, func(reqID uint32) (msgplane.Tag, []byte) {
+		return encodeSessionOpenFrame(reqID, tenant)
+	})
+	if err != nil {
+		return nil, err
+	}
+	v, err := call.Wait()
+	if err != nil {
+		return nil, err
+	}
+	r := v.(*sessResp)
+	if r.status != sessOK {
+		return nil, sessionErrorFrom(r.status, r.body, target, tenant)
+	}
+	id, err := decodeOpenOKBody(r.body)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.newSession(target, tenant, id), nil
+}
+
+// newSession builds the client handle for an admitted session.
+func (ctx *rankCtx) newSession(target int, tenant string, id uint32) *Session {
+	return &Session{
+		ctx:    ctx,
+		target: target,
+		tenant: tenant,
+		id:     id,
+		opened: time.Now(),
+		window: make(chan struct{}, ctx.opts.serveTenantWindow()),
+	}
+}
+
+// Pending is one in-flight chunk. Wait must be called exactly once; it
+// releases the chunk's window slot.
+type Pending struct {
+	sess *Session
+	call *msgplane.Call // remote submission
+	done chan struct{}  // local submission; closed by resolve
+	rs   []reads.Read
+	res  reptile.Result
+	err  error
+}
+
+// resolve completes a local pending exactly once (executor side).
+func (p *Pending) resolve(rs []reads.Read, res reptile.Result, err error) {
+	p.rs, p.res, p.err = rs, res, err
+	close(p.done)
+}
+
+// Wait blocks for the chunk's corrected reads and result. For a session at
+// this very rank the returned slice is the executor's copy (the submitted
+// slice itself for a resident chunk); for a remote session it is freshly
+// decoded.
+func (p *Pending) Wait() ([]reads.Read, reptile.Result, error) {
+	defer func() { <-p.sess.window }()
+	if p.call == nil {
+		<-p.done
+		return p.rs, p.res, p.err
+	}
+	v, err := p.call.Wait()
+	if err != nil {
+		return nil, reptile.Result{}, err
+	}
+	r := v.(*sessResp)
+	if r.status != sessOK {
+		return nil, reptile.Result{}, sessionErrorFrom(r.status, r.body, p.sess.target, "")
+	}
+	res, rs, err := decodeCorrectedBody(r.body)
+	if err != nil {
+		return nil, reptile.Result{}, err
+	}
+	return rs, res, nil
+}
+
+// Submit sends one chunk of reads for correction, blocking while the
+// session's window is full. The submitted reads are not mutated.
+func (s *Session) Submit(rs []reads.Read) (*Pending, error) { return s.submit(rs, false) }
+
+// submitResident is the batch driver's fast path: the chunk is this rank's
+// own resident reads, corrected in place with no copy (and steal-capable).
+func (s *Session) submitResident(rs []reads.Read) (*Pending, error) { return s.submit(rs, true) }
+
+func (s *Session) submit(rs []reads.Read, resident bool) (*Pending, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("core: submit on closed session %d", s.id)
+	}
+	s.window <- struct{}{}
+	if s.target == s.ctx.rank {
+		p := &Pending{sess: s, done: make(chan struct{})}
+		var err error
+		if resident {
+			err = s.ctx.sessions.runInline(s.id, rs, p)
+		} else {
+			err = s.ctx.sessions.enqueueLocal(s.id, cloneReads(rs), p)
+		}
+		if err != nil {
+			<-s.window
+			return nil, err
+		}
+		return p, nil
+	}
+	call, err := s.ctx.sessCaller.Start(s.target, len(rs), func(reqID uint32) (msgplane.Tag, []byte) {
+		return encodeReadChunkFrame(reqID, s.id, rs)
+	})
+	if err != nil {
+		<-s.window
+		return nil, err
+	}
+	return &Pending{sess: s, call: call}, nil
+}
+
+// Correct submits one chunk and waits for it — the simple synchronous
+// form most clients want.
+func (s *Session) Correct(rs []reads.Read) ([]reads.Read, reptile.Result, error) {
+	p, err := s.Submit(rs)
+	if err != nil {
+		return nil, reptile.Result{}, err
+	}
+	return p.Wait()
+}
+
+// Close quiesces the session (every submitted chunk must have been waited
+// for), retires it at the executor, and frees its admission slot.
+// Idempotent; safe after a failed run (the error reports the failure).
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// Acquire every window slot: with the full window held no chunk is in
+	// flight, so the close frame cannot overtake an unanswered chunk and the
+	// executor will never correct for a retired session.
+	for i := 0; i < cap(s.window); i++ {
+		s.window <- struct{}{}
+	}
+	var cerr error
+	if s.target == s.ctx.rank {
+		// Local fast path, mirroring the open: with the full window held
+		// every local chunk has resolved, so retiring at this rank's own
+		// executor is a plain state change.
+		if serr := s.ctx.sessions.retire(s.id); serr != nil {
+			cerr = serr
+		}
+	} else if call, err := s.ctx.sessCaller.Start(s.target, 1, func(reqID uint32) (msgplane.Tag, []byte) {
+		return encodeSessionCloseFrame(reqID, s.id)
+	}); err != nil {
+		cerr = err
+	} else if v, werr := call.Wait(); werr != nil {
+		cerr = werr
+	} else if r := v.(*sessResp); r.status != sessOK {
+		cerr = sessionErrorFrom(r.status, r.body, s.target, s.tenant)
+	}
+	if s.svc != nil {
+		s.svc.sessionClosed(s, cerr)
+	}
+	return cerr
+}
+
+// cloneReads deep-copies a chunk so correction never aliases caller-owned
+// storage (the same guarantee the batch engine's read phase makes).
+func cloneReads(rs []reads.Read) []reads.Read {
+	out := make([]reads.Read, len(rs))
+	for i := range rs {
+		out[i] = rs[i].Clone()
+	}
+	return out
+}

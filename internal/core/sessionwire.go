@@ -1,0 +1,274 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"reptile/internal/msgplane"
+	"reptile/internal/reads"
+	"reptile/internal/reptile"
+)
+
+// Correction-session frames (DESIGN.md §17). A session is one client job
+// multiplexed onto a resident rank group: the opener rank asks an executor
+// rank to admit a session, streams read chunks through it, and closes it.
+// Every session request — open, chunk, close — is answered on the single
+// response tag, matched by the opener's caller request id, so the three
+// request shapes share one response path exactly like the lookup protocol's
+// tagResp.
+const (
+	tagSessionOpen    msgplane.Tag = 14 // reqID u32 | tenant len u8 | tenant bytes
+	tagReadChunk      msgplane.Tag = 15 // reqID u32 | session u32 | reads batch
+	tagCorrectedChunk msgplane.Tag = 16 // reqID u32 | status u8 | body (see statuses)
+	tagSessionClose   msgplane.Tag = 17 // reqID u32 | session u32
+)
+
+func init() {
+	msgplane.Register(
+		msgplane.Spec{Tag: tagSessionOpen, Name: "sessionOpen", Dir: msgplane.DirRequest,
+			MinSize: sessOpenHdrBytes, MaxSize: sessOpenHdrBytes + maxTenantBytes},
+		msgplane.Spec{Tag: tagReadChunk, Name: "readChunk", Dir: msgplane.DirRequest,
+			MinSize: readChunkHdrBytes, MaxSize: msgplane.Unbounded},
+		msgplane.Spec{Tag: tagCorrectedChunk, Name: "correctedChunk", Dir: msgplane.DirResponse,
+			MinSize: sessRespHdrBytes, MaxSize: msgplane.Unbounded},
+		msgplane.Spec{Tag: tagSessionClose, Name: "sessionClose", Dir: msgplane.DirRequest,
+			MinSize: sessCloseBytes, MaxSize: sessCloseBytes},
+	)
+}
+
+// Session frame geometry.
+const (
+	sessOpenHdrBytes  = 5 // reqID u32 + tenant len u8
+	maxTenantBytes    = 255
+	readChunkHdrBytes = 8  // reqID u32 + session u32
+	sessRespHdrBytes  = 5  // reqID u32 + status u8
+	sessCloseBytes    = 8  // reqID u32 + session u32
+	sessResultBytes   = 48 // 6 × u64 reptile.Result counters
+)
+
+// Session response statuses: the byte after the request id in every
+// tagCorrectedChunk frame. sessOK carries a status-specific body (the
+// session id for an open, the result counters and corrected batch for a
+// chunk, nothing for a close); every other status is a typed rejection or
+// failure whose body is a human-readable cause.
+const (
+	sessOK             byte = 0
+	sessRejectCapacity byte = 1 // the tenant's in-flight session cap is full
+	sessRejectDraining byte = 2 // the executor is draining; no new sessions
+	sessUnknownSession byte = 3 // chunk/close for a session id not admitted here
+	sessFailed         byte = 4 // the executor failed correcting the chunk
+)
+
+// SessionRejectKind classifies a SessionError.
+type SessionRejectKind int
+
+// Session rejection/failure kinds, mirroring the wire statuses.
+const (
+	SessionRejectCapacity SessionRejectKind = iota + 1
+	SessionRejectDraining
+	SessionUnknown
+	SessionFailed
+)
+
+// String names the kind.
+func (k SessionRejectKind) String() string {
+	switch k {
+	case SessionRejectCapacity:
+		return "capacity"
+	case SessionRejectDraining:
+		return "draining"
+	case SessionUnknown:
+		return "unknown-session"
+	case SessionFailed:
+		return "failed"
+	}
+	return "invalid"
+}
+
+// status maps the kind back to its wire status byte (the inverse of
+// sessionErrorFrom), so a wire handler can answer with the same rejection
+// the local fast path returns as a typed error.
+func (k SessionRejectKind) status() byte {
+	switch k {
+	case SessionRejectCapacity:
+		return sessRejectCapacity
+	case SessionRejectDraining:
+		return sessRejectDraining
+	case SessionUnknown:
+		return sessUnknownSession
+	}
+	return sessFailed
+}
+
+// ErrSessionRejected is the errors.Is sentinel every SessionError matches,
+// so callers can test "was this a typed session rejection" without caring
+// which kind.
+var ErrSessionRejected = errors.New("core: session rejected")
+
+// SessionError is the typed error the session layer returns when an
+// executor refuses or fails a session request: admission over the
+// per-tenant cap, an open during drain, a stray session id, or a chunk the
+// executor could not correct.
+type SessionError struct {
+	Kind   SessionRejectKind
+	Rank   int    // executor rank that answered
+	Tenant string // tenant named in the open (empty for chunk/close errors)
+	Msg    string // executor-supplied cause, when any
+}
+
+// Error formats the rejection.
+func (e *SessionError) Error() string {
+	s := fmt.Sprintf("core: session %s at rank %d", e.Kind, e.Rank)
+	if e.Tenant != "" {
+		s += fmt.Sprintf(" (tenant %q)", e.Tenant)
+	}
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	return s
+}
+
+// Is matches the ErrSessionRejected sentinel.
+func (e *SessionError) Is(target error) bool { return target == ErrSessionRejected }
+
+// sessionErrorFrom builds the typed error for a non-OK session response.
+func sessionErrorFrom(status byte, body []byte, rank int, tenant string) error {
+	kind := SessionFailed
+	switch status {
+	case sessRejectCapacity:
+		kind = SessionRejectCapacity
+	case sessRejectDraining:
+		kind = SessionRejectDraining
+	case sessUnknownSession:
+		kind = SessionUnknown
+	}
+	return &SessionError{Kind: kind, Rank: rank, Tenant: tenant, Msg: string(body)}
+}
+
+// encodeSessionOpenFrame builds one session-open frame in the caller's
+// encoder shape. The tenant length was validated by the opener.
+func encodeSessionOpenFrame(reqID uint32, tenant string) (msgplane.Tag, []byte) {
+	buf := make([]byte, sessOpenHdrBytes, sessOpenHdrBytes+len(tenant))
+	binary.LittleEndian.PutUint32(buf[0:4], reqID)
+	buf[4] = byte(len(tenant))
+	return tagSessionOpen, append(buf, tenant...)
+}
+
+// decodeSessionOpen parses a tagSessionOpen payload.
+func decodeSessionOpen(payload []byte) (reqID uint32, tenant string, err error) {
+	if len(payload) < sessOpenHdrBytes {
+		return 0, "", fmt.Errorf("core: session open of %d bytes", len(payload))
+	}
+	n := int(payload[4])
+	if len(payload) != sessOpenHdrBytes+n {
+		return 0, "", fmt.Errorf("core: session open tenant of %d bytes in a %d-byte frame", n, len(payload))
+	}
+	return binary.LittleEndian.Uint32(payload[0:4]), string(payload[sessOpenHdrBytes:]), nil
+}
+
+// encodeReadChunkFrame builds one read-chunk frame in the caller's encoder
+// shape: the session id and the chunk's reads.
+func encodeReadChunkFrame(reqID, session uint32, rs []reads.Read) (msgplane.Tag, []byte) {
+	batch := reads.EncodeBatch(rs)
+	buf := make([]byte, readChunkHdrBytes, readChunkHdrBytes+len(batch))
+	binary.LittleEndian.PutUint32(buf[0:4], reqID)
+	binary.LittleEndian.PutUint32(buf[4:8], session)
+	return tagReadChunk, append(buf, batch...)
+}
+
+// decodeReadChunk parses a tagReadChunk payload.
+func decodeReadChunk(payload []byte) (reqID, session uint32, rs []reads.Read, err error) {
+	if len(payload) < readChunkHdrBytes {
+		return 0, 0, nil, fmt.Errorf("core: read chunk of %d bytes", len(payload))
+	}
+	reqID = binary.LittleEndian.Uint32(payload[0:4])
+	session = binary.LittleEndian.Uint32(payload[4:8])
+	rs, err = reads.DecodeBatch(payload[readChunkHdrBytes:])
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return reqID, session, rs, nil
+}
+
+// encodeSessionCloseFrame builds one session-close frame in the caller's
+// encoder shape.
+func encodeSessionCloseFrame(reqID, session uint32) (msgplane.Tag, []byte) {
+	buf := make([]byte, sessCloseBytes)
+	binary.LittleEndian.PutUint32(buf[0:4], reqID)
+	binary.LittleEndian.PutUint32(buf[4:8], session)
+	return tagSessionClose, buf
+}
+
+// decodeSessionClose parses a tagSessionClose payload.
+func decodeSessionClose(payload []byte) (reqID, session uint32, err error) {
+	if len(payload) != sessCloseBytes {
+		return 0, 0, fmt.Errorf("core: session close of %d bytes", len(payload))
+	}
+	return binary.LittleEndian.Uint32(payload[0:4]), binary.LittleEndian.Uint32(payload[4:8]), nil
+}
+
+// encodeSessionResp builds a tagCorrectedChunk payload: the echoed request
+// id, the status, and the status-specific body.
+func encodeSessionResp(reqID uint32, status byte, body []byte) []byte {
+	buf := make([]byte, sessRespHdrBytes, sessRespHdrBytes+len(body))
+	binary.LittleEndian.PutUint32(buf[0:4], reqID)
+	buf[4] = status
+	return append(buf, body...)
+}
+
+// decodeSessionResp parses a tagCorrectedChunk payload. The body aliases
+// the payload.
+func decodeSessionResp(payload []byte) (reqID uint32, status byte, body []byte, err error) {
+	if len(payload) < sessRespHdrBytes {
+		return 0, 0, nil, fmt.Errorf("core: session response of %d bytes", len(payload))
+	}
+	return binary.LittleEndian.Uint32(payload[0:4]), payload[4], payload[sessRespHdrBytes:], nil
+}
+
+// encodeCorrectedBody builds the sessOK body of a chunk response: the
+// chunk's result counters followed by the corrected reads.
+func encodeCorrectedBody(res reptile.Result, rs []reads.Read) []byte {
+	batch := reads.EncodeBatch(rs)
+	buf := make([]byte, sessResultBytes, sessResultBytes+len(batch))
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(res.ReadsProcessed))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(res.ReadsChanged))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(res.BasesCorrected))
+	binary.LittleEndian.PutUint64(buf[24:32], uint64(res.TilesSolid))
+	binary.LittleEndian.PutUint64(buf[32:40], uint64(res.TilesRepaired))
+	binary.LittleEndian.PutUint64(buf[40:48], uint64(res.TilesGivenUp))
+	return append(buf, batch...)
+}
+
+// decodeCorrectedBody parses the sessOK body of a chunk response.
+func decodeCorrectedBody(body []byte) (res reptile.Result, rs []reads.Read, err error) {
+	if len(body) < sessResultBytes {
+		return res, nil, fmt.Errorf("core: corrected chunk body of %d bytes", len(body))
+	}
+	res.ReadsProcessed = int64(binary.LittleEndian.Uint64(body[0:8]))
+	res.ReadsChanged = int64(binary.LittleEndian.Uint64(body[8:16]))
+	res.BasesCorrected = int64(binary.LittleEndian.Uint64(body[16:24]))
+	res.TilesSolid = int64(binary.LittleEndian.Uint64(body[24:32]))
+	res.TilesRepaired = int64(binary.LittleEndian.Uint64(body[32:40]))
+	res.TilesGivenUp = int64(binary.LittleEndian.Uint64(body[40:48]))
+	rs, err = reads.DecodeBatch(body[sessResultBytes:])
+	if err != nil {
+		return res, nil, err
+	}
+	return res, rs, nil
+}
+
+// encodeOpenOKBody builds the sessOK body of an open response.
+func encodeOpenOKBody(session uint32) []byte {
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf, session)
+	return buf
+}
+
+// decodeOpenOKBody parses the sessOK body of an open response.
+func decodeOpenOKBody(body []byte) (session uint32, err error) {
+	if len(body) != 4 {
+		return 0, fmt.Errorf("core: session open answer of %d bytes", len(body))
+	}
+	return binary.LittleEndian.Uint32(body), nil
+}

@@ -165,16 +165,31 @@ func (ctx *rankCtx) spectrumPassStreaming(src Source) error {
 // correctStreamLoop is the streaming engine's correct-step work function,
 // run by correctDriver with the rank's router live on the same endpoint:
 // re-read the source, balancing and correcting one chunk at a time, and
-// write each corrected chunk to the sink. The worker's chunk-boundary
-// collectives coexist with the responder because collective tags are
-// disjoint from service tags.
-func (ctx *rankCtx) correctStreamLoop(src Source, sink Sink, disp *lookupDispatcher) (reptile.Result, error) {
-	var res reptile.Result
+// write each corrected chunk to the sink. The whole loop is one session —
+// each balanced chunk is a resident session submission, corrected by this
+// rank's executor through the same worker pool as the in-memory engine —
+// so the streaming driver shares the served jobs' correction code path.
+// The worker's chunk-boundary collectives coexist with the responder
+// because collective tags are disjoint from service tags.
+func (ctx *rankCtx) correctStreamLoop(src Source, sink Sink, disp *lookupDispatcher) (res reptile.Result, err error) {
 	br, err := src.Open(ctx.rank, ctx.np, ctx.opts.Config.ChunkReads)
 	if err != nil {
 		return res, err
 	}
 	defer br.Close()
+	sess, err := ctx.openSession(ctx.rank, batchTenant)
+	if err != nil {
+		return res, err
+	}
+	defer func() {
+		// Close retires the session at the executor; the done announcement
+		// in quiesceCorrect requires it (a rank is done only when its
+		// sessions are closed). On an already-failing exit the close error
+		// is secondary noise.
+		if cerr := sess.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	exhausted := false
 	for {
 		var batch []reads.Read
@@ -192,10 +207,13 @@ func (ctx *rankCtx) correctStreamLoop(src Source, sink Sink, disp *lookupDispatc
 		if err != nil {
 			return res, err
 		}
-		// Chunks stream through the same worker pool as the in-memory
-		// engine; the reads tables double as cache space when CacheRemote
-		// is on.
-		chunkRes, err := ctx.correctPool(mine, disp)
+		// balanceChunk's output is this rank's own storage, so the chunk is
+		// submitted resident: corrected in place, no copy.
+		pend, err := sess.submitResident(mine)
+		if err != nil {
+			return res, err
+		}
+		_, chunkRes, err := pend.Wait()
 		res.Add(chunkRes)
 		if err != nil {
 			return res, err

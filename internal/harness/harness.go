@@ -160,6 +160,7 @@ func All() []Experiment {
 		{"build", "Spectrum build: worker sharding and packed stores (supplementary)", Build},
 		{"snapshot", "Spectrum snapshot cache: cold build vs warm load (supplementary)", Snapshot},
 		{"recover", "Rank-failure recovery: R=2 overhead and crash survival (supplementary)", Recover},
+		{"serve", "Resident service: concurrent clients vs per-job batch runs (supplementary)", Serve},
 	}
 }
 

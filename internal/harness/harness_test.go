@@ -23,8 +23,8 @@ func TestScaleRanks(t *testing.T) {
 
 func TestAllAndByID(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(all))
+	if len(all) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(all))
 	}
 	ids := map[string]bool{}
 	for _, e := range all {

@@ -11,6 +11,14 @@ const (
 	tagLate     = 3 // registered through a Register* call, not a Spec literal
 	tagForgot   = 4 // want "missing from the tag registry"
 
+	// The correction-session quartet, mirroring internal/core's session
+	// protocol: three tags registered like the real ones, and a close tag
+	// someone forgot — an unregistered session tag must fail the lint.
+	tagSessOpen   = 14 // session-open requests, handled by the router
+	tagSessChunk  = 15 // read-chunk requests, handled by the router
+	tagSessAnswer = 16 // the shared session response, received by the caller
+	tagSessClose  = 17 // want "missing from the tag registry"
+
 	kindPlain byte = 0 // kinds are payload enums; never registered
 )
 
@@ -37,6 +45,9 @@ func protocolSpecs() []wireSpec {
 	return []wireSpec{
 		{Tag: tagServed, Min: 5, Max: 5},
 		{Tag: tagDirectly, Min: 0, Max: -1},
+		{Tag: tagSessOpen, Min: 5, Max: 260},
+		{Tag: tagSessChunk, Min: 8, Max: -1},
+		{Tag: tagSessAnswer, Min: 5, Max: -1},
 	}
 }
 
@@ -64,6 +75,26 @@ func wireUp(rt routerish, e endpointish) error {
 		return err
 	}
 	if err := e.Send(0, tagForgot, nil); err != nil {
+		return err
+	}
+	rt.Handle(tagSessOpen, func([]byte) error { return nil })
+	rt.Handle(tagSessChunk, func([]byte) error { return nil })
+	if err := e.Send(0, tagSessOpen, nil); err != nil {
+		return err
+	}
+	if err := e.Send(0, tagSessChunk, nil); err != nil {
+		return err
+	}
+	if err := e.Send(0, tagSessAnswer, nil); err != nil {
+		return err
+	}
+	if err := e.Send(0, tagSessClose, nil); err != nil {
+		return err
+	}
+	if _, err := e.Recv(tagSessAnswer); err != nil {
+		return err
+	}
+	if _, err := e.Recv(tagSessClose); err != nil {
 		return err
 	}
 	if _, err := e.Recv(tagDirectly); err != nil {

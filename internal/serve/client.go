@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"reptile/internal/reads"
+	"reptile/internal/reptile"
+)
+
+// Client is one front-door connection: Open a session, Correct chunks
+// through it, CloseSession, repeat or hang up. A Client is single-issuer —
+// one request in flight at a time, like the wire protocol itself.
+type Client struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	tenant string // tenant of the open session, for typed-error rebuilds
+}
+
+// Dial connects to a reptile-serve front door.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// roundTrip sends one request frame and reads its answer.
+func (c *Client) roundTrip(op byte, payload []byte) (byte, []byte, error) {
+	if err := writeFrame(c.bw, op, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	return readFrame(c.br)
+}
+
+// Open starts a correction session. A typed rejection (per-tenant capacity,
+// server draining) returns as *core.SessionError, matching
+// core.ErrSessionRejected exactly like the in-process API.
+func (c *Client) Open(tenant string) error {
+	op, body, err := c.roundTrip(opOpen, []byte(tenant))
+	if err != nil {
+		return err
+	}
+	switch op {
+	case opOpenOK:
+		c.tenant = tenant
+		return nil
+	case opErr:
+		return decodeErr(body, tenant)
+	}
+	return fmt.Errorf("serve: open answered op %d", op)
+}
+
+// Correct submits one chunk of reads and returns their corrected forms and
+// the chunk's correction counters.
+func (c *Client) Correct(rs []reads.Read) ([]reads.Read, reptile.Result, error) {
+	op, body, err := c.roundTrip(opChunk, reads.EncodeBatch(rs))
+	if err != nil {
+		return nil, reptile.Result{}, err
+	}
+	switch op {
+	case opChunkOK:
+		res, err := decodeResult(body)
+		if err != nil {
+			return nil, reptile.Result{}, err
+		}
+		out, err := reads.DecodeBatch(body[resultBytes:])
+		if err != nil {
+			return nil, reptile.Result{}, err
+		}
+		return out, res, nil
+	case opErr:
+		return nil, reptile.Result{}, decodeErr(body, c.tenant)
+	}
+	return nil, reptile.Result{}, fmt.Errorf("serve: chunk answered op %d", op)
+}
+
+// CloseSession finishes the open session. When it returns nil the server
+// has fully retired the session: every corrected chunk this client read
+// back is acknowledged output, durable against whatever happens to the
+// serving group afterwards.
+func (c *Client) CloseSession() error {
+	op, body, err := c.roundTrip(opClose, nil)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case opCloseOK:
+		c.tenant = ""
+		return nil
+	case opErr:
+		return decodeErr(body, c.tenant)
+	}
+	return fmt.Errorf("serve: close answered op %d", op)
+}
+
+// Close hangs up the connection. A session still open at the server is
+// closed by the connection teardown (freeing its admission slot), but its
+// final chunks are not acknowledged — call CloseSession first for that.
+func (c *Client) Close() error { return c.conn.Close() }

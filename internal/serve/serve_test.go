@@ -1,0 +1,495 @@
+package serve_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"reptile/internal/core"
+	"reptile/internal/dna"
+	"reptile/internal/genome"
+	"reptile/internal/kmer"
+	"reptile/internal/reads"
+	"reptile/internal/reptile"
+	"reptile/internal/serve"
+	"reptile/internal/transport"
+)
+
+// testDataset builds a small simulated dataset with a matching config.
+func testDataset(t testing.TB, nReads int, seed int64) (*genome.Dataset, core.Options) {
+	t.Helper()
+	g := genome.NewGenome(8000, seed)
+	ds := genome.Simulate("serve-test", g, nReads, genome.DefaultProfile(70), seed+1)
+	cfg := reptile.ForCoverage(ds.Coverage())
+	cfg.Spec = kmer.Spec{K: 10, Overlap: 4}
+	return ds, core.Options{Config: cfg, LoadBalance: true}
+}
+
+// referenceMap corrects the dataset through the classic batch engine and
+// indexes the corrected bases by sequence number: the byte-identity oracle
+// every served session is checked against.
+func referenceMap(t *testing.T, ds *genome.Dataset, np int, opts core.Options) map[int64]string {
+	t.Helper()
+	out, err := core.Run(&core.MemorySource{Reads: ds.Reads}, np, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[int64]string, len(ds.Reads))
+	for _, r := range out.Corrected() {
+		ref[r.Seq] = dna.DecodeString(r.Base)
+	}
+	return ref
+}
+
+// checkCorrected asserts every served read matches the batch reference.
+func checkCorrected(t *testing.T, got []reads.Read, want map[int64]string) {
+	t.Helper()
+	for _, r := range got {
+		if dna.DecodeString(r.Base) != want[r.Seq] {
+			t.Fatalf("read %d differs from the batch engine's correction", r.Seq)
+		}
+	}
+}
+
+// group is one resident service rank group over proc endpoints: rank 0's
+// handle is the front, ranks 1.. run as pure executors in the background.
+type group struct {
+	t    *testing.T
+	np   int
+	eps  []*transport.Endpoint
+	svc  *core.SpectrumService
+	wg   sync.WaitGroup
+	outs []*core.RankOutput
+	errs []error
+}
+
+func startGroup(t *testing.T, np int, opts core.Options, rs []reads.Read) *group {
+	t.Helper()
+	eps, err := transport.NewProcGroup(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { transport.CloseGroup(eps) })
+	svcs := make([]*core.SpectrumService, np)
+	serrs := make([]error, np)
+	var swg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		swg.Add(1)
+		go func(r int) {
+			defer swg.Done()
+			svcs[r], serrs[r] = core.StartService(eps[r], &core.MemorySource{Reads: rs}, opts)
+		}(r)
+	}
+	swg.Wait()
+	for r, err := range serrs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	g := &group{t: t, np: np, eps: eps, svc: svcs[0], outs: make([]*core.RankOutput, np), errs: make([]error, np)}
+	for r := 1; r < np; r++ {
+		g.wg.Add(1)
+		go func(r int) {
+			defer g.wg.Done()
+			g.outs[r], g.errs[r] = svcs[r].ServeExecutor()
+		}(r)
+	}
+	return g
+}
+
+// drain ends the group through the coordinator handle and joins the
+// executors; their per-rank errors stay in g.errs for the test to inspect.
+func (g *group) drain() (*core.RankOutput, error) {
+	out, err := g.svc.Drain()
+	g.wg.Wait()
+	return out, err
+}
+
+// within fails the test if fn does not finish inside d — the drain paths
+// under test must terminate, never hang.
+func within(t *testing.T, d time.Duration, what string, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { defer close(done); fn() }()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal(what + " did not finish in time")
+	}
+}
+
+// TestServedOutputMatchesBatch is the front-door identity check: concurrent
+// TCP clients each correct the full dataset through a resident 2-rank
+// service, and every served read must be byte-identical to what a classic
+// reptile-correct batch run produces. It doubles as the smoke sequence —
+// start, concurrent clients, graceful drain.
+func TestServedOutputMatchesBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short: heavyweight end-to-end run (race CI budget)")
+	}
+	ds, opts := testDataset(t, 1500, 310)
+	const np = 2
+	ref := referenceMap(t, ds, np, opts)
+
+	g := startGroup(t, np, opts, ds.Reads)
+	srv, err := serve.Listen("127.0.0.1:0", g.svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 3
+	var cwg sync.WaitGroup
+	cerrs := make([]error, clients)
+	couts := make([][]reads.Read, clients)
+	for i := 0; i < clients; i++ {
+		cwg.Add(1)
+		go func(i int) {
+			defer cwg.Done()
+			cerrs[i] = func() error {
+				cl, err := serve.Dial(srv.Addr())
+				if err != nil {
+					return err
+				}
+				defer cl.Close()
+				if err := cl.Open("tenant-" + string(rune('a'+i))); err != nil {
+					return err
+				}
+				for lo := 0; lo < len(ds.Reads); lo += 256 {
+					hi := lo + 256
+					if hi > len(ds.Reads) {
+						hi = len(ds.Reads)
+					}
+					out, _, err := cl.Correct(ds.Reads[lo:hi])
+					if err != nil {
+						return err
+					}
+					couts[i] = append(couts[i], out...)
+				}
+				return cl.CloseSession()
+			}()
+		}(i)
+	}
+	cwg.Wait()
+	for i, err := range cerrs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i := range couts {
+		if len(couts[i]) != len(ds.Reads) {
+			t.Fatalf("client %d got %d reads back, submitted %d", i, len(couts[i]), len(ds.Reads))
+		}
+		checkCorrected(t, couts[i], ref)
+	}
+
+	sv := g.svc.Stats()
+	if sv.Sessions != clients {
+		t.Errorf("service counted %d completed sessions, want %d", sv.Sessions, clients)
+	}
+
+	var out0 *core.RankOutput
+	within(t, 60*time.Second, "graceful drain", func() {
+		srv.Shutdown()
+		var err error
+		if out0, err = g.drain(); err != nil {
+			t.Error(err)
+		}
+	})
+	for r, err := range g.errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+	// Stats().Reads is this rank's executor only; the group-wide count is the
+	// sum over the drained rank outputs.
+	var served int64
+	if out0 != nil {
+		served = out0.Stats.SessionReads
+	}
+	for _, o := range g.outs[1:] {
+		if o != nil {
+			served += o.Stats.SessionReads
+		}
+	}
+	if served != int64(clients*len(ds.Reads)) {
+		t.Errorf("rank executors served %d reads, want %d", served, clients*len(ds.Reads))
+	}
+}
+
+// TestOverCapOpenRejected covers the per-tenant admission cap through both
+// surfaces: the in-process handle (proc) and a TCP client. The rejection
+// must be the typed capacity error, and closing a session must free the
+// slot again.
+func TestOverCapOpenRejected(t *testing.T) {
+	ds, opts := testDataset(t, 600, 320)
+	opts.Serve = &core.ServeOptions{MaxSessions: 1}
+	const np = 2
+	g := startGroup(t, np, opts, ds.Reads)
+
+	// Proc surface: a second open for the same tenant at the same executor.
+	s1, err := g.svc.OpenAt(1, "capped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = g.svc.OpenAt(1, "capped")
+	if !errors.Is(err, core.ErrSessionRejected) {
+		t.Fatalf("over-cap open returned %v, want a typed session rejection", err)
+	}
+	var serr *core.SessionError
+	if !errors.As(err, &serr) || serr.Kind != core.SessionRejectCapacity {
+		t.Fatalf("over-cap open returned %v, want kind capacity", err)
+	}
+	// A different tenant is not affected by this tenant's cap.
+	other, err := g.svc.OpenAt(1, "other")
+	if err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	if err := other.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := g.svc.OpenAt(1, "capped")
+	if err != nil {
+		t.Fatalf("open after close rejected: %v — the admission slot was not freed", err)
+	}
+	if err := s3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// TCP surface: opens round-robin rank 0, rank 1, rank 0 — the third
+	// client lands on rank 0's full tenant slot and must see the same typed
+	// error a local caller gets.
+	srv, err := serve.Listen("127.0.0.1:0", g.svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cls []*serve.Client
+	defer func() {
+		for _, cl := range cls {
+			cl.Close()
+		}
+	}()
+	dial := func() *serve.Client {
+		cl, err := serve.Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cls = append(cls, cl)
+		return cl
+	}
+	a, b, c := dial(), dial(), dial()
+	if err := a.Open("wire-capped"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Open("wire-capped"); err != nil {
+		t.Fatal(err)
+	}
+	err = c.Open("wire-capped")
+	if !errors.Is(err, core.ErrSessionRejected) {
+		t.Fatalf("TCP over-cap open returned %v, want a typed session rejection", err)
+	}
+	serr = nil
+	if !errors.As(err, &serr) || serr.Kind != core.SessionRejectCapacity {
+		t.Fatalf("TCP over-cap open returned %v, want kind capacity", err)
+	}
+	if err := a.CloseSession(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CloseSession(); err != nil {
+		t.Fatal(err)
+	}
+	// Shutdown waits for connected clients, so disconnect them first.
+	for _, cl := range cls {
+		cl.Close()
+	}
+	cls = nil
+
+	within(t, 60*time.Second, "drain", func() {
+		srv.Shutdown()
+		if _, err := g.drain(); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestDrainCompletesInFlightSession: a session caught mid-flight by Drain
+// runs to completion with byte-identical output, while new opens are
+// rejected with the typed draining error.
+func TestDrainCompletesInFlightSession(t *testing.T) {
+	ds, opts := testDataset(t, 900, 330)
+	const np = 2
+	ref := referenceMap(t, ds, np, opts)
+	g := startGroup(t, np, opts, ds.Reads)
+
+	sess, err := g.svc.OpenAt(1, "inflight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := ds.Reads[:300]
+	p, err := sess.Submit(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		_, err := g.drain()
+		drained <- err
+	}()
+
+	// Drain must start rejecting opens while the submitted chunk is still
+	// outstanding; poll until the draining flag is visible.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		late, err := g.svc.OpenAt(0, "late")
+		if err != nil {
+			var serr *core.SessionError
+			if !errors.As(err, &serr) || serr.Kind != core.SessionRejectDraining {
+				t.Fatalf("open during drain returned %v, want kind draining", err)
+			}
+			break
+		}
+		// Drain has not set the flag yet; close the probe session (a leaked
+		// open would stall the drain forever) and retry.
+		if err := late.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started rejecting opens")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	rs, _, err := p.Wait()
+	if err != nil {
+		t.Fatalf("in-flight chunk failed under drain: %v", err)
+	}
+	if len(rs) != len(chunk) {
+		t.Fatalf("in-flight chunk returned %d reads, submitted %d", len(rs), len(chunk))
+	}
+	checkCorrected(t, rs, ref)
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	within(t, 60*time.Second, "drain", func() {
+		if err := <-drained; err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestClientDisconnectFreesAdmission: a TCP client that vanishes
+// mid-session (no session close, no connection shutdown handshake) must
+// have its session closed by the server, freeing the tenant's admission
+// slot and window for the next client.
+func TestClientDisconnectFreesAdmission(t *testing.T) {
+	ds, opts := testDataset(t, 600, 340)
+	opts.Serve = &core.ServeOptions{MaxSessions: 1}
+	const np = 1 // single executor: every open lands on the same cap
+	g := startGroup(t, np, opts, ds.Reads)
+	srv, err := serve.Listen("127.0.0.1:0", g.svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := serve.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Open("flaky"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Correct(ds.Reads[:100]); err != nil {
+		t.Fatal(err)
+	}
+	// Vanish without closing the session: the server's connection teardown
+	// must retire it.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := serve.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := b.Open("flaky")
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, core.ErrSessionRejected) {
+			t.Fatalf("open returned %v, want success or a capacity rejection while the slot frees", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admission slot never freed after the client disconnected")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, _, err := b.Correct(ds.Reads[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CloseSession(); err != nil {
+		t.Fatal(err)
+	}
+	// Shutdown waits for connected clients, so disconnect first.
+	b.Close()
+
+	within(t, 60*time.Second, "drain", func() {
+		srv.Shutdown()
+		if _, err := g.drain(); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestRankDeathAfterCompletedSession is the session-durability regression:
+// output a client was acknowledged for (its session closed cleanly) must
+// survive a rank dying afterwards — the death fails new work and the drain,
+// but never the already-delivered corrections.
+func TestRankDeathAfterCompletedSession(t *testing.T) {
+	ds, opts := testDataset(t, 900, 350)
+	const np = 2
+	ref := referenceMap(t, ds, np, opts)
+	g := startGroup(t, np, opts, ds.Reads)
+
+	// Complete a session at the rank that is about to die.
+	sess, err := g.svc.OpenAt(1, "survivor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := ds.Reads[:400]
+	delivered, _, err := sess.Correct(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill rank 1. Everything already acknowledged must stand; everything
+	// new must fail fast.
+	g.eps[1].Close()
+
+	if _, err := g.svc.OpenAt(1, "late"); err == nil {
+		t.Error("open at the dead rank succeeded")
+	}
+
+	within(t, 60*time.Second, "drain after rank death", func() {
+		if _, err := g.drain(); err == nil {
+			t.Error("drain reported success despite a dead rank")
+		}
+	})
+
+	// The acknowledged output is untouched by the teardown: still exactly
+	// what the batch engine would have produced.
+	if len(delivered) != len(chunk) {
+		t.Fatalf("delivered %d reads, submitted %d", len(delivered), len(chunk))
+	}
+	checkCorrected(t, delivered, ref)
+}

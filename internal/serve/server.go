@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"reptile/internal/core"
+	"reptile/internal/reads"
+)
+
+// Server is the front door: it accepts client connections on a TCP
+// listener and bridges each one onto a correction session of the resident
+// SpectrumService, spreading concurrent clients across the rank group via
+// the service's round-robin Open. One connection drives at most one
+// session at a time; a connection that dies mid-session has its session
+// closed for it, so a vanished client can never pin an admission slot or
+// window capacity.
+type Server struct {
+	svc *core.SpectrumService
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{} // guarded by mu
+	closed bool                  // guarded by mu
+}
+
+// Listen starts a front door for svc on addr (host:port; port 0 picks a
+// free one — see Addr). The accept loop runs until Shutdown or Close.
+func Listen(addr string, svc *core.SpectrumService) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{svc: svc, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	return s, nil
+}
+
+// Addr returns the listener's resolved address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: Shutdown or Close
+		}
+		if !s.track(c) {
+			c.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(c)
+		}()
+	}
+}
+
+// track registers a live connection; false means the server is closing.
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// serveConn runs one client connection: strictly alternating request and
+// response frames. A read error (the client disconnected or sent garbage)
+// ends the connection; the deferred close then retires any session still
+// open, freeing its admission slot at the executor.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.untrack(c)
+	defer c.Close()
+	var sess *core.Session
+	defer func() {
+		if sess != nil {
+			// reptile-lint:allow errorflow the client is gone; this close exists only to free the admission slot
+			_ = sess.Close()
+		}
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	for {
+		op, payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		switch op {
+		case opOpen:
+			err = s.handleOpen(bw, &sess, string(payload))
+		case opChunk:
+			err = s.handleChunk(bw, sess, payload)
+		case opClose:
+			err = s.handleClose(bw, &sess)
+		default:
+			return // protocol violation: drop the connection
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handleOpen admits one session for the connection. A rejection (capacity,
+// draining) answers opErr but keeps the connection: the client may retry
+// or leave.
+func (s *Server) handleOpen(bw *bufio.Writer, sess **core.Session, tenant string) error {
+	if *sess != nil {
+		return writeFrame(bw, opErr, encodeErr(fmt.Errorf("connection already has an open session")))
+	}
+	ns, err := s.svc.Open(tenant)
+	if err != nil {
+		return writeFrame(bw, opErr, encodeErr(err))
+	}
+	*sess = ns
+	return writeFrame(bw, opOpenOK, nil)
+}
+
+// handleChunk corrects one batch of reads through the connection's session.
+func (s *Server) handleChunk(bw *bufio.Writer, sess *core.Session, payload []byte) error {
+	if sess == nil {
+		return writeFrame(bw, opErr, encodeErr(fmt.Errorf("chunk before open")))
+	}
+	rs, err := reads.DecodeBatch(payload)
+	if err != nil {
+		return err // torn batch: drop the connection
+	}
+	out, res, err := sess.Correct(rs)
+	if err != nil {
+		return writeFrame(bw, opErr, encodeErr(err))
+	}
+	return writeFrame(bw, opChunkOK, append(encodeResult(res), reads.EncodeBatch(out)...))
+}
+
+// handleClose retires the connection's session. The opCloseOK answer is the
+// client's acknowledgment that every corrected chunk it read back is final:
+// it leaves the server only after the session is fully retired, so output
+// the client holds survives anything that happens to the group afterwards.
+func (s *Server) handleClose(bw *bufio.Writer, sess **core.Session) error {
+	if *sess == nil {
+		return writeFrame(bw, opErr, encodeErr(fmt.Errorf("close before open")))
+	}
+	err := (*sess).Close()
+	*sess = nil
+	if err != nil {
+		return writeFrame(bw, opErr, encodeErr(err))
+	}
+	return writeFrame(bw, opCloseOK, nil)
+}
+
+// Shutdown is the graceful half of drain: stop accepting new connections,
+// then wait for every connected client to finish its session and hang up.
+// Pair it with SpectrumService.Drain, which rejects any late opens with
+// the typed draining error and waits for in-flight sessions to complete.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+// Close tears the front door down without waiting for clients: the
+// listener and every live connection are closed (which retires their
+// sessions), then the handlers are joined.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

@@ -9,6 +9,8 @@ package stats
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"time"
 )
 
@@ -79,6 +81,16 @@ type Rank struct {
 
 	// Correction, responder side.
 	RequestsServed int64
+
+	// Session layer (DESIGN.md §17). Every correction travels a session —
+	// the batch drivers as a one-shot, served client jobs as long-lived
+	// multi-chunk sessions — so SessionsOpened is at least 1 on any rank
+	// that corrected anything. Counters are executor-side: sessions admitted
+	// at this rank, wherever they were opened from.
+	SessionsOpened    int64
+	SessionsCompleted int64 // sessions closed cleanly
+	SessionsRejected  int64 // opens refused (per-tenant cap or drain)
+	SessionReads      int64 // reads corrected by this rank's session executor
 
 	// Spectrum-snapshot cache (zero unless Options.Snapshot is configured;
 	// see DESIGN.md §16). A hit means this rank adopted its frozen spectra
@@ -252,4 +264,50 @@ func (r *Run) TotalWall() time.Duration {
 		t += w
 	}
 	return t
+}
+
+// Serve summarizes one service node's session traffic: what reptile-serve
+// prints at drain and the serve bench records per client-count row.
+type Serve struct {
+	Sessions    int64         // sessions completed through this node
+	Rejected    int64         // opens refused (cap or drain)
+	Reads       int64         // reads corrected across those sessions
+	Elapsed     time.Duration // serving window (arm to drain)
+	ReadsPerSec float64       // Reads / Elapsed
+	P50         time.Duration // median session latency (open to close)
+	P99         time.Duration // tail session latency
+}
+
+// NewServe builds the serve summary from the closed sessions' latencies.
+func NewServe(sessions, rejected, reads int64, elapsed time.Duration, latencies []time.Duration) Serve {
+	s := Serve{Sessions: sessions, Rejected: rejected, Reads: reads, Elapsed: elapsed}
+	if elapsed > 0 {
+		s.ReadsPerSec = float64(reads) / elapsed.Seconds()
+	}
+	s.P50 = Percentile(latencies, 50)
+	s.P99 = Percentile(latencies, 99)
+	return s
+}
+
+// Percentile returns the q-th percentile (0-100) of the given durations
+// using nearest-rank on a sorted copy; 0 for an empty set. The input is
+// not modified.
+func Percentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
